@@ -1,0 +1,170 @@
+//! # hashcore-baselines
+//!
+//! Comparator Proof-of-Work functions.
+//!
+//! The paper positions HashCore against three families of prior designs
+//! (Sections II and VI):
+//!
+//! * **Compute-bound cryptographic PoW** — Bitcoin's double SHA-256, the
+//!   design most friendly to ASICs ([`Sha256dPow`]),
+//! * **Memory-hard PoW** — scrypt / Equihash / Balloon style functions that
+//!   force a large scratchpad ([`MemoryHardPow`]),
+//! * **Random-program PoW** — RandomX-style explicit utilisation of a
+//!   virtual machine's structures by uniformly random programs
+//!   ([`RandomxLitePow`]), which the paper contrasts with HashCore's
+//!   profile-targeted generation,
+//! * **Widget selection** — the Section VI-A alternative in which widgets
+//!   are *selected* from a fixed pre-generated pool instead of generated at
+//!   run time ([`SelectionPow`]).
+//!
+//! Every baseline implements the common [`PowFunction`] trait so the
+//! experiment harness (E7, E8) can sweep them uniformly, and
+//! [`HashCorePow`] adapts the real `hashcore` implementation to the same
+//! trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memory_hard;
+mod randomx_lite;
+mod selection;
+mod sha256d_pow;
+
+pub use memory_hard::MemoryHardPow;
+pub use randomx_lite::RandomxLitePow;
+pub use selection::SelectionPow;
+pub use sha256d_pow::Sha256dPow;
+
+use hashcore::{HashCore, Target};
+use hashcore_crypto::Digest256;
+
+/// A Proof-of-Work function: a deterministic map from arbitrary input bytes
+/// to a 256-bit digest, plus enough metadata for comparative reporting.
+pub trait PowFunction {
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the PoW digest for `input`.
+    fn pow_hash(&self, input: &[u8]) -> Digest256;
+
+    /// The dominant hardware resource the function stresses, as a coarse
+    /// label used by the mining-market model (E9).
+    fn dominant_resource(&self) -> ResourceClass;
+
+    /// Mines the first nonce in `0..max_attempts` meeting `target`, if any.
+    fn mine(&self, header: &[u8], target: Target, max_attempts: u64) -> Option<(u64, Digest256)> {
+        for nonce in 0..max_attempts {
+            let mut input = header.to_vec();
+            input.extend_from_slice(&nonce.to_le_bytes());
+            let digest = self.pow_hash(&input);
+            if target.is_met_by(&digest) {
+                return Some((nonce, digest));
+            }
+        }
+        None
+    }
+}
+
+/// Coarse classification of what a PoW function stresses, used by the
+/// mining-market cost model to reason about how much an ASIC can strip away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceClass {
+    /// A single fixed cryptographic circuit (ideal ASIC territory).
+    FixedFunction,
+    /// Memory capacity / bandwidth.
+    Memory,
+    /// The full breadth of a general purpose processor.
+    GeneralPurpose,
+}
+
+/// Adapter implementing [`PowFunction`] for the real HashCore function.
+#[derive(Debug, Clone)]
+pub struct HashCorePow {
+    inner: HashCore,
+}
+
+impl HashCorePow {
+    /// Wraps a configured [`HashCore`] instance.
+    pub fn new(inner: HashCore) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped instance.
+    pub fn inner(&self) -> &HashCore {
+        &self.inner
+    }
+}
+
+impl PowFunction for HashCorePow {
+    fn name(&self) -> &'static str {
+        "hashcore"
+    }
+
+    fn pow_hash(&self, input: &[u8]) -> Digest256 {
+        self.inner
+            .hash_digest(input)
+            .expect("generated widgets always execute within their step limit")
+    }
+
+    fn dominant_resource(&self) -> ResourceClass {
+        ResourceClass::GeneralPurpose
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_profile::PerformanceProfile;
+
+    fn all_baselines() -> Vec<Box<dyn PowFunction>> {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 3_000;
+        vec![
+            Box::new(Sha256dPow),
+            Box::new(MemoryHardPow::new(64 * 1024, 2)),
+            Box::new(RandomxLitePow::new(3_000)),
+            Box::new(SelectionPow::new(profile.clone(), 8, 2)),
+            Box::new(HashCorePow::new(HashCore::new(profile))),
+        ]
+    }
+
+    #[test]
+    fn all_pow_functions_are_deterministic_and_distinct() {
+        let input = b"comparative input";
+        let mut digests = Vec::new();
+        for pow in all_baselines() {
+            let a = pow.pow_hash(input);
+            let b = pow.pow_hash(input);
+            assert_eq!(a, b, "{} must be deterministic", pow.name());
+            assert_ne!(a, pow.pow_hash(b"other input"), "{}", pow.name());
+            digests.push((pow.name(), a));
+        }
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(digests[i].1, digests[j].1, "{} vs {}", digests[i].0, digests[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_resources_are_assigned() {
+        let names: Vec<&str> = all_baselines().iter().map(|p| p.name()).collect();
+        assert!(names.contains(&"sha256d"));
+        assert!(names.contains(&"memory_hard"));
+        assert!(names.contains(&"randomx_lite"));
+        assert!(names.contains(&"widget_selection"));
+        assert!(names.contains(&"hashcore"));
+        assert_eq!(Sha256dPow.dominant_resource(), ResourceClass::FixedFunction);
+        assert_eq!(
+            MemoryHardPow::new(1 << 16, 1).dominant_resource(),
+            ResourceClass::Memory
+        );
+    }
+
+    #[test]
+    fn default_mine_finds_easy_targets() {
+        let target = Target::from_leading_zero_bits(4);
+        let found = Sha256dPow.mine(b"hdr", target, 256).expect("easy target");
+        assert!(target.is_met_by(&found.1));
+    }
+}

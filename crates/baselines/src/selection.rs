@@ -1,0 +1,126 @@
+//! The widget-selection PoW variant (Section VI-A).
+//!
+//! Instead of generating a fresh widget per hash, this variant keeps a fixed,
+//! pre-generated pool of widgets and uses the hash seed only to *select* an
+//! ordered subset of them to execute. The paper discusses the tradeoffs:
+//! selection needs a (potentially very large) stored pool and risks per-widget
+//! ASICs, but skips the generation cost on every hash, so widget execution is
+//! a larger share of the total work. Experiment E7 quantifies exactly that
+//! tradeoff with this implementation.
+
+use crate::{PowFunction, ResourceClass};
+use hashcore_crypto::{hmac::HmacStream, sha256, Digest256, Sha256};
+use hashcore_gen::{GeneratedWidget, WidgetGenerator};
+use hashcore_profile::{HashSeed, PerformanceProfile};
+use hashcore_vm::Executor;
+
+/// A PoW function that selects widgets from a fixed pool.
+#[derive(Debug, Clone)]
+pub struct SelectionPow {
+    pool: Vec<GeneratedWidget>,
+    widgets_per_hash: usize,
+}
+
+impl SelectionPow {
+    /// Builds a pool of `pool_size` widgets from `profile` (using fixed,
+    /// publicly known pool seeds) and executes `widgets_per_hash` of them per
+    /// PoW evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size` or `widgets_per_hash` is zero.
+    pub fn new(profile: PerformanceProfile, pool_size: usize, widgets_per_hash: usize) -> Self {
+        assert!(pool_size > 0, "pool must contain at least one widget");
+        assert!(widgets_per_hash > 0, "must execute at least one widget per hash");
+        let generator = WidgetGenerator::new(profile);
+        let pool = (0..pool_size)
+            .map(|i| {
+                // Pool seeds are fixed and public: the digest of the pool index.
+                let seed = HashSeed::new(sha256(format!("hashcore-pool-{i}").as_bytes()));
+                generator.generate(&seed)
+            })
+            .collect();
+        Self {
+            pool,
+            widgets_per_hash,
+        }
+    }
+
+    /// Number of widgets stored in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Total encoded size of the stored pool in bytes — the storage cost the
+    /// paper's discussion weighs against generation-time cost.
+    pub fn pool_storage_bytes(&self) -> usize {
+        self.pool
+            .iter()
+            .map(|w| hashcore_isa::encode(&w.program).len())
+            .sum()
+    }
+}
+
+impl PowFunction for SelectionPow {
+    fn name(&self) -> &'static str {
+        "widget_selection"
+    }
+
+    fn pow_hash(&self, input: &[u8]) -> Digest256 {
+        let seed = HashSeed::new(sha256(input));
+        // The seed drives an HMAC stream that picks the ordered widget subset.
+        let mut selector = HmacStream::new(seed.as_bytes());
+        let mut gate = Sha256::new();
+        gate.update(seed.as_bytes());
+        for _ in 0..self.widgets_per_hash {
+            let index = selector.next_bounded(self.pool.len() as u64) as usize;
+            let widget = &self.pool[index];
+            let mut config = widget.exec_config();
+            config.collect_trace = false;
+            // The memory seed still comes from the block-specific hash seed,
+            // so executing a pooled widget remains input-dependent.
+            config.memory_seed ^= selector.next_u64();
+            let execution = Executor::new(config)
+                .execute(&widget.program)
+                .expect("pool widgets always halt within their step limit");
+            gate.update(&(index as u64).to_le_bytes());
+            gate.update(&execution.output);
+        }
+        gate.finalize()
+    }
+
+    fn dominant_resource(&self) -> ResourceClass {
+        ResourceClass::GeneralPurpose
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool() -> SelectionPow {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 2_000;
+        SelectionPow::new(profile, 4, 2)
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        let pow = small_pool();
+        assert_eq!(pow.pow_hash(b"a"), pow.pow_hash(b"a"));
+        assert_ne!(pow.pow_hash(b"a"), pow.pow_hash(b"b"));
+    }
+
+    #[test]
+    fn pool_metadata() {
+        let pow = small_pool();
+        assert_eq!(pow.pool_size(), 4);
+        assert!(pow.pool_storage_bytes() > 4 * 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one widget")]
+    fn empty_pool_panics() {
+        SelectionPow::new(PerformanceProfile::leela_like(), 0, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! The Bitcoin-style double-SHA-256 PoW baseline.
+
+use crate::{PowFunction, ResourceClass};
+use hashcore_crypto::{sha256d, Digest256};
+
+/// `SHA256(SHA256(input))` — the PoW function the paper's introduction uses
+/// as the canonical example of a function for which specialised ASICs vastly
+/// outperform general purpose processors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sha256dPow;
+
+impl PowFunction for Sha256dPow {
+    fn name(&self) -> &'static str {
+        "sha256d"
+    }
+
+    fn pow_hash(&self, input: &[u8]) -> Digest256 {
+        sha256d(input)
+    }
+
+    fn dominant_resource(&self) -> ResourceClass {
+        ResourceClass::FixedFunction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_double_sha() {
+        let d = Sha256dPow.pow_hash(b"genesis");
+        assert_eq!(d, sha256d(b"genesis"));
+        assert_eq!(d, hashcore_crypto::sha256(&hashcore_crypto::sha256(b"genesis")));
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation bench: how the choice of branch predictor in the simulated core
+//! shifts the Figure-3 quantities (branch hit rate) and Figure-2 quantities
+//! (IPC) for one widget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hashcore_crypto::sha256;
+use hashcore_gen::WidgetGenerator;
+use hashcore_profile::{HashSeed, PerformanceProfile};
+use hashcore_sim::{CoreConfig, CoreModel, PredictorKind};
+use hashcore_vm::Executor;
+use std::hint::black_box;
+
+fn bench_branch_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_predictors");
+    group.sample_size(10);
+
+    let mut profile = PerformanceProfile::leela_like();
+    profile.target_dynamic_instructions = 20_000;
+    let generator = WidgetGenerator::new(profile);
+    let widget = generator.generate(&HashSeed::new(sha256(b"predictor-ablation")));
+    let execution = Executor::new(widget.exec_config())
+        .execute(&widget.program)
+        .expect("widget executes");
+
+    for kind in PredictorKind::ALL {
+        let mut config = CoreConfig::ivy_bridge_like();
+        config.predictor = kind;
+        let model = CoreModel::new(config);
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| black_box(model.simulate(&widget.program, &execution.trace)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_predictors);
+criterion_main!(benches);

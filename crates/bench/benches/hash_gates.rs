@@ -1,0 +1,32 @@
+//! Micro-bench of the hash-gate primitives: SHA-256 / SHA-512 throughput and
+//! the Merkle-tree construction used by the chain substrate. These set the
+//! floor cost of the non-widget portion of every HashCore evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hashcore_crypto::{sha256, sha512, MerkleTree};
+use std::hint::black_box;
+
+fn bench_hash_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_gates");
+    group.sample_size(20);
+
+    for size in [64usize, 4096, 32 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("sha256/{size}B"), |b| {
+            b.iter(|| black_box(sha256(&data)))
+        });
+        group.bench_function(format!("sha512/{size}B"), |b| {
+            b.iter(|| black_box(sha512(&data)))
+        });
+    }
+
+    let transactions: Vec<Vec<u8>> = (0..256).map(|i: u32| i.to_le_bytes().to_vec()).collect();
+    group.bench_function("merkle_tree/256_leaves", |b| {
+        b.iter(|| black_box(MerkleTree::from_items(transactions.iter().map(|t| t.as_slice()))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_gates);
+criterion_main!(benches);

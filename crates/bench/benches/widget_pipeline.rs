@@ -1,0 +1,54 @@
+//! Criterion bench backing experiments E2–E5 and E7: the stages of the
+//! widget pipeline (seed noise → generation → execution → simulation), which
+//! is where all figure data comes from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hashcore_crypto::sha256;
+use hashcore_gen::WidgetGenerator;
+use hashcore_profile::{apply_seed, HashSeed, NoiseConfig, PerformanceProfile};
+use hashcore_sim::{CoreConfig, CoreModel};
+use hashcore_vm::Executor;
+use std::hint::black_box;
+
+fn profile() -> PerformanceProfile {
+    let mut profile = PerformanceProfile::leela_like();
+    profile.target_dynamic_instructions = 20_000;
+    profile
+}
+
+fn bench_widget_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("widget_pipeline");
+    group.sample_size(10);
+
+    let base = profile();
+    let generator = WidgetGenerator::new(base.clone());
+    let seed = HashSeed::new(sha256(b"bench-widget"));
+    let widget = generator.generate(&seed);
+    let execution = Executor::new(widget.exec_config())
+        .execute(&widget.program)
+        .expect("widget executes");
+    let core = CoreModel::new(CoreConfig::ivy_bridge_like());
+
+    group.bench_function("seed_noise", |b| {
+        b.iter(|| black_box(apply_seed(&base, &seed, &NoiseConfig::default())))
+    });
+    group.bench_function("widget_generation", |b| {
+        b.iter(|| black_box(generator.generate(&seed)))
+    });
+    group.bench_function("widget_execution", |b| {
+        b.iter(|| {
+            black_box(
+                Executor::new(widget.exec_config())
+                    .execute(&widget.program)
+                    .expect("widget executes"),
+            )
+        })
+    });
+    group.bench_function("widget_simulation", |b| {
+        b.iter(|| black_box(core.simulate(&widget.program, &execution.trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_widget_pipeline);
+criterion_main!(benches);

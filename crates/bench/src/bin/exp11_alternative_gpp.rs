@@ -1,0 +1,91 @@
+//! Experiment E11 (extension) — targeting alternative GPPs (Section VI-B).
+//!
+//! The paper notes that the HashCore framework is modular: retargeting it at
+//! a different general purpose processor (e.g. the ARM cores in phones) only
+//! requires a new widget generator profile. This extension experiment
+//! quantifies what "targeting" buys: widgets generated against the profile
+//! measured on the Ivy Bridge-like core are compared with widgets generated
+//! against the profile measured on an ARM-mobile-like core, each evaluated on
+//! both cores. The x86-targeted widgets should look relatively best on the
+//! x86-like core and the ARM-targeted widgets relatively best on the
+//! ARM-like core.
+//!
+//! Usage: `exp11_alternative_gpp [N]` (default 60).
+
+use hashcore_bench::widget_count_from_args;
+use hashcore_crypto::sha256;
+use hashcore_gen::WidgetGenerator;
+use hashcore_profile::stats::Summary;
+use hashcore_profile::HashSeed;
+use hashcore_sim::{CoreConfig, CoreModel, WorkloadProfiler};
+use hashcore_vm::Executor;
+use hashcore_workloads::{Workload, WorkloadParams};
+
+fn mean_ipc(generator: &WidgetGenerator, core: CoreConfig, n: usize, tag: &str) -> f64 {
+    let model = CoreModel::new(core);
+    let ipcs: Vec<f64> = (0..n)
+        .map(|i| {
+            let seed = HashSeed::new(sha256(format!("{tag}-{i}").as_bytes()));
+            let widget = generator.generate(&seed);
+            let exec = Executor::new(widget.exec_config())
+                .execute(&widget.program)
+                .expect("widgets execute");
+            model.simulate(&widget.program, &exec.trace).counters.ipc()
+        })
+        .collect();
+    Summary::from_values(&ipcs).expect("non-empty").mean
+}
+
+fn main() {
+    let n = widget_count_from_args(60);
+    println!("== Experiment E11 (extension): targeting alternative GPPs ({n} widgets/cell) ==\n");
+
+    let params = WorkloadParams::reference();
+    let kernel = Workload::GoEngine.build(&params);
+    let exec = Executor::new(hashcore_vm::ExecConfig {
+        max_steps: 50_000_000,
+        collect_trace: true,
+        memory_seed: params.memory_seed,
+    })
+    .execute(&kernel)
+    .expect("reference kernel executes");
+
+    let x86 = CoreConfig::ivy_bridge_like();
+    let arm = CoreConfig::arm_mobile_like();
+    let x86_profile = WorkloadProfiler::new(x86).profile("reference@x86", &kernel, &exec.trace);
+    let arm_profile = WorkloadProfiler::new(arm).profile("reference@arm", &kernel, &exec.trace);
+    println!(
+        "reference kernel IPC: {:.3} on the x86-like core, {:.3} on the ARM-mobile-like core\n",
+        x86_profile.reference_ipc, arm_profile.reference_ipc
+    );
+
+    let x86_targeted = WidgetGenerator::new(x86_profile);
+    let arm_targeted = WidgetGenerator::new(arm_profile);
+
+    let x86_on_x86 = mean_ipc(&x86_targeted, x86, n, "x86-targeted");
+    let x86_on_arm = mean_ipc(&x86_targeted, arm, n, "x86-targeted");
+    let arm_on_x86 = mean_ipc(&arm_targeted, x86, n, "arm-targeted");
+    let arm_on_arm = mean_ipc(&arm_targeted, arm, n, "arm-targeted");
+
+    println!(
+        "{:<22} {:>16} {:>16}",
+        "widget target \\ core", "x86-like IPC", "ARM-mobile IPC"
+    );
+    println!("{:<22} {:>16.3} {:>16.3}", "x86-targeted widgets", x86_on_x86, x86_on_arm);
+    println!("{:<22} {:>16.3} {:>16.3}", "ARM-targeted widgets", arm_on_x86, arm_on_arm);
+
+    let x86_ratio = x86_on_x86 / x86_on_arm;
+    let arm_ratio = arm_on_x86 / arm_on_arm;
+    println!(
+        "\nx86/ARM IPC ratio: {:.3} for x86-targeted widgets vs {:.3} for ARM-targeted widgets",
+        x86_ratio, arm_ratio
+    );
+    println!("Interpretation: retargeting is mechanically trivial (swap the profile), which");
+    println!("is Section VI-B's modularity claim. The two widget populations end up nearly");
+    println!("identical here because the PerfProx-style profile captures trace-level");
+    println!("behaviour (instruction mix, branch/memory/dependency statistics) that does not");
+    println!("depend on the measuring core — so *effective* per-architecture targeting needs");
+    println!("architecture-specific reference workloads (or core-specific profile metrics),");
+    println!("matching the paper's note that a new widget generator profile must be");
+    println!("developed per target GPP.");
+}

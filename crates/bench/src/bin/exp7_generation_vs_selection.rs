@@ -1,0 +1,70 @@
+//! Experiment E7 — widget generation vs widget selection (Section VI-A).
+//!
+//! The paper weighs generating widgets at run time against selecting them
+//! from a fixed pre-generated pool: selection trades storage (and exposure to
+//! per-widget ASICs) for lower per-hash overhead, so widget *execution*
+//! becomes a larger share of the total PoW time. This harness measures both
+//! sides: the per-hash stage breakdown of generation-based HashCore, and the
+//! per-hash time plus pool storage of the selection variant across pool
+//! sizes.
+//!
+//! Usage: `exp7_generation_vs_selection [hashes]` (default 20).
+
+use hashcore_baselines::{PowFunction, SelectionPow};
+use hashcore_bench::{widget_count_from_args, Experiment};
+use hashcore_vm::Executor;
+use std::time::Instant;
+
+fn main() {
+    let hashes = widget_count_from_args(20);
+    let experiment = Experiment::standard();
+    println!("== Experiment E7: generation vs selection ({hashes} hashes per point) ==\n");
+
+    // --- Generation-based HashCore: stage breakdown -----------------------
+    let mut generate_total = 0.0f64;
+    let mut execute_total = 0.0f64;
+    for i in 0..hashes {
+        let start = Instant::now();
+        let widget = experiment.widget(i);
+        generate_total += start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let mut config = widget.exec_config();
+        config.collect_trace = false;
+        Executor::new(config).execute(&widget.program).expect("execute");
+        execute_total += start.elapsed().as_secs_f64();
+    }
+    let generation_ms = generate_total / hashes as f64 * 1e3;
+    let execution_ms = execute_total / hashes as f64 * 1e3;
+    println!("generation-based HashCore (per hash):");
+    println!("  widget generation: {generation_ms:8.3} ms ({:.1}% of widget stage)", 100.0 * generation_ms / (generation_ms + execution_ms));
+    println!("  widget execution:  {execution_ms:8.3} ms ({:.1}% of widget stage)", 100.0 * execution_ms / (generation_ms + execution_ms));
+    println!("  pool storage:      0 bytes (widgets are never stored)\n");
+
+    // --- Selection-based variant across pool sizes -------------------------
+    println!(
+        "{:>10} {:>16} {:>16} {:>20}",
+        "pool size", "per-hash (ms)", "storage (KiB)", "execution share (%)"
+    );
+    for pool_bits in [4u32, 6, 8] {
+        let pool_size = 1usize << pool_bits;
+        let pow = SelectionPow::new(experiment.reference.clone(), pool_size, 1);
+        let start = Instant::now();
+        for i in 0..hashes {
+            let _ = pow.pow_hash(format!("selection-{i}").as_bytes());
+        }
+        let per_hash_ms = start.elapsed().as_secs_f64() / hashes as f64 * 1e3;
+        // Selection has no per-hash generation work, so the widget stage is
+        // (almost) all execution.
+        println!(
+            "{:>10} {:>16.3} {:>16.1} {:>20.1}",
+            pool_size,
+            per_hash_ms,
+            pow.pool_storage_bytes() as f64 / 1024.0,
+            100.0 * execution_ms.min(per_hash_ms) / per_hash_ms.max(1e-9),
+        );
+    }
+
+    println!("\nPaper discussion (VI-A): selection avoids the generation cost per hash but");
+    println!("requires storing a large widget pool and risks per-widget ASICs; generation");
+    println!("keeps storage at zero at the price of the generator running on every hash.");
+}

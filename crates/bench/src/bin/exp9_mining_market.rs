@@ -1,0 +1,43 @@
+//! Experiment E9 — mining-market accessibility.
+//!
+//! Quantifies the motivation of Section III: under an ASIC-friendly PoW the
+//! hash power concentrates in the few miners who can buy custom hardware,
+//! while under a GPP-targeted PoW (HashCore) the distribution follows the
+//! (already unequal, but far flatter) distribution of commodity hardware.
+//! The model and its assumptions live in `hashcore_chain::market`.
+
+use hashcore_baselines::ResourceClass;
+use hashcore_chain::market::{asic_advantage, simulate_market, MarketConfig};
+
+fn main() {
+    println!("== Experiment E9: mining-market accessibility ==\n");
+    let config = MarketConfig::default();
+    println!(
+        "population: {} miners, Pareto(α={}) capital up to ${:.0}, ASIC minimum order ${:.0}\n",
+        config.miners, config.wealth_alpha, config.max_capital, config.asic_min_order
+    );
+
+    println!(
+        "{:<22} {:>14} {:>10} {:>16} {:>14}",
+        "PoW class", "ASIC advantage", "Gini", "participation %", "top-1% share"
+    );
+    for (label, resource) in [
+        ("SHA-256d (fixed)", ResourceClass::FixedFunction),
+        ("memory-hard", ResourceClass::Memory),
+        ("HashCore (GPP)", ResourceClass::GeneralPurpose),
+    ] {
+        let outcome = simulate_market(resource, &config);
+        println!(
+            "{:<22} {:>13.1}x {:>10.4} {:>16.2} {:>14.2}",
+            label,
+            asic_advantage(resource),
+            outcome.gini,
+            outcome.participation * 100.0,
+            outcome.top1_share * 100.0,
+        );
+    }
+
+    println!("\nReading: lower Gini and top-1% share, and higher participation, mean a");
+    println!("more decentralised mining market. The ordering (HashCore < memory-hard <");
+    println!("fixed-function concentration) is the paper's motivating claim.");
+}

@@ -1,0 +1,53 @@
+//! Experiment E3 — Figure 3: branch-prediction widget comparison.
+//!
+//! Same widget population as Figure 2, but plotting the branch-prediction
+//! hit rate (and misprediction MPKI) of each widget against the reference
+//! workload's value on the same simulated core and predictor.
+//!
+//! Usage: `fig3_branch_comparison [N]` (default 300).
+
+use hashcore_bench::{widget_count_from_args, Experiment};
+use hashcore_profile::stats::{Histogram, Summary};
+
+fn main() {
+    let n = widget_count_from_args(300);
+    let experiment = Experiment::standard();
+    println!("== Figure 3: branch prediction widget comparison ({n} widgets) ==\n");
+    println!(
+        "reference workload: {} (branch hit rate {:.4})",
+        experiment.reference.name, experiment.reference.reference_branch_hit_rate
+    );
+
+    let measurements = experiment.measure_widgets(n);
+    let hit_rates: Vec<f64> = measurements.iter().map(|m| m.branch_hit_rate).collect();
+    let mpki: Vec<f64> = measurements.iter().map(|m| m.branch_mpki).collect();
+    let hit_summary = Summary::from_values(&hit_rates).expect("non-empty");
+    let mpki_summary = Summary::from_values(&mpki).expect("non-empty");
+
+    let lo = (hit_summary.min - 0.02).max(0.0);
+    let hi = (hit_summary
+        .max
+        .max(experiment.reference.reference_branch_hit_rate)
+        + 0.02)
+        .min(1.0);
+    let mut histogram = Histogram::new(lo, hi, 20);
+    histogram.add_all(&hit_rates);
+
+    println!("\nwidget branch hit rate: {hit_summary}");
+    println!("widget branch MPKI:     {mpki_summary}");
+    println!(
+        "reference hit rate:     {:.4}\n",
+        experiment.reference.reference_branch_hit_rate
+    );
+    print!("{}", histogram.render(
+        "branch prediction hit-rate distribution",
+        Some(experiment.reference.reference_branch_hit_rate),
+    ));
+
+    println!("\nPaper observation: branch behaviour tracks the reference workload, with");
+    println!("the seed noise adding proportionally fewer branches than other classes.");
+    println!(
+        "Measured here: widget mean hit rate {:.4} vs reference {:.4}",
+        hit_summary.mean, experiment.reference.reference_branch_hit_rate
+    );
+}

@@ -1,0 +1,106 @@
+//! Blocks and block headers.
+
+use hashcore_crypto::{Digest256, MerkleTree};
+
+/// A block header: the only data that flows through the PoW function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Protocol version.
+    pub version: u32,
+    /// Hash of the previous block's header (PoW digest).
+    pub prev_hash: Digest256,
+    /// Merkle root committing to the block's transactions.
+    pub merkle_root: Digest256,
+    /// Block timestamp in seconds (simulated time in the experiments).
+    pub timestamp: u64,
+    /// The difficulty target the block must satisfy, as a big-endian
+    /// threshold.
+    pub target: [u8; 32],
+    /// The PoW nonce.
+    pub nonce: u64,
+}
+
+impl BlockHeader {
+    /// Serialises the header (without the nonce) into the byte string the
+    /// miner searches over; the nonce is appended separately by the mining
+    /// loop.
+    pub fn pow_input(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 32 + 32 + 8 + 32);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.prev_hash);
+        out.extend_from_slice(&self.merkle_root);
+        out.extend_from_slice(&self.timestamp.to_le_bytes());
+        out.extend_from_slice(&self.target);
+        out
+    }
+
+    /// Serialises the full header including the nonce (the exact bytes whose
+    /// PoW digest identifies the block).
+    pub fn bytes(&self) -> Vec<u8> {
+        let mut out = self.pow_input();
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out
+    }
+}
+
+/// A block: a header plus the transactions the Merkle root commits to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block header.
+    pub header: BlockHeader,
+    /// Raw transaction payloads.
+    pub transactions: Vec<Vec<u8>>,
+}
+
+impl Block {
+    /// Computes the Merkle root of a transaction list.
+    pub fn merkle_root(transactions: &[Vec<u8>]) -> Digest256 {
+        MerkleTree::from_items(transactions.iter().map(|t| t.as_slice())).root()
+    }
+
+    /// Returns `true` if the header's Merkle root matches the transactions.
+    pub fn merkle_consistent(&self) -> bool {
+        Self::merkle_root(&self.transactions) == self.header.merkle_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> BlockHeader {
+        BlockHeader {
+            version: 1,
+            prev_hash: [7u8; 32],
+            merkle_root: [9u8; 32],
+            timestamp: 1_234,
+            target: [0xff; 32],
+            nonce: 42,
+        }
+    }
+
+    #[test]
+    fn serialisation_layout() {
+        let h = header();
+        let bytes = h.bytes();
+        assert_eq!(bytes.len(), 4 + 32 + 32 + 8 + 32 + 8);
+        assert_eq!(&bytes[..4], &1u32.to_le_bytes());
+        assert_eq!(&bytes[bytes.len() - 8..], &42u64.to_le_bytes());
+        assert_eq!(&bytes[..bytes.len() - 8], h.pow_input().as_slice());
+    }
+
+    #[test]
+    fn merkle_consistency() {
+        let txs = vec![b"a".to_vec(), b"b".to_vec()];
+        let mut block = Block {
+            header: BlockHeader {
+                merkle_root: Block::merkle_root(&txs),
+                ..header()
+            },
+            transactions: txs,
+        };
+        assert!(block.merkle_consistent());
+        block.transactions.push(b"forged".to_vec());
+        assert!(!block.merkle_consistent());
+    }
+}

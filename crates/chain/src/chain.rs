@@ -1,0 +1,325 @@
+//! The chain: block acceptance, validation, and difficulty retargeting.
+
+use crate::block::{Block, BlockHeader};
+use hashcore::Target;
+use hashcore_baselines::PowFunction;
+use hashcore_crypto::Digest256;
+use std::fmt;
+
+/// Chain parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainConfig {
+    /// Desired seconds between blocks (the paper cites Ethereum's sub-minute
+    /// block times as the constraint on widget runtime).
+    pub target_block_time: u64,
+    /// Initial difficulty, in leading zero bits.
+    pub initial_difficulty_bits: u32,
+    /// Exponential-moving-average weight used when retargeting (0 = never
+    /// adjust, 1 = jump straight to the implied difficulty).
+    pub retarget_gain: f64,
+    /// Simulated seconds of mining work represented by one hash attempt;
+    /// lets the simulated clock advance deterministically in tests.
+    pub seconds_per_attempt: f64,
+}
+
+impl ChainConfig {
+    /// Parameters for fast deterministic tests: very low difficulty, 15 s
+    /// blocks.
+    pub fn fast_test() -> Self {
+        Self {
+            target_block_time: 15,
+            initial_difficulty_bits: 2,
+            retarget_gain: 0.3,
+            seconds_per_attempt: 1.0,
+        }
+    }
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        Self {
+            target_block_time: 15,
+            initial_difficulty_bits: 8,
+            retarget_gain: 0.25,
+            seconds_per_attempt: 0.05,
+        }
+    }
+}
+
+/// Errors returned by chain operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Mining gave up before finding a qualifying nonce.
+    MiningExhausted {
+        /// The attempt budget that was exhausted.
+        attempts: u64,
+    },
+    /// A block failed validation.
+    InvalidBlock {
+        /// Height of the offending block.
+        height: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::MiningExhausted { attempts } => {
+                write!(f, "no qualifying nonce within {attempts} attempts")
+            }
+            ChainError::InvalidBlock { height, reason } => {
+                write!(f, "block {height} is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A blockchain driven by an arbitrary [`PowFunction`].
+#[derive(Debug)]
+pub struct Blockchain<P> {
+    pow: P,
+    config: ChainConfig,
+    blocks: Vec<Block>,
+    target: Target,
+    clock: u64,
+    /// Difficulty (expected attempts) history, one entry per mined block.
+    difficulty_history: Vec<f64>,
+}
+
+impl<P: PowFunction> Blockchain<P> {
+    /// Creates an empty chain (height 0) with the genesis difficulty.
+    pub fn new(pow: P, config: ChainConfig) -> Self {
+        Self {
+            pow,
+            target: Target::from_leading_zero_bits(config.initial_difficulty_bits),
+            config,
+            blocks: Vec::new(),
+            clock: 0,
+            difficulty_history: Vec::new(),
+        }
+    }
+
+    /// Number of blocks in the chain.
+    pub fn height(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks accepted so far.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The current difficulty target.
+    pub fn current_target(&self) -> Target {
+        self.target
+    }
+
+    /// Expected hash attempts per block at the current difficulty.
+    pub fn current_difficulty(&self) -> f64 {
+        self.target.expected_attempts()
+    }
+
+    /// Per-block difficulty history (expected attempts).
+    pub fn difficulty_history(&self) -> &[f64] {
+        &self.difficulty_history
+    }
+
+    /// The simulated clock, in seconds.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Hash of the chain tip (all zeros for the empty chain).
+    pub fn tip_hash(&self) -> Digest256 {
+        self.blocks
+            .last()
+            .map(|b| self.pow.pow_hash(&b.header.bytes()))
+            .unwrap_or([0u8; 32])
+    }
+
+    /// Mines and appends the next block containing `transactions`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::MiningExhausted`] if no nonce within
+    /// `max_attempts` meets the current target.
+    pub fn mine_block(
+        &mut self,
+        transactions: &[Vec<u8>],
+        max_attempts: u64,
+    ) -> Result<&Block, ChainError> {
+        let txs: Vec<Vec<u8>> = transactions.to_vec();
+        let header_template = BlockHeader {
+            version: 1,
+            prev_hash: self.tip_hash(),
+            merkle_root: Block::merkle_root(&txs),
+            timestamp: self.clock,
+            target: *self.target.threshold(),
+            nonce: 0,
+        };
+        let (nonce, attempts) = self
+            .search_nonce(&header_template, max_attempts)
+            .ok_or(ChainError::MiningExhausted {
+                attempts: max_attempts,
+            })?;
+
+        // Advance the simulated clock by the work that was performed.
+        let elapsed = (attempts as f64 * self.config.seconds_per_attempt).max(1.0) as u64;
+        self.clock += elapsed;
+
+        let header = BlockHeader {
+            nonce,
+            ..header_template
+        };
+        self.difficulty_history.push(self.current_difficulty());
+        self.blocks.push(Block {
+            header,
+            transactions: txs,
+        });
+        self.retarget(elapsed);
+        Ok(self.blocks.last().expect("just pushed"))
+    }
+
+    fn search_nonce(&self, header: &BlockHeader, max_attempts: u64) -> Option<(u64, u64)> {
+        let base = header.pow_input();
+        for nonce in 0..max_attempts {
+            let mut input = base.clone();
+            input.extend_from_slice(&nonce.to_le_bytes());
+            if self.target.is_met_by(&self.pow.pow_hash(&input)) {
+                return Some((nonce, nonce + 1));
+            }
+        }
+        None
+    }
+
+    /// Ethereum-style smoothed retargeting: scale the target toward the
+    /// value that would have made the last block take `target_block_time`.
+    fn retarget(&mut self, elapsed: u64) {
+        let ratio = elapsed.max(1) as f64 / self.config.target_block_time as f64;
+        // ratio > 1: blocks too slow → make the target easier (scale up).
+        let gain = self.config.retarget_gain.clamp(0.0, 1.0);
+        let factor = ratio.powf(gain).clamp(0.25, 4.0);
+        self.target = self.target.scale(factor);
+    }
+
+    /// Re-validates the entire chain: header linkage, Merkle commitments and
+    /// PoW targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChainError::InvalidBlock`] found.
+    pub fn validate(&self) -> Result<(), ChainError> {
+        validate_blocks(&self.pow, &self.blocks)
+    }
+}
+
+/// Validates an arbitrary block sequence (for example one received from a
+/// peer) against `pow`: header linkage, Merkle commitments and PoW targets.
+///
+/// # Errors
+///
+/// Returns the first [`ChainError::InvalidBlock`] found.
+pub fn validate_blocks<P: PowFunction>(pow: &P, blocks: &[Block]) -> Result<(), ChainError> {
+    let mut prev_hash = [0u8; 32];
+    for (height, block) in blocks.iter().enumerate() {
+        if block.header.prev_hash != prev_hash {
+            return Err(ChainError::InvalidBlock {
+                height,
+                reason: "previous-hash linkage broken".to_string(),
+            });
+        }
+        if !block.merkle_consistent() {
+            return Err(ChainError::InvalidBlock {
+                height,
+                reason: "merkle root does not commit to the transactions".to_string(),
+            });
+        }
+        let digest = pow.pow_hash(&block.header.bytes());
+        let target = Target::from_threshold(block.header.target);
+        if !target.is_met_by(&digest) {
+            return Err(ChainError::InvalidBlock {
+                height,
+                reason: "proof of work does not meet the recorded target".to_string(),
+            });
+        }
+        prev_hash = digest;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_baselines::Sha256dPow;
+
+    fn mined_chain(blocks: usize) -> Blockchain<Sha256dPow> {
+        let mut chain = Blockchain::new(Sha256dPow, ChainConfig::fast_test());
+        for i in 0..blocks {
+            chain
+                .mine_block(&[format!("tx-{i}").into_bytes()], 1_000_000)
+                .expect("mining at trivial difficulty succeeds");
+        }
+        chain
+    }
+
+    #[test]
+    fn mining_extends_and_validates() {
+        let chain = mined_chain(5);
+        assert_eq!(chain.height(), 5);
+        assert!(chain.validate().is_ok());
+        assert_eq!(chain.difficulty_history().len(), 5);
+        assert!(chain.now() > 0);
+    }
+
+    #[test]
+    fn tampering_with_a_transaction_is_detected() {
+        let mut chain = mined_chain(3);
+        chain.blocks[1].transactions[0] = b"double spend".to_vec();
+        let err = chain.validate().unwrap_err();
+        assert!(matches!(err, ChainError::InvalidBlock { height: 1, .. }));
+        assert!(err.to_string().contains("merkle"));
+    }
+
+    #[test]
+    fn tampering_with_a_header_breaks_linkage_or_pow() {
+        let mut chain = mined_chain(3);
+        chain.blocks[1].header.timestamp += 999;
+        assert!(chain.validate().is_err());
+    }
+
+    #[test]
+    fn difficulty_rises_when_blocks_come_too_fast() {
+        // seconds_per_attempt = 1 and target_block_time = 15: at difficulty
+        // 2 bits blocks take ~4 attempts ≈ 4 s < 15 s, so retargeting should
+        // make the target harder (expected attempts grow) over time.
+        let chain = mined_chain(30);
+        let early: f64 = chain.difficulty_history()[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = chain.difficulty_history()[25..].iter().sum::<f64>() / 5.0;
+        assert!(late > early, "difficulty should rise: early {early}, late {late}");
+    }
+
+    #[test]
+    fn mining_exhaustion_is_reported() {
+        let mut chain = Blockchain::new(
+            Sha256dPow,
+            ChainConfig {
+                initial_difficulty_bits: 64,
+                ..ChainConfig::fast_test()
+            },
+        );
+        let err = chain.mine_block(&[b"tx".to_vec()], 10).unwrap_err();
+        assert_eq!(err, ChainError::MiningExhausted { attempts: 10 });
+        assert_eq!(chain.height(), 0);
+    }
+
+    #[test]
+    fn empty_chain_validates() {
+        let chain = Blockchain::new(Sha256dPow, ChainConfig::fast_test());
+        assert!(chain.validate().is_ok());
+        assert_eq!(chain.tip_hash(), [0u8; 32]);
+    }
+}

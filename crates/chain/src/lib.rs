@@ -1,0 +1,45 @@
+//! # hashcore-chain
+//!
+//! The blockchain substrate surrounding the HashCore PoW function, plus the
+//! mining-market accessibility model.
+//!
+//! The paper's motivation (Sections I and III) is about the *system* around
+//! the PoW function: block headers that must be hashed, difficulty that
+//! tracks total hash power, and a mining market whose decentralisation
+//! depends on how much better custom hardware is than the hardware users
+//! already own. This crate provides those pieces:
+//!
+//! * [`BlockHeader`] / [`Block`] — canonical header serialisation with a
+//!   Merkle commitment to the transactions (only the header flows through
+//!   the PoW function, exactly as in Bitcoin/Ethereum),
+//! * [`Blockchain`] — a chain driven by any [`PowFunction`], with
+//!   Ethereum-style per-block difficulty retargeting toward a target block
+//!   time, and full re-validation,
+//! * [`market`] — the mining-market model used by experiment E9: miners
+//!   with heterogeneous capital choose hardware whose efficiency depends on
+//!   how ASIC-friendly the PoW's dominant resource is, and the resulting
+//!   hash-power distribution is summarised by its Gini coefficient and
+//!   participation rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashcore_baselines::Sha256dPow;
+//! use hashcore_chain::{Blockchain, ChainConfig};
+//!
+//! let mut chain = Blockchain::new(Sha256dPow, ChainConfig::fast_test());
+//! chain.mine_block(&[b"tx".to_vec()], 1_000_000).unwrap();
+//! assert_eq!(chain.height(), 1);
+//! assert!(chain.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod chain;
+pub mod market;
+
+pub use block::{Block, BlockHeader};
+pub use chain::{validate_blocks, Blockchain, ChainConfig, ChainError};
+pub use hashcore_baselines::PowFunction;

@@ -1,0 +1,396 @@
+//! The HashCore PoW function over SHA-256 gates and the widget pipeline.
+
+use crate::target::Target;
+use hashcore_crypto::{sha256, Digest256, Sha256};
+use hashcore_gen::{GeneratorConfig, WidgetGenerator};
+use hashcore_profile::{HashSeed, PerformanceProfile};
+use hashcore_vm::{ExecError, Executor};
+use std::fmt;
+
+/// Configuration of a [`HashCore`] instance.
+#[derive(Debug, Clone)]
+pub struct HashCoreConfig {
+    /// The reference performance profile widgets are generated against
+    /// (the paper uses SPEC CPU 2017 Leela; `hashcore-workloads` derives the
+    /// equivalent profile from its Go-engine kernel).
+    pub profile: PerformanceProfile,
+    /// Widget-generator tuning.
+    pub generator: GeneratorConfig,
+    /// Number of widgets generated and executed sequentially per hash.
+    ///
+    /// The paper notes (Section IV) that "it is certainly possible that
+    /// multiple widgets could be generated for a given input string and
+    /// executed sequentially"; values above 1 implement that extension.
+    /// Widget `i > 0` is generated from the derived seed
+    /// `G(s ‖ i)`, and the second hash gate absorbs every widget's output,
+    /// so the Theorem-1 reduction applies unchanged (the whole widget stage
+    /// is still a single polynomial-time function of `s`).
+    pub widgets_per_hash: usize,
+}
+
+impl HashCoreConfig {
+    /// A configuration using the given reference profile and default
+    /// generator settings.
+    pub fn new(profile: PerformanceProfile) -> Self {
+        Self {
+            profile,
+            generator: GeneratorConfig::default(),
+            widgets_per_hash: 1,
+        }
+    }
+
+    /// Sets the number of sequential widgets per hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widgets_per_hash` is zero.
+    pub fn with_widgets_per_hash(mut self, widgets_per_hash: usize) -> Self {
+        assert!(widgets_per_hash > 0, "at least one widget per hash is required");
+        self.widgets_per_hash = widgets_per_hash;
+        self
+    }
+}
+
+/// Error returned by the PoW function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashCoreError {
+    /// The generated widget failed to execute. With a correct generator this
+    /// indicates either corruption of the configured profile or a step-limit
+    /// breach, and the input cannot be hashed.
+    WidgetExecution(ExecError),
+}
+
+impl fmt::Display for HashCoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HashCoreError::WidgetExecution(e) => write!(f, "widget execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HashCoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HashCoreError::WidgetExecution(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExecError> for HashCoreError {
+    fn from(value: ExecError) -> Self {
+        HashCoreError::WidgetExecution(value)
+    }
+}
+
+/// Statistics about the widget stage of one hash evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidgetReport {
+    /// Dynamic instructions the widget retired.
+    pub dynamic_instructions: u64,
+    /// Number of register snapshots emitted.
+    pub snapshots: u64,
+    /// Size of the widget output in bytes (the paper reports 20–38 kB).
+    pub output_bytes: usize,
+    /// Number of basic blocks in the generated program.
+    pub program_blocks: usize,
+}
+
+/// The result of one HashCore evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashCoreOutput {
+    /// The final digest `H(x) = G(s ‖ W(s))`.
+    pub digest: Digest256,
+    /// The hash seed `s = G(x)` (also the widget-generation seed).
+    pub seed: HashSeed,
+    /// Widget-stage statistics.
+    pub widget: WidgetReport,
+}
+
+/// The result of a successful mining search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiningResult {
+    /// The nonce that met the target.
+    pub nonce: u64,
+    /// The winning digest.
+    pub digest: Digest256,
+    /// Number of nonces evaluated (including the winner).
+    pub attempts: u64,
+}
+
+/// The HashCore Proof-of-Work function.
+///
+/// See the crate-level documentation for the construction. The struct is
+/// cheap to clone; each [`HashCore::hash`] call is a full PoW evaluation
+/// (hash gate → widget generation → widget execution → hash gate).
+#[derive(Debug, Clone)]
+pub struct HashCore {
+    generator: WidgetGenerator,
+    widgets_per_hash: usize,
+}
+
+impl HashCore {
+    /// Creates a HashCore instance targeting `profile` with default settings.
+    pub fn new(profile: PerformanceProfile) -> Self {
+        Self::with_config(HashCoreConfig::new(profile))
+    }
+
+    /// Creates a HashCore instance from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero widgets per hash.
+    pub fn with_config(config: HashCoreConfig) -> Self {
+        assert!(config.widgets_per_hash > 0, "at least one widget per hash is required");
+        Self {
+            generator: WidgetGenerator::with_config(config.profile, config.generator),
+            widgets_per_hash: config.widgets_per_hash,
+        }
+    }
+
+    /// The widget generator used by this instance.
+    pub fn generator(&self) -> &WidgetGenerator {
+        &self.generator
+    }
+
+    /// Number of widgets generated and executed per hash evaluation.
+    pub fn widgets_per_hash(&self) -> usize {
+        self.widgets_per_hash
+    }
+
+    /// Evaluates `H(input)`, returning the digest and widget statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashCoreError::WidgetExecution`] if a generated widget
+    /// fails to execute within its step limit.
+    pub fn hash(&self, input: &[u8]) -> Result<HashCoreOutput, HashCoreError> {
+        // First hash gate: s = G(x).
+        let seed = HashSeed::new(sha256(input));
+
+        // Widget generation and execution: w_i = W(seed_i), where seed_0 = s
+        // and seed_i = G(s ‖ i) for the sequential-widget extension. The
+        // second hash gate absorbs the seed and every widget output.
+        let mut gate = Sha256::new();
+        gate.update(seed.as_bytes());
+        let mut report = WidgetReport {
+            dynamic_instructions: 0,
+            snapshots: 0,
+            output_bytes: 0,
+            program_blocks: 0,
+        };
+        for index in 0..self.widgets_per_hash {
+            let widget_seed = if index == 0 {
+                seed
+            } else {
+                let mut derivation = Sha256::new();
+                derivation.update(seed.as_bytes());
+                derivation.update(&(index as u64).to_le_bytes());
+                HashSeed::new(derivation.finalize())
+            };
+            let widget = self.generator.generate(&widget_seed);
+            let execution = Executor::new(hashcore_vm::ExecConfig {
+                collect_trace: false,
+                ..widget.exec_config()
+            })
+            .execute(&widget.program)?;
+            gate.update(&execution.output);
+            report.dynamic_instructions += execution.dynamic_instructions;
+            report.snapshots += execution.snapshot_count;
+            report.output_bytes += execution.output.len();
+            report.program_blocks += widget.program.blocks().len();
+        }
+
+        // Second hash gate: H(x) = G(s ‖ w_0 ‖ … ‖ w_{k-1}).
+        let digest = gate.finalize();
+
+        Ok(HashCoreOutput {
+            digest,
+            seed,
+            widget: report,
+        })
+    }
+
+    /// Convenience: evaluates the PoW and returns only the digest.
+    ///
+    /// # Errors
+    ///
+    /// See [`HashCore::hash`].
+    pub fn hash_digest(&self, input: &[u8]) -> Result<Digest256, HashCoreError> {
+        Ok(self.hash(input)?.digest)
+    }
+
+    /// Builds the canonical mining input for a header and nonce.
+    pub fn mining_input(header: &[u8], nonce: u64) -> Vec<u8> {
+        let mut input = Vec::with_capacity(header.len() + 8);
+        input.extend_from_slice(header);
+        input.extend_from_slice(&nonce.to_le_bytes());
+        input
+    }
+
+    /// Searches nonces `start..start + max_attempts` for a digest meeting
+    /// `target`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates widget-execution failures; returns `Ok(None)` if no nonce
+    /// in the range qualifies.
+    pub fn mine(
+        &self,
+        header: &[u8],
+        target: Target,
+        start: u64,
+        max_attempts: u64,
+    ) -> Result<Option<MiningResult>, HashCoreError> {
+        for i in 0..max_attempts {
+            let nonce = start.wrapping_add(i);
+            let digest = self.hash_digest(&Self::mining_input(header, nonce))?;
+            if target.is_met_by(&digest) {
+                return Ok(Some(MiningResult {
+                    nonce,
+                    digest,
+                    attempts: i + 1,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Verifies that `(header, nonce)` meets `target`, returning the digest
+    /// on success.
+    ///
+    /// Verification is simply re-evaluation of the PoW function — exactly
+    /// what makes a PoW function usable by every full node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates widget-execution failures.
+    pub fn verify(
+        &self,
+        header: &[u8],
+        nonce: u64,
+        target: Target,
+    ) -> Result<Option<Digest256>, HashCoreError> {
+        let digest = self.hash_digest(&Self::mining_input(header, nonce))?;
+        Ok(target.is_met_by(&digest).then_some(digest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_pow() -> HashCore {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 4_000;
+        HashCore::new(profile)
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_input_sensitive() {
+        let pow = fast_pow();
+        let a = pow.hash(b"input-a").unwrap();
+        let b = pow.hash(b"input-a").unwrap();
+        let c = pow.hash(b"input-b").unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_ne!(a.digest, c.digest);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn seed_is_first_gate_output() {
+        let pow = fast_pow();
+        let out = pow.hash(b"header").unwrap();
+        assert_eq!(*out.seed.as_bytes(), sha256(b"header"));
+    }
+
+    #[test]
+    fn digest_matches_manual_composition() {
+        // H(x) must literally equal G(s || W(s)).
+        let pow = fast_pow();
+        let input = b"manual-composition-check";
+        let out = pow.hash(input).unwrap();
+
+        let seed = HashSeed::new(sha256(input));
+        let widget = pow.generator().generate(&seed);
+        let exec = Executor::new(widget.exec_config()).execute(&widget.program).unwrap();
+        let mut gate = Sha256::new();
+        gate.update(seed.as_bytes());
+        gate.update(&exec.output);
+        assert_eq!(out.digest, gate.finalize());
+        assert_eq!(out.widget.output_bytes, exec.output.len());
+    }
+
+    #[test]
+    fn widget_report_is_populated() {
+        let out = fast_pow().hash(b"report").unwrap();
+        assert!(out.widget.dynamic_instructions > 1_000);
+        assert!(out.widget.snapshots >= 1);
+        assert_eq!(out.widget.output_bytes % hashcore_vm::SNAPSHOT_BYTES, 0);
+        assert!(out.widget.program_blocks > 3);
+    }
+
+    #[test]
+    fn mining_finds_and_verifies_a_nonce_on_an_easy_target() {
+        let pow = fast_pow();
+        let target = Target::from_leading_zero_bits(2); // 1 in 4 digests
+        let result = pow
+            .mine(b"block-42", target, 0, 64)
+            .unwrap()
+            .expect("an easy target should be met within 64 nonces");
+        assert!(target.is_met_by(&result.digest));
+        let verified = pow.verify(b"block-42", result.nonce, target).unwrap();
+        assert_eq!(verified, Some(result.digest));
+        // A wrong nonce (almost surely) fails, and a harder target rejects.
+        assert_eq!(
+            pow.verify(b"block-42", result.nonce, Target::from_leading_zero_bits(255))
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn mining_respects_attempt_budget() {
+        let pow = fast_pow();
+        // An absurdly hard target cannot be met in 3 attempts.
+        let result = pow
+            .mine(b"hard", Target::from_leading_zero_bits(128), 0, 3)
+            .unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn sequential_widgets_extension_behaves_like_a_longer_widget_stage() {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 3_000;
+        let single = HashCore::with_config(HashCoreConfig::new(profile.clone()));
+        let double = HashCore::with_config(
+            HashCoreConfig::new(profile).with_widgets_per_hash(2),
+        );
+        assert_eq!(double.widgets_per_hash(), 2);
+
+        let a = single.hash(b"multi-widget").unwrap();
+        let b = double.hash(b"multi-widget").unwrap();
+        // Same first gate, different overall digest, roughly doubled work.
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.digest, b.digest);
+        assert!(b.widget.dynamic_instructions > a.widget.dynamic_instructions);
+        assert!(b.widget.output_bytes > a.widget.output_bytes);
+        // Still deterministic.
+        assert_eq!(double.hash(b"multi-widget").unwrap().digest, b.digest);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one widget")]
+    fn zero_widgets_per_hash_is_rejected() {
+        let _ = HashCoreConfig::new(PerformanceProfile::leela_like()).with_widgets_per_hash(0);
+    }
+
+    #[test]
+    fn avalanche_between_adjacent_nonces() {
+        let pow = fast_pow();
+        let a = pow.hash_digest(&HashCore::mining_input(b"hdr", 1)).unwrap();
+        let b = pow.hash_digest(&HashCore::mining_input(b"hdr", 2)).unwrap();
+        let differing: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!(differing > 64, "only {differing} bits differ");
+    }
+}

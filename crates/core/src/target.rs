@@ -1,0 +1,176 @@
+//! Proof-of-Work difficulty targets.
+
+use hashcore_crypto::Digest256;
+use std::fmt;
+
+/// A PoW difficulty target expressed as a 256-bit threshold.
+///
+/// A digest meets the target when, interpreted as a big-endian 256-bit
+/// integer, it is strictly less than the threshold. The convenience
+/// constructor [`Target::from_leading_zero_bits`] gives the familiar
+/// "n leading zero bits" difficulty, and [`Target::scale`] supports the
+/// fractional retargeting the chain substrate performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Target {
+    /// Big-endian 256-bit threshold.
+    threshold: [u8; 32],
+}
+
+impl Target {
+    /// The easiest possible target (every digest qualifies except all-ones).
+    pub const MAX: Target = Target {
+        threshold: [0xff; 32],
+    };
+
+    /// Creates a target from a raw big-endian threshold.
+    pub fn from_threshold(threshold: [u8; 32]) -> Self {
+        Self { threshold }
+    }
+
+    /// Creates the target requiring `bits` leading zero bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 255`.
+    pub fn from_leading_zero_bits(bits: u32) -> Self {
+        assert!(bits <= 255, "leading zero bits out of range");
+        if bits == 0 {
+            return Target::MAX;
+        }
+        // threshold = 2^(256 - bits): digest < threshold  ⇔  digest has at
+        // least `bits` leading zeros.
+        let p = (256 - bits) as usize; // the single set bit, counted from the LSB
+        let mut threshold = [0u8; 32];
+        threshold[31 - p / 8] = 1 << (p % 8);
+        Self { threshold }
+    }
+
+    /// The raw big-endian threshold.
+    pub fn threshold(&self) -> &[u8; 32] {
+        &self.threshold
+    }
+
+    /// Returns `true` if `digest` meets (is strictly below) the target.
+    pub fn is_met_by(&self, digest: &Digest256) -> bool {
+        digest.as_slice() < self.threshold.as_slice()
+    }
+
+    /// Approximate number of hash attempts needed to meet the target.
+    pub fn expected_attempts(&self) -> f64 {
+        // 2^256 / threshold, computed in floating point from the leading
+        // 64 bits of the threshold.
+        let mut top = 0f64;
+        for (i, b) in self.threshold.iter().enumerate().take(16) {
+            top += *b as f64 * 2f64.powi(8 * (31 - i as i32));
+        }
+        if top == 0.0 {
+            f64::INFINITY
+        } else {
+            2f64.powi(256) / top
+        }
+    }
+
+    /// Returns a new target scaled by `factor` (>1 makes the target easier,
+    /// <1 harder), as used by difficulty retargeting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scale(&self, factor: f64) -> Target {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        // Multiply the 256-bit threshold by the factor using 64-bit limbs.
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&self.threshold[i * 8..i * 8 + 8]);
+            limbs[i] = u64::from_be_bytes(bytes);
+        }
+        // Convert to f64 (approximate), scale, convert back with clamping.
+        let value = limbs
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l as f64 * 2f64.powi(64 * (3 - i as i32)))
+            .sum::<f64>();
+        let scaled = (value * factor).min(2f64.powi(255));
+        let mut out = [0u8; 32];
+        let mut remaining = scaled;
+        for i in 0..32 {
+            let weight = 2f64.powi(8 * (31 - i as i32));
+            let digit = (remaining / weight).floor().clamp(0.0, 255.0);
+            out[i] = digit as u8;
+            remaining -= digit * weight;
+        }
+        if out == [0u8; 32] {
+            out[31] = 1;
+        }
+        Target { threshold: out }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", hashcore_crypto::hex::encode(&self.threshold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_zero_targets() {
+        let t8 = Target::from_leading_zero_bits(8);
+        let mut digest = [0u8; 32];
+        digest[0] = 0x01;
+        assert!(!t8.is_met_by(&digest));
+        digest[0] = 0x00;
+        digest[1] = 0xff;
+        assert!(t8.is_met_by(&digest));
+    }
+
+    #[test]
+    fn zero_bits_accepts_almost_everything() {
+        let t = Target::from_leading_zero_bits(0);
+        assert!(t.is_met_by(&[0x7f; 32]));
+        assert!(!t.is_met_by(&[0xff; 32]));
+        assert!(Target::MAX.is_met_by(&[0xfe; 32]));
+    }
+
+    #[test]
+    fn expected_attempts_doubles_per_bit() {
+        let a = Target::from_leading_zero_bits(8).expected_attempts();
+        let b = Target::from_leading_zero_bits(9).expected_attempts();
+        assert!((b / a - 2.0).abs() < 0.01, "{a} {b}");
+        assert!((a - 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn scaling_changes_difficulty_in_the_right_direction() {
+        let t = Target::from_leading_zero_bits(16);
+        let easier = t.scale(4.0);
+        let harder = t.scale(0.25);
+        assert!(easier.threshold() > t.threshold());
+        assert!(harder.threshold() < t.threshold());
+        assert!((harder.expected_attempts() / t.expected_attempts() - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn scale_never_reaches_zero() {
+        let t = Target::from_leading_zero_bits(250);
+        let harder = t.scale(1e-30);
+        assert_ne!(*harder.threshold(), [0u8; 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_bits_panics() {
+        Target::from_leading_zero_bits(256);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let text = Target::from_leading_zero_bits(8).to_string();
+        assert!(text.starts_with("0x0100"), "{text}");
+        assert_eq!(text.len(), 2 + 64);
+    }
+}

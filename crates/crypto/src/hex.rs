@@ -1,0 +1,148 @@
+//! Hexadecimal encoding and decoding helpers.
+//!
+//! Used pervasively for digest display, golden-value tests, and textual
+//! experiment output.
+
+use std::fmt;
+
+/// Error returned by [`decode`] when the input is not valid hexadecimal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// The input length is odd, so it cannot encode whole bytes.
+    OddLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// A character outside `[0-9a-fA-F]` was encountered.
+    InvalidCharacter {
+        /// The offending character.
+        character: char,
+        /// Byte index of the character in the input.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength { len } => {
+                write!(f, "hex string has odd length {len}")
+            }
+            DecodeHexError::InvalidCharacter { character, index } => {
+                write!(f, "invalid hex character {character:?} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hashcore_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper or lower case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the string has odd length or contains a
+/// non-hexadecimal character.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hashcore_crypto::hex::DecodeHexError> {
+/// let bytes = hashcore_crypto::hex::decode("DEAD")?;
+/// assert_eq!(bytes, vec![0xde, 0xad]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if s.len() % 2 != 0 {
+        return Err(DecodeHexError::OddLength { len: s.len() });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let hi = nibble(bytes[i]).ok_or(DecodeHexError::InvalidCharacter {
+            character: bytes[i] as char,
+            index: i,
+        })?;
+        let lo = nibble(bytes[i + 1]).ok_or(DecodeHexError::InvalidCharacter {
+            character: bytes[i + 1] as char,
+            index: i + 1,
+        })?;
+        out.push((hi << 4) | lo);
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let encoded = encode(&data);
+        assert_eq!(decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("ABCDEF").unwrap(), vec![0xab, 0xcd, 0xef]);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength { len: 3 }));
+    }
+
+    #[test]
+    fn invalid_character_rejected() {
+        match decode("zz") {
+            Err(DecodeHexError::InvalidCharacter { character, index }) => {
+                assert_eq!(character, 'z');
+                assert_eq!(index, 0);
+            }
+            other => panic!("expected invalid character error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = decode("abc").unwrap_err();
+        assert!(err.to_string().contains("odd length"));
+    }
+}

@@ -1,0 +1,215 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used to derive independent, keyed pseudo-random streams from the hash seed
+//! (for example the widget-selection baseline derives its pool indices with
+//! `HMAC(seed, counter)`), keeping every derived stream inside the same
+//! security assumption as the hash gate.
+
+use crate::sha256::{sha256, Digest256, Sha256};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use hashcore_crypto::{hmac_sha256, hex};
+///
+/// // RFC 4231 test case 2.
+/// let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(
+///     hex::encode(&tag),
+///     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest256 {
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = sha256(key);
+        key_block[..digest.len()].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// A deterministic byte stream derived from a key via counter-mode HMAC.
+///
+/// Block `i` of the stream is `HMAC-SHA256(key, i_le_bytes)`. The stream is
+/// infinite and reproducible; it is used wherever the reproduction needs
+/// "more pseudo-random bytes than the 256-bit seed provides" without stepping
+/// outside the hash-gate security assumption.
+///
+/// # Examples
+///
+/// ```
+/// use hashcore_crypto::hmac::HmacStream;
+///
+/// let mut s1 = HmacStream::new(b"seed");
+/// let mut s2 = HmacStream::new(b"seed");
+/// assert_eq!(s1.next_u64(), s2.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacStream {
+    key: Vec<u8>,
+    counter: u64,
+    buffer: Digest256,
+    offset: usize,
+}
+
+impl HmacStream {
+    /// Creates a stream keyed by `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut stream = Self {
+            key: key.to_vec(),
+            counter: 0,
+            buffer: [0u8; 32],
+            offset: 32,
+        };
+        stream.refill();
+        stream
+    }
+
+    fn refill(&mut self) {
+        self.buffer = hmac_sha256(&self.key, &self.counter.to_le_bytes());
+        self.counter = self.counter.wrapping_add(1);
+        self.offset = 0;
+    }
+
+    /// Returns the next byte of the stream.
+    pub fn next_byte(&mut self) -> u8 {
+        if self.offset >= self.buffer.len() {
+            self.refill();
+        }
+        let b = self.buffer[self.offset];
+        self.offset += 1;
+        b
+    }
+
+    /// Returns the next 8 bytes of the stream as a little-endian `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut bytes = [0u8; 8];
+        for b in bytes.iter_mut() {
+            *b = self.next_byte();
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses rejection sampling so the result is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fills `out` with stream bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for b in out.iter_mut() {
+            *b = self.next_byte();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex::encode(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_key_separated() {
+        let mut a = HmacStream::new(b"key-a");
+        let mut b = HmacStream::new(b"key-a");
+        let mut c = HmacStream::new(b"key-b");
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let mut s = HmacStream::new(b"range");
+        for bound in [1u64, 2, 3, 7, 100, 1_000_003] {
+            for _ in 0..100 {
+                assert!(s.next_bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn bounded_zero_panics() {
+        HmacStream::new(b"x").next_bounded(0);
+    }
+
+    #[test]
+    fn fill_matches_next_byte() {
+        let mut a = HmacStream::new(b"fill");
+        let mut b = HmacStream::new(b"fill");
+        let mut buf = [0u8; 100];
+        a.fill(&mut buf);
+        let individual: Vec<u8> = (0..100).map(|_| b.next_byte()).collect();
+        assert_eq!(buf.to_vec(), individual);
+    }
+}

@@ -1,0 +1,195 @@
+//! Binary Merkle trees over SHA-256.
+//!
+//! The chain substrate commits to a block's transactions with a Merkle root,
+//! exactly as the PoW systems the paper targets (Bitcoin, Ethereum) do. Only
+//! the block *header* flows through the HashCore PoW function, so the tree is
+//! part of the surrounding blockchain machinery rather than of `H` itself.
+
+use crate::sha256::{sha256, Digest256, Sha256};
+
+/// A binary Merkle tree whose leaves are SHA-256 digests of the inserted
+/// items.
+///
+/// Odd nodes at any level are paired with themselves (the Bitcoin
+/// convention).
+///
+/// # Examples
+///
+/// ```
+/// use hashcore_crypto::MerkleTree;
+///
+/// let tree = MerkleTree::from_items([b"tx-a".as_ref(), b"tx-b".as_ref()]);
+/// let proof = tree.proof(0).unwrap();
+/// assert!(MerkleTree::verify_proof(tree.root(), b"tx-a", 0, &proof));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` is the leaf level; the last level has exactly one node.
+    levels: Vec<Vec<Digest256>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from raw items, hashing each item to form a leaf.
+    ///
+    /// An empty iterator yields a tree whose root is `SHA256("")`, mirroring
+    /// the convention of committing to the empty transaction list.
+    pub fn from_items<'a, I>(items: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let leaves: Vec<Digest256> = items.into_iter().map(sha256).collect();
+        Self::from_leaves(leaves)
+    }
+
+    /// Builds a tree from already-hashed leaves.
+    pub fn from_leaves(leaves: Vec<Digest256>) -> Self {
+        let leaves = if leaves.is_empty() {
+            vec![sha256(b"")]
+        } else {
+            leaves
+        };
+        let mut levels = vec![leaves];
+        while levels.last().expect("at least one level").len() > 1 {
+            let prev = levels.last().expect("at least one level");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = pair[0];
+                let right = if pair.len() == 2 { pair[1] } else { pair[0] };
+                next.push(hash_pair(&left, &right));
+            }
+            levels.push(next);
+        }
+        Self { levels }
+    }
+
+    /// Returns the Merkle root.
+    pub fn root(&self) -> Digest256 {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Returns the inclusion proof (sibling path, leaf level upward) for the
+    /// leaf at `index`, or `None` if `index` is out of range.
+    pub fn proof(&self, index: usize) -> Option<Vec<Digest256>> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut proof = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if idx % 2 == 0 {
+                // Right sibling, or self-duplication when it does not exist.
+                *level.get(idx + 1).unwrap_or(&level[idx])
+            } else {
+                level[idx - 1]
+            };
+            proof.push(sibling);
+            idx /= 2;
+        }
+        Some(proof)
+    }
+
+    /// Verifies an inclusion proof produced by [`MerkleTree::proof`] for the
+    /// raw (unhashed) `item` at leaf position `index`.
+    pub fn verify_proof(root: Digest256, item: &[u8], index: usize, proof: &[Digest256]) -> bool {
+        let mut node = sha256(item);
+        let mut idx = index;
+        for sibling in proof {
+            node = if idx % 2 == 0 {
+                hash_pair(&node, sibling)
+            } else {
+                hash_pair(sibling, &node)
+            };
+            idx /= 2;
+        }
+        node == root
+    }
+}
+
+fn hash_pair(left: &Digest256, right: &Digest256) -> Digest256 {
+    let mut hasher = Sha256::new();
+    hasher.update(left);
+    hasher.update(right);
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("tx-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::from_items([b"only".as_ref()]);
+        assert_eq!(tree.root(), sha256(b"only"));
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn empty_tree_has_empty_hash_root() {
+        let tree = MerkleTree::from_items(std::iter::empty::<&[u8]>());
+        assert_eq!(tree.root(), sha256(b""));
+    }
+
+    #[test]
+    fn two_leaves_root_is_pair_hash() {
+        let tree = MerkleTree::from_items([b"a".as_ref(), b"b".as_ref()]);
+        assert_eq!(tree.root(), hash_pair(&sha256(b"a"), &sha256(b"b")));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let data = items(n);
+            let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
+            for (i, item) in data.iter().enumerate() {
+                let proof = tree.proof(i).expect("index in range");
+                assert!(
+                    MerkleTree::verify_proof(tree.root(), item, i, &proof),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_out_of_range_is_none() {
+        let tree = MerkleTree::from_items([b"a".as_ref()]);
+        assert!(tree.proof(1).is_none());
+    }
+
+    #[test]
+    fn tampered_item_fails_verification() {
+        let data = items(8);
+        let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
+        let proof = tree.proof(3).unwrap();
+        assert!(!MerkleTree::verify_proof(tree.root(), b"tx-999", 3, &proof));
+    }
+
+    #[test]
+    fn wrong_index_fails_verification() {
+        let data = items(8);
+        let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
+        let proof = tree.proof(3).unwrap();
+        assert!(!MerkleTree::verify_proof(tree.root(), &data[3], 4, &proof));
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let base = items(9);
+        let tree = MerkleTree::from_items(base.iter().map(|v| v.as_slice()));
+        for i in 0..base.len() {
+            let mut changed = base.clone();
+            changed[i] = b"mutated".to_vec();
+            let other = MerkleTree::from_items(changed.iter().map(|v| v.as_slice()));
+            assert_ne!(tree.root(), other.root(), "leaf {i}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+use hashcore_gen::WidgetGenerator;
+use hashcore_profile::HashSeed;
+use hashcore_sim::{CoreConfig, CoreModel, WorkloadProfiler};
+use hashcore_vm::Executor;
+
+fn main() {
+    // Build the real reference profile from the Go-engine kernel.
+    let params = hashcore_workloads::WorkloadParams::reference();
+    let reference = hashcore_workloads::Workload::GoEngine
+        .reference_profile(&params, CoreConfig::ivy_bridge_like())
+        .unwrap();
+    println!("reference: ipc={:.3} bhit={:.4} dyn={} ws={} strided={:.2} chase={:.2} taken={:.2} branch_frac={:.3}",
+        reference.reference_ipc, reference.reference_branch_hit_rate,
+        reference.target_dynamic_instructions, reference.memory.working_set_bytes,
+        reference.memory.strided_fraction, reference.memory.pointer_chase_fraction,
+        reference.branch.taken_fraction, reference.branch.branch_fraction);
+    let generator = WidgetGenerator::new(reference);
+    for fill in [1u8, 50, 120, 200, 255] {
+        let widget = generator.generate(&HashSeed::new([fill; 32]));
+        let exec = Executor::new(widget.exec_config()).execute(&widget.program).unwrap();
+        let sim = CoreModel::new(CoreConfig::ivy_bridge_like()).simulate(&widget.program, &exec.trace);
+        let measured = WorkloadProfiler::default().profile("w", &widget.program, &exec.trace);
+        println!("widget {fill:3}: ipc={:.3} bhit={:.4} dyn={} out={}B mixL1={:.3}",
+            sim.counters.ipc(), sim.counters.branch_hit_rate(), exec.dynamic_instructions,
+            exec.output.len(),
+            hashcore_profile::ProfileDistance::between(&measured, &widget.target.profile).mix_l1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # hashcore-gen
+//!
+//! The HashCore widget generator: the *inverted benchmarking* engine that
+//! turns a (seed-noised) performance profile into an executable widget
+//! program.
+//!
+//! Section IV-B of the paper describes the pipeline: PerfProx-style proxy
+//! generation is driven by a performance profile of a reference workload
+//! (instruction mix, branch behaviour, memory access patterns, data
+//! dependencies, basic-block structure), modified in two ways —
+//!
+//! 1. the 256-bit hash seed is folded into the profile (Table I), adding
+//!    positive noise to the instruction-class counts and seeding the
+//!    basic-block-vector and memory PRNGs, and
+//! 2. the generated program is instrumented to emit register snapshots
+//!    throughout execution, so the output depends on complete execution
+//!    (irreducibility).
+//!
+//! [`WidgetGenerator`] implements exactly this: from a base
+//! [`hashcore_profile::PerformanceProfile`] and a
+//! [`hashcore_profile::HashSeed`] it deterministically constructs a
+//! [`GeneratedWidget`] whose control-flow skeleton, instruction mix, memory
+//! streams, dependency chains and branch predictability track the noised
+//! profile.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashcore_gen::WidgetGenerator;
+//! use hashcore_profile::{HashSeed, PerformanceProfile};
+//! use hashcore_vm::Executor;
+//!
+//! let generator = WidgetGenerator::new(PerformanceProfile::leela_like());
+//! let widget = generator.generate(&HashSeed::new([9u8; 32]));
+//! let execution = Executor::new(widget.exec_config()).execute(&widget.program)?;
+//! assert!(execution.snapshot_count > 0);
+//! # Ok::<(), hashcore_vm::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod rng;
+
+pub use generator::{GeneratedWidget, GeneratorConfig, WidgetGenerator};
+pub use rng::WidgetRng;

@@ -1,0 +1,166 @@
+//! The deterministic pseudo-random generator used during widget generation.
+//!
+//! Table I dedicates two 32-bit seed fields to "pseudo-random number
+//! generators" — one for the basic-block vector and one for memory behaviour.
+//! The generator must be identical on every platform (widget generation is
+//! part of PoW verification), so this is a self-contained xoshiro256**
+//! implementation seeded via splitmix64 rather than an external RNG crate.
+
+/// A deterministic xoshiro256** PRNG.
+#[derive(Debug, Clone)]
+pub struct WidgetRng {
+    state: [u64; 4],
+}
+
+impl WidgetRng {
+    /// Creates a generator from a 64-bit seed (expanded via splitmix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling keeps the distribution unbiased.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a value in `[0.0, 1.0)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks an index according to the given non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or all weights are zero/negative.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WidgetRng::new(7);
+        let mut b = WidgetRng::new(7);
+        let mut c = WidgetRng::new(8);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut rng = WidgetRng::new(1);
+        for bound in [1u64, 2, 3, 10, 1000, u32::MAX as u64] {
+            for _ in 0..200 {
+                assert!(rng.next_bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = WidgetRng::new(3);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+        assert!(samples.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut rng = WidgetRng::new(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn weighted_choice_matches_weights() {
+        let mut rng = WidgetRng::new(11);
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[rng.pick_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let f1 = counts[1] as f64 / 20_000.0;
+        let f3 = counts[3] as f64 / 20_000.0;
+        assert!((f1 - 0.3).abs() < 0.03, "f1 {f1}");
+        assert!((f3 - 0.6).abs() < 0.03, "f3 {f3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        WidgetRng::new(0).next_bounded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn zero_weights_panic() {
+        WidgetRng::new(0).pick_weighted(&[0.0, 0.0]);
+    }
+}

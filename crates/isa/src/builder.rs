@@ -1,0 +1,311 @@
+//! Ergonomic construction of widget programs.
+
+use crate::block::{BasicBlock, BlockId, Terminator};
+use crate::inst::{BranchCond, FpOp, Instruction, IntAluOp, IntMulOp, VecOp};
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg, VecReg};
+
+/// Incremental builder for [`Program`]s.
+///
+/// Blocks are opened with [`ProgramBuilder::begin_block`] (which returns the
+/// id that branches can target, even before the block is populated),
+/// populated with the instruction helpers, and closed with
+/// [`ProgramBuilder::terminate`]. Both the reference workloads and the widget
+/// generator construct programs through this type.
+///
+/// # Examples
+///
+/// ```
+/// use hashcore_isa::{ProgramBuilder, IntReg, IntAluOp, BranchCond, Terminator};
+///
+/// // A counted loop: r0 counts down from 10, r1 accumulates.
+/// let mut b = ProgramBuilder::new(1 << 12);
+/// let entry = b.begin_block();
+/// b.load_imm(IntReg(0), 10);
+/// b.load_imm(IntReg(1), 0);
+/// let body = b.reserve_block();
+/// let exit = b.reserve_block();
+/// b.terminate(Terminator::Jump(body));
+///
+/// b.begin_reserved(body);
+/// b.int_alu_imm(IntAluOp::Add, IntReg(1), IntReg(1), 3);
+/// b.int_alu_imm(IntAluOp::Sub, IntReg(0), IntReg(0), 1);
+/// b.load_imm(IntReg(2), 0);
+/// b.terminate(Terminator::Branch {
+///     cond: BranchCond::Ne,
+///     src1: IntReg(0),
+///     src2: IntReg(2),
+///     taken: body,
+///     not_taken: exit,
+/// });
+///
+/// b.begin_reserved(exit);
+/// b.snapshot();
+/// b.terminate(Terminator::Halt);
+///
+/// let program = b.finish(entry);
+/// assert!(program.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    blocks: Vec<Option<BasicBlock>>,
+    current: Option<BlockId>,
+    pending: Vec<Instruction>,
+    memory_size: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder whose program owns a data segment of
+    /// `memory_size` bytes (rounded up to the next power of two).
+    pub fn new(memory_size: usize) -> Self {
+        Self {
+            blocks: Vec::new(),
+            current: None,
+            pending: Vec::new(),
+            memory_size: memory_size.max(8).next_power_of_two(),
+        }
+    }
+
+    /// Reserves a block id without opening it, so forward branches can refer
+    /// to blocks that will be populated later.
+    pub fn reserve_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(None);
+        id
+    }
+
+    /// Reserves and immediately opens a new block, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another block is currently open.
+    pub fn begin_block(&mut self) -> BlockId {
+        let id = self.reserve_block();
+        self.begin_reserved(id);
+        id
+    }
+
+    /// Opens a previously reserved block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another block is open or the id was already populated.
+    pub fn begin_reserved(&mut self, id: BlockId) {
+        assert!(self.current.is_none(), "a block is already open");
+        assert!(
+            self.blocks[id.index()].is_none(),
+            "block {id} was already populated"
+        );
+        self.current = Some(id);
+        self.pending.clear();
+    }
+
+    /// Appends a raw instruction to the open block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is open.
+    pub fn push(&mut self, inst: Instruction) {
+        assert!(self.current.is_some(), "no block is open");
+        self.pending.push(inst);
+    }
+
+    /// Appends `dst = op(src1, src2)` on the integer ALU.
+    pub fn int_alu(&mut self, op: IntAluOp, dst: IntReg, src1: IntReg, src2: IntReg) {
+        self.push(Instruction::IntAlu { op, dst, src1, src2 });
+    }
+
+    /// Appends `dst = op(src, imm)` on the integer ALU.
+    pub fn int_alu_imm(&mut self, op: IntAluOp, dst: IntReg, src: IntReg, imm: i32) {
+        self.push(Instruction::IntAluImm { op, dst, src, imm });
+    }
+
+    /// Appends an integer multiply.
+    pub fn int_mul(&mut self, op: IntMulOp, dst: IntReg, src1: IntReg, src2: IntReg) {
+        self.push(Instruction::IntMul { op, dst, src1, src2 });
+    }
+
+    /// Appends `dst = imm`.
+    pub fn load_imm(&mut self, dst: IntReg, imm: i64) {
+        self.push(Instruction::LoadImm { dst, imm });
+    }
+
+    /// Appends a floating-point operation.
+    pub fn fp(&mut self, op: FpOp, dst: FpReg, src1: FpReg, src2: FpReg) {
+        self.push(Instruction::Fp { op, dst, src1, src2 });
+    }
+
+    /// Appends an int→fp conversion.
+    pub fn fp_from_int(&mut self, dst: FpReg, src: IntReg) {
+        self.push(Instruction::FpFromInt { dst, src });
+    }
+
+    /// Appends an fp→int conversion.
+    pub fn fp_to_int(&mut self, dst: IntReg, src: FpReg) {
+        self.push(Instruction::FpToInt { dst, src });
+    }
+
+    /// Appends a 64-bit load.
+    pub fn load(&mut self, dst: IntReg, base: IntReg, offset: i32) {
+        self.push(Instruction::Load { dst, base, offset });
+    }
+
+    /// Appends a 64-bit store.
+    pub fn store(&mut self, src: IntReg, base: IntReg, offset: i32) {
+        self.push(Instruction::Store { src, base, offset });
+    }
+
+    /// Appends a floating-point load.
+    pub fn fp_load(&mut self, dst: FpReg, base: IntReg, offset: i32) {
+        self.push(Instruction::FpLoad { dst, base, offset });
+    }
+
+    /// Appends a floating-point store.
+    pub fn fp_store(&mut self, src: FpReg, base: IntReg, offset: i32) {
+        self.push(Instruction::FpStore { src, base, offset });
+    }
+
+    /// Appends a vector operation.
+    pub fn vec(&mut self, op: VecOp, dst: VecReg, src1: VecReg, src2: VecReg) {
+        self.push(Instruction::Vec { op, dst, src1, src2 });
+    }
+
+    /// Appends a vector load.
+    pub fn vec_load(&mut self, dst: VecReg, base: IntReg, offset: i32) {
+        self.push(Instruction::VecLoad { dst, base, offset });
+    }
+
+    /// Appends a vector store.
+    pub fn vec_store(&mut self, src: VecReg, base: IntReg, offset: i32) {
+        self.push(Instruction::VecStore { src, base, offset });
+    }
+
+    /// Appends a register-state snapshot.
+    pub fn snapshot(&mut self) {
+        self.push(Instruction::Snapshot);
+    }
+
+    /// Closes the open block with `terminator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is open.
+    pub fn terminate(&mut self, terminator: Terminator) {
+        let id = self.current.take().expect("no block is open");
+        let body = std::mem::take(&mut self.pending);
+        self.blocks[id.index()] = Some(BasicBlock::new(id, body, terminator));
+    }
+
+    /// Convenience: close the open block with a conditional branch.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        src1: IntReg,
+        src2: IntReg,
+        taken: BlockId,
+        not_taken: BlockId,
+    ) {
+        self.terminate(Terminator::Branch {
+            cond,
+            src1,
+            src2,
+            taken,
+            not_taken,
+        });
+    }
+
+    /// Number of blocks reserved so far.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Finishes the program with `entry` as its entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is still open or any reserved block was never
+    /// populated.
+    pub fn finish(self, entry: BlockId) -> Program {
+        assert!(self.current.is_none(), "a block is still open");
+        let blocks: Vec<BasicBlock> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("reserved block bb{i} was never populated")))
+            .collect();
+        Program::new(blocks, entry, self.memory_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_size_rounded_to_power_of_two() {
+        let mut b = ProgramBuilder::new(1000);
+        let e = b.begin_block();
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        let p = b.finish(e);
+        assert_eq!(p.memory_size(), 1024);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgramBuilder::new(64);
+        let entry = b.begin_block();
+        let exit = b.reserve_block();
+        b.terminate(Terminator::Jump(exit));
+        b.begin_reserved(exit);
+        b.terminate(Terminator::Halt);
+        let p = b.finish(entry);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.blocks().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "a block is already open")]
+    fn double_open_panics() {
+        let mut b = ProgramBuilder::new(64);
+        b.begin_block();
+        b.begin_block();
+    }
+
+    #[test]
+    #[should_panic(expected = "no block is open")]
+    fn push_without_block_panics() {
+        let mut b = ProgramBuilder::new(64);
+        b.snapshot();
+    }
+
+    #[test]
+    #[should_panic(expected = "never populated")]
+    fn unpopulated_reserved_block_panics() {
+        let mut b = ProgramBuilder::new(64);
+        let entry = b.begin_block();
+        let dangling = b.reserve_block();
+        b.terminate(Terminator::Jump(dangling));
+        b.finish(entry);
+    }
+
+    #[test]
+    fn helpers_emit_expected_instructions() {
+        let mut b = ProgramBuilder::new(64);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 42);
+        b.int_alu(IntAluOp::Xor, IntReg(1), IntReg(0), IntReg(0));
+        b.int_mul(IntMulOp::MulHi, IntReg(2), IntReg(0), IntReg(0));
+        b.fp_from_int(FpReg(0), IntReg(0));
+        b.fp(FpOp::Mul, FpReg(1), FpReg(0), FpReg(0));
+        b.fp_to_int(IntReg(3), FpReg(1));
+        b.load(IntReg(4), IntReg(0), 8);
+        b.store(IntReg(4), IntReg(0), 16);
+        b.vec(VecOp::Add, VecReg(0), VecReg(1), VecReg(2));
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        let p = b.finish(entry);
+        assert_eq!(p.block(entry).instructions.len(), 10);
+        assert!(p.validate().is_ok());
+    }
+}

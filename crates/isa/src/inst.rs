@@ -1,0 +1,618 @@
+//! Instruction definitions and their resource classification.
+//!
+//! The instruction classes deliberately mirror the per-resource seed fields of
+//! the paper's Table I (Integer ALU, Integer Multiply, Floating Point ALU,
+//! Loads, Stores, Branch Behaviour): every instruction maps onto one
+//! [`OpClass`], and the widget generator steers the *class mix* of the
+//! programs it emits toward the (seed-noised) target profile.
+
+use crate::reg::{FpReg, IntReg, VecReg};
+use std::fmt;
+
+/// Integer ALU operations (single-cycle class on the modelled core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntAluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `src2 & 63`.
+    Shl,
+    /// Logical shift right by `src2 & 63`.
+    Shr,
+    /// Rotate left by `src2 & 63`.
+    Rotl,
+    /// Unsigned minimum.
+    Min,
+    /// Unsigned maximum.
+    Max,
+}
+
+impl IntAluOp {
+    /// All ALU operations, used by the generator's instruction selector.
+    pub const ALL: [IntAluOp; 10] = [
+        IntAluOp::Add,
+        IntAluOp::Sub,
+        IntAluOp::And,
+        IntAluOp::Or,
+        IntAluOp::Xor,
+        IntAluOp::Shl,
+        IntAluOp::Shr,
+        IntAluOp::Rotl,
+        IntAluOp::Min,
+        IntAluOp::Max,
+    ];
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntAluOp::Add => "add",
+            IntAluOp::Sub => "sub",
+            IntAluOp::And => "and",
+            IntAluOp::Or => "or",
+            IntAluOp::Xor => "xor",
+            IntAluOp::Shl => "shl",
+            IntAluOp::Shr => "shr",
+            IntAluOp::Rotl => "rotl",
+            IntAluOp::Min => "minu",
+            IntAluOp::Max => "maxu",
+        }
+    }
+}
+
+/// Integer multiply-class operations (longer-latency pipelined unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntMulOp {
+    /// Low 64 bits of the product.
+    Mul,
+    /// High 64 bits of the unsigned 128-bit product.
+    MulHi,
+}
+
+impl IntMulOp {
+    /// All multiply operations.
+    pub const ALL: [IntMulOp; 2] = [IntMulOp::Mul, IntMulOp::MulHi];
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntMulOp::Mul => "mul",
+            IntMulOp::MulHi => "mulhi",
+        }
+    }
+}
+
+/// Floating-point operations on 64-bit IEEE-754 registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// IEEE minimum (NaN-propagating, canonicalised by the executor).
+    Min,
+    /// IEEE maximum (NaN-propagating, canonicalised by the executor).
+    Max,
+}
+
+impl FpOp {
+    /// All floating-point operations.
+    pub const ALL: [FpOp; 6] = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max];
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "fadd",
+            FpOp::Sub => "fsub",
+            FpOp::Mul => "fmul",
+            FpOp::Div => "fdiv",
+            FpOp::Min => "fmin",
+            FpOp::Max => "fmax",
+        }
+    }
+}
+
+/// Vector (SIMD) lane-wise operations on 4×64-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VecOp {
+    /// Lane-wise wrapping addition.
+    Add,
+    /// Lane-wise XOR.
+    Xor,
+    /// Lane-wise wrapping multiplication.
+    Mul,
+    /// Lane-wise rotate-left by the low 6 bits of the other operand's lane.
+    Rotl,
+}
+
+impl VecOp {
+    /// All vector operations.
+    pub const ALL: [VecOp; 4] = [VecOp::Add, VecOp::Xor, VecOp::Mul, VecOp::Rotl];
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            VecOp::Add => "vadd",
+            VecOp::Xor => "vxor",
+            VecOp::Mul => "vmul",
+            VecOp::Rotl => "vrotl",
+        }
+    }
+}
+
+/// Branch comparison conditions (operands are integer registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken when `src1 == src2`.
+    Eq,
+    /// Taken when `src1 != src2`.
+    Ne,
+    /// Taken when `src1 < src2` (signed).
+    Lt,
+    /// Taken when `src1 >= src2` (signed).
+    Ge,
+    /// Taken when `src1 < src2` (unsigned).
+    Ltu,
+    /// Taken when `src1 >= src2` (unsigned).
+    Geu,
+}
+
+impl BranchCond {
+    /// All branch conditions.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    /// Evaluates the condition over two 64-bit register values.
+    pub fn evaluate(self, src1: u64, src2: u64) -> bool {
+        match self {
+            BranchCond::Eq => src1 == src2,
+            BranchCond::Ne => src1 != src2,
+            BranchCond::Lt => (src1 as i64) < (src2 as i64),
+            BranchCond::Ge => (src1 as i64) >= (src2 as i64),
+            BranchCond::Ltu => src1 < src2,
+            BranchCond::Geu => src1 >= src2,
+        }
+    }
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+}
+
+/// Micro-architectural resource class of an instruction.
+///
+/// The classes correspond one-to-one with the x86 resources the paper's
+/// widgets target (Section IV-A) and with the seed fields of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Integer ALU (add/sub/logic/shift).
+    IntAlu,
+    /// Integer multiplier.
+    IntMul,
+    /// Floating-point ALU.
+    FpAlu,
+    /// Memory read port.
+    Load,
+    /// Memory write port.
+    Store,
+    /// Branch / compare unit.
+    Branch,
+    /// Vector (SIMD) unit.
+    Vector,
+    /// Control-only operations (snapshots, unconditional jumps, halts).
+    Control,
+}
+
+impl OpClass {
+    /// All operation classes, in a stable order used for mix vectors.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAlu,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Vector,
+        OpClass::Control,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "int_alu",
+            OpClass::IntMul => "int_mul",
+            OpClass::FpAlu => "fp_alu",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Vector => "vector",
+            OpClass::Control => "control",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single widget-ISA instruction.
+///
+/// Basic-block terminators (branches, jumps, halts) are represented
+/// separately by [`crate::Terminator`]; the instruction list of a block
+/// contains only straight-line operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Three-register integer ALU operation: `dst = op(src1, src2)`.
+    IntAlu {
+        /// ALU operation.
+        op: IntAluOp,
+        /// Destination register.
+        dst: IntReg,
+        /// First source register.
+        src1: IntReg,
+        /// Second source register.
+        src2: IntReg,
+    },
+    /// Register–immediate integer ALU operation: `dst = op(src, imm)`.
+    IntAluImm {
+        /// ALU operation.
+        op: IntAluOp,
+        /// Destination register.
+        dst: IntReg,
+        /// Source register.
+        src: IntReg,
+        /// Sign-extended 32-bit immediate.
+        imm: i32,
+    },
+    /// Integer multiply-class operation: `dst = op(src1, src2)`.
+    IntMul {
+        /// Multiply operation.
+        op: IntMulOp,
+        /// Destination register.
+        dst: IntReg,
+        /// First source register.
+        src1: IntReg,
+        /// Second source register.
+        src2: IntReg,
+    },
+    /// Loads a 64-bit immediate into an integer register.
+    LoadImm {
+        /// Destination register.
+        dst: IntReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Floating-point operation: `dst = op(src1, src2)`.
+    Fp {
+        /// Floating-point operation.
+        op: FpOp,
+        /// Destination register.
+        dst: FpReg,
+        /// First source register.
+        src1: FpReg,
+        /// Second source register.
+        src2: FpReg,
+    },
+    /// Converts an integer register to floating point: `dst = (f64) src`.
+    FpFromInt {
+        /// Destination FP register.
+        dst: FpReg,
+        /// Source integer register.
+        src: IntReg,
+    },
+    /// Converts a floating-point register to an integer (saturating,
+    /// NaN maps to zero): `dst = (i64) src`.
+    FpToInt {
+        /// Destination integer register.
+        dst: IntReg,
+        /// Source FP register.
+        src: FpReg,
+    },
+    /// 64-bit load: `dst = mem[src(base) + offset]`.
+    Load {
+        /// Destination register.
+        dst: IntReg,
+        /// Base address register.
+        base: IntReg,
+        /// Byte offset added to the base (wrapped to the memory size).
+        offset: i32,
+    },
+    /// 64-bit store: `mem[src(base) + offset] = src`.
+    Store {
+        /// Value register.
+        src: IntReg,
+        /// Base address register.
+        base: IntReg,
+        /// Byte offset added to the base (wrapped to the memory size).
+        offset: i32,
+    },
+    /// Floating-point load: `dst = mem[src(base) + offset]` (bit pattern).
+    FpLoad {
+        /// Destination FP register.
+        dst: FpReg,
+        /// Base address register.
+        base: IntReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Floating-point store of the raw bit pattern.
+    FpStore {
+        /// Value FP register.
+        src: FpReg,
+        /// Base address register.
+        base: IntReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Lane-wise vector operation: `dst = op(src1, src2)`.
+    Vec {
+        /// Vector operation.
+        op: VecOp,
+        /// Destination vector register.
+        dst: VecReg,
+        /// First source register.
+        src1: VecReg,
+        /// Second source register.
+        src2: VecReg,
+    },
+    /// 256-bit vector load from `src(base) + offset`.
+    VecLoad {
+        /// Destination vector register.
+        dst: VecReg,
+        /// Base address register.
+        base: IntReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// 256-bit vector store to `src(base) + offset`.
+    VecStore {
+        /// Value vector register.
+        src: VecReg,
+        /// Base address register.
+        base: IntReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Emits a register-state snapshot into the widget output stream.
+    ///
+    /// This is the paper's mechanism for forcing complete execution: "the
+    /// proxy [is forced] to output register values throughout execution"
+    /// (Section IV-B), making the widget irreducible.
+    Snapshot,
+}
+
+impl Instruction {
+    /// Returns the micro-architectural resource class of the instruction.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Instruction::IntAlu { .. } | Instruction::IntAluImm { .. } | Instruction::LoadImm { .. } => {
+                OpClass::IntAlu
+            }
+            Instruction::IntMul { .. } => OpClass::IntMul,
+            Instruction::Fp { .. } | Instruction::FpFromInt { .. } | Instruction::FpToInt { .. } => {
+                OpClass::FpAlu
+            }
+            Instruction::Load { .. } | Instruction::FpLoad { .. } | Instruction::VecLoad { .. } => {
+                OpClass::Load
+            }
+            Instruction::Store { .. } | Instruction::FpStore { .. } | Instruction::VecStore { .. } => {
+                OpClass::Store
+            }
+            Instruction::Vec { .. } => OpClass::Vector,
+            Instruction::Snapshot => OpClass::Control,
+        }
+    }
+
+    /// Returns `true` if the instruction accesses memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self.class(), OpClass::Load | OpClass::Store)
+    }
+
+    /// Returns the integer destination register written by this instruction,
+    /// if any.
+    pub fn int_dst(&self) -> Option<IntReg> {
+        match self {
+            Instruction::IntAlu { dst, .. }
+            | Instruction::IntAluImm { dst, .. }
+            | Instruction::IntMul { dst, .. }
+            | Instruction::LoadImm { dst, .. }
+            | Instruction::FpToInt { dst, .. }
+            | Instruction::Load { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer source registers read by this instruction.
+    pub fn int_srcs(&self) -> Vec<IntReg> {
+        match self {
+            Instruction::IntAlu { src1, src2, .. } | Instruction::IntMul { src1, src2, .. } => {
+                vec![*src1, *src2]
+            }
+            Instruction::IntAluImm { src, .. } | Instruction::FpFromInt { src, .. } => vec![*src],
+            Instruction::Load { base, .. }
+            | Instruction::FpLoad { base, .. }
+            | Instruction::VecLoad { base, .. } => vec![*base],
+            Instruction::Store { src, base, .. } => vec![*src, *base],
+            Instruction::FpStore { base, .. } | Instruction::VecStore { base, .. } => vec![*base],
+            Instruction::LoadImm { .. }
+            | Instruction::Fp { .. }
+            | Instruction::FpToInt { .. }
+            | Instruction::Vec { .. }
+            | Instruction::Snapshot => Vec::new(),
+        }
+    }
+
+    /// Returns `true` if every register referenced by the instruction is
+    /// inside its architectural file.
+    pub fn registers_valid(&self) -> bool {
+        match self {
+            Instruction::IntAlu { dst, src1, src2, .. } | Instruction::IntMul { dst, src1, src2, .. } => {
+                dst.is_valid() && src1.is_valid() && src2.is_valid()
+            }
+            Instruction::IntAluImm { dst, src, .. } => dst.is_valid() && src.is_valid(),
+            Instruction::LoadImm { dst, .. } => dst.is_valid(),
+            Instruction::Fp { dst, src1, src2, .. } => {
+                dst.is_valid() && src1.is_valid() && src2.is_valid()
+            }
+            Instruction::FpFromInt { dst, src } => dst.is_valid() && src.is_valid(),
+            Instruction::FpToInt { dst, src } => dst.is_valid() && src.is_valid(),
+            Instruction::Load { dst, base, .. } => dst.is_valid() && base.is_valid(),
+            Instruction::Store { src, base, .. } => src.is_valid() && base.is_valid(),
+            Instruction::FpLoad { dst, base, .. } => dst.is_valid() && base.is_valid(),
+            Instruction::FpStore { src, base, .. } => src.is_valid() && base.is_valid(),
+            Instruction::Vec { dst, src1, src2, .. } => {
+                dst.is_valid() && src1.is_valid() && src2.is_valid()
+            }
+            Instruction::VecLoad { dst, base, .. } => dst.is_valid() && base.is_valid(),
+            Instruction::VecStore { src, base, .. } => src.is_valid() && base.is_valid(),
+            Instruction::Snapshot => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_all_classes() {
+        let samples = [
+            (
+                Instruction::IntAlu {
+                    op: IntAluOp::Add,
+                    dst: IntReg(0),
+                    src1: IntReg(1),
+                    src2: IntReg(2),
+                },
+                OpClass::IntAlu,
+            ),
+            (
+                Instruction::IntMul {
+                    op: IntMulOp::Mul,
+                    dst: IntReg(0),
+                    src1: IntReg(1),
+                    src2: IntReg(2),
+                },
+                OpClass::IntMul,
+            ),
+            (
+                Instruction::Fp {
+                    op: FpOp::Add,
+                    dst: FpReg(0),
+                    src1: FpReg(1),
+                    src2: FpReg(2),
+                },
+                OpClass::FpAlu,
+            ),
+            (
+                Instruction::Load {
+                    dst: IntReg(0),
+                    base: IntReg(1),
+                    offset: 8,
+                },
+                OpClass::Load,
+            ),
+            (
+                Instruction::Store {
+                    src: IntReg(0),
+                    base: IntReg(1),
+                    offset: 8,
+                },
+                OpClass::Store,
+            ),
+            (
+                Instruction::Vec {
+                    op: VecOp::Xor,
+                    dst: VecReg(0),
+                    src1: VecReg(1),
+                    src2: VecReg(2),
+                },
+                OpClass::Vector,
+            ),
+            (Instruction::Snapshot, OpClass::Control),
+        ];
+        for (inst, class) in samples {
+            assert_eq!(inst.class(), class, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn branch_conditions_evaluate() {
+        assert!(BranchCond::Eq.evaluate(5, 5));
+        assert!(!BranchCond::Eq.evaluate(5, 6));
+        assert!(BranchCond::Ne.evaluate(5, 6));
+        assert!(BranchCond::Lt.evaluate(u64::MAX, 0)); // -1 < 0 signed
+        assert!(!BranchCond::Ltu.evaluate(u64::MAX, 0));
+        assert!(BranchCond::Ge.evaluate(0, u64::MAX)); // 0 >= -1 signed
+        assert!(BranchCond::Geu.evaluate(u64::MAX, 0));
+    }
+
+    #[test]
+    fn register_validity_checked() {
+        let ok = Instruction::IntAlu {
+            op: IntAluOp::Add,
+            dst: IntReg(0),
+            src1: IntReg(1),
+            src2: IntReg(15),
+        };
+        let bad = Instruction::IntAlu {
+            op: IntAluOp::Add,
+            dst: IntReg(0),
+            src1: IntReg(1),
+            src2: IntReg(16),
+        };
+        assert!(ok.registers_valid());
+        assert!(!bad.registers_valid());
+    }
+
+    #[test]
+    fn dependency_queries() {
+        let inst = Instruction::Store {
+            src: IntReg(3),
+            base: IntReg(4),
+            offset: 0,
+        };
+        assert_eq!(inst.int_dst(), None);
+        assert_eq!(inst.int_srcs(), vec![IntReg(3), IntReg(4)]);
+
+        let load = Instruction::Load {
+            dst: IntReg(7),
+            base: IntReg(2),
+            offset: 16,
+        };
+        assert_eq!(load.int_dst(), Some(IntReg(7)));
+        assert!(load.is_memory());
+    }
+
+    #[test]
+    fn op_class_names_are_unique() {
+        let names: std::collections::HashSet<_> = OpClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), OpClass::ALL.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! # hashcore-isa
+//!
+//! The *widget instruction set architecture* used throughout the HashCore
+//! reproduction.
+//!
+//! The paper's widgets are C programs compiled by gcc to native x86. A PoW
+//! function, however, must be verifiable bit-for-bit on every participant's
+//! machine, so this reproduction defines a deterministic, portable register
+//! ISA whose instruction *classes* mirror the x86 resources the paper targets
+//! (Section IV-A): integer ALUs, integer multipliers, floating-point units,
+//! load/store ports, branch units, and vector units. Widgets are programs in
+//! this ISA; the functional executor lives in `hashcore-vm` and the
+//! micro-architectural model in `hashcore-sim`.
+//!
+//! The crate provides:
+//!
+//! * register and immediate types ([`IntReg`], [`FpReg`], [`VecReg`]),
+//! * the instruction set ([`Instruction`], [`IntAluOp`], [`FpOp`],
+//!   [`VecOp`], [`BranchCond`]) and its resource classification
+//!   ([`OpClass`]),
+//! * structured programs ([`Program`], [`BasicBlock`], [`Terminator`],
+//!   [`BlockId`]) with validation,
+//! * a [`ProgramBuilder`] for constructing programs by hand (used by the
+//!   reference workloads) or programmatically (used by the widget
+//!   generator),
+//! * a compact binary encoding ([`encode`]/[`decode`]) used for widget
+//!   fingerprinting and size accounting,
+//! * an assembly-style disassembler and a C-source emitter mirroring the
+//!   paper's `profile → C → x86` pipeline for inspection.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashcore_isa::{ProgramBuilder, IntReg, IntAluOp, Terminator};
+//!
+//! let mut b = ProgramBuilder::new(1024);
+//! let entry = b.begin_block();
+//! b.load_imm(IntReg(0), 7);
+//! b.load_imm(IntReg(1), 35);
+//! b.int_alu(IntAluOp::Add, IntReg(2), IntReg(0), IntReg(1));
+//! b.snapshot();
+//! b.terminate(Terminator::Halt);
+//! let program = b.finish(entry);
+//! assert!(program.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod builder;
+mod cgen;
+mod disasm;
+mod encode;
+mod inst;
+mod program;
+mod reg;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use builder::ProgramBuilder;
+pub use cgen::emit_c_source;
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{BranchCond, FpOp, Instruction, IntAluOp, IntMulOp, OpClass, VecOp};
+pub use program::{Program, ProgramStats, ValidateError};
+pub use reg::{FpReg, IntReg, VecReg, NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS, VEC_LANES};

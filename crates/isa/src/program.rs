@@ -1,0 +1,375 @@
+//! Widget programs: a control-flow graph of basic blocks plus a data segment.
+
+use crate::block::{BasicBlock, BlockId, Terminator};
+use crate::inst::OpClass;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A complete widget program.
+///
+/// A program is a list of [`BasicBlock`]s, an entry block, and the size of
+/// its private data segment (the memory the widget may load from and store
+/// to). Programs are static data: execution state lives in `hashcore-vm`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+    /// Size of the data segment in bytes (always a power of two so address
+    /// wrapping is a mask).
+    memory_size: usize,
+}
+
+/// Errors detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program contains no blocks.
+    Empty,
+    /// The entry block id does not exist.
+    BadEntry {
+        /// The offending entry id.
+        entry: BlockId,
+    },
+    /// A block's recorded id does not match its table position.
+    MisnumberedBlock {
+        /// Table index of the block.
+        index: usize,
+        /// Recorded id.
+        id: BlockId,
+    },
+    /// A terminator references a block id that does not exist.
+    DanglingEdge {
+        /// Block whose terminator is broken.
+        from: BlockId,
+        /// The missing successor.
+        to: BlockId,
+    },
+    /// An instruction references a register outside the architectural file.
+    InvalidRegister {
+        /// Block containing the instruction.
+        block: BlockId,
+        /// Index of the instruction within the block.
+        index: usize,
+    },
+    /// The memory size is zero or not a power of two.
+    BadMemorySize {
+        /// The offending size.
+        size: usize,
+    },
+    /// No block is a `Halt` terminator, so the program can never finish.
+    NoHalt,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Empty => write!(f, "program has no basic blocks"),
+            ValidateError::BadEntry { entry } => write!(f, "entry block {entry} does not exist"),
+            ValidateError::MisnumberedBlock { index, id } => {
+                write!(f, "block at index {index} is numbered {id}")
+            }
+            ValidateError::DanglingEdge { from, to } => {
+                write!(f, "block {from} branches to missing block {to}")
+            }
+            ValidateError::InvalidRegister { block, index } => {
+                write!(f, "instruction {index} of block {block} uses an invalid register")
+            }
+            ValidateError::BadMemorySize { size } => {
+                write!(f, "memory size {size} is not a non-zero power of two")
+            }
+            ValidateError::NoHalt => write!(f, "program has no halt terminator"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Static statistics of a program, used by the generator's self-checks and by
+/// the experiment harness to report widget sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramStats {
+    /// Number of basic blocks.
+    pub block_count: usize,
+    /// Total static instruction count (bodies plus conditional terminators).
+    pub static_instructions: usize,
+    /// Static instruction count per resource class.
+    pub class_counts: HashMap<OpClass, usize>,
+    /// Number of conditional branches.
+    pub conditional_branches: usize,
+    /// Number of snapshot instructions.
+    pub snapshots: usize,
+}
+
+impl Program {
+    /// Creates a program from parts.
+    ///
+    /// Use [`crate::ProgramBuilder`] for ergonomic construction; this
+    /// constructor performs no validation (call [`Program::validate`]).
+    pub fn new(blocks: Vec<BasicBlock>, entry: BlockId, memory_size: usize) -> Self {
+        Self {
+            blocks,
+            entry,
+            memory_size,
+        }
+    }
+
+    /// The program's basic blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Size of the data segment in bytes.
+    pub fn memory_size(&self) -> usize {
+        self.memory_size
+    }
+
+    /// Returns the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range; validated programs never do this.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Checks the structural invariants of the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found, if any.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.blocks.is_empty() {
+            return Err(ValidateError::Empty);
+        }
+        if self.memory_size == 0 || !self.memory_size.is_power_of_two() {
+            return Err(ValidateError::BadMemorySize {
+                size: self.memory_size,
+            });
+        }
+        if self.entry.index() >= self.blocks.len() {
+            return Err(ValidateError::BadEntry { entry: self.entry });
+        }
+        let mut has_halt = false;
+        for (index, block) in self.blocks.iter().enumerate() {
+            if block.id.index() != index {
+                return Err(ValidateError::MisnumberedBlock { index, id: block.id });
+            }
+            for (i, inst) in block.instructions.iter().enumerate() {
+                if !inst.registers_valid() {
+                    return Err(ValidateError::InvalidRegister {
+                        block: block.id,
+                        index: i,
+                    });
+                }
+            }
+            match block.terminator {
+                Terminator::Halt => has_halt = true,
+                _ => {
+                    for succ in block.terminator.successors() {
+                        if succ.index() >= self.blocks.len() {
+                            return Err(ValidateError::DanglingEdge {
+                                from: block.id,
+                                to: succ,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if !has_halt {
+            return Err(ValidateError::NoHalt);
+        }
+        Ok(())
+    }
+
+    /// Returns the static program counter assigned to the first slot of each
+    /// block under the canonical block-major layout.
+    ///
+    /// Every instruction occupies one pc slot and every block's terminator
+    /// occupies one additional slot, so block `i` starts at
+    /// `bases[i]` and its terminator sits at
+    /// `bases[i] + instructions.len()`. The functional executor
+    /// (`hashcore-vm`) and the micro-architecture model (`hashcore-sim`) both
+    /// use this layout, which is what lets traces be replayed against the
+    /// static program.
+    pub fn block_pc_bases(&self) -> Vec<u32> {
+        let mut bases = Vec::with_capacity(self.blocks.len());
+        let mut next = 0u32;
+        for block in &self.blocks {
+            bases.push(next);
+            next += block.instructions.len() as u32 + 1;
+        }
+        bases
+    }
+
+    /// Total number of static pc slots (instructions plus one terminator slot
+    /// per block).
+    pub fn pc_slot_count(&self) -> u32 {
+        self.blocks
+            .iter()
+            .map(|b| b.instructions.len() as u32 + 1)
+            .sum()
+    }
+
+    /// Computes static statistics for the program.
+    pub fn stats(&self) -> ProgramStats {
+        let mut stats = ProgramStats {
+            block_count: self.blocks.len(),
+            ..ProgramStats::default()
+        };
+        for block in &self.blocks {
+            for inst in &block.instructions {
+                *stats.class_counts.entry(inst.class()).or_insert(0) += 1;
+                stats.static_instructions += 1;
+                if matches!(inst, crate::Instruction::Snapshot) {
+                    stats.snapshots += 1;
+                }
+            }
+            if block.terminator.is_conditional() {
+                *stats.class_counts.entry(OpClass::Branch).or_insert(0) += 1;
+                stats.static_instructions += 1;
+                stats.conditional_branches += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{BranchCond, IntAluOp};
+    use crate::reg::IntReg;
+    use crate::Instruction;
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new(256);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 1);
+        b.load_imm(IntReg(1), 2);
+        b.int_alu(IntAluOp::Add, IntReg(2), IntReg(0), IntReg(1));
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        b.finish(entry)
+    }
+
+    #[test]
+    fn tiny_program_validates() {
+        assert_eq!(tiny_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let stats = tiny_program().stats();
+        assert_eq!(stats.block_count, 1);
+        assert_eq!(stats.snapshots, 1);
+        assert_eq!(stats.class_counts[&OpClass::IntAlu], 3);
+        assert_eq!(stats.class_counts[&OpClass::Control], 1);
+        assert_eq!(stats.conditional_branches, 0);
+        assert_eq!(stats.static_instructions, 4);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let p = Program::new(Vec::new(), BlockId(0), 256);
+        assert_eq!(p.validate(), Err(ValidateError::Empty));
+    }
+
+    #[test]
+    fn bad_memory_size_rejected() {
+        let mut p = tiny_program();
+        p.memory_size = 300;
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::BadMemorySize { size: 300 })
+        );
+        p.memory_size = 0;
+        assert_eq!(p.validate(), Err(ValidateError::BadMemorySize { size: 0 }));
+    }
+
+    #[test]
+    fn bad_entry_rejected() {
+        let mut p = tiny_program();
+        p.entry = BlockId(9);
+        assert_eq!(p.validate(), Err(ValidateError::BadEntry { entry: BlockId(9) }));
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let block = BasicBlock::new(
+            BlockId(0),
+            vec![],
+            Terminator::Branch {
+                cond: BranchCond::Eq,
+                src1: IntReg(0),
+                src2: IntReg(0),
+                taken: BlockId(5),
+                not_taken: BlockId(0),
+            },
+        );
+        let halt = BasicBlock::new(BlockId(1), vec![], Terminator::Halt);
+        let p = Program::new(vec![block, halt], BlockId(0), 256);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::DanglingEdge {
+                from: BlockId(0),
+                to: BlockId(5)
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_register_rejected() {
+        let block = BasicBlock::new(
+            BlockId(0),
+            vec![Instruction::LoadImm {
+                dst: IntReg(200),
+                imm: 0,
+            }],
+            Terminator::Halt,
+        );
+        let p = Program::new(vec![block], BlockId(0), 256);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::InvalidRegister {
+                block: BlockId(0),
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn missing_halt_rejected() {
+        let block = BasicBlock::new(BlockId(0), vec![], Terminator::Jump(BlockId(0)));
+        let p = Program::new(vec![block], BlockId(0), 256);
+        assert_eq!(p.validate(), Err(ValidateError::NoHalt));
+    }
+
+    #[test]
+    fn misnumbered_block_rejected() {
+        let block = BasicBlock::new(BlockId(3), vec![], Terminator::Halt);
+        let p = Program::new(vec![block], BlockId(0), 256);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::MisnumberedBlock {
+                index: 0,
+                id: BlockId(3)
+            })
+        );
+    }
+
+    #[test]
+    fn validate_error_display() {
+        let err = ValidateError::DanglingEdge {
+            from: BlockId(1),
+            to: BlockId(2),
+        };
+        assert!(err.to_string().contains("bb1"));
+        assert!(err.to_string().contains("bb2"));
+    }
+}

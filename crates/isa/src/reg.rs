@@ -1,0 +1,114 @@
+//! Register file definitions for the widget ISA.
+
+use std::fmt;
+
+/// Number of 64-bit integer registers.
+pub const NUM_INT_REGS: usize = 16;
+/// Number of 64-bit floating-point registers.
+pub const NUM_FP_REGS: usize = 16;
+/// Number of vector registers.
+pub const NUM_VEC_REGS: usize = 8;
+/// Number of 64-bit lanes per vector register (a 256-bit vector, mirroring
+/// AVX2-class units on the x86 chips the paper targets).
+pub const VEC_LANES: usize = 4;
+
+/// An integer register index (`r0`–`r15`).
+///
+/// The index is not range-checked at construction; [`crate::Program::validate`]
+/// rejects programs that reference registers outside the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(pub u8);
+
+/// A floating-point register index (`f0`–`f15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(pub u8);
+
+/// A vector register index (`v0`–`v7`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VecReg(pub u8);
+
+impl IntReg {
+    /// Returns `true` if the register index is inside the architectural file.
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_INT_REGS
+    }
+}
+
+impl FpReg {
+    /// Returns `true` if the register index is inside the architectural file.
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_FP_REGS
+    }
+}
+
+impl VecReg {
+    /// Returns `true` if the register index is inside the architectural file.
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_VEC_REGS
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for VecReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u8> for IntReg {
+    fn from(value: u8) -> Self {
+        IntReg(value)
+    }
+}
+
+impl From<u8> for FpReg {
+    fn from(value: u8) -> Self {
+        FpReg(value)
+    }
+}
+
+impl From<u8> for VecReg {
+    fn from(value: u8) -> Self {
+        VecReg(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntReg(3).to_string(), "r3");
+        assert_eq!(FpReg(15).to_string(), "f15");
+        assert_eq!(VecReg(0).to_string(), "v0");
+    }
+
+    #[test]
+    fn validity_bounds() {
+        assert!(IntReg(15).is_valid());
+        assert!(!IntReg(16).is_valid());
+        assert!(FpReg(15).is_valid());
+        assert!(!FpReg(16).is_valid());
+        assert!(VecReg(7).is_valid());
+        assert!(!VecReg(8).is_valid());
+    }
+
+    #[test]
+    fn from_u8() {
+        assert_eq!(IntReg::from(4), IntReg(4));
+        assert_eq!(FpReg::from(4), FpReg(4));
+        assert_eq!(VecReg::from(4), VecReg(4));
+    }
+}

@@ -1,0 +1,151 @@
+//! Quantitative comparison of performance profiles.
+//!
+//! Experiment E5 ("profile fidelity") reports how closely the measured
+//! profiles of generated widgets track the (seed-noised) target profile,
+//! reproducing Section V-B's claim that widgets "have similar performance
+//! characteristics to Leela … centred around the original workload's value".
+
+use crate::profile::PerformanceProfile;
+use hashcore_isa::OpClass;
+use std::fmt;
+
+/// A breakdown of the distance between two performance profiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileDistance {
+    /// L1 distance between instruction mixes (0 = identical, 2 = disjoint).
+    pub mix_l1: f64,
+    /// Absolute difference in branch fraction.
+    pub branch_fraction_delta: f64,
+    /// Absolute difference in branch taken fraction.
+    pub taken_fraction_delta: f64,
+    /// Absolute difference in branch transition rate.
+    pub transition_rate_delta: f64,
+    /// Relative difference in working-set size (|a−b| / max(a,b)).
+    pub working_set_relative_delta: f64,
+    /// Absolute difference in the strided-access fraction.
+    pub strided_fraction_delta: f64,
+    /// Absolute difference in average dependency distance, in instructions.
+    pub dependency_distance_delta: f64,
+}
+
+impl ProfileDistance {
+    /// Computes the distance between `measured` and `target`.
+    pub fn between(measured: &PerformanceProfile, target: &PerformanceProfile) -> Self {
+        let ws_a = measured.memory.working_set_bytes as f64;
+        let ws_b = target.memory.working_set_bytes as f64;
+        let ws_delta = if ws_a.max(ws_b) > 0.0 {
+            (ws_a - ws_b).abs() / ws_a.max(ws_b)
+        } else {
+            0.0
+        };
+        Self {
+            mix_l1: measured.mix.l1_distance(&target.mix),
+            branch_fraction_delta: (measured.branch.branch_fraction - target.branch.branch_fraction)
+                .abs(),
+            taken_fraction_delta: (measured.branch.taken_fraction - target.branch.taken_fraction)
+                .abs(),
+            transition_rate_delta: (measured.branch.transition_rate - target.branch.transition_rate)
+                .abs(),
+            working_set_relative_delta: ws_delta,
+            strided_fraction_delta: (measured.memory.strided_fraction
+                - target.memory.strided_fraction)
+                .abs(),
+            dependency_distance_delta: (measured.dependency.average_distance
+                - target.dependency.average_distance)
+                .abs(),
+        }
+    }
+
+    /// A single scalar summary (weighted sum of the component distances),
+    /// useful for ranking widgets by fidelity. Lower is better; 0 means the
+    /// profiles agree on every compared dimension.
+    pub fn score(&self) -> f64 {
+        self.mix_l1
+            + self.branch_fraction_delta
+            + self.taken_fraction_delta
+            + self.transition_rate_delta
+            + 0.5 * self.working_set_relative_delta
+            + 0.5 * self.strided_fraction_delta
+            + 0.1 * self.dependency_distance_delta
+    }
+
+    /// Returns `true` when every component is below the paper-level
+    /// "similar performance values" tolerance used by the integration tests.
+    pub fn within_tolerance(&self, mix_tol: f64, rate_tol: f64) -> bool {
+        self.mix_l1 <= mix_tol
+            && self.branch_fraction_delta <= rate_tol
+            && self.taken_fraction_delta <= rate_tol
+            && self.transition_rate_delta <= rate_tol
+    }
+}
+
+impl fmt::Display for ProfileDistance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mix L1 {:.4}, branch Δ {:.4}, taken Δ {:.4}, transition Δ {:.4}, score {:.4}",
+            self.mix_l1,
+            self.branch_fraction_delta,
+            self.taken_fraction_delta,
+            self.transition_rate_delta,
+            self.score()
+        )
+    }
+}
+
+/// Convenience: the per-class mix error between two profiles, in fraction
+/// points, ordered by [`OpClass::ALL`].
+pub fn per_class_error(measured: &PerformanceProfile, target: &PerformanceProfile) -> Vec<(OpClass, f64)> {
+    OpClass::ALL
+        .iter()
+        .map(|&class| (class, measured.mix.fraction(class) - target.mix.fraction(class)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_profiles_have_zero_distance() {
+        let p = PerformanceProfile::leela_like();
+        let d = ProfileDistance::between(&p, &p);
+        assert_eq!(d.mix_l1, 0.0);
+        assert_eq!(d.score(), 0.0);
+        assert!(d.within_tolerance(0.01, 0.01));
+    }
+
+    #[test]
+    fn different_profiles_have_positive_distance() {
+        let a = PerformanceProfile::leela_like();
+        let b = PerformanceProfile::fp_stencil_like();
+        let d = ProfileDistance::between(&a, &b);
+        assert!(d.mix_l1 > 0.1);
+        assert!(d.score() > 0.1);
+        assert!(!d.within_tolerance(0.05, 0.01));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = PerformanceProfile::leela_like();
+        let b = PerformanceProfile::fp_stencil_like();
+        let ab = ProfileDistance::between(&a, &b);
+        let ba = ProfileDistance::between(&b, &a);
+        assert!((ab.score() - ba.score()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_error_sums_to_zero_for_normalised_mixes() {
+        let a = PerformanceProfile::leela_like();
+        let b = PerformanceProfile::fp_stencil_like();
+        let total: f64 = per_class_error(&a, &b).iter().map(|(_, e)| e).sum();
+        assert!(total.abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_score() {
+        let a = PerformanceProfile::leela_like();
+        let d = ProfileDistance::between(&a, &a);
+        assert!(d.to_string().contains("score"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # hashcore-profile
+//!
+//! Performance profiles and hash-seed handling for the HashCore widget
+//! generator.
+//!
+//! The paper's widget generation (Section IV-B) follows the PerfProx proxy
+//! technique: a *performance profile* of a reference workload (the paper uses
+//! SPEC CPU 2017 "Leela") — instruction mix, branch behaviour, memory access
+//! patterns, data dependencies, and a basic-block vector — is combined with a
+//! 256-bit hash seed (Table I) to drive the generation of a synthetic program
+//! whose execution characteristics are centred on the reference workload.
+//!
+//! This crate defines:
+//!
+//! * [`HashSeed`] and [`SeedField`] — the Table-I split of the 256-bit seed
+//!   into eight 32-bit fields,
+//! * [`InstructionMix`], [`BranchProfile`], [`MemoryProfile`],
+//!   [`DependencyProfile`], [`BasicBlockProfile`] and the aggregate
+//!   [`PerformanceProfile`],
+//! * [`SeededProfile`] / [`apply_seed`] — the positive-noise injection the
+//!   paper describes ("HashCore only adds positive noise to the instruction
+//!   type counts", Section V-B),
+//! * [`ProfileDistance`] — quantitative profile-fidelity metrics used by
+//!   experiment E5,
+//! * [`stats`] — summary statistics and histogram helpers shared by the
+//!   figure-reproduction harnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashcore_profile::{HashSeed, SeedField, PerformanceProfile, apply_seed, NoiseConfig};
+//!
+//! let profile = PerformanceProfile::leela_like();
+//! let seed = HashSeed::new([7u8; 32]);
+//! let seeded = apply_seed(&profile, &seed, &NoiseConfig::default());
+//! // Positive-only noise: every class count is at least the original.
+//! assert!(seeded.profile.mix.fraction(hashcore_isa::OpClass::IntAlu) > 0.0);
+//! let _ = seed.field(SeedField::Memory);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distance;
+mod noise;
+mod profile;
+mod seed;
+pub mod stats;
+
+pub use distance::{per_class_error, ProfileDistance};
+pub use noise::{apply_seed, NoiseConfig, SeededProfile};
+pub use profile::{
+    BasicBlockProfile, BranchProfile, DependencyProfile, InstructionMix, MemoryProfile,
+    PerformanceProfile,
+};
+pub use seed::{HashSeed, SeedField};

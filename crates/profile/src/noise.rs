@@ -1,0 +1,246 @@
+//! Seed-noise injection: combining a performance profile with the hash seed.
+//!
+//! Section IV-B of the paper: *"The 256-bit seed is divided into eight 32-bit
+//! integers that are added to the performance profile. The exception to this
+//! are the last two 32-bit values which are used to seed pseudo-random number
+//! generators. This means that each seed will add some amount of noise to the
+//! widget generator so that each widget has slightly different performance,
+//! resulting in a distribution of widgets centered around the target
+//! performance profile."* Section V-B adds that *"HashCore only adds positive
+//! noise to the instruction type counts."*
+
+use crate::profile::{InstructionMix, PerformanceProfile};
+use crate::seed::{HashSeed, SeedField};
+use hashcore_isa::OpClass;
+use std::collections::HashMap;
+
+/// Controls how much noise the seed injects into the profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Maximum relative increase a single seed field may add to its
+    /// instruction-class count (e.g. `0.15` = up to +15 %). The paper adds
+    /// raw 32-bit integers to raw counts; expressing the cap as a relative
+    /// fraction keeps the noise magnitude independent of the target
+    /// instruction count.
+    pub max_relative_count_noise: f64,
+    /// Maximum absolute shift the Branch-Behaviour field may apply to the
+    /// branch transition rate (both directions, producing a spread of
+    /// predictabilities around the target).
+    pub max_transition_rate_shift: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            max_relative_count_noise: 0.15,
+            max_transition_rate_shift: 0.05,
+        }
+    }
+}
+
+/// A performance profile after seed noise has been applied, plus the two
+/// PRNG seeds Table I reserves for the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeededProfile {
+    /// The noised profile the generator will target.
+    pub profile: PerformanceProfile,
+    /// Seed for the basic-block-vector PRNG (bits 192–223).
+    pub bbv_seed: u32,
+    /// Seed for the memory-access PRNG (bits 224–255).
+    pub memory_seed: u32,
+    /// The per-class noise factors that were applied (1.0 = no change);
+    /// exposed so fidelity experiments can separate generator error from
+    /// intentional noise.
+    pub noise_factors: HashMap<OpClass, f64>,
+}
+
+/// Maps a 32-bit seed field to a fraction in `[0, 1)`.
+fn unit(field_value: u32) -> f64 {
+    field_value as f64 / (u32::MAX as f64 + 1.0)
+}
+
+/// Applies Table-I seed noise to `profile`.
+///
+/// The first six fields add *positive-only* noise to their corresponding
+/// instruction-class counts; the branch field additionally perturbs the
+/// branch transition rate in both directions; the final two fields are
+/// passed through as PRNG seeds.
+///
+/// # Examples
+///
+/// ```
+/// use hashcore_profile::{apply_seed, HashSeed, NoiseConfig, PerformanceProfile};
+///
+/// let base = PerformanceProfile::leela_like();
+/// let seeded = apply_seed(&base, &HashSeed::new([0x5a; 32]), &NoiseConfig::default());
+/// assert_eq!(seeded.profile.name, base.name);
+/// ```
+pub fn apply_seed(
+    profile: &PerformanceProfile,
+    seed: &HashSeed,
+    config: &NoiseConfig,
+) -> SeededProfile {
+    let base_counts = profile.target_counts();
+    let mut noised_counts: HashMap<OpClass, u64> = HashMap::new();
+    let mut noise_factors: HashMap<OpClass, f64> = HashMap::new();
+
+    let class_fields = [
+        (OpClass::IntAlu, SeedField::IntAlu),
+        (OpClass::IntMul, SeedField::IntMul),
+        (OpClass::FpAlu, SeedField::FpAlu),
+        (OpClass::Load, SeedField::Loads),
+        (OpClass::Store, SeedField::Stores),
+        (OpClass::Branch, SeedField::BranchBehavior),
+    ];
+
+    for class in OpClass::ALL {
+        let base = *base_counts.get(&class).unwrap_or(&0);
+        let factor = match class_fields.iter().find(|(c, _)| *c == class) {
+            Some((_, field)) => 1.0 + unit(seed.field(*field)) * config.max_relative_count_noise,
+            None => 1.0,
+        };
+        // Positive-only noise, as in the paper: counts can only grow.
+        let noised = (base as f64 * factor).round() as u64;
+        noised_counts.insert(class, noised.max(base));
+        noise_factors.insert(class, factor);
+    }
+
+    let total: u64 = noised_counts.values().sum();
+    let mut out = profile.clone();
+    out.mix = InstructionMix::from_counts(&noised_counts);
+    out.target_dynamic_instructions = total.max(1);
+
+    // The Branch-Behaviour field also perturbs the transition rate, spreading
+    // widget predictability around the target value (this is what produces
+    // the Figure-3 distribution).
+    let branch_noise = unit(seed.field(SeedField::BranchBehavior));
+    let shift = (branch_noise * 2.0 - 1.0) * config.max_transition_rate_shift;
+    out.branch.transition_rate = (out.branch.transition_rate + shift).clamp(0.0, 1.0);
+    out.branch.branch_fraction = out.mix.fraction(OpClass::Branch);
+
+    SeededProfile {
+        profile: out,
+        bbv_seed: seed.bbv_seed(),
+        memory_seed: seed.memory_seed(),
+        noise_factors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_with_word(index: usize, value: u32) -> HashSeed {
+        let mut bytes = [0u8; 32];
+        bytes[index * 4..index * 4 + 4].copy_from_slice(&value.to_le_bytes());
+        HashSeed::new(bytes)
+    }
+
+    #[test]
+    fn zero_seed_is_identity_on_counts() {
+        let base = PerformanceProfile::leela_like();
+        let seeded = apply_seed(&base, &HashSeed::new([0u8; 32]), &NoiseConfig::default());
+        // With an all-zero seed every noise factor is exactly 1.0.
+        for (_, factor) in &seeded.noise_factors {
+            assert!((factor - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(
+            seeded.profile.target_dynamic_instructions,
+            base.target_counts().values().sum::<u64>().max(1)
+        );
+    }
+
+    #[test]
+    fn noise_is_positive_only() {
+        let base = PerformanceProfile::leela_like();
+        let base_counts = base.target_counts();
+        for fill in [0x01u8, 0x42, 0x99, 0xff] {
+            let seeded = apply_seed(&base, &HashSeed::new([fill; 32]), &NoiseConfig::default());
+            let noised_counts: u64 = seeded.profile.target_dynamic_instructions;
+            let base_total: u64 = base_counts.values().sum();
+            assert!(noised_counts >= base_total, "fill {fill:#x}");
+            for (_, factor) in &seeded.noise_factors {
+                assert!(*factor >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded_by_config() {
+        let base = PerformanceProfile::leela_like();
+        let config = NoiseConfig {
+            max_relative_count_noise: 0.10,
+            max_transition_rate_shift: 0.02,
+        };
+        let seeded = apply_seed(&base, &HashSeed::new([0xff; 32]), &config);
+        for (_, factor) in &seeded.noise_factors {
+            assert!(*factor <= 1.10 + 1e-9);
+        }
+        assert!(
+            (seeded.profile.branch.transition_rate - base.branch.transition_rate).abs()
+                <= 0.02 + 1e-9
+        );
+    }
+
+    #[test]
+    fn each_count_field_only_affects_its_class() {
+        let base = PerformanceProfile::leela_like();
+        let zero = apply_seed(&base, &HashSeed::new([0u8; 32]), &NoiseConfig::default());
+        // Fields 0..5 map to the first six classes; perturbing one field must
+        // leave the other classes' noise factors at 1.0.
+        let classes = [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::FpAlu,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+        ];
+        for (word, target_class) in classes.iter().enumerate() {
+            let seeded = apply_seed(&base, &seed_with_word(word, u32::MAX), &NoiseConfig::default());
+            for class in classes {
+                let factor = seeded.noise_factors[&class];
+                if class == *target_class {
+                    assert!(factor > 1.0, "word {word} should perturb {class}");
+                } else {
+                    assert_eq!(
+                        factor, zero.noise_factors[&class],
+                        "word {word} leaked into {class}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prng_seeds_pass_through() {
+        let base = PerformanceProfile::leela_like();
+        let seed = seed_with_word(6, 0xdead_beef);
+        let seeded = apply_seed(&base, &seed, &NoiseConfig::default());
+        assert_eq!(seeded.bbv_seed, 0xdead_beef);
+        assert_eq!(seeded.memory_seed, 0);
+        let seed = seed_with_word(7, 0x1234_5678);
+        let seeded = apply_seed(&base, &seed, &NoiseConfig::default());
+        assert_eq!(seeded.memory_seed, 0x1234_5678);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_profiles() {
+        let base = PerformanceProfile::leela_like();
+        let a = apply_seed(&base, &HashSeed::new([1u8; 32]), &NoiseConfig::default());
+        let b = apply_seed(&base, &HashSeed::new([2u8; 32]), &NoiseConfig::default());
+        assert_ne!(a.profile.mix, b.profile.mix);
+    }
+
+    #[test]
+    fn branch_fraction_tracks_mix() {
+        let base = PerformanceProfile::leela_like();
+        let seeded = apply_seed(&base, &HashSeed::new([0x80u8; 32]), &NoiseConfig::default());
+        assert!(
+            (seeded.profile.branch.branch_fraction
+                - seeded.profile.mix.fraction(OpClass::Branch))
+            .abs()
+                < 1e-12
+        );
+    }
+}

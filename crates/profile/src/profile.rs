@@ -1,0 +1,408 @@
+//! Performance-profile data structures.
+//!
+//! A [`PerformanceProfile`] captures everything PerfProx (and therefore the
+//! HashCore widget generator) needs to know about a reference workload:
+//! instruction mix, branch behaviour, memory access patterns, data
+//! dependencies, and basic-block structure.
+
+use hashcore_isa::OpClass;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dynamic instruction mix: the fraction of executed instructions that fall
+/// into each [`OpClass`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstructionMix {
+    fractions: [f64; OpClass::ALL.len()],
+}
+
+impl Default for InstructionMix {
+    fn default() -> Self {
+        Self {
+            fractions: [0.0; OpClass::ALL.len()],
+        }
+    }
+}
+
+impl InstructionMix {
+    /// Builds a mix from per-class dynamic counts, normalising to fractions.
+    ///
+    /// Classes missing from `counts` get a fraction of zero. An all-zero
+    /// count map produces an all-zero mix.
+    pub fn from_counts(counts: &HashMap<OpClass, u64>) -> Self {
+        let total: u64 = counts.values().sum();
+        let mut fractions = [0.0; OpClass::ALL.len()];
+        if total > 0 {
+            for (i, class) in OpClass::ALL.iter().enumerate() {
+                fractions[i] = *counts.get(class).unwrap_or(&0) as f64 / total as f64;
+            }
+        }
+        Self { fractions }
+    }
+
+    /// Builds a mix directly from fractions (renormalised to sum to one when
+    /// the sum is positive).
+    pub fn from_fractions(entries: &[(OpClass, f64)]) -> Self {
+        let mut fractions = [0.0; OpClass::ALL.len()];
+        for (class, value) in entries {
+            let idx = OpClass::ALL.iter().position(|c| c == class).expect("known class");
+            fractions[idx] = value.max(0.0);
+        }
+        let sum: f64 = fractions.iter().sum();
+        if sum > 0.0 {
+            for f in fractions.iter_mut() {
+                *f /= sum;
+            }
+        }
+        Self { fractions }
+    }
+
+    /// Returns the fraction of dynamic instructions in `class`.
+    pub fn fraction(&self, class: OpClass) -> f64 {
+        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("known class");
+        self.fractions[idx]
+    }
+
+    /// Returns `(class, fraction)` pairs in the canonical class order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, f64)> + '_ {
+        OpClass::ALL.iter().copied().zip(self.fractions.iter().copied())
+    }
+
+    /// L1 distance between two mixes (0 = identical, 2 = disjoint).
+    pub fn l1_distance(&self, other: &InstructionMix) -> f64 {
+        self.fractions
+            .iter()
+            .zip(other.fractions.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// Sum of all fractions (1.0 for a populated mix, 0.0 for an empty one).
+    pub fn total(&self) -> f64 {
+        self.fractions.iter().sum()
+    }
+}
+
+/// Branch behaviour of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchProfile {
+    /// Fraction of dynamic instructions that are conditional branches.
+    pub branch_fraction: f64,
+    /// Fraction of conditional branches that are taken.
+    pub taken_fraction: f64,
+    /// Probability that a branch changes direction between consecutive
+    /// executions (low = highly predictable loops, high = data-dependent
+    /// branching). This is the knob the Branch-Behaviour seed field perturbs.
+    pub transition_rate: f64,
+    /// Average number of distinct static branch sites exercised.
+    pub static_branch_sites: u32,
+}
+
+impl Default for BranchProfile {
+    fn default() -> Self {
+        Self {
+            branch_fraction: 0.15,
+            taken_fraction: 0.6,
+            transition_rate: 0.1,
+            static_branch_sites: 64,
+        }
+    }
+}
+
+/// Memory access behaviour of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryProfile {
+    /// Working-set size in bytes (rounded to a power of two by consumers).
+    pub working_set_bytes: usize,
+    /// Fraction of memory accesses that are sequential/strided (the rest are
+    /// pseudo-random, pointer-chase-like accesses).
+    pub strided_fraction: f64,
+    /// Average stride, in bytes, of the strided accesses.
+    pub average_stride: u32,
+    /// Fraction of loads that immediately feed an address computation
+    /// (pointer chasing), which serialises memory-level parallelism.
+    pub pointer_chase_fraction: f64,
+}
+
+impl Default for MemoryProfile {
+    fn default() -> Self {
+        Self {
+            working_set_bytes: 1 << 20,
+            strided_fraction: 0.7,
+            average_stride: 8,
+            pointer_chase_fraction: 0.1,
+        }
+    }
+}
+
+/// Data-dependency behaviour of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DependencyProfile {
+    /// Average distance, in dynamic instructions, between a value's producer
+    /// and its consumer. Small distances limit instruction-level parallelism.
+    pub average_distance: f64,
+    /// Fraction of instructions that depend on the immediately preceding
+    /// instruction (a serialising chain).
+    pub serial_fraction: f64,
+}
+
+impl Default for DependencyProfile {
+    fn default() -> Self {
+        Self {
+            average_distance: 4.0,
+            serial_fraction: 0.2,
+        }
+    }
+}
+
+/// Basic-block structure of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasicBlockProfile {
+    /// Average basic-block size in instructions.
+    pub average_block_size: f64,
+    /// Number of "hot" static basic blocks that dominate execution.
+    pub hot_blocks: u32,
+    /// Average trip count of the innermost loops.
+    pub average_loop_trip_count: u32,
+}
+
+impl Default for BasicBlockProfile {
+    fn default() -> Self {
+        Self {
+            average_block_size: 8.0,
+            hot_blocks: 32,
+            average_loop_trip_count: 16,
+        }
+    }
+}
+
+/// A complete performance profile of a reference workload.
+///
+/// This is the PerfProx input: the widget generator consumes a (seed-noised)
+/// copy of this structure and emits a program whose dynamic behaviour is
+/// centred on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceProfile {
+    /// Workload name, e.g. `"leela_like"`.
+    pub name: String,
+    /// Dynamic instruction mix.
+    pub mix: InstructionMix,
+    /// Branch behaviour.
+    pub branch: BranchProfile,
+    /// Memory behaviour.
+    pub memory: MemoryProfile,
+    /// Data-dependency behaviour.
+    pub dependency: DependencyProfile,
+    /// Basic-block structure.
+    pub blocks: BasicBlockProfile,
+    /// Target dynamic instruction count for a generated widget.
+    pub target_dynamic_instructions: u64,
+    /// Reference IPC measured for the original workload on the modelled
+    /// core (used by the figure harnesses as the "original workload" line).
+    pub reference_ipc: f64,
+    /// Reference branch-prediction hit rate of the original workload.
+    pub reference_branch_hit_rate: f64,
+}
+
+impl PerformanceProfile {
+    /// A profile approximating SPEC CPU 2017 641.leela_s, the integer-speed
+    /// Go engine the paper profiles.
+    ///
+    /// Leela is branch- and ALU-heavy with a modest working set: the
+    /// fractions below follow published characterisations of the benchmark
+    /// (≈20 % branches, ≈25 % loads, ≈10 % stores, very little floating
+    /// point). The `hashcore-workloads` crate derives an *empirical* profile
+    /// by running its own Go-engine kernel through the simulator; this
+    /// constructor is the documented fallback used by unit tests and
+    /// quick-start examples.
+    pub fn leela_like() -> Self {
+        Self {
+            name: "leela_like".to_string(),
+            mix: InstructionMix::from_fractions(&[
+                (OpClass::IntAlu, 0.42),
+                (OpClass::IntMul, 0.03),
+                (OpClass::FpAlu, 0.02),
+                (OpClass::Load, 0.25),
+                (OpClass::Store, 0.10),
+                (OpClass::Branch, 0.17),
+                (OpClass::Vector, 0.005),
+                (OpClass::Control, 0.005),
+            ]),
+            branch: BranchProfile {
+                branch_fraction: 0.17,
+                taken_fraction: 0.58,
+                transition_rate: 0.12,
+                static_branch_sites: 96,
+            },
+            memory: MemoryProfile {
+                working_set_bytes: 1 << 21,
+                strided_fraction: 0.65,
+                average_stride: 16,
+                pointer_chase_fraction: 0.12,
+            },
+            dependency: DependencyProfile {
+                average_distance: 3.5,
+                serial_fraction: 0.25,
+            },
+            blocks: BasicBlockProfile {
+                average_block_size: 6.0,
+                hot_blocks: 48,
+                average_loop_trip_count: 12,
+            },
+            target_dynamic_instructions: 60_000,
+            reference_ipc: 1.45,
+            reference_branch_hit_rate: 0.93,
+        }
+    }
+
+    /// A floating-point-heavy profile approximating an lbm-like stencil
+    /// workload; used by tests and the alternative-workload experiments.
+    pub fn fp_stencil_like() -> Self {
+        Self {
+            name: "fp_stencil_like".to_string(),
+            mix: InstructionMix::from_fractions(&[
+                (OpClass::IntAlu, 0.25),
+                (OpClass::IntMul, 0.02),
+                (OpClass::FpAlu, 0.35),
+                (OpClass::Load, 0.22),
+                (OpClass::Store, 0.10),
+                (OpClass::Branch, 0.04),
+                (OpClass::Vector, 0.02),
+                (OpClass::Control, 0.0),
+            ]),
+            branch: BranchProfile {
+                branch_fraction: 0.04,
+                taken_fraction: 0.85,
+                transition_rate: 0.03,
+                static_branch_sites: 24,
+            },
+            memory: MemoryProfile {
+                working_set_bytes: 1 << 22,
+                strided_fraction: 0.92,
+                average_stride: 8,
+                pointer_chase_fraction: 0.01,
+            },
+            dependency: DependencyProfile {
+                average_distance: 6.0,
+                serial_fraction: 0.10,
+            },
+            blocks: BasicBlockProfile {
+                average_block_size: 18.0,
+                hot_blocks: 12,
+                average_loop_trip_count: 64,
+            },
+            target_dynamic_instructions: 60_000,
+            reference_ipc: 1.9,
+            reference_branch_hit_rate: 0.985,
+        }
+    }
+
+    /// Per-class *target dynamic counts* implied by the mix and the target
+    /// dynamic instruction count.
+    pub fn target_counts(&self) -> HashMap<OpClass, u64> {
+        let mut out = HashMap::new();
+        for (class, fraction) in self.mix.iter() {
+            let count = (fraction * self.target_dynamic_instructions as f64).round() as u64;
+            out.insert(class, count);
+        }
+        out
+    }
+}
+
+impl fmt::Display for PerformanceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "profile {}:", self.name)?;
+        for (class, fraction) in self.mix.iter() {
+            writeln!(f, "  {class:<8} {:.3}", fraction)?;
+        }
+        writeln!(
+            f,
+            "  branches: {:.1}% taken, transition rate {:.2}",
+            self.branch.taken_fraction * 100.0,
+            self.branch.transition_rate
+        )?;
+        writeln!(
+            f,
+            "  memory: {} B working set, {:.0}% strided",
+            self.memory.working_set_bytes,
+            self.memory.strided_fraction * 100.0
+        )?;
+        write!(
+            f,
+            "  target: {} dynamic instructions, reference IPC {:.2}",
+            self.target_dynamic_instructions, self.reference_ipc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_from_counts_normalises() {
+        let mut counts = HashMap::new();
+        counts.insert(OpClass::IntAlu, 60u64);
+        counts.insert(OpClass::Load, 30u64);
+        counts.insert(OpClass::Branch, 10u64);
+        let mix = InstructionMix::from_counts(&counts);
+        assert!((mix.fraction(OpClass::IntAlu) - 0.6).abs() < 1e-12);
+        assert!((mix.fraction(OpClass::Load) - 0.3).abs() < 1e-12);
+        assert!((mix.fraction(OpClass::Branch) - 0.1).abs() < 1e-12);
+        assert_eq!(mix.fraction(OpClass::FpAlu), 0.0);
+        assert!((mix.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_from_empty_counts_is_zero() {
+        let mix = InstructionMix::from_counts(&HashMap::new());
+        assert_eq!(mix.total(), 0.0);
+    }
+
+    #[test]
+    fn mix_from_fractions_renormalises_and_clamps() {
+        let mix = InstructionMix::from_fractions(&[
+            (OpClass::IntAlu, 2.0),
+            (OpClass::Load, 2.0),
+            (OpClass::Store, -5.0),
+        ]);
+        assert!((mix.fraction(OpClass::IntAlu) - 0.5).abs() < 1e-12);
+        assert_eq!(mix.fraction(OpClass::Store), 0.0);
+        assert!((mix.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_distance_properties() {
+        let a = PerformanceProfile::leela_like().mix;
+        let b = PerformanceProfile::fp_stencil_like().mix;
+        assert_eq!(a.l1_distance(&a), 0.0);
+        let d = a.l1_distance(&b);
+        assert!(d > 0.0 && d <= 2.0);
+        assert!((a.l1_distance(&b) - b.l1_distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leela_like_is_branch_heavy_and_integer_dominated() {
+        let p = PerformanceProfile::leela_like();
+        assert!(p.mix.fraction(OpClass::IntAlu) > p.mix.fraction(OpClass::FpAlu));
+        assert!(p.mix.fraction(OpClass::Branch) > 0.1);
+        assert!((p.mix.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_counts_sum_close_to_target() {
+        let p = PerformanceProfile::leela_like();
+        let counts = p.target_counts();
+        let total: u64 = counts.values().sum();
+        let diff = (total as i64 - p.target_dynamic_instructions as i64).abs();
+        assert!(diff <= OpClass::ALL.len() as i64, "diff {diff}");
+    }
+
+    #[test]
+    fn display_mentions_name_and_classes() {
+        let text = PerformanceProfile::leela_like().to_string();
+        assert!(text.contains("leela_like"));
+        assert!(text.contains("int_alu"));
+        assert!(text.contains("reference IPC"));
+    }
+}

@@ -1,0 +1,246 @@
+//! The 256-bit hash seed and its Table-I field split.
+
+use std::fmt;
+
+/// The eight 32-bit fields of the hash seed, exactly as laid out in Table I
+/// of the paper.
+///
+/// | Hash bits | Usage |
+/// |-----------|-------|
+/// | 0–31      | Integer ALU |
+/// | 32–63     | Integer Multiply |
+/// | 64–95     | Floating Point ALU |
+/// | 96–127    | Loads |
+/// | 128–159   | Stores |
+/// | 160–191   | Branch Behaviour |
+/// | 192–223   | Basic Block Vector Seed |
+/// | 224–255   | Memory Seed |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SeedField {
+    /// Bits 0–31: noise added to the integer-ALU instruction count.
+    IntAlu,
+    /// Bits 32–63: noise added to the integer-multiply instruction count.
+    IntMul,
+    /// Bits 64–95: noise added to the floating-point instruction count.
+    FpAlu,
+    /// Bits 96–127: noise added to the load count.
+    Loads,
+    /// Bits 128–159: noise added to the store count.
+    Stores,
+    /// Bits 160–191: noise applied to branch behaviour.
+    BranchBehavior,
+    /// Bits 192–223: seeds the basic-block-vector pseudo-random generator.
+    BasicBlockVector,
+    /// Bits 224–255: seeds the memory-access pseudo-random generator.
+    Memory,
+}
+
+impl SeedField {
+    /// All fields in Table-I order.
+    pub const ALL: [SeedField; 8] = [
+        SeedField::IntAlu,
+        SeedField::IntMul,
+        SeedField::FpAlu,
+        SeedField::Loads,
+        SeedField::Stores,
+        SeedField::BranchBehavior,
+        SeedField::BasicBlockVector,
+        SeedField::Memory,
+    ];
+
+    /// Index of the field's 32-bit word within the seed.
+    pub fn word_index(self) -> usize {
+        match self {
+            SeedField::IntAlu => 0,
+            SeedField::IntMul => 1,
+            SeedField::FpAlu => 2,
+            SeedField::Loads => 3,
+            SeedField::Stores => 4,
+            SeedField::BranchBehavior => 5,
+            SeedField::BasicBlockVector => 6,
+            SeedField::Memory => 7,
+        }
+    }
+
+    /// The inclusive bit range of this field, as written in Table I.
+    pub fn bit_range(self) -> (u32, u32) {
+        let start = self.word_index() as u32 * 32;
+        (start, start + 31)
+    }
+
+    /// Human-readable name matching the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeedField::IntAlu => "Integer ALU",
+            SeedField::IntMul => "Integer Multiply",
+            SeedField::FpAlu => "Floating Point ALU",
+            SeedField::Loads => "Loads",
+            SeedField::Stores => "Stores",
+            SeedField::BranchBehavior => "Branch Behavior",
+            SeedField::BasicBlockVector => "Basic Block Vector Seed",
+            SeedField::Memory => "Memory Seed",
+        }
+    }
+}
+
+impl fmt::Display for SeedField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 256-bit hash seed — the output of the first hash gate, `s = G(x)`.
+///
+/// The seed is both an input to the widget generator (split into the Table-I
+/// fields) and part of the input to the second hash gate, which is what makes
+/// the collision-resistance reduction go through regardless of the widget's
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashSeed {
+    bytes: [u8; 32],
+}
+
+impl HashSeed {
+    /// Wraps raw seed bytes (typically a SHA-256 digest).
+    pub fn new(bytes: [u8; 32]) -> Self {
+        Self { bytes }
+    }
+
+    /// The raw 32 bytes of the seed.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+
+    /// Extracts the 32-bit field assigned to `field` by Table I.
+    ///
+    /// Words are read little-endian from the seed bytes: bits 0–31 are bytes
+    /// 0–3, bits 32–63 are bytes 4–7, and so on.
+    pub fn field(&self, field: SeedField) -> u32 {
+        let i = field.word_index() * 4;
+        u32::from_le_bytes([self.bytes[i], self.bytes[i + 1], self.bytes[i + 2], self.bytes[i + 3]])
+    }
+
+    /// Returns all eight Table-I fields in order.
+    pub fn fields(&self) -> [u32; 8] {
+        let mut out = [0u32; 8];
+        for (slot, field) in out.iter_mut().zip(SeedField::ALL) {
+            *slot = self.field(field);
+        }
+        out
+    }
+
+    /// Returns the 64-bit PRNG seed formed from the basic-block-vector field
+    /// (low word) and the memory field (high word).
+    ///
+    /// The paper dedicates the last two 32-bit values to seeding
+    /// pseudo-random number generators; the generator keeps them separate
+    /// (see [`HashSeed::bbv_seed`] and [`HashSeed::memory_seed`]) but some
+    /// consumers want a single combined value.
+    pub fn combined_prng_seed(&self) -> u64 {
+        (self.field(SeedField::Memory) as u64) << 32 | self.field(SeedField::BasicBlockVector) as u64
+    }
+
+    /// The basic-block-vector PRNG seed (bits 192–223).
+    pub fn bbv_seed(&self) -> u32 {
+        self.field(SeedField::BasicBlockVector)
+    }
+
+    /// The memory PRNG seed (bits 224–255).
+    pub fn memory_seed(&self) -> u32 {
+        self.field(SeedField::Memory)
+    }
+}
+
+impl From<[u8; 32]> for HashSeed {
+    fn from(bytes: [u8; 32]) -> Self {
+        Self::new(bytes)
+    }
+}
+
+impl AsRef<[u8]> for HashSeed {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Display for HashSeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bytes {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_seed() -> HashSeed {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        HashSeed::new(bytes)
+    }
+
+    #[test]
+    fn table_i_bit_ranges() {
+        assert_eq!(SeedField::IntAlu.bit_range(), (0, 31));
+        assert_eq!(SeedField::IntMul.bit_range(), (32, 63));
+        assert_eq!(SeedField::FpAlu.bit_range(), (64, 95));
+        assert_eq!(SeedField::Loads.bit_range(), (96, 127));
+        assert_eq!(SeedField::Stores.bit_range(), (128, 159));
+        assert_eq!(SeedField::BranchBehavior.bit_range(), (160, 191));
+        assert_eq!(SeedField::BasicBlockVector.bit_range(), (192, 223));
+        assert_eq!(SeedField::Memory.bit_range(), (224, 255));
+    }
+
+    #[test]
+    fn fields_extract_expected_words() {
+        let seed = counting_seed();
+        assert_eq!(seed.field(SeedField::IntAlu), u32::from_le_bytes([0, 1, 2, 3]));
+        assert_eq!(seed.field(SeedField::Memory), u32::from_le_bytes([28, 29, 30, 31]));
+        assert_eq!(seed.fields()[5], seed.field(SeedField::BranchBehavior));
+    }
+
+    #[test]
+    fn fields_cover_all_bytes_exactly_once() {
+        // Each byte of the seed must influence exactly one field.
+        let base = HashSeed::new([0u8; 32]);
+        for byte in 0..32usize {
+            let mut bytes = [0u8; 32];
+            bytes[byte] = 0xff;
+            let perturbed = HashSeed::new(bytes);
+            let changed: Vec<SeedField> = SeedField::ALL
+                .into_iter()
+                .filter(|&f| perturbed.field(f) != base.field(f))
+                .collect();
+            assert_eq!(changed.len(), 1, "byte {byte} changed {changed:?}");
+            assert_eq!(changed[0].word_index(), byte / 4);
+        }
+    }
+
+    #[test]
+    fn prng_seeds() {
+        let seed = counting_seed();
+        assert_eq!(seed.bbv_seed(), seed.field(SeedField::BasicBlockVector));
+        assert_eq!(seed.memory_seed(), seed.field(SeedField::Memory));
+        assert_eq!(
+            seed.combined_prng_seed(),
+            ((seed.memory_seed() as u64) << 32) | seed.bbv_seed() as u64
+        );
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let seed = HashSeed::new([0xab; 32]);
+        assert_eq!(seed.to_string(), "ab".repeat(32));
+    }
+
+    #[test]
+    fn field_names_match_paper() {
+        assert_eq!(SeedField::BasicBlockVector.to_string(), "Basic Block Vector Seed");
+        assert_eq!(SeedField::ALL.len(), 8);
+    }
+}

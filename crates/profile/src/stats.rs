@@ -1,0 +1,255 @@
+//! Summary statistics and histograms for experiment output.
+//!
+//! Figures 2 and 3 of the paper are histograms of widget IPC and branch
+//! prediction behaviour over 1000 widgets, annotated with the reference
+//! workload's value. The harnesses in `hashcore-bench` use these helpers to
+//! print the same distributions as text.
+
+use std::fmt;
+
+/// Summary statistics over a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for fewer than two
+    /// samples).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Median (the 50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics for `values`.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let median = percentile_sorted(&sorted, 50.0);
+        Some(Self {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} median={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+/// Returns the `p`-th percentile (0–100) of already-sorted values using
+/// linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A fixed-width histogram over a closed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Samples below `lo` or above `hi`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram interval must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            outliers: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() || value < self.lo || value > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut idx = ((value - self.lo) / width) as usize;
+        if idx >= self.bins.len() {
+            idx = self.bins.len() - 1;
+        }
+        self.bins[idx] += 1;
+    }
+
+    /// Adds every sample from the slice.
+    pub fn add_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// The per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples that fell outside the covered interval.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// The `(lower, upper)` bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Total number of in-range samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Renders the histogram as a text bar chart, one row per bin, with an
+    /// optional `marker` value highlighted (the figures mark the reference
+    /// workload's measurement this way).
+    pub fn render(&self, label: &str, marker: Option<f64>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{label} (n={}, outliers={})\n", self.total(), self.outliers));
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let bar_len = (count as f64 / max as f64 * 50.0).round() as usize;
+            let has_marker = marker.map(|m| m >= lo && m < hi).unwrap_or(false)
+                || (i + 1 == self.bins.len() && marker.map(|m| (m - hi).abs() < 1e-12).unwrap_or(false));
+            out.push_str(&format!(
+                "  [{lo:8.4}, {hi:8.4}) {count:6} |{}{}\n",
+                "#".repeat(bar_len),
+                if has_marker { "  <= reference workload" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::from_values(&[7.5]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.5);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add_all(&[0.1, 0.3, 0.6, 0.9, 1.5, -0.2, f64::NAN]);
+        assert_eq!(h.bins(), &[1, 1, 1, 1]);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bin_bounds(0), (0.0, 0.25));
+    }
+
+    #[test]
+    fn histogram_upper_edge_goes_to_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(1.0);
+        assert_eq!(h.bins(), &[0, 1]);
+    }
+
+    #[test]
+    fn render_contains_marker() {
+        let mut h = Histogram::new(0.0, 2.0, 4);
+        h.add_all(&[0.2, 0.7, 1.2, 1.2, 1.7]);
+        let text = h.render("IPC", Some(1.3));
+        assert!(text.contains("reference workload"));
+        assert!(text.contains("IPC"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_interval_panics() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,305 @@
+//! Branch predictor models.
+//!
+//! The paper's Figure 3 compares the branch-prediction behaviour of widgets
+//! to that of the original workload on real Ivy Bridge hardware. Real Ivy
+//! Bridge predictors are undisclosed but behave like a large hybrid
+//! global/local history predictor; the [`HybridPredictor`] tournament model
+//! here is the conventional academic stand-in. The simpler predictors are
+//! kept both for the ablation bench (`bench_branch_predictors`) and because
+//! widget *generation* only cares about relative predictability, not the
+//! exact predictor.
+
+/// A dynamic branch-direction predictor.
+pub trait BranchPredictor {
+    /// Predicts whether the branch at `pc` will be taken.
+    fn predict(&mut self, pc: u32) -> bool;
+    /// Informs the predictor of the actual outcome of the branch at `pc`.
+    fn update(&mut self, pc: u32, taken: bool);
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects one of the provided predictor implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Always predict taken.
+    StaticTaken,
+    /// Per-pc 2-bit saturating counters.
+    Bimodal,
+    /// Global-history XOR pc indexed 2-bit counters.
+    Gshare,
+    /// Tournament of bimodal and gshare with a per-pc chooser.
+    Hybrid,
+}
+
+impl PredictorKind {
+    /// All predictor kinds, used by the ablation bench.
+    pub const ALL: [PredictorKind; 4] = [
+        PredictorKind::StaticTaken,
+        PredictorKind::Bimodal,
+        PredictorKind::Gshare,
+        PredictorKind::Hybrid,
+    ];
+
+    /// Instantiates the predictor with a default-sized table.
+    pub fn build(self) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorKind::StaticTaken => Box::new(StaticTakenPredictor),
+            PredictorKind::Bimodal => Box::new(BimodalPredictor::new(14)),
+            PredictorKind::Gshare => Box::new(GsharePredictor::new(14)),
+            PredictorKind::Hybrid => Box::new(HybridPredictor::new(14)),
+        }
+    }
+}
+
+/// Always predicts taken; the floor any dynamic predictor must beat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticTakenPredictor;
+
+impl BranchPredictor for StaticTakenPredictor {
+    fn predict(&mut self, _pc: u32) -> bool {
+        true
+    }
+    fn update(&mut self, _pc: u32, _taken: bool) {}
+    fn name(&self) -> &'static str {
+        "static-taken"
+    }
+}
+
+/// A 2-bit saturating counter.
+#[derive(Debug, Clone, Copy)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn new() -> Self {
+        Counter2(2) // weakly taken
+    }
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Per-pc table of 2-bit saturating counters.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<Counter2>,
+    mask: u32,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `2^log2_entries` counters.
+    pub fn new(log2_entries: u32) -> Self {
+        let entries = 1usize << log2_entries;
+        Self {
+            table: vec![Counter2::new(); entries],
+            mask: (entries - 1) as u32,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        (pc & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+    fn update(&mut self, pc: u32, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+/// Gshare: global branch history XORed with the pc indexes the counter table.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    table: Vec<Counter2>,
+    mask: u32,
+    history: u32,
+    history_bits: u32,
+}
+
+impl GsharePredictor {
+    /// Creates a predictor with `2^log2_entries` counters and a matching
+    /// history length.
+    pub fn new(log2_entries: u32) -> Self {
+        let entries = 1usize << log2_entries;
+        Self {
+            table: vec![Counter2::new(); entries],
+            mask: (entries - 1) as u32,
+            history: 0,
+            history_bits: log2_entries,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc ^ self.history) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+    fn update(&mut self, pc: u32, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+        self.history = ((self.history << 1) | u32::from(taken)) & ((1 << self.history_bits) - 1);
+    }
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+/// A tournament predictor: bimodal and gshare components with a per-pc
+/// chooser that learns which component predicts a given branch better.
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    bimodal: BimodalPredictor,
+    gshare: GsharePredictor,
+    chooser: Vec<Counter2>,
+    mask: u32,
+}
+
+impl HybridPredictor {
+    /// Creates a predictor whose component tables have `2^log2_entries`
+    /// counters each.
+    pub fn new(log2_entries: u32) -> Self {
+        let entries = 1usize << log2_entries;
+        Self {
+            bimodal: BimodalPredictor::new(log2_entries),
+            gshare: GsharePredictor::new(log2_entries),
+            chooser: vec![Counter2::new(); entries],
+            mask: (entries - 1) as u32,
+        }
+    }
+}
+
+impl BranchPredictor for HybridPredictor {
+    fn predict(&mut self, pc: u32) -> bool {
+        let use_gshare = self.chooser[(pc & self.mask) as usize].predict();
+        if use_gshare {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        let bim = self.bimodal.predict(pc);
+        let gsh = self.gshare.predict(pc);
+        // Train the chooser toward the component that was right.
+        if bim != gsh {
+            let idx = (pc & self.mask) as usize;
+            self.chooser[idx].update(gsh == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.gshare.update(pc, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs a branch pattern through a predictor and returns the hit rate.
+    fn hit_rate(predictor: &mut dyn BranchPredictor, pattern: &[(u32, bool)]) -> f64 {
+        let mut hits = 0usize;
+        for &(pc, taken) in pattern {
+            if predictor.predict(pc) == taken {
+                hits += 1;
+            }
+            predictor.update(pc, taken);
+        }
+        hits as f64 / pattern.len() as f64
+    }
+
+    fn loop_pattern(iterations: usize, trips: usize) -> Vec<(u32, bool)> {
+        // A loop branch taken `trips-1` times then not taken, repeated.
+        let mut out = Vec::new();
+        for _ in 0..iterations {
+            for i in 0..trips {
+                out.push((100, i + 1 != trips));
+            }
+        }
+        out
+    }
+
+    fn alternating_pattern(n: usize) -> Vec<(u32, bool)> {
+        (0..n).map(|i| (200, i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branches() {
+        let mut p = BimodalPredictor::new(10);
+        let pattern: Vec<(u32, bool)> = (0..1000).map(|_| (7, true)).collect();
+        assert!(hit_rate(&mut p, &pattern) > 0.99);
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern_better_than_bimodal() {
+        let pattern = alternating_pattern(2000);
+        let mut bimodal = BimodalPredictor::new(12);
+        let mut gshare = GsharePredictor::new(12);
+        let b = hit_rate(&mut bimodal, &pattern);
+        let g = hit_rate(&mut gshare, &pattern);
+        assert!(g > 0.95, "gshare should learn the alternation, got {g}");
+        assert!(g > b, "gshare {g} should beat bimodal {b}");
+    }
+
+    #[test]
+    fn hybrid_is_at_least_as_good_as_components_on_mixed_workload() {
+        // Mix a loop pattern with an alternating pattern.
+        let mut pattern = loop_pattern(50, 10);
+        pattern.extend(alternating_pattern(500));
+        pattern.extend(loop_pattern(50, 10));
+
+        let b = hit_rate(&mut BimodalPredictor::new(12), &pattern);
+        let g = hit_rate(&mut GsharePredictor::new(12), &pattern);
+        let h = hit_rate(&mut HybridPredictor::new(12), &pattern);
+        assert!(h >= b.min(g) - 0.02, "hybrid {h} vs bimodal {b} gshare {g}");
+        assert!(h > 0.8);
+    }
+
+    #[test]
+    fn static_taken_matches_taken_fraction() {
+        let pattern = loop_pattern(10, 10);
+        let rate = hit_rate(&mut StaticTakenPredictor, &pattern);
+        assert!((rate - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictor_kind_builds_all() {
+        for kind in PredictorKind::ALL {
+            let mut p = kind.build();
+            p.update(1, true);
+            let _ = p.predict(1);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn loop_branches_predict_well_on_all_dynamic_predictors() {
+        let pattern = loop_pattern(100, 20);
+        for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Hybrid] {
+            let mut p = kind.build();
+            let rate = hit_rate(p.as_mut(), &pattern);
+            assert!(rate > 0.9, "{:?} hit rate {rate}", kind);
+        }
+    }
+}

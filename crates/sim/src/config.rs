@@ -1,0 +1,167 @@
+//! Core (pipeline) configuration.
+
+use crate::bpred::PredictorKind;
+use crate::cache::MemoryHierarchyConfig;
+use hashcore_isa::OpClass;
+
+/// Configuration of the modelled out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Instructions fetched/decoded per cycle.
+    pub fetch_width: u32,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: u32,
+    /// Re-order buffer capacity (in-flight instruction window).
+    pub rob_size: usize,
+    /// Depth of the front-end (decode/rename) pipeline in cycles.
+    pub frontend_depth: u32,
+    /// Branch predictor used by the model.
+    pub predictor: PredictorKind,
+    /// Cycles lost on a branch misprediction (pipeline redirect).
+    pub mispredict_penalty: u32,
+    /// Cache hierarchy.
+    pub hierarchy: MemoryHierarchyConfig,
+    /// Number of functional units per class, ordered by [`OpClass::ALL`].
+    pub fu_counts: [u32; OpClass::ALL.len()],
+    /// Execution latency per class (loads use the cache model instead),
+    /// ordered by [`OpClass::ALL`].
+    pub fu_latency: [u32; OpClass::ALL.len()],
+    /// Nominal clock frequency in GHz, used only for wall-clock style
+    /// reporting in the experiment harnesses.
+    pub frequency_ghz: f64,
+}
+
+impl CoreConfig {
+    /// A configuration resembling the paper's evaluation platform, the Intel
+    /// Xeon E5-2430 v2 (Ivy Bridge EP): 4-wide fetch/issue, 168-entry ROB,
+    /// hybrid branch prediction, 15-cycle misprediction penalty, and the
+    /// cache hierarchy of [`MemoryHierarchyConfig::ivy_bridge_like`].
+    pub fn ivy_bridge_like() -> Self {
+        let mut fu_counts = [0u32; OpClass::ALL.len()];
+        let mut fu_latency = [1u32; OpClass::ALL.len()];
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            let (count, latency) = match class {
+                OpClass::IntAlu => (3, 1),
+                OpClass::IntMul => (1, 3),
+                OpClass::FpAlu => (2, 4),
+                OpClass::Load => (2, 4),
+                OpClass::Store => (1, 1),
+                OpClass::Branch => (1, 1),
+                OpClass::Vector => (2, 2),
+                OpClass::Control => (1, 1),
+            };
+            fu_counts[i] = count;
+            fu_latency[i] = latency;
+        }
+        Self {
+            fetch_width: 4,
+            issue_width: 4,
+            rob_size: 168,
+            frontend_depth: 4,
+            predictor: PredictorKind::Hybrid,
+            mispredict_penalty: 15,
+            hierarchy: MemoryHierarchyConfig::ivy_bridge_like(),
+            fu_counts,
+            fu_latency,
+            frequency_ghz: 2.5,
+        }
+    }
+
+    /// A configuration resembling a mobile ARM core (Section VI-B of the
+    /// paper discusses retargeting HashCore at alternative GPPs such as the
+    /// ARM cores in phones): 3-wide, smaller window, smaller caches, shorter
+    /// pipelines and a lower clock.
+    pub fn arm_mobile_like() -> Self {
+        let mut config = Self::ivy_bridge_like();
+        config.fetch_width = 3;
+        config.issue_width = 3;
+        config.rob_size = 64;
+        config.frontend_depth = 3;
+        config.mispredict_penalty = 10;
+        config.frequency_ghz = 1.8;
+        config.hierarchy.l1i.size_bytes = 16 << 10;
+        config.hierarchy.l1d.size_bytes = 16 << 10;
+        config.hierarchy.l2.size_bytes = 128 << 10;
+        config.hierarchy.l3.size_bytes = 1 << 20;
+        config.hierarchy.memory_latency = 160;
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            if matches!(class, OpClass::IntAlu) {
+                config.fu_counts[i] = 2;
+            }
+            if matches!(class, OpClass::FpAlu | OpClass::Vector) {
+                config.fu_counts[i] = 1;
+            }
+        }
+        config
+    }
+
+    /// A narrow in-order-like configuration (single issue, tiny window),
+    /// used by ablation benches as a "small core" comparison point.
+    pub fn small_core() -> Self {
+        let mut config = Self::ivy_bridge_like();
+        config.fetch_width = 1;
+        config.issue_width = 1;
+        config.rob_size = 8;
+        config.frontend_depth = 2;
+        config.predictor = PredictorKind::Bimodal;
+        config.mispredict_penalty = 6;
+        config.frequency_ghz = 1.5;
+        config
+    }
+
+    /// Number of functional units available to `class`.
+    pub fn units(&self, class: OpClass) -> u32 {
+        self.fu_counts[Self::index(class)]
+    }
+
+    /// Fixed execution latency of `class` (loads add cache latency on top of
+    /// the cache model's answer instead of using this value).
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.fu_latency[Self::index(class)]
+    }
+
+    fn index(class: OpClass) -> usize {
+        OpClass::ALL.iter().position(|c| *c == class).expect("known class")
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::ivy_bridge_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ivy_bridge_defaults() {
+        let c = CoreConfig::ivy_bridge_like();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_size, 168);
+        assert_eq!(c.units(OpClass::IntAlu), 3);
+        assert_eq!(c.latency(OpClass::IntMul), 3);
+        assert_eq!(c.predictor, PredictorKind::Hybrid);
+        assert_eq!(CoreConfig::default(), c);
+    }
+
+    #[test]
+    fn small_core_is_narrower() {
+        let small = CoreConfig::small_core();
+        let big = CoreConfig::ivy_bridge_like();
+        assert!(small.issue_width < big.issue_width);
+        assert!(small.rob_size < big.rob_size);
+    }
+
+    #[test]
+    fn arm_mobile_sits_between_small_and_ivy_bridge() {
+        let arm = CoreConfig::arm_mobile_like();
+        let big = CoreConfig::ivy_bridge_like();
+        let small = CoreConfig::small_core();
+        assert!(arm.issue_width < big.issue_width);
+        assert!(arm.issue_width > small.issue_width);
+        assert!(arm.hierarchy.l1d.size_bytes < big.hierarchy.l1d.size_bytes);
+        assert!(arm.units(OpClass::IntAlu) < big.units(OpClass::IntAlu));
+    }
+}

@@ -1,0 +1,136 @@
+//! Performance counters — the software analogue of the hardware PMU the
+//! paper reads for Figures 2 and 3.
+
+use crate::cache::CacheStats;
+use std::fmt;
+
+/// Counters accumulated over one simulated execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerfCounters {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired conditional branches.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub branch_mispredictions: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// L2 cache statistics.
+    pub l2: CacheStats,
+    /// L3 cache statistics.
+    pub l3: CacheStats,
+}
+
+impl PerfCounters {
+    /// Instructions per cycle (0 when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of conditional branches that were predicted correctly
+    /// (1.0 when the run contained no branches).
+    pub fn branch_hit_rate(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.branch_mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Branch mispredictions per thousand instructions.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branch_mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L1 data-cache misses per thousand instructions.
+    pub fn l1d_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l1d.misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of retired instructions that are memory operations.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.instructions as f64
+        }
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} insts={} ipc={:.3} branch_hit={:.4} bmpki={:.2} l1d_miss={:.4} l2_miss={:.4}",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.branch_hit_rate(),
+            self.branch_mpki(),
+            self.l1d.miss_rate(),
+            self.l2.miss_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = PerfCounters {
+            cycles: 1000,
+            instructions: 1500,
+            branches: 200,
+            branch_mispredictions: 10,
+            loads: 300,
+            stores: 100,
+            ..PerfCounters::default()
+        };
+        assert!((c.ipc() - 1.5).abs() < 1e-12);
+        assert!((c.branch_hit_rate() - 0.95).abs() < 1e-12);
+        assert!((c.branch_mpki() - 10.0 * 1000.0 / 1500.0).abs() < 1e-9);
+        assert!((c.memory_fraction() - 400.0 / 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let c = PerfCounters::default();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.branch_hit_rate(), 1.0);
+        assert_eq!(c.branch_mpki(), 0.0);
+        assert_eq!(c.l1d_mpki(), 0.0);
+        assert_eq!(c.memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_ipc() {
+        let c = PerfCounters {
+            cycles: 10,
+            instructions: 20,
+            ..PerfCounters::default()
+        };
+        assert!(c.to_string().contains("ipc=2.000"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # hashcore-sim
+//!
+//! A trace-driven micro-architecture model of a general purpose processor,
+//! plus the workload profiler that turns traces into PerfProx-style
+//! performance profiles.
+//!
+//! The paper evaluates HashCore by running 1000 generated widgets on an Ivy
+//! Bridge Xeon and reading hardware performance counters: Figure 2 plots the
+//! IPC distribution and Figure 3 the branch-prediction behaviour, both
+//! compared against the original SPEC CPU 2017 Leela workload. Hardware
+//! counters are not reproducible hermetically, so this crate models the
+//! relevant machine structures explicitly (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`BranchPredictor`] implementations — static, bimodal, gshare and a
+//!   tournament hybrid ([`HybridPredictor`]) resembling the predictors of
+//!   the Ivy Bridge generation,
+//! * a set-associative [`Cache`] hierarchy ([`MemoryHierarchy`]) with L1I,
+//!   L1D, unified L2 and L3,
+//! * an out-of-order core timing model ([`CoreModel`]) with a fetch/issue
+//!   width, a re-order buffer, per-class functional units and latencies,
+//!   branch-misprediction redirect penalties and memory-level parallelism
+//!   limits,
+//! * [`PerfCounters`] summarising a run (cycles, IPC, branch hit rate,
+//!   cache miss rates) — the software analogue of the PMU the paper reads,
+//! * [`WorkloadProfiler`] — extracts a [`hashcore_profile::PerformanceProfile`]
+//!   from a program + trace, which is how the reference "Leela-like"
+//!   profile is produced and how widget fidelity (experiment E5) is
+//!   measured.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashcore_isa::{ProgramBuilder, IntReg, IntAluOp, Terminator};
+//! use hashcore_vm::{ExecConfig, Executor};
+//! use hashcore_sim::{CoreConfig, CoreModel};
+//!
+//! let mut b = ProgramBuilder::new(1024);
+//! let entry = b.begin_block();
+//! for i in 0..8 {
+//!     b.load_imm(IntReg(i), i as i64);
+//! }
+//! b.int_alu(IntAluOp::Add, IntReg(8), IntReg(0), IntReg(1));
+//! b.snapshot();
+//! b.terminate(Terminator::Halt);
+//! let program = b.finish(entry);
+//!
+//! let execution = Executor::new(ExecConfig::default()).execute(&program)?;
+//! let result = CoreModel::new(CoreConfig::ivy_bridge_like()).simulate(&program, &execution.trace);
+//! assert!(result.counters.ipc() > 0.0);
+//! # Ok::<(), hashcore_vm::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpred;
+mod cache;
+mod config;
+mod core;
+mod counters;
+mod profiler;
+
+pub use bpred::{
+    BimodalPredictor, BranchPredictor, GsharePredictor, HybridPredictor, PredictorKind,
+    StaticTakenPredictor,
+};
+pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy, MemoryHierarchyConfig};
+pub use config::CoreConfig;
+pub use core::{CoreModel, SimResult};
+pub use counters::PerfCounters;
+pub use profiler::WorkloadProfiler;

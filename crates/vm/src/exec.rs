@@ -1,0 +1,558 @@
+//! The widget executor.
+
+use crate::state::MachineState;
+use crate::trace::{BranchRecord, Trace, TraceEntry};
+use hashcore_isa::{
+    BlockId, FpOp, Instruction, IntAluOp, IntMulOp, OpClass, Program, Terminator, VecOp,
+    VEC_LANES,
+};
+use std::fmt;
+
+/// Configuration for one widget execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum number of retired instructions before execution is aborted
+    /// with [`ExecError::StepLimitExceeded`]. This bounds verification cost
+    /// and guarantees termination for any program.
+    pub max_steps: u64,
+    /// Whether to record the dynamic trace (needed for simulation; the plain
+    /// PoW path can switch it off to go faster).
+    pub collect_trace: bool,
+    /// Seed used to initialise memory and registers before execution (the
+    /// Table-I memory seed in the full HashCore pipeline).
+    pub memory_seed: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            max_steps: 2_000_000,
+            collect_trace: true,
+            memory_seed: 0,
+        }
+    }
+}
+
+/// Error produced by [`Executor::execute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program failed validation.
+    InvalidProgram(hashcore_isa::ValidateError),
+    /// The step limit was reached before the program halted.
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidProgram(e) => write!(f, "invalid widget program: {e}"),
+            ExecError::StepLimitExceeded { limit } => {
+                write!(f, "widget exceeded the step limit of {limit} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::InvalidProgram(e) => Some(e),
+            ExecError::StepLimitExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<hashcore_isa::ValidateError> for ExecError {
+    fn from(value: hashcore_isa::ValidateError) -> Self {
+        ExecError::InvalidProgram(value)
+    }
+}
+
+/// The result of executing a widget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// The widget output: the concatenated register snapshots. This is the
+    /// byte string `W(s)` that HashCore concatenates with the hash seed and
+    /// feeds to the second hash gate.
+    pub output: Vec<u8>,
+    /// The dynamic trace (empty unless [`ExecConfig::collect_trace`]).
+    pub trace: Trace,
+    /// Number of retired instructions (including conditional terminators).
+    pub dynamic_instructions: u64,
+    /// Number of snapshots emitted.
+    pub snapshot_count: u64,
+    /// Architectural state at halt, useful for tests and debugging.
+    pub final_state: MachineState,
+}
+
+/// Executes widget programs deterministically.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    config: ExecConfig,
+}
+
+impl Executor {
+    /// Creates an executor with the given configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        Self { config }
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Runs `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidProgram`] if the program fails
+    /// [`Program::validate`], or [`ExecError::StepLimitExceeded`] if it does
+    /// not halt within the configured number of steps.
+    pub fn execute(&self, program: &Program) -> Result<Execution, ExecError> {
+        program.validate()?;
+
+        // The canonical block-major pc layout shared with `hashcore-sim`.
+        let block_base = program.block_pc_bases();
+
+        let mut state = MachineState::new(program.memory_size());
+        state.seed(self.config.memory_seed);
+
+        let mut output = Vec::new();
+        let mut trace = if self.config.collect_trace {
+            Trace::with_capacity(self.config.max_steps.min(1 << 20) as usize)
+        } else {
+            Trace::new()
+        };
+
+        let mut steps = 0u64;
+        let mut snapshots = 0u64;
+        let mut current = program.entry();
+
+        loop {
+            let block = program.block(current);
+            let base_pc = block_base[current.index()];
+
+            for (idx, inst) in block.instructions.iter().enumerate() {
+                if steps >= self.config.max_steps {
+                    return Err(ExecError::StepLimitExceeded {
+                        limit: self.config.max_steps,
+                    });
+                }
+                let pc = base_pc + idx as u32;
+                let mem_addr = step(&mut state, inst, &mut output, &mut snapshots);
+                steps += 1;
+                if self.config.collect_trace {
+                    trace.push(TraceEntry {
+                        pc,
+                        class: inst.class(),
+                        mem_addr,
+                        branch: None,
+                    });
+                }
+            }
+
+            // Terminator.
+            if steps >= self.config.max_steps {
+                return Err(ExecError::StepLimitExceeded {
+                    limit: self.config.max_steps,
+                });
+            }
+            let term_pc = base_pc + block.instructions.len() as u32;
+            match block.terminator {
+                Terminator::Halt => {
+                    return Ok(Execution {
+                        output,
+                        trace,
+                        dynamic_instructions: steps,
+                        snapshot_count: snapshots,
+                        final_state: state,
+                    });
+                }
+                Terminator::Jump(target) => {
+                    current = target;
+                }
+                Terminator::Branch {
+                    cond,
+                    src1,
+                    src2,
+                    taken,
+                    not_taken,
+                } => {
+                    let v1 = state.int_regs[src1.0 as usize];
+                    let v2 = state.int_regs[src2.0 as usize];
+                    let is_taken = cond.evaluate(v1, v2);
+                    let target: BlockId = if is_taken { taken } else { not_taken };
+                    steps += 1;
+                    if self.config.collect_trace {
+                        trace.push(TraceEntry {
+                            pc: term_pc,
+                            class: OpClass::Branch,
+                            mem_addr: None,
+                            branch: Some(BranchRecord {
+                                taken: is_taken,
+                                target_pc: block_base[target.index()],
+                            }),
+                        });
+                    }
+                    current = target;
+                }
+            }
+        }
+    }
+}
+
+/// Canonicalises floating-point values so widget output is bit-identical on
+/// every platform: NaNs collapse to +0.0 and negative zero to positive zero.
+fn canon(x: f64) -> f64 {
+    if x.is_nan() || x == 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
+fn alu(op: IntAluOp, a: u64, b: u64) -> u64 {
+    match op {
+        IntAluOp::Add => a.wrapping_add(b),
+        IntAluOp::Sub => a.wrapping_sub(b),
+        IntAluOp::And => a & b,
+        IntAluOp::Or => a | b,
+        IntAluOp::Xor => a ^ b,
+        IntAluOp::Shl => a << (b & 63),
+        IntAluOp::Shr => a >> (b & 63),
+        IntAluOp::Rotl => a.rotate_left((b & 63) as u32),
+        IntAluOp::Min => a.min(b),
+        IntAluOp::Max => a.max(b),
+    }
+}
+
+/// Executes one straight-line instruction, returning the effective memory
+/// address if it touched memory.
+fn step(
+    state: &mut MachineState,
+    inst: &Instruction,
+    output: &mut Vec<u8>,
+    snapshots: &mut u64,
+) -> Option<u64> {
+    match *inst {
+        Instruction::IntAlu { op, dst, src1, src2 } => {
+            let a = state.int_regs[src1.0 as usize];
+            let b = state.int_regs[src2.0 as usize];
+            state.int_regs[dst.0 as usize] = alu(op, a, b);
+            None
+        }
+        Instruction::IntAluImm { op, dst, src, imm } => {
+            let a = state.int_regs[src.0 as usize];
+            state.int_regs[dst.0 as usize] = alu(op, a, imm as i64 as u64);
+            None
+        }
+        Instruction::IntMul { op, dst, src1, src2 } => {
+            let a = state.int_regs[src1.0 as usize];
+            let b = state.int_regs[src2.0 as usize];
+            state.int_regs[dst.0 as usize] = match op {
+                IntMulOp::Mul => a.wrapping_mul(b),
+                IntMulOp::MulHi => ((a as u128 * b as u128) >> 64) as u64,
+            };
+            None
+        }
+        Instruction::LoadImm { dst, imm } => {
+            state.int_regs[dst.0 as usize] = imm as u64;
+            None
+        }
+        Instruction::Fp { op, dst, src1, src2 } => {
+            let a = state.fp_regs[src1.0 as usize];
+            let b = state.fp_regs[src2.0 as usize];
+            let v = match op {
+                FpOp::Add => a + b,
+                FpOp::Sub => a - b,
+                FpOp::Mul => a * b,
+                FpOp::Div => a / b,
+                FpOp::Min => if a < b { a } else { b },
+                FpOp::Max => if a > b { a } else { b },
+            };
+            state.fp_regs[dst.0 as usize] = canon(v);
+            None
+        }
+        Instruction::FpFromInt { dst, src } => {
+            state.fp_regs[dst.0 as usize] = canon(state.int_regs[src.0 as usize] as i64 as f64);
+            None
+        }
+        Instruction::FpToInt { dst, src } => {
+            let v = canon(state.fp_regs[src.0 as usize]);
+            // `as` casts saturate in Rust, which is exactly the deterministic
+            // behaviour we want.
+            state.int_regs[dst.0 as usize] = v as i64 as u64;
+            None
+        }
+        Instruction::Load { dst, base, offset } => {
+            let addr = state.int_regs[base.0 as usize].wrapping_add(offset as i64 as u64);
+            state.int_regs[dst.0 as usize] = state.load64(addr);
+            Some(state.wrap_addr(addr))
+        }
+        Instruction::Store { src, base, offset } => {
+            let addr = state.int_regs[base.0 as usize].wrapping_add(offset as i64 as u64);
+            let value = state.int_regs[src.0 as usize];
+            state.store64(addr, value);
+            Some(state.wrap_addr(addr))
+        }
+        Instruction::FpLoad { dst, base, offset } => {
+            let addr = state.int_regs[base.0 as usize].wrapping_add(offset as i64 as u64);
+            state.fp_regs[dst.0 as usize] = canon(f64::from_bits(state.load64(addr)));
+            Some(state.wrap_addr(addr))
+        }
+        Instruction::FpStore { src, base, offset } => {
+            let addr = state.int_regs[base.0 as usize].wrapping_add(offset as i64 as u64);
+            let bits = canon(state.fp_regs[src.0 as usize]).to_bits();
+            state.store64(addr, bits);
+            Some(state.wrap_addr(addr))
+        }
+        Instruction::Vec { op, dst, src1, src2 } => {
+            let a = state.vec_regs[src1.0 as usize];
+            let b = state.vec_regs[src2.0 as usize];
+            let mut out = [0u64; VEC_LANES];
+            for lane in 0..VEC_LANES {
+                out[lane] = match op {
+                    VecOp::Add => a[lane].wrapping_add(b[lane]),
+                    VecOp::Xor => a[lane] ^ b[lane],
+                    VecOp::Mul => a[lane].wrapping_mul(b[lane]),
+                    VecOp::Rotl => a[lane].rotate_left((b[lane] & 63) as u32),
+                };
+            }
+            state.vec_regs[dst.0 as usize] = out;
+            None
+        }
+        Instruction::VecLoad { dst, base, offset } => {
+            let addr = state.int_regs[base.0 as usize].wrapping_add(offset as i64 as u64);
+            let mut out = [0u64; VEC_LANES];
+            for (lane, slot) in out.iter_mut().enumerate() {
+                *slot = state.load64(addr.wrapping_add(8 * lane as u64));
+            }
+            state.vec_regs[dst.0 as usize] = out;
+            Some(state.wrap_addr(addr))
+        }
+        Instruction::VecStore { src, base, offset } => {
+            let addr = state.int_regs[base.0 as usize].wrapping_add(offset as i64 as u64);
+            let v = state.vec_regs[src.0 as usize];
+            for (lane, value) in v.iter().enumerate() {
+                state.store64(addr.wrapping_add(8 * lane as u64), *value);
+            }
+            Some(state.wrap_addr(addr))
+        }
+        Instruction::Snapshot => {
+            state.write_snapshot(output);
+            *snapshots += 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SNAPSHOT_BYTES;
+    use hashcore_isa::{BranchCond, FpReg, IntReg, ProgramBuilder, VecReg};
+
+    fn run(program: &Program) -> Execution {
+        Executor::new(ExecConfig::default()).execute(program).expect("execution")
+    }
+
+    #[test]
+    fn arithmetic_and_snapshot() {
+        let mut b = ProgramBuilder::new(256);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 6);
+        b.load_imm(IntReg(1), 7);
+        b.int_mul(IntMulOp::Mul, IntReg(2), IntReg(0), IntReg(1));
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        let p = b.finish(entry);
+        let exec = run(&p);
+        assert_eq!(exec.final_state.int_regs[2], 42);
+        assert_eq!(exec.output.len(), SNAPSHOT_BYTES);
+        assert_eq!(exec.snapshot_count, 1);
+        assert_eq!(exec.dynamic_instructions, 4);
+    }
+
+    #[test]
+    fn loop_executes_expected_iterations() {
+        let mut b = ProgramBuilder::new(256);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 10); // counter
+        b.load_imm(IntReg(1), 0); // accumulator
+        b.load_imm(IntReg(2), 0); // zero
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.terminate(Terminator::Jump(body));
+        b.begin_reserved(body);
+        b.int_alu_imm(IntAluOp::Add, IntReg(1), IntReg(1), 5);
+        b.int_alu_imm(IntAluOp::Sub, IntReg(0), IntReg(0), 1);
+        b.branch(BranchCond::Ne, IntReg(0), IntReg(2), body, exit);
+        b.begin_reserved(exit);
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        let exec = run(&b.finish(entry));
+        assert_eq!(exec.final_state.int_regs[1], 50);
+        // 10 iterations of (2 alu + branch) + 3 setup + snapshot
+        assert_eq!(exec.dynamic_instructions, 3 + 10 * 3 + 1);
+        let counts = exec.trace.class_counts();
+        assert_eq!(counts[&OpClass::Branch], 10);
+        // 9 taken (back edges) + 1 not-taken (exit).
+        assert!((exec.trace.taken_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_trace_addresses() {
+        let mut b = ProgramBuilder::new(1024);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 512);
+        b.load_imm(IntReg(1), 0x1234_5678);
+        b.store(IntReg(1), IntReg(0), 8);
+        b.load(IntReg(2), IntReg(0), 8);
+        b.terminate(Terminator::Halt);
+        let exec = run(&b.finish(entry));
+        assert_eq!(exec.final_state.int_regs[2], 0x1234_5678);
+        let mems: Vec<u64> = exec.trace.iter().filter_map(|e| e.mem_addr).collect();
+        assert_eq!(mems, vec![520, 520]);
+    }
+
+    #[test]
+    fn fp_operations_are_canonicalised() {
+        let mut b = ProgramBuilder::new(256);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 0);
+        b.fp_from_int(FpReg(0), IntReg(0)); // f0 = 0.0
+        b.fp(FpOp::Div, FpReg(1), FpReg(0), FpReg(0)); // 0/0 = NaN -> canon 0.0
+        b.fp_to_int(IntReg(1), FpReg(1));
+        b.terminate(Terminator::Halt);
+        let exec = run(&b.finish(entry));
+        assert_eq!(exec.final_state.fp_regs[1], 0.0);
+        assert_eq!(exec.final_state.int_regs[1], 0);
+    }
+
+    #[test]
+    fn vector_operations() {
+        let mut b = ProgramBuilder::new(256);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 0);
+        b.vec_load(VecReg(0), IntReg(0), 0);
+        b.vec(VecOp::Xor, VecReg(1), VecReg(0), VecReg(0));
+        b.vec_store(VecReg(1), IntReg(0), 64);
+        b.load(IntReg(1), IntReg(0), 64);
+        b.terminate(Terminator::Halt);
+        let exec = run(&b.finish(entry));
+        // x ^ x == 0 for every lane.
+        assert_eq!(exec.final_state.vec_regs[1], [0, 0, 0, 0]);
+        assert_eq!(exec.final_state.int_regs[1], 0);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut b = ProgramBuilder::new(64);
+        let entry = b.begin_block();
+        let spin = b.reserve_block();
+        b.terminate(Terminator::Jump(spin));
+        b.begin_reserved(spin);
+        b.int_alu_imm(IntAluOp::Add, IntReg(0), IntReg(0), 1);
+        let halt = b.reserve_block();
+        b.terminate(Terminator::Jump(spin));
+        b.begin_reserved(halt);
+        b.terminate(Terminator::Halt);
+        let p = b.finish(entry);
+        let exec = Executor::new(ExecConfig {
+            max_steps: 1000,
+            ..ExecConfig::default()
+        })
+        .execute(&p);
+        assert_eq!(exec, Err(ExecError::StepLimitExceeded { limit: 1000 }));
+    }
+
+    #[test]
+    fn invalid_program_rejected() {
+        let p = Program::new(Vec::new(), BlockId(0), 64);
+        let err = Executor::new(ExecConfig::default()).execute(&p).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidProgram(_)));
+        assert!(err.to_string().contains("invalid widget program"));
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_runs() {
+        let mut b = ProgramBuilder::new(4096);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 64);
+        b.load_imm(IntReg(3), 0);
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.terminate(Terminator::Jump(body));
+        b.begin_reserved(body);
+        b.load(IntReg(1), IntReg(0), 0);
+        b.int_alu(IntAluOp::Xor, IntReg(2), IntReg(2), IntReg(1));
+        b.int_mul(IntMulOp::MulHi, IntReg(4), IntReg(1), IntReg(2));
+        b.store(IntReg(4), IntReg(0), 8);
+        b.int_alu_imm(IntAluOp::Add, IntReg(0), IntReg(0), 24);
+        b.int_alu_imm(IntAluOp::Add, IntReg(3), IntReg(3), 1);
+        b.load_imm(IntReg(5), 200);
+        b.snapshot();
+        b.branch(BranchCond::Ltu, IntReg(3), IntReg(5), body, exit);
+        b.begin_reserved(exit);
+        b.terminate(Terminator::Halt);
+        let p = b.finish(entry);
+
+        let config = ExecConfig {
+            memory_seed: 99,
+            ..ExecConfig::default()
+        };
+        let a = Executor::new(config).execute(&p).unwrap();
+        let b2 = Executor::new(config).execute(&p).unwrap();
+        assert_eq!(a.output, b2.output);
+        assert_eq!(a.dynamic_instructions, b2.dynamic_instructions);
+
+        // A different memory seed must change the output (the widget reads
+        // seeded memory).
+        let c = Executor::new(ExecConfig {
+            memory_seed: 100,
+            ..ExecConfig::default()
+        })
+        .execute(&p)
+        .unwrap();
+        assert_ne!(a.output, c.output);
+    }
+
+    #[test]
+    fn trace_disabled_still_produces_output() {
+        let mut b = ProgramBuilder::new(256);
+        let entry = b.begin_block();
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        let p = b.finish(entry);
+        let exec = Executor::new(ExecConfig {
+            collect_trace: false,
+            ..ExecConfig::default()
+        })
+        .execute(&p)
+        .unwrap();
+        assert!(exec.trace.is_empty());
+        assert_eq!(exec.output.len(), SNAPSHOT_BYTES);
+    }
+
+    #[test]
+    fn pc_assignment_is_block_major_and_unique() {
+        let mut b = ProgramBuilder::new(256);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 1);
+        b.load_imm(IntReg(1), 1);
+        let second = b.reserve_block();
+        b.terminate(Terminator::Jump(second));
+        b.begin_reserved(second);
+        b.int_alu(IntAluOp::Add, IntReg(2), IntReg(0), IntReg(1));
+        b.terminate(Terminator::Halt);
+        let exec = run(&b.finish(entry));
+        let pcs: Vec<u32> = exec.trace.iter().map(|e| e.pc).collect();
+        // Block 0 occupies pcs 0..=2 (2 instructions + terminator slot);
+        // block 1 starts at pc 3.
+        assert_eq!(pcs, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # hashcore-vm
+//!
+//! The functional executor for HashCore widget programs.
+//!
+//! In the paper, a widget is a gcc-compiled x86 binary whose output is "a
+//! series of snapshots of the computer's register contents captured every few
+//! thousand instructions" (Section V). In this reproduction widgets are
+//! programs in the portable `hashcore-isa` instruction set and this crate is
+//! the machine that runs them:
+//!
+//! * [`Executor`] executes a validated [`hashcore_isa::Program`]
+//!   deterministically, producing the widget's **output byte string** (the
+//!   register-snapshot stream that is concatenated with the hash seed and
+//!   fed to the second hash gate),
+//! * it simultaneously records a **dynamic trace** ([`Trace`]) of every
+//!   retired instruction, which `hashcore-sim` replays through its
+//!   micro-architecture model to measure IPC and branch-prediction
+//!   behaviour (Figures 2 and 3),
+//! * execution is bounded by [`ExecConfig::max_steps`], so malformed or
+//!   adversarial programs cannot spin a verifier forever.
+//!
+//! The executor is a pure function of the program, the memory seed, and the
+//! configuration, which is what makes HashCore verifiable: every node that
+//! re-executes the widget obtains the identical output bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashcore_isa::{ProgramBuilder, IntReg, IntAluOp, Terminator};
+//! use hashcore_vm::{ExecConfig, Executor};
+//!
+//! let mut b = ProgramBuilder::new(256);
+//! let entry = b.begin_block();
+//! b.load_imm(IntReg(0), 20);
+//! b.load_imm(IntReg(1), 22);
+//! b.int_alu(IntAluOp::Add, IntReg(2), IntReg(0), IntReg(1));
+//! b.snapshot();
+//! b.terminate(Terminator::Halt);
+//! let program = b.finish(entry);
+//!
+//! let execution = Executor::new(ExecConfig::default()).execute(&program)?;
+//! assert_eq!(execution.final_state.int_regs[2], 42);
+//! assert!(!execution.output.is_empty());
+//! # Ok::<(), hashcore_vm::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod state;
+mod trace;
+
+pub use exec::{ExecConfig, ExecError, Execution, Executor};
+pub use state::{MachineState, SNAPSHOT_BYTES};
+pub use trace::{BranchRecord, Trace, TraceEntry};

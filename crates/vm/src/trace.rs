@@ -1,0 +1,164 @@
+//! Dynamic execution traces.
+//!
+//! The micro-architecture simulator (`hashcore-sim`) does not re-execute
+//! widgets; it replays the trace the functional executor recorded. This
+//! mirrors the standard trace-driven simulation methodology the PerfProx
+//! work itself uses and keeps the performance model independent of the
+//! functional semantics.
+
+use hashcore_isa::OpClass;
+
+/// Outcome of one dynamic conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchRecord {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The static program counter of the branch target that was followed.
+    pub target_pc: u32,
+}
+
+/// One retired instruction in program order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Static program counter (unique per static instruction, block-major).
+    pub pc: u32,
+    /// Resource class of the instruction.
+    pub class: OpClass,
+    /// Effective (wrapped, aligned) memory address for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Branch outcome for conditional terminators.
+    pub branch: Option<BranchRecord>,
+}
+
+/// A dynamic trace: the sequence of retired instructions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The recorded entries in program order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of retired instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Counts retired instructions per class.
+    pub fn class_counts(&self) -> std::collections::HashMap<OpClass, u64> {
+        let mut counts = std::collections::HashMap::new();
+        for e in &self.entries {
+            *counts.entry(e.class).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    /// Fraction of conditional branches that were taken (0 when the trace
+    /// contains no branches).
+    pub fn taken_fraction(&self) -> f64 {
+        let mut branches = 0u64;
+        let mut taken = 0u64;
+        for e in &self.entries {
+            if let Some(b) = e.branch {
+                branches += 1;
+                if b.taken {
+                    taken += 1;
+                }
+            }
+        }
+        if branches == 0 {
+            0.0
+        } else {
+            taken as f64 / branches as f64
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::slice::Iter<'a, TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(class: OpClass, taken: Option<bool>) -> TraceEntry {
+        TraceEntry {
+            pc: 0,
+            class,
+            mem_addr: None,
+            branch: taken.map(|t| BranchRecord {
+                taken: t,
+                target_pc: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn class_counts_and_len() {
+        let mut t = Trace::new();
+        t.push(entry(OpClass::IntAlu, None));
+        t.push(entry(OpClass::IntAlu, None));
+        t.push(entry(OpClass::Load, None));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let counts = t.class_counts();
+        assert_eq!(counts[&OpClass::IntAlu], 2);
+        assert_eq!(counts[&OpClass::Load], 1);
+    }
+
+    #[test]
+    fn taken_fraction() {
+        let mut t = Trace::new();
+        assert_eq!(t.taken_fraction(), 0.0);
+        t.push(entry(OpClass::Branch, Some(true)));
+        t.push(entry(OpClass::Branch, Some(true)));
+        t.push(entry(OpClass::Branch, Some(false)));
+        t.push(entry(OpClass::IntAlu, None));
+        assert!((t.taken_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut t = Trace::with_capacity(2);
+        t.push(entry(OpClass::Store, None));
+        assert_eq!(t.iter().count(), 1);
+        assert_eq!((&t).into_iter().count(), 1);
+        assert_eq!(t.entries()[0].class, OpClass::Store);
+    }
+}

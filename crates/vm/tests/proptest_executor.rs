@@ -1,0 +1,128 @@
+//! Property-based tests of the functional executor: determinism, output
+//! structure, step-limit enforcement and trace/output consistency over
+//! randomly generated (but structurally safe) loop programs.
+
+use hashcore_isa::{
+    BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator,
+};
+use hashcore_vm::{ExecConfig, Executor, SNAPSHOT_BYTES};
+use proptest::prelude::*;
+
+/// Builds a bounded counted-loop program whose body is derived from `ops`
+/// (always terminates after `iters` iterations).
+fn loop_program(iters: u8, ops: &[u8], snapshot_every_iter: bool, memory_bits: u32) -> Program {
+    let mut b = ProgramBuilder::new(1 << memory_bits);
+    let entry = b.begin_block();
+    b.load_imm(IntReg(0), i64::from(iters.max(1)));
+    b.load_imm(IntReg(1), 0);
+    let body = b.reserve_block();
+    let exit = b.reserve_block();
+    b.terminate(Terminator::Jump(body));
+
+    b.begin_reserved(body);
+    for (i, &op) in ops.iter().enumerate() {
+        let dst = IntReg(2 + (op % 10));
+        let src = IntReg(2 + ((op >> 4) % 10));
+        match op % 5 {
+            0 => b.int_alu(IntAluOp::ALL[op as usize % IntAluOp::ALL.len()], dst, src, IntReg(2)),
+            1 => b.int_alu_imm(IntAluOp::Xor, dst, src, i as i32 * 13 + 1),
+            2 => b.int_mul(IntMulOp::ALL[op as usize % 2], dst, src, IntReg(3)),
+            3 => b.load(dst, src, (op as i32) * 8),
+            _ => b.store(src, dst, (op as i32) * 8),
+        }
+    }
+    if snapshot_every_iter {
+        b.snapshot();
+    }
+    b.int_alu_imm(IntAluOp::Sub, IntReg(0), IntReg(0), 1);
+    b.branch(BranchCond::Ne, IntReg(0), IntReg(1), body, exit);
+
+    b.begin_reserved(exit);
+    b.snapshot();
+    b.terminate(Terminator::Halt);
+    b.finish(entry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn execution_is_deterministic(
+        iters in 1u8..40,
+        ops in prop::collection::vec(any::<u8>(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let program = loop_program(iters, &ops, true, 12);
+        let config = ExecConfig { max_steps: 200_000, collect_trace: true, memory_seed: seed };
+        let a = Executor::new(config).execute(&program).expect("bounded loop halts");
+        let b = Executor::new(config).execute(&program).expect("bounded loop halts");
+        prop_assert_eq!(&a.output, &b.output);
+        prop_assert_eq!(a.dynamic_instructions, b.dynamic_instructions);
+        prop_assert_eq!(a.trace.len(), b.trace.len());
+        prop_assert_eq!(a.final_state, b.final_state);
+    }
+
+    #[test]
+    fn output_is_whole_snapshots_and_counts_match(
+        iters in 1u8..30,
+        ops in prop::collection::vec(any::<u8>(), 0..16),
+        snapshot_every_iter in any::<bool>(),
+    ) {
+        let program = loop_program(iters, &ops, snapshot_every_iter, 10);
+        let exec = Executor::new(ExecConfig::default()).execute(&program).expect("halts");
+        prop_assert_eq!(exec.output.len() % SNAPSHOT_BYTES, 0);
+        prop_assert_eq!(exec.output.len(), exec.snapshot_count as usize * SNAPSHOT_BYTES);
+        let expected_snapshots = if snapshot_every_iter { u64::from(iters.max(1)) + 1 } else { 1 };
+        prop_assert_eq!(exec.snapshot_count, expected_snapshots);
+    }
+
+    #[test]
+    fn trace_length_equals_retired_instructions(
+        iters in 1u8..20,
+        ops in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let program = loop_program(iters, &ops, true, 10);
+        let exec = Executor::new(ExecConfig::default()).execute(&program).expect("halts");
+        prop_assert_eq!(exec.trace.len() as u64, exec.dynamic_instructions);
+        // Every pc in the trace is inside the program's layout.
+        let slots = program.pc_slot_count();
+        prop_assert!(exec.trace.iter().all(|e| e.pc < slots));
+        // Memory addresses recorded in the trace stay inside the data segment.
+        let memory = program.memory_size() as u64;
+        prop_assert!(exec.trace.iter().filter_map(|e| e.mem_addr).all(|a| a < memory));
+    }
+
+    #[test]
+    fn step_limit_is_respected(
+        iters in 50u8..200,
+        ops in prop::collection::vec(any::<u8>(), 8..16),
+        limit in 16u64..400,
+    ) {
+        let program = loop_program(iters, &ops, false, 10);
+        let config = ExecConfig { max_steps: limit, collect_trace: false, memory_seed: 0 };
+        match Executor::new(config).execute(&program) {
+            Ok(exec) => prop_assert!(exec.dynamic_instructions <= limit),
+            Err(hashcore_vm::ExecError::StepLimitExceeded { limit: reported }) => {
+                prop_assert_eq!(reported, limit)
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+        }
+    }
+
+    #[test]
+    fn different_memory_seeds_change_loaded_data_dependent_results(
+        iters in 2u8..20,
+        ops in prop::collection::vec(any::<u8>(), 4..16),
+    ) {
+        // Only meaningful when the body contains at least one load.
+        prop_assume!(ops.iter().any(|op| op % 5 == 3));
+        let program = loop_program(iters, &ops, true, 12);
+        let run = |seed: u64| {
+            Executor::new(ExecConfig { memory_seed: seed, ..ExecConfig::default() })
+                .execute(&program)
+                .expect("halts")
+                .output
+        };
+        prop_assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,139 @@
+//! A deflate-like compression kernel.
+//!
+//! The inner loop of LZ-style compressors (SPEC's xz / the classic deflate
+//! loop) hashes a small input window, probes a hash table for a previous
+//! occurrence, branches on match/no-match, and updates the table. The memory
+//! layout here is `[0, 0x8000)` input stream, `[0x8000, 0xc000)` hash table,
+//! `0xe000` the output cursor slot.
+
+use crate::WorkloadParams;
+use hashcore_isa::{
+    BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator,
+};
+
+const POSITIONS_PER_BLOCK: i64 = 512;
+const TABLE_BASE: i64 = 0x8000;
+const TABLE_MASK: i32 = 0x3ff; // 1024 entries
+const OUT_SLOT: i32 = 0xe000;
+
+const R_BLOCKS: IntReg = IntReg(0);
+const R_ZERO: IntReg = IntReg(1);
+const R_POS: IntReg = IntReg(2);
+const R_LIMIT: IntReg = IntReg(3);
+const R_ADDR: IntReg = IntReg(4);
+const R_WINDOW: IntReg = IntReg(5);
+const R_HASH: IntReg = IntReg(6);
+const R_HASHK: IntReg = IntReg(7);
+const R_TBLADDR: IntReg = IntReg(8);
+const R_PROBE: IntReg = IntReg(9);
+const R_MATCHES: IntReg = IntReg(10);
+const R_TBLBASE: IntReg = IntReg(11);
+const R_LITERALS: IntReg = IntReg(12);
+
+/// Builds the deflate-like kernel at the given scale.
+pub fn build(params: &WorkloadParams) -> Program {
+    let mut b = ProgramBuilder::new(1 << 16);
+
+    let entry = b.begin_block();
+    b.load_imm(R_BLOCKS, params.outer_iterations.max(1) as i64);
+    b.load_imm(R_ZERO, 0);
+    b.load_imm(R_LIMIT, POSITIONS_PER_BLOCK);
+    b.load_imm(R_HASHK, 0x9e37_79b9_7f4a_7c15u64 as i64);
+    b.load_imm(R_TBLBASE, TABLE_BASE);
+    b.load_imm(R_MATCHES, 0);
+    b.load_imm(R_LITERALS, 0);
+    let block_head = b.reserve_block();
+    b.terminate(Terminator::Jump(block_head));
+
+    let pos_loop = b.reserve_block();
+    let on_match = b.reserve_block();
+    let on_literal = b.reserve_block();
+    let pos_latch = b.reserve_block();
+    let block_latch = b.reserve_block();
+    let exit = b.reserve_block();
+
+    // block_head: rewind the position cursor.
+    b.begin_reserved(block_head);
+    b.load_imm(R_POS, 0);
+    b.terminate(Terminator::Jump(pos_loop));
+
+    // pos_loop: hash the window at the current position and probe the table.
+    b.begin_reserved(pos_loop);
+    b.int_alu_imm(IntAluOp::Shl, R_ADDR, R_POS, 3);
+    b.load(R_WINDOW, R_ADDR, 0);
+    b.int_mul(IntMulOp::Mul, R_HASH, R_WINDOW, R_HASHK);
+    b.int_alu_imm(IntAluOp::Shr, R_HASH, R_HASH, 52);
+    b.int_alu_imm(IntAluOp::And, R_HASH, R_HASH, TABLE_MASK);
+    b.int_alu_imm(IntAluOp::Shl, R_TBLADDR, R_HASH, 3);
+    b.int_alu(IntAluOp::Add, R_TBLADDR, R_TBLADDR, R_TBLBASE);
+    b.load(R_PROBE, R_TBLADDR, 0);
+    b.branch(BranchCond::Eq, R_PROBE, R_WINDOW, on_match, on_literal);
+
+    // on_match: record a back-reference.
+    b.begin_reserved(on_match);
+    b.int_alu_imm(IntAluOp::Add, R_MATCHES, R_MATCHES, 1);
+    b.store(R_POS, R_ZERO, OUT_SLOT);
+    b.terminate(Terminator::Jump(pos_latch));
+
+    // on_literal: emit a literal and update the hash table.
+    b.begin_reserved(on_literal);
+    b.int_alu_imm(IntAluOp::Add, R_LITERALS, R_LITERALS, 1);
+    b.store(R_WINDOW, R_TBLADDR, 0);
+    b.terminate(Terminator::Jump(pos_latch));
+
+    // pos_latch: advance to the next position.
+    b.begin_reserved(pos_latch);
+    b.int_alu_imm(IntAluOp::Add, R_POS, R_POS, 1);
+    b.branch(BranchCond::Ltu, R_POS, R_LIMIT, pos_loop, block_latch);
+
+    // block_latch: snapshot the compressor state and start the next block.
+    b.begin_reserved(block_latch);
+    b.snapshot();
+    b.int_alu_imm(IntAluOp::Sub, R_BLOCKS, R_BLOCKS, 1);
+    b.branch(BranchCond::Ne, R_BLOCKS, R_ZERO, block_head, exit);
+
+    b.begin_reserved(exit);
+    b.snapshot();
+    b.terminate(Terminator::Halt);
+
+    b.finish(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_vm::{ExecConfig, Executor};
+
+    fn run(iterations: u32, seed: u64) -> hashcore_vm::Execution {
+        let program = build(&WorkloadParams {
+            outer_iterations: iterations,
+            memory_seed: seed,
+        });
+        Executor::new(ExecConfig {
+            max_steps: 10_000_000,
+            collect_trace: false,
+            memory_seed: seed,
+        })
+        .execute(&program)
+        .expect("kernel runs")
+    }
+
+    #[test]
+    fn kernel_terminates_with_expected_snapshots() {
+        let exec = run(3, 5);
+        assert_eq!(exec.snapshot_count, 4);
+        assert!(exec.dynamic_instructions as i64 > POSITIONS_PER_BLOCK * 3 * 8);
+    }
+
+    #[test]
+    fn positions_are_classified_as_match_or_literal() {
+        let exec = run(2, 9);
+        let matches = exec.final_state.int_regs[R_MATCHES.0 as usize];
+        let literals = exec.final_state.int_regs[R_LITERALS.0 as usize];
+        assert_eq!(matches + literals, 2 * POSITIONS_PER_BLOCK as u64);
+        // With the second block revisiting the same input the table is warm,
+        // so at least some matches must occur.
+        assert!(matches > 0, "expected some matches, got {matches}");
+        assert!(literals > 0);
+    }
+}

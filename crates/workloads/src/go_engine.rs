@@ -1,0 +1,183 @@
+//! A Leela-like Go-engine kernel.
+//!
+//! SPEC CPU 2017's 641.leela_s spends its time in board evaluation: sweeping
+//! a 19×19 board, classifying stones, counting liberties of neighbouring
+//! points, and maintaining Zobrist-style incremental hashes. All of that is
+//! integer ALU work, short data-dependent branches, and small-working-set
+//! loads/stores — which is exactly what this kernel reproduces:
+//!
+//! * an outer loop over *playouts*,
+//! * an inner loop over the 361 board points,
+//! * per point: load the cell, branch on "empty vs occupied" (data
+//!   dependent, since the board content comes from the seeded memory image),
+//!   inspect two neighbours with further data-dependent branches, update a
+//!   Zobrist hash (multiply + xor with a key-table load), and store the
+//!   liberty count to an auxiliary array.
+//!
+//! The kernel's memory layout (all inside the seeded data segment):
+//! `[0, 0x0b50)` board cells, `[0x1000, 0x2000)` auxiliary liberty array,
+//! `[0x2000, 0x2200)` Zobrist key table, `0x3000` the hash accumulator slot.
+
+use crate::WorkloadParams;
+use hashcore_isa::{
+    BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator,
+};
+
+const BOARD_POINTS: i64 = 361;
+const AUX_BASE: i32 = 0x1000;
+const KEY_BASE: i64 = 0x2000;
+const HASH_SLOT: i32 = 0x3000;
+
+// Register conventions.
+const R_PLAYOUTS: IntReg = IntReg(0);
+const R_ZERO: IntReg = IntReg(1);
+const R_POINTS: IntReg = IntReg(5);
+const R_POINT: IntReg = IntReg(6);
+const R_ADDR: IntReg = IntReg(7);
+const R_CELL: IntReg = IntReg(8);
+const R_KEYBASE: IntReg = IntReg(9);
+const R_HASH: IntReg = IntReg(10);
+const R_COLOR: IntReg = IntReg(11);
+const R_NEIGHBOR: IntReg = IntReg(12);
+const R_LIBERTIES: IntReg = IntReg(13);
+const R_KEYADDR: IntReg = IntReg(14);
+const R_TMP: IntReg = IntReg(15);
+
+/// Builds the Go-engine kernel at the given scale.
+pub fn build(params: &WorkloadParams) -> Program {
+    let mut b = ProgramBuilder::new(1 << 14);
+
+    // ---- entry ----------------------------------------------------------
+    let entry = b.begin_block();
+    b.load_imm(R_PLAYOUTS, params.outer_iterations.max(1) as i64);
+    b.load_imm(R_ZERO, 0);
+    b.load_imm(R_POINTS, BOARD_POINTS);
+    b.load_imm(R_KEYBASE, KEY_BASE);
+    b.load_imm(R_HASH, 0x9e37_79b9);
+    let playout_head = b.reserve_block();
+    b.terminate(Terminator::Jump(playout_head));
+
+    // ---- playout head: reset the point cursor ---------------------------
+    b.begin_reserved(playout_head);
+    b.load_imm(R_POINT, 0);
+    b.load_imm(R_LIBERTIES, 0);
+    let point_loop = b.reserve_block();
+    b.terminate(Terminator::Jump(point_loop));
+
+    // ---- per-point evaluation -------------------------------------------
+    let occupied = b.reserve_block();
+    let check_second = b.reserve_block();
+    let lib_first = b.reserve_block();
+    let lib_second = b.reserve_block();
+    let zobrist = b.reserve_block();
+    let point_latch = b.reserve_block();
+    let playout_latch = b.reserve_block();
+    let exit = b.reserve_block();
+
+    // point_loop: load the cell and classify it.
+    b.begin_reserved(point_loop);
+    b.int_alu_imm(IntAluOp::Shl, R_ADDR, R_POINT, 3);
+    b.load(R_CELL, R_ADDR, 0);
+    b.int_alu_imm(IntAluOp::And, R_COLOR, R_CELL, 3);
+    b.branch(BranchCond::Eq, R_COLOR, R_ZERO, point_latch, occupied);
+
+    // occupied: inspect the first neighbour.
+    b.begin_reserved(occupied);
+    b.load(R_NEIGHBOR, R_ADDR, 8);
+    b.int_alu_imm(IntAluOp::And, R_TMP, R_NEIGHBOR, 3);
+    b.branch(BranchCond::Eq, R_TMP, R_ZERO, lib_first, check_second);
+
+    // lib_first: the first neighbour is empty — count a liberty.
+    b.begin_reserved(lib_first);
+    b.int_alu_imm(IntAluOp::Add, R_LIBERTIES, R_LIBERTIES, 1);
+    b.terminate(Terminator::Jump(check_second));
+
+    // check_second: inspect the second neighbour.
+    b.begin_reserved(check_second);
+    b.load(R_NEIGHBOR, R_ADDR, -8);
+    b.int_alu_imm(IntAluOp::And, R_TMP, R_NEIGHBOR, 3);
+    b.branch(BranchCond::Eq, R_TMP, R_ZERO, lib_second, zobrist);
+
+    // lib_second: the second neighbour is empty — count a liberty.
+    b.begin_reserved(lib_second);
+    b.int_alu_imm(IntAluOp::Add, R_LIBERTIES, R_LIBERTIES, 1);
+    b.terminate(Terminator::Jump(zobrist));
+
+    // zobrist: update the incremental hash and record the liberty count.
+    b.begin_reserved(zobrist);
+    b.int_alu_imm(IntAluOp::And, R_KEYADDR, R_POINT, 63);
+    b.int_alu_imm(IntAluOp::Shl, R_KEYADDR, R_KEYADDR, 3);
+    b.int_alu(IntAluOp::Add, R_KEYADDR, R_KEYADDR, R_KEYBASE);
+    b.load(R_TMP, R_KEYADDR, 0);
+    b.int_mul(IntMulOp::Mul, R_TMP, R_TMP, R_CELL);
+    b.int_alu(IntAluOp::Xor, R_HASH, R_HASH, R_TMP);
+    b.int_alu_imm(IntAluOp::Rotl, R_HASH, R_HASH, 13);
+    b.store(R_LIBERTIES, R_ADDR, AUX_BASE);
+    b.terminate(Terminator::Jump(point_latch));
+
+    // point_latch: next board point.
+    b.begin_reserved(point_latch);
+    b.int_alu_imm(IntAluOp::Add, R_POINT, R_POINT, 1);
+    b.branch(BranchCond::Ltu, R_POINT, R_POINTS, point_loop, playout_latch);
+
+    // playout_latch: commit the playout's hash, snapshot, next playout.
+    b.begin_reserved(playout_latch);
+    b.store(R_HASH, R_ZERO, HASH_SLOT);
+    b.snapshot();
+    b.int_alu_imm(IntAluOp::Sub, R_PLAYOUTS, R_PLAYOUTS, 1);
+    b.branch(BranchCond::Ne, R_PLAYOUTS, R_ZERO, playout_head, exit);
+
+    // exit.
+    b.begin_reserved(exit);
+    b.snapshot();
+    b.terminate(Terminator::Halt);
+
+    b.finish(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_vm::{ExecConfig, Executor};
+
+    #[test]
+    fn kernel_terminates_and_visits_every_point() {
+        let params = WorkloadParams {
+            outer_iterations: 3,
+            memory_seed: 11,
+        };
+        let program = build(&params);
+        let exec = Executor::new(ExecConfig {
+            max_steps: 1_000_000,
+            collect_trace: true,
+            memory_seed: params.memory_seed,
+        })
+        .execute(&program)
+        .expect("kernel runs");
+        // At minimum the point latch executes points × playouts times.
+        assert!(exec.dynamic_instructions as i64 > BOARD_POINTS * 3 * 4);
+        // One snapshot per playout plus the final one.
+        assert_eq!(exec.snapshot_count, 4);
+    }
+
+    #[test]
+    fn hash_depends_on_board_content() {
+        let program = build(&WorkloadParams {
+            outer_iterations: 2,
+            memory_seed: 0,
+        });
+        let run = |seed: u64| {
+            Executor::new(ExecConfig {
+                max_steps: 1_000_000,
+                collect_trace: false,
+                memory_seed: seed,
+            })
+            .execute(&program)
+            .expect("run")
+            .final_state
+            .int_regs[R_HASH.0 as usize]
+        };
+        assert_ne!(run(1), run(2));
+        assert_eq!(run(3), run(3));
+    }
+}

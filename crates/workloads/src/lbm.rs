@@ -1,0 +1,141 @@
+//! An lbm-like floating-point stencil kernel.
+//!
+//! SPEC's lbm (lattice Boltzmann) streams over a regular grid performing
+//! dense double-precision arithmetic with essentially perfectly predictable
+//! branches. This kernel sweeps a 1-D grid of f64 cells, combining each cell
+//! with its two neighbours through a weighted relaxation step and writing the
+//! result to a second grid, then swapping roles on the next time step.
+//! Memory layout: `[0, 0x4000)` grid A, `[0x4000, 0x8000)` grid B.
+
+use crate::WorkloadParams;
+use hashcore_isa::{
+    BranchCond, FpOp, FpReg, IntAluOp, IntReg, Program, ProgramBuilder, Terminator,
+};
+
+const CELLS: i64 = 1024;
+const GRID_B_OFFSET: i32 = 0x4000;
+
+const R_STEPS: IntReg = IntReg(0);
+const R_ZERO: IntReg = IntReg(1);
+const R_CELL: IntReg = IntReg(2);
+const R_LIMIT: IntReg = IntReg(3);
+const R_ADDR: IntReg = IntReg(4);
+
+const F_CENTER: FpReg = FpReg(0);
+const F_LEFT: FpReg = FpReg(1);
+const F_RIGHT: FpReg = FpReg(2);
+const F_SUM: FpReg = FpReg(3);
+const F_OMEGA: FpReg = FpReg(4);
+const F_NEW: FpReg = FpReg(5);
+const F_THIRD: FpReg = FpReg(6);
+
+/// Builds the lbm-like stencil kernel at the given scale.
+pub fn build(params: &WorkloadParams) -> Program {
+    let mut b = ProgramBuilder::new(1 << 15);
+
+    let entry = b.begin_block();
+    b.load_imm(R_STEPS, params.outer_iterations.max(1) as i64);
+    b.load_imm(R_ZERO, 0);
+    b.load_imm(R_LIMIT, CELLS);
+    // omega = 3 / 16, third = 5 / 16 built from integer conversions so the
+    // kernel stays self-contained.
+    b.load_imm(R_ADDR, 3);
+    b.fp_from_int(F_OMEGA, R_ADDR);
+    b.load_imm(R_ADDR, 16);
+    b.fp_from_int(F_THIRD, R_ADDR);
+    b.fp(FpOp::Div, F_OMEGA, F_OMEGA, F_THIRD);
+    b.load_imm(R_ADDR, 5);
+    b.fp_from_int(F_THIRD, R_ADDR);
+    b.load_imm(R_CELL, 16);
+    b.fp_from_int(F_NEW, R_CELL);
+    b.fp(FpOp::Div, F_THIRD, F_THIRD, F_NEW);
+    let step_head = b.reserve_block();
+    b.terminate(Terminator::Jump(step_head));
+
+    let cell_loop = b.reserve_block();
+    let cell_latch = b.reserve_block();
+    let step_latch = b.reserve_block();
+    let exit = b.reserve_block();
+
+    // step_head: rewind the cell cursor.
+    b.begin_reserved(step_head);
+    b.load_imm(R_CELL, 1);
+    b.terminate(Terminator::Jump(cell_loop));
+
+    // cell_loop: the relaxation stencil.
+    b.begin_reserved(cell_loop);
+    b.int_alu_imm(IntAluOp::Shl, R_ADDR, R_CELL, 3);
+    b.fp_load(F_CENTER, R_ADDR, 0);
+    b.fp_load(F_LEFT, R_ADDR, -8);
+    b.fp_load(F_RIGHT, R_ADDR, 8);
+    b.fp(FpOp::Add, F_SUM, F_LEFT, F_RIGHT);
+    b.fp(FpOp::Mul, F_SUM, F_SUM, F_THIRD);
+    b.fp(FpOp::Mul, F_NEW, F_CENTER, F_OMEGA);
+    b.fp(FpOp::Add, F_NEW, F_NEW, F_SUM);
+    b.fp(FpOp::Min, F_NEW, F_NEW, F_CENTER);
+    b.fp(FpOp::Max, F_NEW, F_NEW, F_SUM);
+    b.fp_store(F_NEW, R_ADDR, GRID_B_OFFSET);
+    b.terminate(Terminator::Jump(cell_latch));
+
+    // cell_latch: next cell.
+    b.begin_reserved(cell_latch);
+    b.int_alu_imm(IntAluOp::Add, R_CELL, R_CELL, 1);
+    b.branch(BranchCond::Ltu, R_CELL, R_LIMIT, cell_loop, step_latch);
+
+    // step_latch: snapshot and run the next time step.
+    b.begin_reserved(step_latch);
+    b.snapshot();
+    b.int_alu_imm(IntAluOp::Sub, R_STEPS, R_STEPS, 1);
+    b.branch(BranchCond::Ne, R_STEPS, R_ZERO, step_head, exit);
+
+    b.begin_reserved(exit);
+    b.snapshot();
+    b.terminate(Terminator::Halt);
+
+    b.finish(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_isa::OpClass;
+    use hashcore_vm::{ExecConfig, Executor};
+
+    #[test]
+    fn kernel_is_fp_dominated_and_terminates() {
+        let program = build(&WorkloadParams {
+            outer_iterations: 2,
+            memory_seed: 4,
+        });
+        let exec = Executor::new(ExecConfig {
+            max_steps: 10_000_000,
+            collect_trace: true,
+            memory_seed: 4,
+        })
+        .execute(&program)
+        .expect("kernel runs");
+        assert_eq!(exec.snapshot_count, 3);
+        let counts = exec.trace.class_counts();
+        let fp = counts.get(&OpClass::FpAlu).copied().unwrap_or(0);
+        let branches = counts.get(&OpClass::Branch).copied().unwrap_or(0);
+        assert!(fp > branches * 3, "fp {fp} branches {branches}");
+    }
+
+    #[test]
+    fn fp_results_stay_finite_and_canonical() {
+        let program = build(&WorkloadParams {
+            outer_iterations: 3,
+            memory_seed: 77,
+        });
+        let exec = Executor::new(ExecConfig {
+            max_steps: 10_000_000,
+            collect_trace: false,
+            memory_seed: 77,
+        })
+        .execute(&program)
+        .expect("run");
+        for f in exec.final_state.fp_regs {
+            assert!(!f.is_nan(), "NaN leaked into architectural state");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! # hashcore-workloads
+//!
+//! Reference workloads for the HashCore reproduction.
+//!
+//! The paper profiles SPEC CPU 2017's **641.leela_s** (an integer Go engine)
+//! and generates widgets that mimic its execution profile. SPEC CPU 2017 is
+//! proprietary, so this crate provides from-scratch kernels *written in the
+//! widget ISA itself* that stand in for the benchmark categories the paper's
+//! argument rests on (see DESIGN.md §2):
+//!
+//! * [`Workload::GoEngine`] — a Leela-like integer workload: repeated
+//!   liberty-counting / flood-fill style sweeps over a Go board with
+//!   Zobrist-style hashing, data-dependent branching and modest working set,
+//! * [`Workload::Deflate`] — an LZ-style compressor inner loop: rolling hash,
+//!   hash-table probes, match/no-match branches,
+//! * [`Workload::Mcf`] — a pointer-chasing network-simplex style kernel with
+//!   irregular memory access,
+//! * [`Workload::LbmStencil`] — a floating-point stencil sweep with long
+//!   dependency-free FP chains and very regular branches.
+//!
+//! Because the kernels are ordinary [`hashcore_isa::Program`]s, they run on
+//! the same functional executor and micro-architecture model as the widgets,
+//! and [`reference_profile`] turns any of them into the PerfProx-style
+//! [`hashcore_profile::PerformanceProfile`] that the widget generator
+//! consumes. This closes the inverted-benchmarking loop end to end:
+//! *workload → profile → widgets → comparison against the workload*.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashcore_workloads::{Workload, WorkloadParams};
+//!
+//! let params = WorkloadParams::tiny();
+//! let program = Workload::GoEngine.build(&params);
+//! assert!(program.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deflate;
+mod go_engine;
+mod lbm;
+mod mcf;
+
+use hashcore_isa::Program;
+use hashcore_profile::PerformanceProfile;
+use hashcore_sim::{CoreConfig, WorkloadProfiler};
+use hashcore_vm::{ExecConfig, ExecError, Executor};
+
+/// Scale parameters shared by all reference workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Number of outer iterations (playouts, input blocks, pivots, or time
+    /// steps depending on the kernel).
+    pub outer_iterations: u32,
+    /// Memory seed used when executing the workload.
+    pub memory_seed: u64,
+}
+
+impl WorkloadParams {
+    /// Paper-scale parameters (tens of thousands of dynamic instructions per
+    /// kernel, comparable to one widget execution).
+    pub fn reference() -> Self {
+        Self {
+            outer_iterations: 16,
+            memory_seed: 0x1ee1a,
+        }
+    }
+
+    /// Very small parameters for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            outer_iterations: 4,
+            memory_seed: 7,
+        }
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// The available reference workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Leela-like integer Go-engine kernel (the paper's profiled workload).
+    GoEngine,
+    /// LZ/deflate-like compression kernel.
+    Deflate,
+    /// mcf-like pointer-chasing network kernel.
+    Mcf,
+    /// lbm-like floating-point stencil kernel.
+    LbmStencil,
+}
+
+impl Workload {
+    /// All reference workloads.
+    pub const ALL: [Workload; 4] = [
+        Workload::GoEngine,
+        Workload::Deflate,
+        Workload::Mcf,
+        Workload::LbmStencil,
+    ];
+
+    /// The workload's short name (used in reports and profiles).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::GoEngine => "go_engine_leela_like",
+            Workload::Deflate => "deflate_like",
+            Workload::Mcf => "mcf_like",
+            Workload::LbmStencil => "lbm_stencil_like",
+        }
+    }
+
+    /// Builds the workload program at the given scale.
+    pub fn build(self, params: &WorkloadParams) -> Program {
+        match self {
+            Workload::GoEngine => go_engine::build(params),
+            Workload::Deflate => deflate::build(params),
+            Workload::Mcf => mcf::build(params),
+            Workload::LbmStencil => lbm::build(params),
+        }
+    }
+
+    /// Executes the workload and returns its measured performance profile on
+    /// the given core configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the kernel fails to execute (which would
+    /// indicate a bug in the kernel construction, not user error).
+    pub fn reference_profile(
+        self,
+        params: &WorkloadParams,
+        core: CoreConfig,
+    ) -> Result<PerformanceProfile, ExecError> {
+        reference_profile(self, params, core)
+    }
+}
+
+/// Executes `workload` and extracts its performance profile.
+///
+/// This is the "profile the reference workload" stage of the paper's
+/// pipeline; the returned profile is what [`hashcore_gen::WidgetGenerator`]
+/// (in the `hashcore-gen` crate) consumes.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if execution fails.
+pub fn reference_profile(
+    workload: Workload,
+    params: &WorkloadParams,
+    core: CoreConfig,
+) -> Result<PerformanceProfile, ExecError> {
+    let program = workload.build(params);
+    let exec = Executor::new(ExecConfig {
+        max_steps: 50_000_000,
+        collect_trace: true,
+        memory_seed: params.memory_seed,
+    })
+    .execute(&program)?;
+    let profiler = WorkloadProfiler::new(core);
+    Ok(profiler.profile(workload.name(), &program, &exec.trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_isa::OpClass;
+
+    #[test]
+    fn all_workloads_build_validate_and_execute() {
+        let params = WorkloadParams::tiny();
+        for workload in Workload::ALL {
+            let program = workload.build(&params);
+            assert!(program.validate().is_ok(), "{}", workload.name());
+            let exec = Executor::new(ExecConfig {
+                max_steps: 10_000_000,
+                collect_trace: false,
+                memory_seed: params.memory_seed,
+            })
+            .execute(&program)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()));
+            assert!(
+                exec.dynamic_instructions > 500,
+                "{} too small: {}",
+                workload.name(),
+                exec.dynamic_instructions
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_scale_with_iterations() {
+        let small = WorkloadParams {
+            outer_iterations: 2,
+            memory_seed: 1,
+        };
+        let large = WorkloadParams {
+            outer_iterations: 8,
+            memory_seed: 1,
+        };
+        for workload in Workload::ALL {
+            let run = |p: &WorkloadParams| {
+                Executor::new(ExecConfig {
+                    max_steps: 50_000_000,
+                    collect_trace: false,
+                    memory_seed: 1,
+                })
+                .execute(&workload.build(p))
+                .expect("run")
+                .dynamic_instructions
+            };
+            let a = run(&small);
+            let b = run(&large);
+            assert!(b > a * 2, "{}: {a} vs {b}", workload.name());
+        }
+    }
+
+    #[test]
+    fn go_engine_profile_is_integer_and_branch_heavy() {
+        let profile = Workload::GoEngine
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .expect("profile");
+        assert!(profile.mix.fraction(OpClass::IntAlu) > 0.3);
+        assert!(profile.mix.fraction(OpClass::Branch) > 0.08);
+        assert!(profile.mix.fraction(OpClass::FpAlu) < 0.05);
+        assert!(profile.reference_ipc > 0.2);
+        assert_eq!(profile.name, "go_engine_leela_like");
+    }
+
+    #[test]
+    fn lbm_profile_is_fp_heavy_and_branch_light() {
+        let lbm = Workload::LbmStencil
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .expect("profile");
+        let go = Workload::GoEngine
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .expect("profile");
+        assert!(lbm.mix.fraction(OpClass::FpAlu) > 0.2);
+        assert!(lbm.mix.fraction(OpClass::Branch) < go.mix.fraction(OpClass::Branch));
+        assert!(lbm.branch.taken_fraction > 0.8);
+    }
+
+    #[test]
+    fn mcf_has_pointer_chasing_and_poorer_locality_than_lbm() {
+        let mcf = Workload::Mcf
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .expect("profile");
+        let lbm = Workload::LbmStencil
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .expect("profile");
+        assert!(mcf.memory.pointer_chase_fraction > lbm.memory.pointer_chase_fraction);
+        assert!(mcf.reference_ipc < lbm.reference_ipc);
+    }
+
+    #[test]
+    fn deflate_profile_has_branches_and_stores() {
+        let profile = Workload::Deflate
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .expect("profile");
+        assert!(profile.mix.fraction(OpClass::Branch) > 0.05);
+        assert!(profile.mix.fraction(OpClass::Store) > 0.02);
+        assert!(profile.mix.fraction(OpClass::Load) > 0.1);
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = Workload::GoEngine
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .unwrap();
+        let b = Workload::GoEngine
+            .reference_profile(&WorkloadParams::tiny(), CoreConfig::ivy_bridge_like())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

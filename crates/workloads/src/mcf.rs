@@ -1,0 +1,141 @@
+//! An mcf-like pointer-chasing network kernel.
+//!
+//! SPEC's mcf (network simplex) is dominated by irregular pointer chasing
+//! over arc/node structures with data-dependent branching on costs. This
+//! kernel walks a pseudo-random successor chain over a node table, keeping a
+//! running reduced-cost accumulator and occasionally writing back updated
+//! potentials. Memory layout: `[0, 0x8000)` the node table (4096 nodes of
+//! 8 bytes), `0xa000` the spill slot for updated potentials.
+
+use crate::WorkloadParams;
+use hashcore_isa::{
+    BranchCond, IntAluOp, IntReg, Program, ProgramBuilder, Terminator,
+};
+
+const STEPS_PER_PIVOT: i64 = 1024;
+const NODE_MASK: i32 = 0x7ff8; // 4096 nodes, 8-byte aligned
+const SPILL_SLOT: i32 = 0xa000;
+
+const R_PIVOTS: IntReg = IntReg(0);
+const R_ZERO: IntReg = IntReg(1);
+const R_STEP: IntReg = IntReg(2);
+const R_LIMIT: IntReg = IntReg(3);
+const R_NODEADDR: IntReg = IntReg(4);
+const R_NODE: IntReg = IntReg(5);
+const R_COST: IntReg = IntReg(6);
+const R_DELTA: IntReg = IntReg(7);
+const R_UPDATES: IntReg = IntReg(8);
+
+/// Builds the mcf-like kernel at the given scale.
+pub fn build(params: &WorkloadParams) -> Program {
+    let mut b = ProgramBuilder::new(1 << 16);
+
+    let entry = b.begin_block();
+    b.load_imm(R_PIVOTS, params.outer_iterations.max(1) as i64);
+    b.load_imm(R_ZERO, 0);
+    b.load_imm(R_LIMIT, STEPS_PER_PIVOT);
+    b.load_imm(R_NODEADDR, 64);
+    b.load_imm(R_COST, 0);
+    b.load_imm(R_UPDATES, 0);
+    let pivot_head = b.reserve_block();
+    b.terminate(Terminator::Jump(pivot_head));
+
+    let chase_loop = b.reserve_block();
+    let improve = b.reserve_block();
+    let no_improve = b.reserve_block();
+    let chase_latch = b.reserve_block();
+    let pivot_latch = b.reserve_block();
+    let exit = b.reserve_block();
+
+    // pivot_head: restart the chase for this pivot.
+    b.begin_reserved(pivot_head);
+    b.load_imm(R_STEP, 0);
+    b.terminate(Terminator::Jump(chase_loop));
+
+    // chase_loop: follow the successor pointer and compute the reduced cost.
+    b.begin_reserved(chase_loop);
+    b.load(R_NODE, R_NODEADDR, 0);
+    b.int_alu_imm(IntAluOp::And, R_NODEADDR, R_NODE, NODE_MASK);
+    b.int_alu_imm(IntAluOp::Shr, R_DELTA, R_NODE, 32);
+    b.int_alu(IntAluOp::Add, R_COST, R_COST, R_DELTA);
+    b.int_alu_imm(IntAluOp::And, R_DELTA, R_NODE, 7);
+    b.branch(BranchCond::Eq, R_DELTA, R_ZERO, improve, no_improve);
+
+    // improve: write back an updated potential (rare path).
+    b.begin_reserved(improve);
+    b.int_alu_imm(IntAluOp::Add, R_UPDATES, R_UPDATES, 1);
+    b.store(R_COST, R_ZERO, SPILL_SLOT);
+    b.terminate(Terminator::Jump(chase_latch));
+
+    // no_improve: rotate the cost accumulator to keep it live.
+    b.begin_reserved(no_improve);
+    b.int_alu_imm(IntAluOp::Rotl, R_COST, R_COST, 7);
+    b.terminate(Terminator::Jump(chase_latch));
+
+    // chase_latch: next step of this pivot.
+    b.begin_reserved(chase_latch);
+    b.int_alu_imm(IntAluOp::Add, R_STEP, R_STEP, 1);
+    b.branch(BranchCond::Ltu, R_STEP, R_LIMIT, chase_loop, pivot_latch);
+
+    // pivot_latch: snapshot and start the next pivot.
+    b.begin_reserved(pivot_latch);
+    b.snapshot();
+    b.int_alu_imm(IntAluOp::Sub, R_PIVOTS, R_PIVOTS, 1);
+    b.branch(BranchCond::Ne, R_PIVOTS, R_ZERO, pivot_head, exit);
+
+    b.begin_reserved(exit);
+    b.snapshot();
+    b.terminate(Terminator::Halt);
+
+    b.finish(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_vm::{ExecConfig, Executor};
+
+    #[test]
+    fn kernel_terminates_and_chases() {
+        let program = build(&WorkloadParams {
+            outer_iterations: 2,
+            memory_seed: 3,
+        });
+        let exec = Executor::new(ExecConfig {
+            max_steps: 10_000_000,
+            collect_trace: true,
+            memory_seed: 3,
+        })
+        .execute(&program)
+        .expect("kernel runs");
+        assert_eq!(exec.snapshot_count, 3);
+        // Every chase step issues exactly one load.
+        let loads = exec
+            .trace
+            .class_counts()
+            .get(&hashcore_isa::OpClass::Load)
+            .copied()
+            .unwrap_or(0);
+        assert!(loads as i64 >= STEPS_PER_PIVOT * 2);
+    }
+
+    #[test]
+    fn cost_depends_on_graph_data() {
+        let program = build(&WorkloadParams {
+            outer_iterations: 1,
+            memory_seed: 0,
+        });
+        let run = |seed: u64| {
+            Executor::new(ExecConfig {
+                max_steps: 10_000_000,
+                collect_trace: false,
+                memory_seed: seed,
+            })
+            .execute(&program)
+            .expect("run")
+            .final_state
+            .int_regs[R_COST.0 as usize]
+        };
+        assert_ne!(run(10), run(11));
+    }
+}

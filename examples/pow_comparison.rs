@@ -1,0 +1,46 @@
+//! PoW comparison: HashCore next to the designs it is positioned against.
+//!
+//! Evaluates one hash of each PoW family on the same input and reports cost
+//! and design properties — a miniature of experiment E8.
+//!
+//! Run with: `cargo run --release --example pow_comparison`
+
+use hashcore::HashCore;
+use hashcore_baselines::{
+    HashCorePow, MemoryHardPow, PowFunction, RandomxLitePow, SelectionPow, Sha256dPow,
+};
+use hashcore_crypto::hex;
+use hashcore_profile::PerformanceProfile;
+use std::time::Instant;
+
+fn main() {
+    let mut profile = PerformanceProfile::leela_like();
+    profile.target_dynamic_instructions = 10_000;
+
+    let functions: Vec<Box<dyn PowFunction>> = vec![
+        Box::new(Sha256dPow),
+        Box::new(MemoryHardPow::new(512 << 10, 2)),
+        Box::new(RandomxLitePow::new(10_000)),
+        Box::new(SelectionPow::new(profile.clone(), 8, 1)),
+        Box::new(HashCorePow::new(HashCore::new(profile))),
+    ];
+
+    let input = b"the same block header for every function";
+    println!(
+        "{:<18} {:>12} {:>20}   digest",
+        "function", "ms / hash", "dominant resource"
+    );
+    for pow in &functions {
+        let start = Instant::now();
+        let digest = pow.pow_hash(input);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<18} {:>12.3} {:>20}   {}…",
+            pow.name(),
+            elapsed,
+            format!("{:?}", pow.dominant_resource()),
+            &hex::encode(&digest)[..16]
+        );
+    }
+    println!("\nSee `cargo run --release -p hashcore-bench --bin exp8_pow_comparison` for the full table.");
+}
