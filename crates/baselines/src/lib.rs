@@ -141,7 +141,11 @@ mod tests {
         }
         for i in 0..digests.len() {
             for j in i + 1..digests.len() {
-                assert_ne!(digests[i].1, digests[j].1, "{} vs {}", digests[i].0, digests[j].0);
+                assert_ne!(
+                    digests[i].1, digests[j].1,
+                    "{} vs {}",
+                    digests[i].0, digests[j].0
+                );
             }
         }
     }

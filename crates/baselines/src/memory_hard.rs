@@ -61,8 +61,8 @@ impl PowFunction for MemoryHardPow {
         let mut state = sha512(&block);
         for _ in 0..self.passes {
             for _ in 0..blocks {
-                let index = u64::from_le_bytes(state[..8].try_into().expect("8 bytes")) as usize
-                    % blocks;
+                let index =
+                    u64::from_le_bytes(state[..8].try_into().expect("8 bytes")) as usize % blocks;
                 // Mix the visited block into the state and write back, so
                 // later passes depend on earlier writes.
                 let mut mixed = [0u8; BLOCK_BYTES];

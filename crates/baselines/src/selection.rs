@@ -31,7 +31,10 @@ impl SelectionPow {
     /// Panics if `pool_size` or `widgets_per_hash` is zero.
     pub fn new(profile: PerformanceProfile, pool_size: usize, widgets_per_hash: usize) -> Self {
         assert!(pool_size > 0, "pool must contain at least one widget");
-        assert!(widgets_per_hash > 0, "must execute at least one widget per hash");
+        assert!(
+            widgets_per_hash > 0,
+            "must execute at least one widget per hash"
+        );
         let generator = WidgetGenerator::new(profile);
         let pool = (0..pool_size)
             .map(|i| {

@@ -31,6 +31,9 @@ mod tests {
     fn matches_double_sha() {
         let d = Sha256dPow.pow_hash(b"genesis");
         assert_eq!(d, sha256d(b"genesis"));
-        assert_eq!(d, hashcore_crypto::sha256(&hashcore_crypto::sha256(b"genesis")));
+        assert_eq!(
+            d,
+            hashcore_crypto::sha256(&hashcore_crypto::sha256(b"genesis"))
+        );
     }
 }

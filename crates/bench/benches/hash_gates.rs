@@ -23,7 +23,11 @@ fn bench_hash_gates(c: &mut Criterion) {
 
     let transactions: Vec<Vec<u8>> = (0..256).map(|i: u32| i.to_le_bytes().to_vec()).collect();
     group.bench_function("merkle_tree/256_leaves", |b| {
-        b.iter(|| black_box(MerkleTree::from_items(transactions.iter().map(|t| t.as_slice()))))
+        b.iter(|| {
+            black_box(MerkleTree::from_items(
+                transactions.iter().map(|t| t.as_slice()),
+            ))
+        })
     });
     group.finish();
 }

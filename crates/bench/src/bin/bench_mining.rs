@@ -1,0 +1,232 @@
+//! Mining-throughput harness: hashes/sec for the naive path, the
+//! zero-allocation scratch path, and multi-threaded `mine_parallel`.
+//!
+//! This bench establishes the repo's performance trajectory for the PoW hot
+//! loop (hash → generate → execute → hash, once per nonce). It measures:
+//!
+//! 1. `hash` — the naive single-thread path (fresh buffers per nonce),
+//! 2. `hash_with_scratch` — the prepared/scratch single-thread path,
+//! 3. `mine_parallel` at 1, 2, 4, … threads, scanning a fixed nonce range
+//!    against an unreachable target so every nonce is evaluated.
+//!
+//! Results are printed as a table and written to `BENCH_mining.json` in the
+//! current directory. Usage:
+//!
+//! ```text
+//! bench_mining [nonces-per-measurement] [target-dynamic-instructions]
+//! ```
+//!
+//! On a single-core machine the multi-thread rows cannot exceed the
+//! single-thread rate; `available_parallelism` is recorded in the JSON so
+//! downstream comparisons are interpretable.
+
+use hashcore::{HashCore, HashScratch, Target};
+use hashcore_profile::PerformanceProfile;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measurement row: a mode, its thread count and its throughput.
+struct Measurement {
+    mode: &'static str,
+    threads: usize,
+    hashes: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn hashes_per_sec(&self) -> f64 {
+        self.hashes as f64 / self.seconds
+    }
+}
+
+fn positional_arg(index: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(index)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nonces = positional_arg(1, 192).max(1);
+    let instructions = positional_arg(2, 20_000).max(1_000);
+
+    let mut profile = PerformanceProfile::leela_like();
+    profile.target_dynamic_instructions = instructions;
+    let pow = HashCore::new(profile);
+
+    // A target no digest can meet: the full range is always scanned, so
+    // elapsed time divided by the range is exactly per-hash cost.
+    let unreachable = Target::from_leading_zero_bits(255);
+    let header: &[u8] = b"bench-mining-header";
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "mining throughput: {nonces} nonces/measurement, \
+         {instructions} dynamic instructions/widget, \
+         {parallelism} hardware threads"
+    );
+
+    let mut measurements = Vec::new();
+
+    // Warm-up: fault in code paths and populate the generator's state.
+    let mut warmup = HashScratch::new();
+    for nonce in 0..8u64 {
+        pow.hash_with_scratch(&HashCore::mining_input(header, nonce), &mut warmup)
+            .expect("widgets execute");
+    }
+
+    // 1. Naive single-thread path: fresh buffers per nonce.
+    let started = Instant::now();
+    for nonce in 0..nonces {
+        pow.hash(&HashCore::mining_input(header, nonce))
+            .expect("widgets execute");
+    }
+    measurements.push(Measurement {
+        mode: "hash_naive",
+        threads: 1,
+        hashes: nonces,
+        seconds: started.elapsed().as_secs_f64(),
+    });
+
+    // 2. Scratch single-thread path: zero allocations after warm-up.
+    let mut scratch = HashScratch::new();
+    let started = Instant::now();
+    for nonce in 0..nonces {
+        pow.hash_with_scratch(&HashCore::mining_input(header, nonce), &mut scratch)
+            .expect("widgets execute");
+    }
+    measurements.push(Measurement {
+        mode: "hash_with_scratch",
+        threads: 1,
+        hashes: nonces,
+        seconds: started.elapsed().as_secs_f64(),
+    });
+
+    // 3. Parallel mining across thread counts.
+    let mut thread_counts = vec![1usize, 2, 4];
+    if parallelism > 4 {
+        thread_counts.push(parallelism);
+    }
+    for &threads in &thread_counts {
+        let started = Instant::now();
+        let result = pow
+            .mine_parallel(header, unreachable, 0, nonces, threads)
+            .expect("widgets execute");
+        assert!(result.is_none(), "an unreachable target cannot be met");
+        measurements.push(Measurement {
+            mode: "mine_parallel",
+            threads,
+            hashes: nonces,
+            seconds: started.elapsed().as_secs_f64(),
+        });
+    }
+
+    let single_rate = measurements[1].hashes_per_sec();
+    for m in &measurements {
+        println!(
+            "  {:<20} threads={:<2} {:>10.2} hashes/sec  ({:.2}x vs scratch single-thread)",
+            m.mode,
+            m.threads,
+            m.hashes_per_sec(),
+            m.hashes_per_sec() / single_rate
+        );
+    }
+
+    let json = render_json(&measurements, nonces, instructions, parallelism);
+    std::fs::write("BENCH_mining.json", &json).expect("BENCH_mining.json is writable");
+    println!("wrote BENCH_mining.json");
+}
+
+/// Renders the measurement set as a small, dependency-free JSON document.
+fn render_json(
+    measurements: &[Measurement],
+    nonces: u64,
+    instructions: u64,
+    parallelism: usize,
+) -> String {
+    let naive_rate = measurements[0].hashes_per_sec();
+    let scratch_rate = measurements[1].hashes_per_sec();
+    let four_thread_rate = measurements
+        .iter()
+        .find(|m| m.mode == "mine_parallel" && m.threads == 4)
+        .map_or(0.0, Measurement::hashes_per_sec);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"mining_throughput\",");
+    let _ = writeln!(json, "  \"nonces_per_measurement\": {nonces},");
+    let _ = writeln!(json, "  \"target_dynamic_instructions\": {instructions},");
+    let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"measurements\": [");
+    for (index, m) in measurements.iter().enumerate() {
+        let comma = if index + 1 == measurements.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"hashes\": {}, \
+             \"seconds\": {:.6}, \"hashes_per_sec\": {:.3}}}{comma}",
+            m.mode,
+            m.threads,
+            m.hashes,
+            m.seconds,
+            m.hashes_per_sec()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{");
+    let _ = writeln!(
+        json,
+        "    \"scratch_vs_naive_single_thread\": {:.3},",
+        scratch_rate / naive_rate
+    );
+    let _ = writeln!(
+        json,
+        "    \"four_threads_vs_single_thread\": {:.3}",
+        four_thread_rate / scratch_rate
+    );
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let measurements = vec![
+            Measurement {
+                mode: "hash_naive",
+                threads: 1,
+                hashes: 10,
+                seconds: 1.0,
+            },
+            Measurement {
+                mode: "hash_with_scratch",
+                threads: 1,
+                hashes: 20,
+                seconds: 1.0,
+            },
+            Measurement {
+                mode: "mine_parallel",
+                threads: 4,
+                hashes: 40,
+                seconds: 1.0,
+            },
+        ];
+        let json = render_json(&measurements, 10, 20_000, 4);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"hashes_per_sec\": 20.000"));
+        assert!(json.contains("\"four_threads_vs_single_thread\": 2.000"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn positional_args_fall_back_to_defaults() {
+        assert_eq!(positional_arg(7, 42), 42);
+    }
+}

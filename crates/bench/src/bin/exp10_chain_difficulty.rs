@@ -16,7 +16,9 @@ use std::time::Instant;
 fn main() {
     let blocks = widget_count_from_args(8);
     let experiment = Experiment::standard();
-    println!("== Experiment E10: HashCore chain with difficulty retargeting ({blocks} blocks) ==\n");
+    println!(
+        "== Experiment E10: HashCore chain with difficulty retargeting ({blocks} blocks) ==\n"
+    );
 
     let pow = HashCorePow::new(HashCore::new(experiment.reference.clone()));
     let mut chain = Blockchain::new(
@@ -37,7 +39,10 @@ fn main() {
         let start = Instant::now();
         let transactions = vec![format!("coinbase-{height}").into_bytes()];
         let difficulty = chain.current_difficulty();
-        match chain.mine_block(&transactions, 4_096).map(|block| block.header.nonce) {
+        match chain
+            .mine_block(&transactions, 4_096)
+            .map(|block| block.header.nonce)
+        {
             Ok(nonce) => {
                 println!(
                     "{:>6} {:>10} {:>18.1} {:>14} {:>12.2}",

@@ -71,8 +71,14 @@ fn main() {
         "{:<22} {:>16} {:>16}",
         "widget target \\ core", "x86-like IPC", "ARM-mobile IPC"
     );
-    println!("{:<22} {:>16.3} {:>16.3}", "x86-targeted widgets", x86_on_x86, x86_on_arm);
-    println!("{:<22} {:>16.3} {:>16.3}", "ARM-targeted widgets", arm_on_x86, arm_on_arm);
+    println!(
+        "{:<22} {:>16.3} {:>16.3}",
+        "x86-targeted widgets", x86_on_x86, x86_on_arm
+    );
+    println!(
+        "{:<22} {:>16.3} {:>16.3}",
+        "ARM-targeted widgets", arm_on_x86, arm_on_arm
+    );
 
     let x86_ratio = x86_on_x86 / x86_on_arm;
     let arm_ratio = arm_on_x86 / arm_on_arm;

@@ -16,13 +16,22 @@ fn main() {
     println!("== Experiment E4: widget output sizes ({n} widgets) ==\n");
 
     let measurements = experiment.measure_widgets(n);
-    let sizes_kb: Vec<f64> = measurements.iter().map(|m| m.output_bytes as f64 / 1024.0).collect();
+    let sizes_kb: Vec<f64> = measurements
+        .iter()
+        .map(|m| m.output_bytes as f64 / 1024.0)
+        .collect();
     let cadence: Vec<f64> = measurements
         .iter()
         .map(|m| m.dynamic_instructions as f64 / m.snapshots.max(1) as f64)
         .collect();
-    let code_kb: Vec<f64> = measurements.iter().map(|m| m.code_bytes as f64 / 1024.0).collect();
-    let dynamic: Vec<f64> = measurements.iter().map(|m| m.dynamic_instructions as f64).collect();
+    let code_kb: Vec<f64> = measurements
+        .iter()
+        .map(|m| m.code_bytes as f64 / 1024.0)
+        .collect();
+    let dynamic: Vec<f64> = measurements
+        .iter()
+        .map(|m| m.dynamic_instructions as f64)
+        .collect();
 
     let size_summary = Summary::from_values(&sizes_kb).expect("non-empty");
     println!("widget output size (KiB):          {size_summary}");

@@ -35,9 +35,11 @@ fn main() {
         let mut reduced = 0u32;
         let mut verified = 0u32;
         for trial in 0..trials {
-            if let Some(claim) =
-                birthday_attack(&construction, format!("trial-{trial}").as_bytes(), queries_per_trial)
-            {
+            if let Some(claim) = birthday_attack(
+                &construction,
+                format!("trial-{trial}").as_bytes(),
+                queries_per_trial,
+            ) {
                 found += 1;
                 if let Some(collision) = reduce_collision(&construction, &claim) {
                     reduced += 1;

@@ -30,14 +30,22 @@ fn main() {
         let start = Instant::now();
         let mut config = widget.exec_config();
         config.collect_trace = false;
-        Executor::new(config).execute(&widget.program).expect("execute");
+        Executor::new(config)
+            .execute(&widget.program)
+            .expect("execute");
         execute_total += start.elapsed().as_secs_f64();
     }
     let generation_ms = generate_total / hashes as f64 * 1e3;
     let execution_ms = execute_total / hashes as f64 * 1e3;
     println!("generation-based HashCore (per hash):");
-    println!("  widget generation: {generation_ms:8.3} ms ({:.1}% of widget stage)", 100.0 * generation_ms / (generation_ms + execution_ms));
-    println!("  widget execution:  {execution_ms:8.3} ms ({:.1}% of widget stage)", 100.0 * execution_ms / (generation_ms + execution_ms));
+    println!(
+        "  widget generation: {generation_ms:8.3} ms ({:.1}% of widget stage)",
+        100.0 * generation_ms / (generation_ms + execution_ms)
+    );
+    println!(
+        "  widget execution:  {execution_ms:8.3} ms ({:.1}% of widget stage)",
+        100.0 * execution_ms / (generation_ms + execution_ms)
+    );
     println!("  pool storage:      0 bytes (widgets are never stored)\n");
 
     // --- Selection-based variant across pool sizes -------------------------

@@ -29,7 +29,9 @@ fn main() {
             experiment.reference.target_dynamic_instructions,
         )),
         Box::new(SelectionPow::new(experiment.reference.clone(), 32, 1)),
-        Box::new(HashCorePow::new(HashCore::new(experiment.reference.clone()))),
+        Box::new(HashCorePow::new(HashCore::new(
+            experiment.reference.clone(),
+        ))),
     ];
 
     println!(

@@ -34,7 +34,10 @@ fn main() {
         experiment.reference.reference_ipc,
         summary.mean / experiment.reference.reference_ipc
     );
-    print!("{}", histogram.render("IPC distribution", Some(experiment.reference.reference_ipc)));
+    print!(
+        "{}",
+        histogram.render("IPC distribution", Some(experiment.reference.reference_ipc))
+    );
 
     println!("\nPaper observation: widgets follow a roughly Gaussian IPC distribution");
     println!("with a mean slightly below the original workload's IPC.");

@@ -39,10 +39,13 @@ fn main() {
         "reference hit rate:     {:.4}\n",
         experiment.reference.reference_branch_hit_rate
     );
-    print!("{}", histogram.render(
-        "branch prediction hit-rate distribution",
-        Some(experiment.reference.reference_branch_hit_rate),
-    ));
+    print!(
+        "{}",
+        histogram.render(
+            "branch prediction hit-rate distribution",
+            Some(experiment.reference.reference_branch_hit_rate),
+        )
+    );
 
     println!("\nPaper observation: branch behaviour tracks the reference workload, with");
     println!("the seed noise adding proportionally fewer branches than other classes.");

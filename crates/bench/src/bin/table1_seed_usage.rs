@@ -10,18 +10,28 @@ use hashcore_profile::{apply_seed, HashSeed, PerformanceProfile, SeedField};
 
 fn main() {
     println!("== Table I: hash seed usage ==\n");
-    println!("{:<12} {:<26} {}", "Hash bits", "Usage (paper)", "Consumer in this reproduction");
+    println!(
+        "{:<12} {:<26} Consumer in this reproduction",
+        "Hash bits", "Usage (paper)"
+    );
     for field in SeedField::ALL {
         let (lo, hi) = field.bit_range();
         let consumer = match field {
-            SeedField::IntAlu | SeedField::IntMul | SeedField::FpAlu | SeedField::Loads | SeedField::Stores => {
-                "positive noise on the class's dynamic count"
-            }
+            SeedField::IntAlu
+            | SeedField::IntMul
+            | SeedField::FpAlu
+            | SeedField::Loads
+            | SeedField::Stores => "positive noise on the class's dynamic count",
             SeedField::BranchBehavior => "count noise + branch transition-rate shift",
             SeedField::BasicBlockVector => "seeds the code-structure PRNG",
             SeedField::Memory => "seeds the memory-pattern PRNG",
         };
-        println!("{:<12} {:<26} {}", format!("{lo}-{hi}"), field.name(), consumer);
+        println!(
+            "{:<12} {:<26} {}",
+            format!("{lo}-{hi}"),
+            field.name(),
+            consumer
+        );
     }
 
     let seed = HashSeed::new(sha256(b"table-1-demonstration-block-header"));

@@ -86,7 +86,9 @@ impl Experiment {
     /// digests of the index, mirroring the paper's "randomly generated one
     /// thousand hash seeds").
     pub fn widget(&self, index: usize) -> GeneratedWidget {
-        let seed = HashSeed::new(sha256(format!("hashcore-experiment-widget-{index}").as_bytes()));
+        let seed = HashSeed::new(sha256(
+            format!("hashcore-experiment-widget-{index}").as_bytes(),
+        ));
         self.generator.generate(&seed)
     }
 

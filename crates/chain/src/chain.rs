@@ -161,11 +161,11 @@ impl<P: PowFunction> Blockchain<P> {
             target: *self.target.threshold(),
             nonce: 0,
         };
-        let (nonce, attempts) = self
-            .search_nonce(&header_template, max_attempts)
-            .ok_or(ChainError::MiningExhausted {
+        let (nonce, attempts) = self.search_nonce(&header_template, max_attempts).ok_or(
+            ChainError::MiningExhausted {
                 attempts: max_attempts,
-            })?;
+            },
+        )?;
 
         // Advance the simulated clock by the work that was performed.
         let elapsed = (attempts as f64 * self.config.seconds_per_attempt).max(1.0) as u64;
@@ -299,7 +299,10 @@ mod tests {
         let chain = mined_chain(30);
         let early: f64 = chain.difficulty_history()[..5].iter().sum::<f64>() / 5.0;
         let late: f64 = chain.difficulty_history()[25..].iter().sum::<f64>() / 5.0;
-        assert!(late > early, "difficulty should rise: early {early}, late {late}");
+        assert!(
+            late > early,
+            "difficulty should rise: early {early}, late {late}"
+        );
     }
 
     #[test]

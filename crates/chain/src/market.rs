@@ -194,8 +194,12 @@ mod tests {
 
     #[test]
     fn advantage_ordering_matches_the_literature() {
-        assert!(asic_advantage(ResourceClass::FixedFunction) > asic_advantage(ResourceClass::Memory));
-        assert!(asic_advantage(ResourceClass::Memory) > asic_advantage(ResourceClass::GeneralPurpose));
+        assert!(
+            asic_advantage(ResourceClass::FixedFunction) > asic_advantage(ResourceClass::Memory)
+        );
+        assert!(
+            asic_advantage(ResourceClass::Memory) > asic_advantage(ResourceClass::GeneralPurpose)
+        );
         assert!(asic_advantage(ResourceClass::GeneralPurpose) >= 1.0);
     }
 }

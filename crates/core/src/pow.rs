@@ -4,8 +4,10 @@ use crate::target::Target;
 use hashcore_crypto::{sha256, Digest256, Sha256};
 use hashcore_gen::{GeneratorConfig, WidgetGenerator};
 use hashcore_profile::{HashSeed, PerformanceProfile};
-use hashcore_vm::{ExecError, Executor};
+use hashcore_vm::{ExecError, ExecScratch, Executor, PreparedProgram};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
 
 /// Configuration of a [`HashCore`] instance.
 #[derive(Debug, Clone)]
@@ -45,7 +47,10 @@ impl HashCoreConfig {
     ///
     /// Panics if `widgets_per_hash` is zero.
     pub fn with_widgets_per_hash(mut self, widgets_per_hash: usize) -> Self {
-        assert!(widgets_per_hash > 0, "at least one widget per hash is required");
+        assert!(
+            widgets_per_hash > 0,
+            "at least one widget per hash is required"
+        );
         self.widgets_per_hash = widgets_per_hash;
         self
     }
@@ -106,6 +111,25 @@ pub struct HashCoreOutput {
     pub widget: WidgetReport,
 }
 
+/// Reusable per-evaluation state for the PoW hot path.
+///
+/// One hash evaluation prepares and executes a freshly generated widget;
+/// the prepared-program and execution buffers in this scratch are reused
+/// across evaluations so the whole pipeline stops allocating once they
+/// reach steady-state size. Each mining worker owns exactly one scratch.
+#[derive(Debug, Clone, Default)]
+pub struct HashScratch {
+    prepared: PreparedProgram,
+    exec: ExecScratch,
+}
+
+impl HashScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The result of a successful mining search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MiningResult {
@@ -115,6 +139,29 @@ pub struct MiningResult {
     pub digest: Digest256,
     /// Number of nonces evaluated (including the winner).
     pub attempts: u64,
+}
+
+/// A reusable mining-input buffer holding `header ‖ nonce`, with the 8-byte
+/// little-endian nonce overwritten in place per attempt — the mining loops
+/// build their input once instead of allocating a fresh `Vec` per nonce.
+struct MiningInput {
+    buffer: Vec<u8>,
+}
+
+impl MiningInput {
+    fn new(header: &[u8]) -> Self {
+        Self {
+            buffer: HashCore::mining_input(header, 0),
+        }
+    }
+
+    /// Writes `nonce` into the buffer tail and returns the full input,
+    /// byte-identical to [`HashCore::mining_input`]`(header, nonce)`.
+    fn with_nonce(&mut self, nonce: u64) -> &[u8] {
+        let tail = self.buffer.len() - 8;
+        self.buffer[tail..].copy_from_slice(&nonce.to_le_bytes());
+        &self.buffer
+    }
 }
 
 /// The HashCore Proof-of-Work function.
@@ -140,7 +187,10 @@ impl HashCore {
     ///
     /// Panics if the configuration requests zero widgets per hash.
     pub fn with_config(config: HashCoreConfig) -> Self {
-        assert!(config.widgets_per_hash > 0, "at least one widget per hash is required");
+        assert!(
+            config.widgets_per_hash > 0,
+            "at least one widget per hash is required"
+        );
         Self {
             generator: WidgetGenerator::with_config(config.profile, config.generator),
             widgets_per_hash: config.widgets_per_hash,
@@ -164,6 +214,25 @@ impl HashCore {
     /// Returns [`HashCoreError::WidgetExecution`] if a generated widget
     /// fails to execute within its step limit.
     pub fn hash(&self, input: &[u8]) -> Result<HashCoreOutput, HashCoreError> {
+        self.hash_with_scratch(input, &mut HashScratch::new())
+    }
+
+    /// Evaluates `H(input)` using reusable scratch state.
+    ///
+    /// Identical to [`HashCore::hash`] — same digest, byte for byte — but
+    /// the widget is pre-decoded into and executed from `scratch`, so a
+    /// caller evaluating many inputs (every miner) allocates nothing per
+    /// hash once the scratch buffers reach steady-state size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashCoreError::WidgetExecution`] if a generated widget
+    /// fails to execute within its step limit.
+    pub fn hash_with_scratch(
+        &self,
+        input: &[u8],
+        scratch: &mut HashScratch,
+    ) -> Result<HashCoreOutput, HashCoreError> {
         // First hash gate: s = G(x).
         let seed = HashSeed::new(sha256(input));
 
@@ -188,15 +257,19 @@ impl HashCore {
                 HashSeed::new(derivation.finalize())
             };
             let widget = self.generator.generate(&widget_seed);
-            let execution = Executor::new(hashcore_vm::ExecConfig {
+            scratch
+                .prepared
+                .prepare(&widget.program)
+                .map_err(ExecError::from)?;
+            let stats = Executor::new(hashcore_vm::ExecConfig {
                 collect_trace: false,
                 ..widget.exec_config()
             })
-            .execute(&widget.program)?;
-            gate.update(&execution.output);
-            report.dynamic_instructions += execution.dynamic_instructions;
-            report.snapshots += execution.snapshot_count;
-            report.output_bytes += execution.output.len();
+            .execute_prepared(&scratch.prepared, &mut scratch.exec)?;
+            gate.update(scratch.exec.output());
+            report.dynamic_instructions += stats.dynamic_instructions;
+            report.snapshots += stats.snapshot_count;
+            report.output_bytes += scratch.exec.output().len();
             report.program_blocks += widget.program.blocks().len();
         }
 
@@ -241,18 +314,115 @@ impl HashCore {
         start: u64,
         max_attempts: u64,
     ) -> Result<Option<MiningResult>, HashCoreError> {
-        for i in 0..max_attempts {
-            let nonce = start.wrapping_add(i);
-            let digest = self.hash_digest(&Self::mining_input(header, nonce))?;
+        let mut scratch = HashScratch::new();
+        let mut input = MiningInput::new(header);
+        for offset in 0..max_attempts {
+            let nonce = start.wrapping_add(offset);
+            let digest = self
+                .hash_with_scratch(input.with_nonce(nonce), &mut scratch)?
+                .digest;
             if target.is_met_by(&digest) {
                 return Ok(Some(MiningResult {
                     nonce,
                     digest,
-                    attempts: i + 1,
+                    attempts: offset + 1,
                 }));
             }
         }
         Ok(None)
+    }
+
+    /// Searches nonces `start..start + max_attempts` for a digest meeting
+    /// `target`, sharding the nonce space across `threads` OS threads.
+    ///
+    /// Workers scan interleaved offsets (worker `w` evaluates offsets `w`,
+    /// `w + threads`, …) with their own [`HashScratch`], and an atomic
+    /// cutoff stops every worker as soon as no lower qualifying nonce can
+    /// remain unscanned. The result is **deterministic and identical to
+    /// [`HashCore::mine`]**: the lowest qualifying nonce in the range wins
+    /// regardless of thread scheduling, and `attempts` reports the same
+    /// count the sequential search would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates widget-execution failures exactly as the sequential
+    /// search would (an error at offset `e` is reported only if no nonce
+    /// below `e` qualifies); returns `Ok(None)` if no nonce in the range
+    /// qualifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, or if a mining worker thread panics.
+    pub fn mine_parallel(
+        &self,
+        header: &[u8],
+        target: Target,
+        start: u64,
+        max_attempts: u64,
+        threads: usize,
+    ) -> Result<Option<MiningResult>, HashCoreError> {
+        assert!(threads > 0, "mine_parallel requires at least one thread");
+        // A worker per nonce is the most the range can use; surplus threads
+        // would spawn only to exit immediately.
+        let threads = threads.min(usize::try_from(max_attempts).unwrap_or(usize::MAX));
+        if threads <= 1 || max_attempts <= 1 {
+            return self.mine(header, target, start, max_attempts);
+        }
+
+        // Lowest offset whose evaluation was decisive (qualifying digest or
+        // execution error). Workers never scan past it, and every offset
+        // below the final cutoff is guaranteed to have been evaluated.
+        let cutoff = AtomicU64::new(u64::MAX);
+        type Outcome = (u64, Result<(u64, Digest256), HashCoreError>);
+
+        let outcomes: Vec<Option<Outcome>> = thread::scope(|scope| {
+            let cutoff = &cutoff;
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut scratch = HashScratch::new();
+                        let mut input = MiningInput::new(header);
+                        let mut offset = worker;
+                        while offset < max_attempts && offset < cutoff.load(Ordering::Acquire) {
+                            let nonce = start.wrapping_add(offset);
+                            match self.hash_with_scratch(input.with_nonce(nonce), &mut scratch) {
+                                Ok(out) if target.is_met_by(&out.digest) => {
+                                    cutoff.fetch_min(offset, Ordering::AcqRel);
+                                    return Some((offset, Ok((nonce, out.digest))));
+                                }
+                                Ok(_) => {}
+                                Err(error) => {
+                                    cutoff.fetch_min(offset, Ordering::AcqRel);
+                                    return Some((offset, Err(error)));
+                                }
+                            }
+                            offset += threads as u64;
+                        }
+                        None
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("mining worker panicked"))
+                .collect()
+        });
+
+        // The decisive outcome with the lowest offset is exactly what the
+        // sequential scan would have hit first.
+        let winner = outcomes
+            .into_iter()
+            .flatten()
+            .min_by_key(|(offset, _)| *offset);
+        match winner {
+            None => Ok(None),
+            Some((offset, Ok((nonce, digest)))) => Ok(Some(MiningResult {
+                nonce,
+                digest,
+                attempts: offset + 1,
+            })),
+            Some((_, Err(error))) => Err(error),
+        }
     }
 
     /// Verifies that `(header, nonce)` meets `target`, returning the digest
@@ -312,7 +482,9 @@ mod tests {
 
         let seed = HashSeed::new(sha256(input));
         let widget = pow.generator().generate(&seed);
-        let exec = Executor::new(widget.exec_config()).execute(&widget.program).unwrap();
+        let exec = Executor::new(widget.exec_config())
+            .execute(&widget.program)
+            .unwrap();
         let mut gate = Sha256::new();
         gate.update(seed.as_bytes());
         gate.update(&exec.output);
@@ -342,8 +514,12 @@ mod tests {
         assert_eq!(verified, Some(result.digest));
         // A wrong nonce (almost surely) fails, and a harder target rejects.
         assert_eq!(
-            pow.verify(b"block-42", result.nonce, Target::from_leading_zero_bits(255))
-                .unwrap(),
+            pow.verify(
+                b"block-42",
+                result.nonce,
+                Target::from_leading_zero_bits(255)
+            )
+            .unwrap(),
             None
         );
     }
@@ -363,9 +539,7 @@ mod tests {
         let mut profile = PerformanceProfile::leela_like();
         profile.target_dynamic_instructions = 3_000;
         let single = HashCore::with_config(HashCoreConfig::new(profile.clone()));
-        let double = HashCore::with_config(
-            HashCoreConfig::new(profile).with_widgets_per_hash(2),
-        );
+        let double = HashCore::with_config(HashCoreConfig::new(profile).with_widgets_per_hash(2));
         assert_eq!(double.widgets_per_hash(), 2);
 
         let a = single.hash(b"multi-widget").unwrap();
@@ -386,11 +560,72 @@ mod tests {
     }
 
     #[test]
+    fn scratch_path_is_bit_identical_to_fresh_hashing() {
+        let pow = fast_pow();
+        let mut scratch = HashScratch::new();
+        // One scratch serves a stream of different inputs (the mining
+        // usage); every digest and report must match the fresh path.
+        for input in [b"a".as_ref(), b"b".as_ref(), b"".as_ref(), b"a".as_ref()] {
+            let fresh = pow.hash(input).unwrap();
+            let reused = pow.hash_with_scratch(input, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn parallel_mining_matches_sequential_mining() {
+        let pow = fast_pow();
+        let target = Target::from_leading_zero_bits(3);
+        let sequential = pow.mine(b"parallel-block", target, 0, 96).unwrap();
+        assert!(
+            sequential.is_some(),
+            "an easy target is met within 96 nonces"
+        );
+        for threads in [1usize, 2, 3, 4] {
+            let parallel = pow
+                .mine_parallel(b"parallel-block", target, 0, 96, threads)
+                .unwrap();
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_mining_respects_attempt_budget() {
+        let pow = fast_pow();
+        let result = pow
+            .mine_parallel(b"hard", Target::from_leading_zero_bits(128), 0, 6, 3)
+            .unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn parallel_mining_with_nonzero_start_finds_the_lowest_nonce() {
+        let pow = fast_pow();
+        let target = Target::from_leading_zero_bits(2);
+        let sequential = pow.mine(b"offset-block", target, 1_000, 64).unwrap();
+        let parallel = pow
+            .mine_parallel(b"offset-block", target, 1_000, 64, 4)
+            .unwrap();
+        assert_eq!(parallel, sequential);
+        assert!(parallel.unwrap().nonce >= 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_mining_threads_rejected() {
+        let _ = fast_pow().mine_parallel(b"x", Target::from_leading_zero_bits(1), 0, 4, 0);
+    }
+
+    #[test]
     fn avalanche_between_adjacent_nonces() {
         let pow = fast_pow();
         let a = pow.hash_digest(&HashCore::mining_input(b"hdr", 1)).unwrap();
         let b = pow.hash_digest(&HashCore::mining_input(b"hdr", 2)).unwrap();
-        let differing: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let differing: u32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
         assert!(differing > 64, "only {differing} bits differ");
     }
 }

@@ -64,7 +64,10 @@ impl TruncatedGate {
     ///
     /// Panics if `bytes` is zero or larger than 32.
     pub fn new(bytes: usize) -> Self {
-        assert!((1..=32).contains(&bytes), "truncation must keep 1..=32 bytes");
+        assert!(
+            (1..=32).contains(&bytes),
+            "truncation must keep 1..=32 bytes"
+        );
         Self { bytes }
     }
 }

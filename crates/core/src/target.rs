@@ -77,13 +77,16 @@ impl Target {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn scale(&self, factor: f64) -> Target {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         // Multiply the 256-bit threshold by the factor using 64-bit limbs.
         let mut limbs = [0u64; 4];
-        for i in 0..4 {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let mut bytes = [0u8; 8];
             bytes.copy_from_slice(&self.threshold[i * 8..i * 8 + 8]);
-            limbs[i] = u64::from_be_bytes(bytes);
+            *limb = u64::from_be_bytes(bytes);
         }
         // Convert to f64 (approximate), scale, convert back with clamping.
         let value = limbs
@@ -94,10 +97,10 @@ impl Target {
         let scaled = (value * factor).min(2f64.powi(255));
         let mut out = [0u8; 32];
         let mut remaining = scaled;
-        for i in 0..32 {
+        for (i, byte) in out.iter_mut().enumerate() {
             let weight = 2f64.powi(8 * (31 - i as i32));
             let digit = (remaining / weight).floor().clamp(0.0, 255.0);
-            out[i] = digit as u8;
+            *byte = digit as u8;
             remaining -= digit * weight;
         }
         if out == [0u8; 32] {

@@ -72,7 +72,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// # }
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(DecodeHexError::OddLength { len: s.len() });
     }
     let mut out = Vec::with_capacity(s.len() / 2);

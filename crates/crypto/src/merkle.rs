@@ -81,7 +81,7 @@ impl MerkleTree {
         let mut proof = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if idx % 2 == 0 {
+            let sibling = if idx.is_multiple_of(2) {
                 // Right sibling, or self-duplication when it does not exist.
                 *level.get(idx + 1).unwrap_or(&level[idx])
             } else {
@@ -99,7 +99,7 @@ impl MerkleTree {
         let mut node = sha256(item);
         let mut idx = index;
         for sibling in proof {
-            node = if idx % 2 == 0 {
+            node = if idx.is_multiple_of(2) {
                 hash_pair(&node, sibling)
             } else {
                 hash_pair(sibling, &node)

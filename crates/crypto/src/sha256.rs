@@ -87,13 +87,15 @@ impl Sha256 {
             }
         }
 
-        // Process full blocks directly from the input.
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
-            self.compress(&block);
-            input = &input[64..];
+        // Process full blocks directly from the input slice, with no
+        // staging copy — this is the hot path of the second hash gate,
+        // which absorbs the full 20–38 kB widget output on every hash.
+        let mut blocks = input.chunks_exact(64);
+        for block in &mut blocks {
+            // chunks_exact guarantees the length; the conversion is free.
+            self.compress(block.try_into().expect("64-byte chunk"));
         }
+        input = blocks.remainder();
 
         // Stash the remainder.
         if !input.is_empty() {
@@ -127,7 +129,7 @@ impl Sha256 {
             offset += take;
             input = &input[take..];
             if offset == 64 {
-                self.compress(&block.clone());
+                self.compress(&block);
                 block = [0u8; 64];
                 offset = 0;
             }
@@ -148,6 +150,7 @@ impl Sha256 {
         hasher.finalize()
     }
 
+    /// Compresses one 64-byte block into the state.
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {

@@ -17,12 +17,19 @@ fn main() {
     let generator = WidgetGenerator::new(reference);
     for fill in [1u8, 50, 120, 200, 255] {
         let widget = generator.generate(&HashSeed::new([fill; 32]));
-        let exec = Executor::new(widget.exec_config()).execute(&widget.program).unwrap();
-        let sim = CoreModel::new(CoreConfig::ivy_bridge_like()).simulate(&widget.program, &exec.trace);
+        let exec = Executor::new(widget.exec_config())
+            .execute(&widget.program)
+            .unwrap();
+        let sim =
+            CoreModel::new(CoreConfig::ivy_bridge_like()).simulate(&widget.program, &exec.trace);
         let measured = WorkloadProfiler::default().profile("w", &widget.program, &exec.trace);
-        println!("widget {fill:3}: ipc={:.3} bhit={:.4} dyn={} out={}B mixL1={:.3}",
-            sim.counters.ipc(), sim.counters.branch_hit_rate(), exec.dynamic_instructions,
+        println!(
+            "widget {fill:3}: ipc={:.3} bhit={:.4} dyn={} out={}B mixL1={:.3}",
+            sim.counters.ipc(),
+            sim.counters.branch_hit_rate(),
+            exec.dynamic_instructions,
             exec.output.len(),
-            hashcore_profile::ProfileDistance::between(&measured, &widget.target.profile).mix_l1);
+            hashcore_profile::ProfileDistance::between(&measured, &widget.target.profile).mix_l1
+        );
     }
 }

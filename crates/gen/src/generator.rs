@@ -152,7 +152,9 @@ impl WidgetGenerator {
         let mut mem_rng = WidgetRng::new(target.memory_seed as u64);
 
         let total = profile.target_dynamic_instructions.max(1000) as f64;
-        let outer_iters = (total / self.config.snapshot_cadence as f64).round().max(1.0) as u64;
+        let outer_iters = (total / self.config.snapshot_cadence as f64)
+            .round()
+            .max(1.0) as u64;
         let per_iter = total / outer_iters as f64;
 
         // Per-iteration class budgets (branches handled structurally).
@@ -235,9 +237,10 @@ impl WidgetGenerator {
         emitter.builder.load_imm(REG_ZERO, 0);
         // Threshold for data-dependent branches: a uniformly random 64-bit
         // operand is below this value with probability `taken_fraction`.
-        emitter
-            .builder
-            .load_imm(REG_RAND_THRESH, (taken_fraction * u64::MAX as f64) as u64 as i64);
+        emitter.builder.load_imm(
+            REG_RAND_THRESH,
+            (taken_fraction * u64::MAX as f64) as u64 as i64,
+        );
         // Threshold for counter-based branches: the loop counter stays above
         // it for `taken_fraction` of the iterations.
         emitter.builder.load_imm(
@@ -256,9 +259,16 @@ impl WidgetGenerator {
 
         // Reserve the per-segment blocks: head + two arms each, then latch
         // and exit.
-        let seg_heads: Vec<_> = (0..segments).map(|_| emitter.builder.reserve_block()).collect();
+        let seg_heads: Vec<_> = (0..segments)
+            .map(|_| emitter.builder.reserve_block())
+            .collect();
         let seg_arms: Vec<(_, _)> = (0..segments)
-            .map(|_| (emitter.builder.reserve_block(), emitter.builder.reserve_block()))
+            .map(|_| {
+                (
+                    emitter.builder.reserve_block(),
+                    emitter.builder.reserve_block(),
+                )
+            })
             .collect();
         let latch = emitter.builder.reserve_block();
         let exit = emitter.builder.reserve_block();
@@ -278,7 +288,11 @@ impl WidgetGenerator {
         ];
 
         for s in 0..segments {
-            let next = if s + 1 == segments { latch } else { seg_heads[s + 1] };
+            let next = if s + 1 == segments {
+                latch
+            } else {
+                seg_heads[s + 1]
+            };
             let share = |b: f64| b / segments as f64;
 
             // Head block: half of the segment's work (the other half lives in
@@ -451,7 +465,8 @@ impl Emitter<'_> {
                     // reference workload's pointer chasing is confined to its
                     // resident data structure) by masking the cursor.
                     let offset = (mem_rng.next_bounded(8) * 8) as i32;
-                    self.builder.load(REG_CHASE_CURSOR, REG_CHASE_CURSOR, offset);
+                    self.builder
+                        .load(REG_CHASE_CURSOR, REG_CHASE_CURSOR, offset);
                     self.builder.int_alu_imm(
                         IntAluOp::And,
                         REG_CHASE_CURSOR,
@@ -462,8 +477,12 @@ impl Emitter<'_> {
                     let dst = self.pool_reg(code_rng);
                     let offset = (mem_rng.next_bounded(4) * 8) as i32;
                     self.builder.load(dst, REG_STRIDE_CURSOR, offset);
-                    self.builder
-                        .int_alu_imm(IntAluOp::Add, REG_STRIDE_CURSOR, REG_STRIDE_CURSOR, self.stride);
+                    self.builder.int_alu_imm(
+                        IntAluOp::Add,
+                        REG_STRIDE_CURSOR,
+                        REG_STRIDE_CURSOR,
+                        self.stride,
+                    );
                     self.last_int = Some(dst);
                 } else {
                     // A scattered access in the neighbourhood of the strided
@@ -512,7 +531,11 @@ impl Emitter<'_> {
     ///   threshold, so the direction is constant for long runs (taken for a
     ///   `taken_fraction` share of the iterations) and trivially learned by
     ///   the predictor.
-    fn condition(&mut self, unpredictable: bool, code_rng: &mut WidgetRng) -> (BranchCond, IntReg, IntReg) {
+    fn condition(
+        &mut self,
+        unpredictable: bool,
+        code_rng: &mut WidgetRng,
+    ) -> (BranchCond, IntReg, IntReg) {
         if unpredictable {
             let operand = self.pool_reg(code_rng);
             (BranchCond::Ltu, operand, REG_RAND_THRESH)
@@ -632,7 +655,8 @@ mod tests {
         let exec = Executor::new(widget.exec_config())
             .execute(&widget.program)
             .unwrap();
-        let sim = CoreModel::new(CoreConfig::ivy_bridge_like()).simulate(&widget.program, &exec.trace);
+        let sim =
+            CoreModel::new(CoreConfig::ivy_bridge_like()).simulate(&widget.program, &exec.trace);
         let ipc = sim.counters.ipc();
         assert!(ipc > 0.15 && ipc < 4.0, "ipc {ipc}");
         assert!(sim.counters.branch_hit_rate() > 0.5);

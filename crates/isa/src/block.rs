@@ -50,7 +50,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(target) => vec![*target],
-            Terminator::Branch { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
             Terminator::Halt => Vec::new(),
         }
     }

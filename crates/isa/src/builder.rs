@@ -112,7 +112,12 @@ impl ProgramBuilder {
 
     /// Appends `dst = op(src1, src2)` on the integer ALU.
     pub fn int_alu(&mut self, op: IntAluOp, dst: IntReg, src1: IntReg, src2: IntReg) {
-        self.push(Instruction::IntAlu { op, dst, src1, src2 });
+        self.push(Instruction::IntAlu {
+            op,
+            dst,
+            src1,
+            src2,
+        });
     }
 
     /// Appends `dst = op(src, imm)` on the integer ALU.
@@ -122,7 +127,12 @@ impl ProgramBuilder {
 
     /// Appends an integer multiply.
     pub fn int_mul(&mut self, op: IntMulOp, dst: IntReg, src1: IntReg, src2: IntReg) {
-        self.push(Instruction::IntMul { op, dst, src1, src2 });
+        self.push(Instruction::IntMul {
+            op,
+            dst,
+            src1,
+            src2,
+        });
     }
 
     /// Appends `dst = imm`.
@@ -132,7 +142,12 @@ impl ProgramBuilder {
 
     /// Appends a floating-point operation.
     pub fn fp(&mut self, op: FpOp, dst: FpReg, src1: FpReg, src2: FpReg) {
-        self.push(Instruction::Fp { op, dst, src1, src2 });
+        self.push(Instruction::Fp {
+            op,
+            dst,
+            src1,
+            src2,
+        });
     }
 
     /// Appends an int→fp conversion.
@@ -167,7 +182,12 @@ impl ProgramBuilder {
 
     /// Appends a vector operation.
     pub fn vec(&mut self, op: VecOp, dst: VecReg, src1: VecReg, src2: VecReg) {
-        self.push(Instruction::Vec { op, dst, src1, src2 });
+        self.push(Instruction::Vec {
+            op,
+            dst,
+            src1,
+            src2,
+        });
     }
 
     /// Appends a vector load.

@@ -34,7 +34,11 @@ use std::fmt::Write as _;
 /// ```
 pub fn emit_c_source(program: &Program) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "/* Auto-generated HashCore widget ({} blocks). */", program.blocks().len());
+    let _ = writeln!(
+        out,
+        "/* Auto-generated HashCore widget ({} blocks). */",
+        program.blocks().len()
+    );
     out.push_str("#include <stdint.h>\n#include <stdio.h>\n#include <string.h>\n\n");
     let _ = writeln!(out, "#define MEM_SIZE {}", program.memory_size());
     let _ = writeln!(out, "#define MEM_MASK (MEM_SIZE - 1)");
@@ -60,7 +64,10 @@ pub fn emit_c_source(program: &Program) -> String {
     out.push_str("int main(void) {\n");
     let _ = writeln!(out, "    uint64_t r[{NUM_INT_REGS}] = {{0}};");
     let _ = writeln!(out, "    double f[{NUM_FP_REGS}] = {{0}};");
-    let _ = writeln!(out, "    uint64_t v[{NUM_VEC_REGS}][{VEC_LANES}] = {{{{0}}}};");
+    let _ = writeln!(
+        out,
+        "    uint64_t v[{NUM_VEC_REGS}][{VEC_LANES}] = {{{{0}}}};"
+    );
     let _ = writeln!(out, "    goto bb{};", program.entry().0);
 
     for block in program.blocks() {
@@ -82,12 +89,20 @@ pub fn emit_c_source(program: &Program) -> String {
                 let expr = match cond {
                     crate::BranchCond::Eq => format!("r[{}] == r[{}]", src1.0, src2.0),
                     crate::BranchCond::Ne => format!("r[{}] != r[{}]", src1.0, src2.0),
-                    crate::BranchCond::Lt => format!("(int64_t)r[{}] < (int64_t)r[{}]", src1.0, src2.0),
-                    crate::BranchCond::Ge => format!("(int64_t)r[{}] >= (int64_t)r[{}]", src1.0, src2.0),
+                    crate::BranchCond::Lt => {
+                        format!("(int64_t)r[{}] < (int64_t)r[{}]", src1.0, src2.0)
+                    }
+                    crate::BranchCond::Ge => {
+                        format!("(int64_t)r[{}] >= (int64_t)r[{}]", src1.0, src2.0)
+                    }
                     crate::BranchCond::Ltu => format!("r[{}] < r[{}]", src1.0, src2.0),
                     crate::BranchCond::Geu => format!("r[{}] >= r[{}]", src1.0, src2.0),
                 };
-                let _ = writeln!(out, "    if ({expr}) goto bb{}; else goto bb{};", taken.0, not_taken.0);
+                let _ = writeln!(
+                    out,
+                    "    if ({expr}) goto bb{}; else goto bb{};",
+                    taken.0, not_taken.0
+                );
             }
             Terminator::Halt => {
                 out.push_str("    return 0;\n");
@@ -115,7 +130,12 @@ fn alu_expr(op: IntAluOp, a: &str, b: &str) -> String {
 
 fn emit_instruction(out: &mut String, inst: &Instruction) {
     match inst {
-        Instruction::IntAlu { op, dst, src1, src2 } => {
+        Instruction::IntAlu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let a = format!("r[{}]", src1.0);
             let b = format!("r[{}]", src2.0);
             let _ = writeln!(out, "    r[{}] = {};", dst.0, alu_expr(*op, &a, &b));
@@ -125,7 +145,12 @@ fn emit_instruction(out: &mut String, inst: &Instruction) {
             let b = format!("(uint64_t)(int64_t){imm}");
             let _ = writeln!(out, "    r[{}] = {};", dst.0, alu_expr(*op, &a, &b));
         }
-        Instruction::IntMul { op, dst, src1, src2 } => match op {
+        Instruction::IntMul {
+            op,
+            dst,
+            src1,
+            src2,
+        } => match op {
             IntMulOp::Mul => {
                 let _ = writeln!(out, "    r[{}] = r[{}] * r[{}];", dst.0, src1.0, src2.0);
             }
@@ -140,7 +165,12 @@ fn emit_instruction(out: &mut String, inst: &Instruction) {
         Instruction::LoadImm { dst, imm } => {
             let _ = writeln!(out, "    r[{}] = (uint64_t)(int64_t){imm}LL;", dst.0);
         }
-        Instruction::Fp { op, dst, src1, src2 } => {
+        Instruction::Fp {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let a = format!("f[{}]", src1.0);
             let b = format!("f[{}]", src2.0);
             let expr = match op {
@@ -164,10 +194,18 @@ fn emit_instruction(out: &mut String, inst: &Instruction) {
             );
         }
         Instruction::Load { dst, base, offset } => {
-            let _ = writeln!(out, "    r[{}] = ld64(r[{}] + (int64_t){offset});", dst.0, base.0);
+            let _ = writeln!(
+                out,
+                "    r[{}] = ld64(r[{}] + (int64_t){offset});",
+                dst.0, base.0
+            );
         }
         Instruction::Store { src, base, offset } => {
-            let _ = writeln!(out, "    st64(r[{}] + (int64_t){offset}, r[{}]);", base.0, src.0);
+            let _ = writeln!(
+                out,
+                "    st64(r[{}] + (int64_t){offset}, r[{}]);",
+                base.0, src.0
+            );
         }
         Instruction::FpLoad { dst, base, offset } => {
             let _ = writeln!(
@@ -183,7 +221,12 @@ fn emit_instruction(out: &mut String, inst: &Instruction) {
                 src.0, base.0
             );
         }
-        Instruction::Vec { op, dst, src1, src2 } => {
+        Instruction::Vec {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let expr = |a: String, b: String| match op {
                 VecOp::Add => format!("{a} + {b}"),
                 VecOp::Xor => format!("{a} ^ {b}"),

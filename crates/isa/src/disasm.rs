@@ -8,17 +8,32 @@ use std::fmt;
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Instruction::IntAlu { op, dst, src1, src2 } => {
+            Instruction::IntAlu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "{} {dst}, {src1}, {src2}", op.mnemonic())
             }
             Instruction::IntAluImm { op, dst, src, imm } => {
                 write!(f, "{}i {dst}, {src}, {imm}", op.mnemonic())
             }
-            Instruction::IntMul { op, dst, src1, src2 } => {
+            Instruction::IntMul {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "{} {dst}, {src1}, {src2}", op.mnemonic())
             }
             Instruction::LoadImm { dst, imm } => write!(f, "li {dst}, {imm}"),
-            Instruction::Fp { op, dst, src1, src2 } => {
+            Instruction::Fp {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "{} {dst}, {src1}, {src2}", op.mnemonic())
             }
             Instruction::FpFromInt { dst, src } => write!(f, "fcvt.d.l {dst}, {src}"),
@@ -27,7 +42,12 @@ impl fmt::Display for Instruction {
             Instruction::Store { src, base, offset } => write!(f, "sd {src}, {offset}({base})"),
             Instruction::FpLoad { dst, base, offset } => write!(f, "fld {dst}, {offset}({base})"),
             Instruction::FpStore { src, base, offset } => write!(f, "fsd {src}, {offset}({base})"),
-            Instruction::Vec { op, dst, src1, src2 } => {
+            Instruction::Vec {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "{} {dst}, {src1}, {src2}", op.mnemonic())
             }
             Instruction::VecLoad { dst, base, offset } => write!(f, "vld {dst}, {offset}({base})"),
@@ -60,7 +80,12 @@ impl fmt::Display for Terminator {
 impl fmt::Display for Program {
     /// Renders the whole program as annotated assembly.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "; widget program: {} blocks, {} bytes of memory", self.blocks().len(), self.memory_size())?;
+        writeln!(
+            f,
+            "; widget program: {} blocks, {} bytes of memory",
+            self.blocks().len(),
+            self.memory_size()
+        )?;
         writeln!(f, "; entry: {}", self.entry())?;
         for block in self.blocks() {
             writeln!(f, "{}:", block.id)?;

@@ -39,7 +39,9 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::UnexpectedEnd => write!(f, "unexpected end of encoded program"),
-            DecodeError::BadTag { tag, context } => write!(f, "invalid tag {tag} while decoding {context}"),
+            DecodeError::BadTag { tag, context } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
             DecodeError::BadMagic => write!(f, "missing widget program magic"),
         }
     }
@@ -107,10 +109,16 @@ impl<'a> Reader<'a> {
 }
 
 fn alu_tag(op: IntAluOp) -> u8 {
-    IntAluOp::ALL.iter().position(|&o| o == op).expect("known op") as u8
+    IntAluOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("known op") as u8
 }
 fn mul_tag(op: IntMulOp) -> u8 {
-    IntMulOp::ALL.iter().position(|&o| o == op).expect("known op") as u8
+    IntMulOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("known op") as u8
 }
 fn fp_tag(op: FpOp) -> u8 {
     FpOp::ALL.iter().position(|&o| o == op).expect("known op") as u8
@@ -119,43 +127,66 @@ fn vec_tag(op: VecOp) -> u8 {
     VecOp::ALL.iter().position(|&o| o == op).expect("known op") as u8
 }
 fn cond_tag(cond: BranchCond) -> u8 {
-    BranchCond::ALL.iter().position(|&c| c == cond).expect("known cond") as u8
+    BranchCond::ALL
+        .iter()
+        .position(|&c| c == cond)
+        .expect("known cond") as u8
 }
 
 fn alu_from(tag: u8) -> Result<IntAluOp, DecodeError> {
     IntAluOp::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(DecodeError::BadTag { tag, context: "int alu op" })
+        .ok_or(DecodeError::BadTag {
+            tag,
+            context: "int alu op",
+        })
 }
 fn mul_from(tag: u8) -> Result<IntMulOp, DecodeError> {
     IntMulOp::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(DecodeError::BadTag { tag, context: "int mul op" })
+        .ok_or(DecodeError::BadTag {
+            tag,
+            context: "int mul op",
+        })
 }
 fn fp_from(tag: u8) -> Result<FpOp, DecodeError> {
     FpOp::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(DecodeError::BadTag { tag, context: "fp op" })
+        .ok_or(DecodeError::BadTag {
+            tag,
+            context: "fp op",
+        })
 }
 fn vec_from(tag: u8) -> Result<VecOp, DecodeError> {
     VecOp::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(DecodeError::BadTag { tag, context: "vec op" })
+        .ok_or(DecodeError::BadTag {
+            tag,
+            context: "vec op",
+        })
 }
 fn cond_from(tag: u8) -> Result<BranchCond, DecodeError> {
     BranchCond::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(DecodeError::BadTag { tag, context: "branch cond" })
+        .ok_or(DecodeError::BadTag {
+            tag,
+            context: "branch cond",
+        })
 }
 
 fn encode_instruction(w: &mut Writer, inst: &Instruction) {
     match inst {
-        Instruction::IntAlu { op, dst, src1, src2 } => {
+        Instruction::IntAlu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             w.u8(0);
             w.u8(alu_tag(*op));
             w.u8(dst.0);
@@ -169,7 +200,12 @@ fn encode_instruction(w: &mut Writer, inst: &Instruction) {
             w.u8(src.0);
             w.i32(*imm);
         }
-        Instruction::IntMul { op, dst, src1, src2 } => {
+        Instruction::IntMul {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             w.u8(2);
             w.u8(mul_tag(*op));
             w.u8(dst.0);
@@ -181,7 +217,12 @@ fn encode_instruction(w: &mut Writer, inst: &Instruction) {
             w.u8(dst.0);
             w.i64(*imm);
         }
-        Instruction::Fp { op, dst, src1, src2 } => {
+        Instruction::Fp {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             w.u8(4);
             w.u8(fp_tag(*op));
             w.u8(dst.0);
@@ -222,7 +263,12 @@ fn encode_instruction(w: &mut Writer, inst: &Instruction) {
             w.u8(base.0);
             w.i32(*offset);
         }
-        Instruction::Vec { op, dst, src1, src2 } => {
+        Instruction::Vec {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             w.u8(11);
             w.u8(vec_tag(*op));
             w.u8(dst.0);
@@ -416,7 +462,10 @@ pub fn encode(program: &Program) -> Vec<u8> {
 /// Returns a [`DecodeError`] if the bytes are truncated or contain
 /// unrecognised tags.
 pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
-    let mut r = Reader { data: bytes, pos: 0 };
+    let mut r = Reader {
+        data: bytes,
+        pos: 0,
+    };
     if r.take(4)? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
@@ -431,7 +480,11 @@ pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
             instructions.push(decode_instruction(&mut r)?);
         }
         let terminator = decode_terminator(&mut r)?;
-        blocks.push(BasicBlock::new(BlockId(id as u32), instructions, terminator));
+        blocks.push(BasicBlock::new(
+            BlockId(id as u32),
+            instructions,
+            terminator,
+        ));
     }
     Ok(Program::new(blocks, entry, memory_size))
 }
@@ -514,7 +567,10 @@ mod tests {
         bytes[offset] = 0xff;
         assert!(matches!(
             decode(&bytes),
-            Err(DecodeError::BadTag { context: "instruction", .. })
+            Err(DecodeError::BadTag {
+                context: "instruction",
+                ..
+            })
         ));
     }
 
@@ -525,7 +581,9 @@ mod tests {
 
     #[test]
     fn decode_error_display() {
-        assert!(DecodeError::UnexpectedEnd.to_string().contains("unexpected end"));
+        assert!(DecodeError::UnexpectedEnd
+            .to_string()
+            .contains("unexpected end"));
         assert!(DecodeError::BadMagic.to_string().contains("magic"));
     }
 }

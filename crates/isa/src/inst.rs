@@ -107,7 +107,14 @@ pub enum FpOp {
 
 impl FpOp {
     /// All floating-point operations.
-    pub const ALL: [FpOp; 6] = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max];
+    pub const ALL: [FpOp; 6] = [
+        FpOp::Add,
+        FpOp::Sub,
+        FpOp::Mul,
+        FpOp::Div,
+        FpOp::Min,
+        FpOp::Max,
+    ];
 
     /// Short mnemonic used by the disassembler.
     pub fn mnemonic(self) -> &'static str {
@@ -411,19 +418,19 @@ impl Instruction {
     /// Returns the micro-architectural resource class of the instruction.
     pub fn class(&self) -> OpClass {
         match self {
-            Instruction::IntAlu { .. } | Instruction::IntAluImm { .. } | Instruction::LoadImm { .. } => {
-                OpClass::IntAlu
-            }
+            Instruction::IntAlu { .. }
+            | Instruction::IntAluImm { .. }
+            | Instruction::LoadImm { .. } => OpClass::IntAlu,
             Instruction::IntMul { .. } => OpClass::IntMul,
-            Instruction::Fp { .. } | Instruction::FpFromInt { .. } | Instruction::FpToInt { .. } => {
-                OpClass::FpAlu
-            }
+            Instruction::Fp { .. }
+            | Instruction::FpFromInt { .. }
+            | Instruction::FpToInt { .. } => OpClass::FpAlu,
             Instruction::Load { .. } | Instruction::FpLoad { .. } | Instruction::VecLoad { .. } => {
                 OpClass::Load
             }
-            Instruction::Store { .. } | Instruction::FpStore { .. } | Instruction::VecStore { .. } => {
-                OpClass::Store
-            }
+            Instruction::Store { .. }
+            | Instruction::FpStore { .. }
+            | Instruction::VecStore { .. } => OpClass::Store,
             Instruction::Vec { .. } => OpClass::Vector,
             Instruction::Snapshot => OpClass::Control,
         }
@@ -472,23 +479,26 @@ impl Instruction {
     /// inside its architectural file.
     pub fn registers_valid(&self) -> bool {
         match self {
-            Instruction::IntAlu { dst, src1, src2, .. } | Instruction::IntMul { dst, src1, src2, .. } => {
-                dst.is_valid() && src1.is_valid() && src2.is_valid()
+            Instruction::IntAlu {
+                dst, src1, src2, ..
             }
+            | Instruction::IntMul {
+                dst, src1, src2, ..
+            } => dst.is_valid() && src1.is_valid() && src2.is_valid(),
             Instruction::IntAluImm { dst, src, .. } => dst.is_valid() && src.is_valid(),
             Instruction::LoadImm { dst, .. } => dst.is_valid(),
-            Instruction::Fp { dst, src1, src2, .. } => {
-                dst.is_valid() && src1.is_valid() && src2.is_valid()
-            }
+            Instruction::Fp {
+                dst, src1, src2, ..
+            } => dst.is_valid() && src1.is_valid() && src2.is_valid(),
             Instruction::FpFromInt { dst, src } => dst.is_valid() && src.is_valid(),
             Instruction::FpToInt { dst, src } => dst.is_valid() && src.is_valid(),
             Instruction::Load { dst, base, .. } => dst.is_valid() && base.is_valid(),
             Instruction::Store { src, base, .. } => src.is_valid() && base.is_valid(),
             Instruction::FpLoad { dst, base, .. } => dst.is_valid() && base.is_valid(),
             Instruction::FpStore { src, base, .. } => src.is_valid() && base.is_valid(),
-            Instruction::Vec { dst, src1, src2, .. } => {
-                dst.is_valid() && src1.is_valid() && src2.is_valid()
-            }
+            Instruction::Vec {
+                dst, src1, src2, ..
+            } => dst.is_valid() && src1.is_valid() && src2.is_valid(),
             Instruction::VecLoad { dst, base, .. } => dst.is_valid() && base.is_valid(),
             Instruction::VecStore { src, base, .. } => src.is_valid() && base.is_valid(),
             Instruction::Snapshot => true,

@@ -50,7 +50,7 @@ pub enum ValidateError {
         /// Index of the instruction within the block.
         index: usize,
     },
-    /// The memory size is zero or not a power of two.
+    /// The memory size is not a power of two of at least 8 bytes.
     BadMemorySize {
         /// The offending size.
         size: usize,
@@ -71,10 +71,16 @@ impl fmt::Display for ValidateError {
                 write!(f, "block {from} branches to missing block {to}")
             }
             ValidateError::InvalidRegister { block, index } => {
-                write!(f, "instruction {index} of block {block} uses an invalid register")
+                write!(
+                    f,
+                    "instruction {index} of block {block} uses an invalid register"
+                )
             }
             ValidateError::BadMemorySize { size } => {
-                write!(f, "memory size {size} is not a non-zero power of two")
+                write!(
+                    f,
+                    "memory size {size} is not a power of two of at least 8 bytes"
+                )
             }
             ValidateError::NoHalt => write!(f, "program has no halt terminator"),
         }
@@ -145,7 +151,10 @@ impl Program {
         if self.blocks.is_empty() {
             return Err(ValidateError::Empty);
         }
-        if self.memory_size == 0 || !self.memory_size.is_power_of_two() {
+        // The executor's machine state addresses memory through a 64-bit
+        // mask in 8-byte words, so the floor matches its `memory_size >= 8`
+        // requirement — a validated program must never crash the verifier.
+        if self.memory_size < 8 || !self.memory_size.is_power_of_two() {
             return Err(ValidateError::BadMemorySize {
                 size: self.memory_size,
             });
@@ -156,7 +165,10 @@ impl Program {
         let mut has_halt = false;
         for (index, block) in self.blocks.iter().enumerate() {
             if block.id.index() != index {
-                return Err(ValidateError::MisnumberedBlock { index, id: block.id });
+                return Err(ValidateError::MisnumberedBlock {
+                    index,
+                    id: block.id,
+                });
             }
             for (i, inst) in block.instructions.iter().enumerate() {
                 if !inst.registers_valid() {
@@ -290,13 +302,20 @@ mod tests {
         );
         p.memory_size = 0;
         assert_eq!(p.validate(), Err(ValidateError::BadMemorySize { size: 0 }));
+        // Power-of-two sizes below the executor's 8-byte floor must be
+        // rejected too, or a decoded program could panic the verifier.
+        p.memory_size = 4;
+        assert_eq!(p.validate(), Err(ValidateError::BadMemorySize { size: 4 }));
     }
 
     #[test]
     fn bad_entry_rejected() {
         let mut p = tiny_program();
         p.entry = BlockId(9);
-        assert_eq!(p.validate(), Err(ValidateError::BadEntry { entry: BlockId(9) }));
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::BadEntry { entry: BlockId(9) })
+        );
     }
 
     #[test]

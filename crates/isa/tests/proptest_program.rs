@@ -26,7 +26,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             arb_int_reg(),
             arb_int_reg()
         )
-            .prop_map(|(op, dst, src1, src2)| Instruction::IntAlu { op, dst, src1, src2 }),
+            .prop_map(|(op, dst, src1, src2)| Instruction::IntAlu {
+                op,
+                dst,
+                src1,
+                src2
+            }),
         (
             prop::sample::select(IntAluOp::ALL.to_vec()),
             arb_int_reg(),
@@ -40,7 +45,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             arb_int_reg(),
             arb_int_reg()
         )
-            .prop_map(|(op, dst, src1, src2)| Instruction::IntMul { op, dst, src1, src2 }),
+            .prop_map(|(op, dst, src1, src2)| Instruction::IntMul {
+                op,
+                dst,
+                src1,
+                src2
+            }),
         (arb_int_reg(), any::<i64>()).prop_map(|(dst, imm)| Instruction::LoadImm { dst, imm }),
         (
             prop::sample::select(FpOp::ALL.to_vec()),
@@ -48,7 +58,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             arb_fp_reg(),
             arb_fp_reg()
         )
-            .prop_map(|(op, dst, src1, src2)| Instruction::Fp { op, dst, src1, src2 }),
+            .prop_map(|(op, dst, src1, src2)| Instruction::Fp {
+                op,
+                dst,
+                src1,
+                src2
+            }),
         (arb_fp_reg(), arb_int_reg()).prop_map(|(dst, src)| Instruction::FpFromInt { dst, src }),
         (arb_int_reg(), arb_fp_reg()).prop_map(|(dst, src)| Instruction::FpToInt { dst, src }),
         (arb_int_reg(), arb_int_reg(), any::<i32>())
@@ -65,7 +80,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             arb_vec_reg(),
             arb_vec_reg()
         )
-            .prop_map(|(op, dst, src1, src2)| Instruction::Vec { op, dst, src1, src2 }),
+            .prop_map(|(op, dst, src1, src2)| Instruction::Vec {
+                op,
+                dst,
+                src1,
+                src2
+            }),
         (arb_vec_reg(), arb_int_reg(), any::<i32>())
             .prop_map(|(dst, base, offset)| Instruction::VecLoad { dst, base, offset }),
         (arb_vec_reg(), arb_int_reg(), any::<i32>())
@@ -79,10 +99,7 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
 fn arb_program() -> impl Strategy<Value = Program> {
     let block_count = 1usize..8;
     block_count.prop_flat_map(|blocks| {
-        let bodies = prop::collection::vec(
-            prop::collection::vec(arb_instruction(), 0..12),
-            blocks,
-        );
+        let bodies = prop::collection::vec(prop::collection::vec(arb_instruction(), 0..12), blocks);
         let memory_bits = 6u32..16;
         (bodies, memory_bits, any::<u64>()).prop_map(|(bodies, memory_bits, picker)| {
             let count = bodies.len();
@@ -174,9 +191,8 @@ proptest! {
         // program (no silent truncation).
         if bytes.len() > 4 {
             let cut = bytes.len() - 1;
-            match decode(&bytes[..cut]) {
-                Ok(other) => prop_assert_ne!(other, program),
-                Err(_) => {}
+            if let Ok(other) = decode(&bytes[..cut]) {
+                prop_assert_ne!(other, program);
             }
         }
     }

@@ -40,11 +40,13 @@ impl ProfileDistance {
         };
         Self {
             mix_l1: measured.mix.l1_distance(&target.mix),
-            branch_fraction_delta: (measured.branch.branch_fraction - target.branch.branch_fraction)
+            branch_fraction_delta: (measured.branch.branch_fraction
+                - target.branch.branch_fraction)
                 .abs(),
             taken_fraction_delta: (measured.branch.taken_fraction - target.branch.taken_fraction)
                 .abs(),
-            transition_rate_delta: (measured.branch.transition_rate - target.branch.transition_rate)
+            transition_rate_delta: (measured.branch.transition_rate
+                - target.branch.transition_rate)
                 .abs(),
             working_set_relative_delta: ws_delta,
             strided_fraction_delta: (measured.memory.strided_fraction
@@ -95,10 +97,18 @@ impl fmt::Display for ProfileDistance {
 
 /// Convenience: the per-class mix error between two profiles, in fraction
 /// points, ordered by [`OpClass::ALL`].
-pub fn per_class_error(measured: &PerformanceProfile, target: &PerformanceProfile) -> Vec<(OpClass, f64)> {
+pub fn per_class_error(
+    measured: &PerformanceProfile,
+    target: &PerformanceProfile,
+) -> Vec<(OpClass, f64)> {
     OpClass::ALL
         .iter()
-        .map(|&class| (class, measured.mix.fraction(class) - target.mix.fraction(class)))
+        .map(|&class| {
+            (
+                class,
+                measured.mix.fraction(class) - target.mix.fraction(class),
+            )
+        })
         .collect()
 }
 

@@ -141,7 +141,7 @@ mod tests {
         let base = PerformanceProfile::leela_like();
         let seeded = apply_seed(&base, &HashSeed::new([0u8; 32]), &NoiseConfig::default());
         // With an all-zero seed every noise factor is exactly 1.0.
-        for (_, factor) in &seeded.noise_factors {
+        for factor in seeded.noise_factors.values() {
             assert!((factor - 1.0).abs() < 1e-12);
         }
         assert_eq!(
@@ -159,7 +159,7 @@ mod tests {
             let noised_counts: u64 = seeded.profile.target_dynamic_instructions;
             let base_total: u64 = base_counts.values().sum();
             assert!(noised_counts >= base_total, "fill {fill:#x}");
-            for (_, factor) in &seeded.noise_factors {
+            for factor in seeded.noise_factors.values() {
                 assert!(*factor >= 1.0);
             }
         }
@@ -173,7 +173,7 @@ mod tests {
             max_transition_rate_shift: 0.02,
         };
         let seeded = apply_seed(&base, &HashSeed::new([0xff; 32]), &config);
-        for (_, factor) in &seeded.noise_factors {
+        for factor in seeded.noise_factors.values() {
             assert!(*factor <= 1.10 + 1e-9);
         }
         assert!(
@@ -197,7 +197,11 @@ mod tests {
             OpClass::Branch,
         ];
         for (word, target_class) in classes.iter().enumerate() {
-            let seeded = apply_seed(&base, &seed_with_word(word, u32::MAX), &NoiseConfig::default());
+            let seeded = apply_seed(
+                &base,
+                &seed_with_word(word, u32::MAX),
+                &NoiseConfig::default(),
+            );
             for class in classes {
                 let factor = seeded.noise_factors[&class];
                 if class == *target_class {
@@ -237,9 +241,8 @@ mod tests {
         let base = PerformanceProfile::leela_like();
         let seeded = apply_seed(&base, &HashSeed::new([0x80u8; 32]), &NoiseConfig::default());
         assert!(
-            (seeded.profile.branch.branch_fraction
-                - seeded.profile.mix.fraction(OpClass::Branch))
-            .abs()
+            (seeded.profile.branch.branch_fraction - seeded.profile.mix.fraction(OpClass::Branch))
+                .abs()
                 < 1e-12
         );
     }

@@ -45,7 +45,10 @@ impl InstructionMix {
     pub fn from_fractions(entries: &[(OpClass, f64)]) -> Self {
         let mut fractions = [0.0; OpClass::ALL.len()];
         for (class, value) in entries {
-            let idx = OpClass::ALL.iter().position(|c| c == class).expect("known class");
+            let idx = OpClass::ALL
+                .iter()
+                .position(|c| c == class)
+                .expect("known class");
             fractions[idx] = value.max(0.0);
         }
         let sum: f64 = fractions.iter().sum();
@@ -59,13 +62,19 @@ impl InstructionMix {
 
     /// Returns the fraction of dynamic instructions in `class`.
     pub fn fraction(&self, class: OpClass) -> f64 {
-        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("known class");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("known class");
         self.fractions[idx]
     }
 
     /// Returns `(class, fraction)` pairs in the canonical class order.
     pub fn iter(&self) -> impl Iterator<Item = (OpClass, f64)> + '_ {
-        OpClass::ALL.iter().copied().zip(self.fractions.iter().copied())
+        OpClass::ALL
+            .iter()
+            .copied()
+            .zip(self.fractions.iter().copied())
     }
 
     /// L1 distance between two mixes (0 = identical, 2 = disjoint).

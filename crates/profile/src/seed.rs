@@ -117,7 +117,12 @@ impl HashSeed {
     /// 0–3, bits 32–63 are bytes 4–7, and so on.
     pub fn field(&self, field: SeedField) -> u32 {
         let i = field.word_index() * 4;
-        u32::from_le_bytes([self.bytes[i], self.bytes[i + 1], self.bytes[i + 2], self.bytes[i + 3]])
+        u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ])
     }
 
     /// Returns all eight Table-I fields in order.
@@ -137,7 +142,8 @@ impl HashSeed {
     /// (see [`HashSeed::bbv_seed`] and [`HashSeed::memory_seed`]) but some
     /// consumers want a single combined value.
     pub fn combined_prng_seed(&self) -> u64 {
-        (self.field(SeedField::Memory) as u64) << 32 | self.field(SeedField::BasicBlockVector) as u64
+        (self.field(SeedField::Memory) as u64) << 32
+            | self.field(SeedField::BasicBlockVector) as u64
     }
 
     /// The basic-block-vector PRNG seed (bits 192–223).
@@ -199,8 +205,14 @@ mod tests {
     #[test]
     fn fields_extract_expected_words() {
         let seed = counting_seed();
-        assert_eq!(seed.field(SeedField::IntAlu), u32::from_le_bytes([0, 1, 2, 3]));
-        assert_eq!(seed.field(SeedField::Memory), u32::from_le_bytes([28, 29, 30, 31]));
+        assert_eq!(
+            seed.field(SeedField::IntAlu),
+            u32::from_le_bytes([0, 1, 2, 3])
+        );
+        assert_eq!(
+            seed.field(SeedField::Memory),
+            u32::from_le_bytes([28, 29, 30, 31])
+        );
         assert_eq!(seed.fields()[5], seed.field(SeedField::BranchBehavior));
     }
 
@@ -240,7 +252,10 @@ mod tests {
 
     #[test]
     fn field_names_match_paper() {
-        assert_eq!(SeedField::BasicBlockVector.to_string(), "Basic Block Vector Seed");
+        assert_eq!(
+            SeedField::BasicBlockVector.to_string(),
+            "Basic Block Vector Seed"
+        );
         assert_eq!(SeedField::ALL.len(), 8);
     }
 }

@@ -157,17 +157,26 @@ impl Histogram {
     /// workload's measurement this way).
     pub fn render(&self, label: &str, marker: Option<f64>) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{label} (n={}, outliers={})\n", self.total(), self.outliers));
+        out.push_str(&format!(
+            "{label} (n={}, outliers={})\n",
+            self.total(),
+            self.outliers
+        ));
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
         for (i, &count) in self.bins.iter().enumerate() {
             let (lo, hi) = self.bin_bounds(i);
             let bar_len = (count as f64 / max as f64 * 50.0).round() as usize;
             let has_marker = marker.map(|m| m >= lo && m < hi).unwrap_or(false)
-                || (i + 1 == self.bins.len() && marker.map(|m| (m - hi).abs() < 1e-12).unwrap_or(false));
+                || (i + 1 == self.bins.len()
+                    && marker.map(|m| (m - hi).abs() < 1e-12).unwrap_or(false));
             out.push_str(&format!(
                 "  [{lo:8.4}, {hi:8.4}) {count:6} |{}{}\n",
                 "#".repeat(bar_len),
-                if has_marker { "  <= reference workload" } else { "" }
+                if has_marker {
+                    "  <= reference workload"
+                } else {
+                    ""
+                }
             ));
         }
         out

@@ -296,7 +296,11 @@ mod tests {
     #[test]
     fn loop_branches_predict_well_on_all_dynamic_predictors() {
         let pattern = loop_pattern(100, 20);
-        for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Hybrid] {
+        for kind in [
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::Hybrid,
+        ] {
             let mut p = kind.build();
             let rate = hit_rate(p.as_mut(), &pattern);
             assert!(rate > 0.9, "{:?} hit rate {rate}", kind);

@@ -244,12 +244,20 @@ impl MemoryHierarchy {
         if self.l3.access(addr) {
             return l1_latency + self.config.l2.hit_latency + self.config.l3.hit_latency;
         }
-        l1_latency + self.config.l2.hit_latency + self.config.l3.hit_latency + self.config.memory_latency
+        l1_latency
+            + self.config.l2.hit_latency
+            + self.config.l3.hit_latency
+            + self.config.memory_latency
     }
 
     /// Per-level statistics `(l1i, l1d, l2, l3)`.
     pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats) {
-        (self.l1i.stats(), self.l1d.stats(), self.l2.stats(), self.l3.stats())
+        (
+            self.l1i.stats(),
+            self.l1d.stats(),
+            self.l2.stats(),
+            self.l3.stats(),
+        )
     }
 
     /// The configuration the hierarchy was built with.

@@ -121,7 +121,10 @@ impl CoreConfig {
     }
 
     fn index(class: OpClass) -> usize {
-        OpClass::ALL.iter().position(|c| *c == class).expect("known class")
+        OpClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("known class")
     }
 }
 

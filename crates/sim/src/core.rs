@@ -50,18 +50,38 @@ struct SlotInfo {
 fn instruction_slot(inst: &Instruction) -> SlotInfo {
     use Instruction::*;
     let (sources, dest) = match *inst {
-        IntAlu { dst, src1, src2, .. } => (vec![RegRef::Int(src1.0), RegRef::Int(src2.0)], Some(RegRef::Int(dst.0))),
+        IntAlu {
+            dst, src1, src2, ..
+        } => (
+            vec![RegRef::Int(src1.0), RegRef::Int(src2.0)],
+            Some(RegRef::Int(dst.0)),
+        ),
         IntAluImm { dst, src, .. } => (vec![RegRef::Int(src.0)], Some(RegRef::Int(dst.0))),
-        IntMul { dst, src1, src2, .. } => (vec![RegRef::Int(src1.0), RegRef::Int(src2.0)], Some(RegRef::Int(dst.0))),
+        IntMul {
+            dst, src1, src2, ..
+        } => (
+            vec![RegRef::Int(src1.0), RegRef::Int(src2.0)],
+            Some(RegRef::Int(dst.0)),
+        ),
         LoadImm { dst, .. } => (vec![], Some(RegRef::Int(dst.0))),
-        Fp { dst, src1, src2, .. } => (vec![RegRef::Fp(src1.0), RegRef::Fp(src2.0)], Some(RegRef::Fp(dst.0))),
+        Fp {
+            dst, src1, src2, ..
+        } => (
+            vec![RegRef::Fp(src1.0), RegRef::Fp(src2.0)],
+            Some(RegRef::Fp(dst.0)),
+        ),
         FpFromInt { dst, src } => (vec![RegRef::Int(src.0)], Some(RegRef::Fp(dst.0))),
         FpToInt { dst, src } => (vec![RegRef::Fp(src.0)], Some(RegRef::Int(dst.0))),
         Load { dst, base, .. } => (vec![RegRef::Int(base.0)], Some(RegRef::Int(dst.0))),
         Store { src, base, .. } => (vec![RegRef::Int(src.0), RegRef::Int(base.0)], None),
         FpLoad { dst, base, .. } => (vec![RegRef::Int(base.0)], Some(RegRef::Fp(dst.0))),
         FpStore { src, base, .. } => (vec![RegRef::Fp(src.0), RegRef::Int(base.0)], None),
-        Vec { dst, src1, src2, .. } => (vec![RegRef::Vec(src1.0), RegRef::Vec(src2.0)], Some(RegRef::Vec(dst.0))),
+        Vec {
+            dst, src1, src2, ..
+        } => (
+            vec![RegRef::Vec(src1.0), RegRef::Vec(src2.0)],
+            Some(RegRef::Vec(dst.0)),
+        ),
         VecLoad { dst, base, .. } => (vec![RegRef::Int(base.0)], Some(RegRef::Vec(dst.0))),
         VecStore { src, base, .. } => (vec![RegRef::Vec(src.0), RegRef::Int(base.0)], None),
         Snapshot => (vec![], None),
@@ -181,7 +201,10 @@ impl CoreModel {
                 operand_ready = operand_ready.max(ready);
             }
 
-            let class_idx = OpClass::ALL.iter().position(|c| *c == entry.class).expect("known class");
+            let class_idx = OpClass::ALL
+                .iter()
+                .position(|c| *c == entry.class)
+                .expect("known class");
             let (unit_idx, unit_free) = fu_free[class_idx]
                 .iter()
                 .copied()
@@ -270,7 +293,9 @@ mod tests {
     use hashcore_vm::{ExecConfig, Executor};
 
     fn simulate(program: &Program, config: CoreConfig) -> SimResult {
-        let exec = Executor::new(ExecConfig::default()).execute(program).expect("run");
+        let exec = Executor::new(ExecConfig::default())
+            .execute(program)
+            .expect("run");
         CoreModel::new(config).simulate(program, &exec.trace)
     }
 

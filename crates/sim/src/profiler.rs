@@ -98,8 +98,16 @@ impl WorkloadProfiler {
             .filter(|b| b.terminator.is_conditional())
             .count() as u32;
         BranchProfile {
-            branch_fraction: if total == 0 { 0.0 } else { branches as f64 / total as f64 },
-            taken_fraction: if branches == 0 { 0.0 } else { taken as f64 / branches as f64 },
+            branch_fraction: if total == 0 {
+                0.0
+            } else {
+                branches as f64 / total as f64
+            },
+            taken_fraction: if branches == 0 {
+                0.0
+            } else {
+                taken as f64 / branches as f64
+            },
             transition_rate: if transition_opportunities == 0 {
                 0.0
             } else {
@@ -169,11 +177,7 @@ impl WorkloadProfiler {
             } else {
                 strided as f64 / (accesses - 1) as f64
             },
-            average_stride: if stride_count == 0 {
-                0
-            } else {
-                (stride_sum / stride_count) as u32
-            },
+            average_stride: stride_sum.checked_div(stride_count).unwrap_or(0) as u32,
             pointer_chase_fraction: if loads == 0 {
                 0.0
             } else {
@@ -242,7 +246,9 @@ impl WorkloadProfiler {
         }
         let mut block_counts: HashMap<u32, u64> = HashMap::new();
         for entry in trace.iter() {
-            *block_counts.entry(block_of_pc[entry.pc as usize]).or_insert(0) += 1;
+            *block_counts
+                .entry(block_of_pc[entry.pc as usize])
+                .or_insert(0) += 1;
         }
         let mut counts: Vec<u64> = block_counts.values().copied().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
@@ -274,11 +280,9 @@ impl WorkloadProfiler {
                 }
             }
         }
-        let average_loop_trip_count = if finished_runs == 0 {
-            1
-        } else {
-            (finished_len / finished_runs).max(1) as u32
-        };
+        let average_loop_trip_count = finished_len
+            .checked_div(finished_runs)
+            .map_or(1, |trips| trips.max(1) as u32);
 
         BasicBlockProfile {
             average_block_size,
@@ -324,7 +328,9 @@ mod tests {
     use hashcore_vm::{ExecConfig, Executor};
 
     fn profile_of(program: &Program) -> PerformanceProfile {
-        let exec = Executor::new(ExecConfig::default()).execute(program).expect("run");
+        let exec = Executor::new(ExecConfig::default())
+            .execute(program)
+            .expect("run");
         WorkloadProfiler::default().profile("test", program, &exec.trace)
     }
 

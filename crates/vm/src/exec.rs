@@ -1,11 +1,9 @@
 //! The widget executor.
 
+use crate::prepared::{ExecScratch, PreparedProgram, Slot};
 use crate::state::MachineState;
 use crate::trace::{BranchRecord, Trace, TraceEntry};
-use hashcore_isa::{
-    BlockId, FpOp, Instruction, IntAluOp, IntMulOp, OpClass, Program, Terminator, VecOp,
-    VEC_LANES,
-};
+use hashcore_isa::{FpOp, Instruction, IntAluOp, IntMulOp, OpClass, Program, VecOp, VEC_LANES};
 use std::fmt;
 
 /// Configuration for one widget execution.
@@ -71,6 +69,16 @@ impl From<hashcore_isa::ValidateError> for ExecError {
     }
 }
 
+/// Summary statistics of one prepared execution; the widget output and
+/// trace stay in the [`ExecScratch`] so the hot path moves no buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of retired instructions (including conditional terminators).
+    pub dynamic_instructions: u64,
+    /// Number of snapshots emitted.
+    pub snapshot_count: u64,
+}
+
 /// The result of executing a widget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Execution {
@@ -107,98 +115,133 @@ impl Executor {
 
     /// Runs `program` to completion.
     ///
+    /// This is a convenience wrapper over the prepared path: it validates
+    /// and pre-decodes the program, executes it in a fresh [`ExecScratch`],
+    /// and moves the buffers into an owned [`Execution`]. Hot loops that run
+    /// many programs (or one program many times) should call
+    /// [`Executor::execute_prepared`] with long-lived state instead.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError::InvalidProgram`] if the program fails
     /// [`Program::validate`], or [`ExecError::StepLimitExceeded`] if it does
     /// not halt within the configured number of steps.
     pub fn execute(&self, program: &Program) -> Result<Execution, ExecError> {
-        program.validate()?;
+        let prepared = PreparedProgram::new(program)?;
+        let mut scratch = ExecScratch::new();
+        let stats = self.execute_prepared(&prepared, &mut scratch)?;
+        Ok(Execution {
+            output: scratch.output,
+            trace: scratch.trace,
+            dynamic_instructions: stats.dynamic_instructions,
+            snapshot_count: stats.snapshot_count,
+            final_state: scratch.state,
+        })
+    }
 
-        // The canonical block-major pc layout shared with `hashcore-sim`.
-        let block_base = program.block_pc_bases();
+    /// Runs a pre-decoded program in reusable scratch state.
+    ///
+    /// The scratch's machine state is re-seeded in place from
+    /// [`ExecConfig::memory_seed`] and its output/trace buffers are cleared
+    /// (capacity retained), so repeated calls perform no heap allocation
+    /// once the buffers have reached their steady-state sizes. The retired
+    /// instruction sequence — and therefore the widget output, the trace
+    /// and all statistics — is identical to [`Executor::execute`].
+    ///
+    /// On success the widget output is in [`ExecScratch::output`] and the
+    /// trace (when [`ExecConfig::collect_trace`] is set) in
+    /// [`ExecScratch::trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepLimitExceeded`] if the program does not
+    /// halt within the configured number of steps (validation already
+    /// happened when the [`PreparedProgram`] was built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prepared` never held a successfully prepared program
+    /// (e.g. a `Default`-constructed value).
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedProgram,
+        scratch: &mut ExecScratch,
+    ) -> Result<ExecStats, ExecError> {
+        assert!(
+            !prepared.slots.is_empty(),
+            "execute_prepared requires a successfully prepared program"
+        );
+        scratch.state.reset(prepared.memory_size);
+        scratch.state.seed(self.config.memory_seed);
+        scratch.output.clear();
+        scratch.trace.clear();
 
-        let mut state = MachineState::new(program.memory_size());
-        state.seed(self.config.memory_seed);
-
-        let mut output = Vec::new();
-        let mut trace = if self.config.collect_trace {
-            Trace::with_capacity(self.config.max_steps.min(1 << 20) as usize)
-        } else {
-            Trace::new()
-        };
-
+        let max_steps = self.config.max_steps;
+        let collect_trace = self.config.collect_trace;
+        let slots = prepared.slots.as_slice();
         let mut steps = 0u64;
         let mut snapshots = 0u64;
-        let mut current = program.entry();
+        let mut pc = prepared.entry_pc as usize;
 
         loop {
-            let block = program.block(current);
-            let base_pc = block_base[current.index()];
-
-            for (idx, inst) in block.instructions.iter().enumerate() {
-                if steps >= self.config.max_steps {
-                    return Err(ExecError::StepLimitExceeded {
-                        limit: self.config.max_steps,
-                    });
-                }
-                let pc = base_pc + idx as u32;
-                let mem_addr = step(&mut state, inst, &mut output, &mut snapshots);
-                steps += 1;
-                if self.config.collect_trace {
-                    trace.push(TraceEntry {
-                        pc,
-                        class: inst.class(),
-                        mem_addr,
-                        branch: None,
-                    });
-                }
+            // One limit check per slot reproduces the naive executor's check
+            // sequence exactly (before every instruction and terminator), so
+            // limit-boundary behaviour is bit-identical across both paths.
+            if steps >= max_steps {
+                return Err(ExecError::StepLimitExceeded { limit: max_steps });
             }
-
-            // Terminator.
-            if steps >= self.config.max_steps {
-                return Err(ExecError::StepLimitExceeded {
-                    limit: self.config.max_steps,
-                });
-            }
-            let term_pc = base_pc + block.instructions.len() as u32;
-            match block.terminator {
-                Terminator::Halt => {
-                    return Ok(Execution {
-                        output,
-                        trace,
-                        dynamic_instructions: steps,
-                        snapshot_count: snapshots,
-                        final_state: state,
-                    });
+            match slots[pc] {
+                Slot::Inst(ref inst) => {
+                    let mem_addr = step(
+                        &mut scratch.state,
+                        inst,
+                        &mut scratch.output,
+                        &mut snapshots,
+                    );
+                    steps += 1;
+                    if collect_trace {
+                        scratch.trace.push(TraceEntry {
+                            pc: pc as u32,
+                            class: inst.class(),
+                            mem_addr,
+                            branch: None,
+                        });
+                    }
+                    pc += 1;
                 }
-                Terminator::Jump(target) => {
-                    current = target;
+                Slot::Jump { target } => {
+                    pc = target as usize;
                 }
-                Terminator::Branch {
+                Slot::Branch {
                     cond,
                     src1,
                     src2,
                     taken,
                     not_taken,
                 } => {
-                    let v1 = state.int_regs[src1.0 as usize];
-                    let v2 = state.int_regs[src2.0 as usize];
+                    let v1 = scratch.state.int_regs[src1.0 as usize];
+                    let v2 = scratch.state.int_regs[src2.0 as usize];
                     let is_taken = cond.evaluate(v1, v2);
-                    let target: BlockId = if is_taken { taken } else { not_taken };
+                    let target = if is_taken { taken } else { not_taken };
                     steps += 1;
-                    if self.config.collect_trace {
-                        trace.push(TraceEntry {
-                            pc: term_pc,
+                    if collect_trace {
+                        scratch.trace.push(TraceEntry {
+                            pc: pc as u32,
                             class: OpClass::Branch,
                             mem_addr: None,
                             branch: Some(BranchRecord {
                                 taken: is_taken,
-                                target_pc: block_base[target.index()],
+                                target_pc: target,
                             }),
                         });
                     }
-                    current = target;
+                    pc = target as usize;
+                }
+                Slot::Halt => {
+                    return Ok(ExecStats {
+                        dynamic_instructions: steps,
+                        snapshot_count: snapshots,
+                    });
                 }
             }
         }
@@ -239,7 +282,12 @@ fn step(
     snapshots: &mut u64,
 ) -> Option<u64> {
     match *inst {
-        Instruction::IntAlu { op, dst, src1, src2 } => {
+        Instruction::IntAlu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let a = state.int_regs[src1.0 as usize];
             let b = state.int_regs[src2.0 as usize];
             state.int_regs[dst.0 as usize] = alu(op, a, b);
@@ -250,7 +298,12 @@ fn step(
             state.int_regs[dst.0 as usize] = alu(op, a, imm as i64 as u64);
             None
         }
-        Instruction::IntMul { op, dst, src1, src2 } => {
+        Instruction::IntMul {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let a = state.int_regs[src1.0 as usize];
             let b = state.int_regs[src2.0 as usize];
             state.int_regs[dst.0 as usize] = match op {
@@ -263,7 +316,12 @@ fn step(
             state.int_regs[dst.0 as usize] = imm as u64;
             None
         }
-        Instruction::Fp { op, dst, src1, src2 } => {
+        Instruction::Fp {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let a = state.fp_regs[src1.0 as usize];
             let b = state.fp_regs[src2.0 as usize];
             let v = match op {
@@ -271,8 +329,20 @@ fn step(
                 FpOp::Sub => a - b,
                 FpOp::Mul => a * b,
                 FpOp::Div => a / b,
-                FpOp::Min => if a < b { a } else { b },
-                FpOp::Max => if a > b { a } else { b },
+                FpOp::Min => {
+                    if a < b {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                FpOp::Max => {
+                    if a > b {
+                        a
+                    } else {
+                        b
+                    }
+                }
             };
             state.fp_regs[dst.0 as usize] = canon(v);
             None
@@ -310,7 +380,12 @@ fn step(
             state.store64(addr, bits);
             Some(state.wrap_addr(addr))
         }
-        Instruction::Vec { op, dst, src1, src2 } => {
+        Instruction::Vec {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let a = state.vec_regs[src1.0 as usize];
             let b = state.vec_regs[src2.0 as usize];
             let mut out = [0u64; VEC_LANES];
@@ -354,10 +429,12 @@ fn step(
 mod tests {
     use super::*;
     use crate::state::SNAPSHOT_BYTES;
-    use hashcore_isa::{BranchCond, FpReg, IntReg, ProgramBuilder, VecReg};
+    use hashcore_isa::{BlockId, BranchCond, FpReg, IntReg, ProgramBuilder, Terminator, VecReg};
 
     fn run(program: &Program) -> Execution {
-        Executor::new(ExecConfig::default()).execute(program).expect("execution")
+        Executor::new(ExecConfig::default())
+            .execute(program)
+            .expect("execution")
     }
 
     #[test]
@@ -473,7 +550,9 @@ mod tests {
     #[test]
     fn invalid_program_rejected() {
         let p = Program::new(Vec::new(), BlockId(0), 64);
-        let err = Executor::new(ExecConfig::default()).execute(&p).unwrap_err();
+        let err = Executor::new(ExecConfig::default())
+            .execute(&p)
+            .unwrap_err();
         assert!(matches!(err, ExecError::InvalidProgram(_)));
         assert!(err.to_string().contains("invalid widget program"));
     }

@@ -12,6 +12,10 @@
 //!   deterministically, producing the widget's **output byte string** (the
 //!   register-snapshot stream that is concatenated with the hash seed and
 //!   fed to the second hash gate),
+//! * [`PreparedProgram`] and [`ExecScratch`] provide the **zero-allocation
+//!   hot path** ([`Executor::execute_prepared`]): validate once, pre-decode
+//!   the program into a block-major slot array, and reuse machine state and
+//!   output/trace buffers across runs — the unit of parallel mining fan-out,
 //! * it simultaneously records a **dynamic trace** ([`Trace`]) of every
 //!   retired instruction, which `hashcore-sim` replays through its
 //!   micro-architecture model to measure IPC and branch-prediction
@@ -48,9 +52,11 @@
 #![warn(missing_docs)]
 
 mod exec;
+mod prepared;
 mod state;
 mod trace;
 
-pub use exec::{ExecConfig, ExecError, Execution, Executor};
+pub use exec::{ExecConfig, ExecError, ExecStats, Execution, Executor};
+pub use prepared::{ExecScratch, PreparedProgram};
 pub use state::{MachineState, SNAPSHOT_BYTES};
 pub use trace::{BranchRecord, Trace, TraceEntry};

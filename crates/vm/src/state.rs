@@ -29,8 +29,8 @@ impl MachineState {
     ///
     /// # Panics
     ///
-    /// Panics if `memory_size` is zero or not a power of two (validated
-    /// programs always carry a power-of-two size).
+    /// Panics if `memory_size` is not a power of two of at least 8 bytes
+    /// (validated programs always carry such a size).
     pub fn new(memory_size: usize) -> Self {
         assert!(
             memory_size.is_power_of_two() && memory_size >= 8,
@@ -42,6 +42,28 @@ impl MachineState {
             vec_regs: [[0; VEC_LANES]; NUM_VEC_REGS],
             memory: vec![0; memory_size],
             memory_mask: (memory_size - 1) as u64,
+        }
+    }
+
+    /// Re-sizes the machine for a program with `memory_size` bytes of
+    /// memory, reusing the existing allocation when possible.
+    ///
+    /// Register and memory *contents* are unspecified afterwards; callers
+    /// follow up with [`MachineState::seed`], which overwrites every
+    /// register and every memory byte. This is the in-place equivalent of
+    /// [`MachineState::new`] used by the reusable-scratch execution path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_size` is not a power of two of at least 8 bytes.
+    pub fn reset(&mut self, memory_size: usize) {
+        assert!(
+            memory_size.is_power_of_two() && memory_size >= 8,
+            "memory size must be a power of two of at least 8 bytes"
+        );
+        if self.memory.len() != memory_size {
+            self.memory.resize(memory_size, 0);
+            self.memory_mask = (memory_size - 1) as u64;
         }
     }
 

@@ -54,6 +54,12 @@ impl Trace {
         self.entries.push(entry);
     }
 
+    /// Removes all entries, retaining the allocation (the reusable-scratch
+    /// execution path clears the trace between runs).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// The recorded entries in program order.
     pub fn entries(&self) -> &[TraceEntry] {
         &self.entries

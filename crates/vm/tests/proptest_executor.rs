@@ -2,10 +2,8 @@
 //! structure, step-limit enforcement and trace/output consistency over
 //! randomly generated (but structurally safe) loop programs.
 
-use hashcore_isa::{
-    BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator,
-};
-use hashcore_vm::{ExecConfig, Executor, SNAPSHOT_BYTES};
+use hashcore_isa::{BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator};
+use hashcore_vm::{ExecConfig, ExecScratch, Executor, PreparedProgram, SNAPSHOT_BYTES};
 use proptest::prelude::*;
 
 /// Builds a bounded counted-loop program whose body is derived from `ops`
@@ -24,7 +22,12 @@ fn loop_program(iters: u8, ops: &[u8], snapshot_every_iter: bool, memory_bits: u
         let dst = IntReg(2 + (op % 10));
         let src = IntReg(2 + ((op >> 4) % 10));
         match op % 5 {
-            0 => b.int_alu(IntAluOp::ALL[op as usize % IntAluOp::ALL.len()], dst, src, IntReg(2)),
+            0 => b.int_alu(
+                IntAluOp::ALL[op as usize % IntAluOp::ALL.len()],
+                dst,
+                src,
+                IntReg(2),
+            ),
             1 => b.int_alu_imm(IntAluOp::Xor, dst, src, i as i32 * 13 + 1),
             2 => b.int_mul(IntMulOp::ALL[op as usize % 2], dst, src, IntReg(3)),
             3 => b.load(dst, src, (op as i32) * 8),
@@ -106,6 +109,83 @@ proptest! {
                 prop_assert_eq!(reported, limit)
             }
             Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+        }
+    }
+
+    #[test]
+    fn prepared_execution_is_bit_identical_to_naive(
+        iters in 1u8..40,
+        ops in prop::collection::vec(any::<u8>(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let program = loop_program(iters, &ops, true, 12);
+        let config = ExecConfig { max_steps: 200_000, collect_trace: true, memory_seed: seed };
+        let naive = Executor::new(config).execute(&program).expect("bounded loop halts");
+        let prepared = PreparedProgram::new(&program).expect("program validates");
+        let mut scratch = ExecScratch::new();
+        // Run twice through the same scratch: the second run exercises
+        // in-place re-seeding and buffer reuse.
+        for _ in 0..2 {
+            let stats = Executor::new(config)
+                .execute_prepared(&prepared, &mut scratch)
+                .expect("bounded loop halts");
+            prop_assert_eq!(scratch.output(), naive.output.as_slice());
+            prop_assert_eq!(stats.dynamic_instructions, naive.dynamic_instructions);
+            prop_assert_eq!(stats.snapshot_count, naive.snapshot_count);
+            prop_assert_eq!(scratch.trace(), &naive.trace);
+            prop_assert_eq!(scratch.final_state(), &naive.final_state);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_programs_matches_fresh_execution(
+        programs in prop::collection::vec(
+            (1u8..20, prop::collection::vec(any::<u8>(), 0..16), any::<u64>()),
+            1..5,
+        ),
+    ) {
+        // One prepared-program buffer and one scratch serve a stream of
+        // different programs — exactly the mining hot loop's usage.
+        let mut prepared = PreparedProgram::default();
+        let mut scratch = ExecScratch::new();
+        for (iters, ops, seed) in programs {
+            let program = loop_program(iters, &ops, true, 10);
+            let config = ExecConfig { max_steps: 200_000, collect_trace: false, memory_seed: seed };
+            prepared.prepare(&program).expect("program validates");
+            let stats = Executor::new(config)
+                .execute_prepared(&prepared, &mut scratch)
+                .expect("bounded loop halts");
+            let naive = Executor::new(config).execute(&program).expect("bounded loop halts");
+            prop_assert_eq!(scratch.output(), naive.output.as_slice());
+            prop_assert_eq!(stats.dynamic_instructions, naive.dynamic_instructions);
+        }
+    }
+
+    #[test]
+    fn prepared_step_limit_behaviour_matches_naive(
+        iters in 50u8..200,
+        ops in prop::collection::vec(any::<u8>(), 8..16),
+        limit in 16u64..400,
+    ) {
+        let program = loop_program(iters, &ops, false, 10);
+        let config = ExecConfig { max_steps: limit, collect_trace: false, memory_seed: 0 };
+        let naive = Executor::new(config).execute(&program);
+        let prepared = PreparedProgram::new(&program).expect("program validates");
+        let mut scratch = ExecScratch::new();
+        match (
+            naive,
+            Executor::new(config).execute_prepared(&prepared, &mut scratch),
+        ) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.dynamic_instructions, b.dynamic_instructions);
+                prop_assert_eq!(a.output.as_slice(), scratch.output());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "paths disagree at the step limit: naive {a:?}, prepared {b:?}"
+                )))
+            }
         }
     }
 

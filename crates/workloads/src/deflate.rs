@@ -7,9 +7,7 @@
 //! `0xe000` the output cursor slot.
 
 use crate::WorkloadParams;
-use hashcore_isa::{
-    BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator,
-};
+use hashcore_isa::{BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator};
 
 const POSITIONS_PER_BLOCK: i64 = 512;
 const TABLE_BASE: i64 = 0x8000;

@@ -19,9 +19,7 @@
 //! `[0x2000, 0x2200)` Zobrist key table, `0x3000` the hash accumulator slot.
 
 use crate::WorkloadParams;
-use hashcore_isa::{
-    BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator,
-};
+use hashcore_isa::{BranchCond, IntAluOp, IntMulOp, IntReg, Program, ProgramBuilder, Terminator};
 
 const BOARD_POINTS: i64 = 361;
 const AUX_BASE: i32 = 0x1000;
@@ -118,7 +116,13 @@ pub fn build(params: &WorkloadParams) -> Program {
     // point_latch: next board point.
     b.begin_reserved(point_latch);
     b.int_alu_imm(IntAluOp::Add, R_POINT, R_POINT, 1);
-    b.branch(BranchCond::Ltu, R_POINT, R_POINTS, point_loop, playout_latch);
+    b.branch(
+        BranchCond::Ltu,
+        R_POINT,
+        R_POINTS,
+        point_loop,
+        playout_latch,
+    );
 
     // playout_latch: commit the playout's hash, snapshot, next playout.
     b.begin_reserved(playout_latch);

@@ -8,9 +8,7 @@
 //! 8 bytes), `0xa000` the spill slot for updated potentials.
 
 use crate::WorkloadParams;
-use hashcore_isa::{
-    BranchCond, IntAluOp, IntReg, Program, ProgramBuilder, Terminator,
-};
+use hashcore_isa::{BranchCond, IntAluOp, IntReg, Program, ProgramBuilder, Terminator};
 
 const STEPS_PER_PIVOT: i64 = 1024;
 const NODE_MASK: i32 = 0x7ff8; // 4096 nodes, 8-byte aligned

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The mining market -----------------------------------------------
     let config = MarketConfig::default();
-    println!("mining-market model ({} prospective miners):", config.miners);
+    println!(
+        "mining-market model ({} prospective miners):",
+        config.miners
+    );
     for (label, resource) in [
         ("SHA-256d", ResourceClass::FixedFunction),
         ("memory-hard", ResourceClass::Memory),

@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Verify, as every full node would: re-generate and re-execute the
     //    widget from the header alone.
     let verified = pow.verify(header, result.nonce, target)?;
-    println!("verification:     {}", if verified.is_some() { "OK" } else { "FAILED" });
+    println!(
+        "verification:     {}",
+        if verified.is_some() { "OK" } else { "FAILED" }
+    );
     Ok(())
 }

@@ -54,7 +54,10 @@ fn figure2_and_figure3_shapes_hold_at_small_scale() {
 #[test]
 fn output_sizes_are_in_the_tens_of_kilobytes_with_seed_driven_spread() {
     let (_, measurements) = measurements();
-    let sizes: Vec<f64> = measurements.iter().map(|m| m.output_bytes as f64 / 1024.0).collect();
+    let sizes: Vec<f64> = measurements
+        .iter()
+        .map(|m| m.output_bytes as f64 / 1024.0)
+        .collect();
     let summary = Summary::from_values(&sizes).unwrap();
     // Paper: 20–38 kB. Allow a generous band around it; the exact numbers
     // depend on the snapshot encoding width.

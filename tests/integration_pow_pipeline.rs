@@ -39,10 +39,19 @@ fn widget_is_regenerated_identically_from_the_seed_alone() {
     let seed = HashSeed::new(sha256(b"header"));
     let a = miner_side.generate(&seed);
     let b = verifier_side.generate(&seed);
-    assert_eq!(hashcore_isa::encode(&a.program), hashcore_isa::encode(&b.program));
+    assert_eq!(
+        hashcore_isa::encode(&a.program),
+        hashcore_isa::encode(&b.program)
+    );
 
-    let out_a = Executor::new(a.exec_config()).execute(&a.program).unwrap().output;
-    let out_b = Executor::new(b.exec_config()).execute(&b.program).unwrap().output;
+    let out_a = Executor::new(a.exec_config())
+        .execute(&a.program)
+        .unwrap()
+        .output;
+    let out_b = Executor::new(b.exec_config())
+        .execute(&b.program)
+        .unwrap()
+        .output;
     assert_eq!(out_a, out_b);
 }
 
@@ -76,10 +85,17 @@ fn mining_and_verification_agree_across_difficulties() {
             .mine(b"difficulty-sweep", target, 0, 512)
             .unwrap()
             .expect("low difficulties are quickly met");
-        assert!(pow.verify(b"difficulty-sweep", found.nonce, target).unwrap().is_some());
+        assert!(pow
+            .verify(b"difficulty-sweep", found.nonce, target)
+            .unwrap()
+            .is_some());
         // The same nonce must fail under a different header.
         assert!(pow
-            .verify(b"difficulty-sweep-other", found.nonce, Target::from_leading_zero_bits(200))
+            .verify(
+                b"difficulty-sweep-other",
+                found.nonce,
+                Target::from_leading_zero_bits(200)
+            )
             .unwrap()
             .is_none());
     }
@@ -96,6 +112,20 @@ proptest! {
         let b = pow.hash(&input).unwrap();
         prop_assert_eq!(a.digest, b.digest);
         prop_assert!(a.widget.output_bytes > 0);
+    }
+
+    /// The reusable-scratch fast path is digest-identical to the naive
+    /// path for arbitrary inputs (the optimization changes no semantics).
+    #[test]
+    fn scratch_path_matches_naive_path(inputs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..4)) {
+        let pow = HashCore::new(fast_profile());
+        let mut scratch = hashcore::HashScratch::new();
+        for input in &inputs {
+            prop_assert_eq!(
+                pow.hash_with_scratch(input, &mut scratch).unwrap(),
+                pow.hash(input).unwrap()
+            );
+        }
     }
 
     /// Every seed produces a structurally valid widget that halts within its

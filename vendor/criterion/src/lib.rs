@@ -1,0 +1,215 @@
+//! A vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! `criterion` crate cannot be fetched. This shim implements the slice the
+//! workspace's benches use — `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with straightforward
+//! wall-clock timing and plain-text reporting (median over samples).
+//!
+//! When invoked by `cargo test` (cargo passes `--test` to `harness = false`
+//! bench targets), every benchmark runs exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Work performed per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // `cargo test` runs harness-less bench binaries with `--test`.
+            test_mode: std::env::args().any(|arg| arg == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `routine` and prints a one-line report.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        for _ in 0..samples {
+            routine(&mut bencher);
+        }
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-function).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples collected", self.name);
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let per_iter = median.as_secs_f64();
+        let mut line = format!(
+            "{}/{id}: median {} over {} samples",
+            self.name,
+            format_duration(median),
+            sorted.len()
+        );
+        if per_iter > 0.0 {
+            if let Some(throughput) = self.throughput {
+                let rate = match throughput {
+                    Throughput::Bytes(bytes) => {
+                        format!("{:.1} MiB/s", bytes as f64 / per_iter / (1 << 20) as f64)
+                    }
+                    Throughput::Elements(n) => format!("{:.1} elem/s", n as f64 / per_iter),
+                };
+                line.push_str(&format!(" ({rate})"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Measures one sample of a routine.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per iteration.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm up and pick an iteration count that fills ~10 ms per sample.
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iterations =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iterations as u32);
+    }
+}
+
+fn format_duration(duration: Duration) -> String {
+    let nanos = duration.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(3).throughput(Throughput::Bytes(64));
+        group.bench_function("f", |bencher| bencher.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1, "test mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn durations_format_in_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

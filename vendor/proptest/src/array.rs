@@ -1,0 +1,37 @@
+//! Fixed-size array strategies (mirror of `proptest::array`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[S::Value; 32]` drawing every element from `element`.
+pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+    Uniform32 { element }
+}
+
+/// Strategy returned by [`uniform32`].
+#[derive(Debug, Clone)]
+pub struct Uniform32<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform32<S> {
+    type Value = [S::Value; 32];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn uniform32_fills_every_slot() {
+        let mut rng = TestRng::for_test("uniform32");
+        let value: [u8; 32] = uniform32(any::<u8>()).generate(&mut rng);
+        // With 32 independent draws, all-equal output is (256^-31)-unlikely.
+        assert!(value.iter().any(|&b| b != value[0]));
+    }
+}

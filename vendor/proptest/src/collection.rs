@@ -1,0 +1,72 @@
+//! Collection strategies (mirror of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Number-of-elements specification accepted by [`vec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        Self {
+            start: range.start,
+            end: range.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            start: len,
+            end: len + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    let size = size.into();
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_lengths_follow_the_size_range() {
+        let mut rng = TestRng::for_test("vec");
+        let strat = vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let fixed = vec(any::<u8>(), 3usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling strategies (mirror of `proptest::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy that picks one element of `options` uniformly.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() requires at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_options() {
+        let mut rng = TestRng::for_test("select");
+        let strat = select(vec![10u8, 20, 30]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}
