@@ -30,7 +30,7 @@ mod randomx_lite;
 mod selection;
 mod sha256d_pow;
 
-pub use memory_hard::MemoryHardPow;
+pub use memory_hard::{MemoryHardPow, MemoryHardScratch};
 pub use randomx_lite::RandomxLitePow;
 pub use selection::SelectionPow;
 pub use sha256d_pow::Sha256dPow;
@@ -63,6 +63,30 @@ pub trait PowFunction {
         }
         None
     }
+}
+
+/// A [`PowFunction`] that can evaluate through reusable per-worker scratch
+/// state.
+///
+/// Batch consumers — `hashcore-chain`'s parallel chain validation, mining
+/// loops, experiment sweeps — evaluate the same function over many inputs
+/// on long-lived workers. This trait lets each worker own one
+/// `Self::Scratch` and reuse its buffers across evaluations, mirroring the
+/// `HashScratch` discipline of the real HashCore hot path. The digest
+/// contract is strict: [`PreparedPow::pow_hash_scratch`] must return exactly
+/// the digest [`PowFunction::pow_hash`] returns for the same input,
+/// whatever state the scratch is in.
+///
+/// This is a separate trait (rather than an associated type on
+/// [`PowFunction`]) so `dyn PowFunction` stays object-safe for the
+/// experiment harnesses that sweep heterogeneous baselines.
+pub trait PreparedPow: PowFunction {
+    /// Reusable per-worker evaluation state; `Default` produces a fresh,
+    /// empty scratch whose buffers grow on first use.
+    type Scratch: Default + Send;
+
+    /// Evaluates the PoW digest for `input`, reusing `scratch`'s buffers.
+    fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256;
 }
 
 /// Coarse classification of what a PoW function stresses, used by the
@@ -108,6 +132,17 @@ impl PowFunction for HashCorePow {
 
     fn dominant_resource(&self) -> ResourceClass {
         ResourceClass::GeneralPurpose
+    }
+}
+
+impl PreparedPow for HashCorePow {
+    type Scratch = hashcore::HashScratch;
+
+    fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256 {
+        self.inner
+            .hash_with_scratch(input, scratch)
+            .expect("generated widgets always execute within their step limit")
+            .digest
     }
 }
 
@@ -163,6 +198,36 @@ mod tests {
             MemoryHardPow::new(1 << 16, 1).dominant_resource(),
             ResourceClass::Memory
         );
+    }
+
+    fn assert_scratch_matches<P: PreparedPow>(pow: &P) {
+        let mut scratch = P::Scratch::default();
+        // One reused scratch over a stream of inputs must reproduce the
+        // plain path digest every time.
+        for input in [
+            b"one".as_ref(),
+            b"two".as_ref(),
+            b"".as_ref(),
+            b"one".as_ref(),
+        ] {
+            assert_eq!(
+                pow.pow_hash_scratch(input, &mut scratch),
+                pow.pow_hash(input),
+                "{} diverged on {input:?}",
+                pow.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_path_matches_plain_path_for_every_baseline() {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 3_000;
+        assert_scratch_matches(&Sha256dPow);
+        assert_scratch_matches(&MemoryHardPow::new(16 * 1024, 2));
+        assert_scratch_matches(&RandomxLitePow::new(3_000));
+        assert_scratch_matches(&SelectionPow::new(profile.clone(), 4, 2));
+        assert_scratch_matches(&HashCorePow::new(HashCore::new(profile)));
     }
 
     #[test]

@@ -12,10 +12,18 @@
 //! each visited block depends on the current state, so the scratchpad cannot
 //! be streamed or recomputed cheaply.
 
-use crate::{PowFunction, ResourceClass};
+use crate::{PowFunction, PreparedPow, ResourceClass};
 use hashcore_crypto::{sha256, sha512, Digest256};
 
 const BLOCK_BYTES: usize = 64;
+
+/// Reusable scratchpad storage for [`MemoryHardPow`]: the whole point of a
+/// memory-hard function is a large resident buffer, so reusing it across
+/// evaluations removes the dominant allocation from batch verification.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryHardScratch {
+    scratchpad: Vec<[u8; BLOCK_BYTES]>,
+}
 
 /// A sequential memory-hard PoW function with a configurable scratchpad.
 #[derive(Debug, Clone, Copy)]
@@ -47,10 +55,25 @@ impl PowFunction for MemoryHardPow {
     }
 
     fn pow_hash(&self, input: &[u8]) -> Digest256 {
+        self.pow_hash_scratch(input, &mut MemoryHardScratch::default())
+    }
+
+    fn dominant_resource(&self) -> ResourceClass {
+        ResourceClass::Memory
+    }
+}
+
+impl PreparedPow for MemoryHardPow {
+    type Scratch = MemoryHardScratch;
+
+    fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256 {
         let blocks = (self.scratchpad_bytes / BLOCK_BYTES).max(1);
 
-        // Phase 1: sequential fill.
-        let mut scratchpad: Vec<[u8; BLOCK_BYTES]> = Vec::with_capacity(blocks);
+        // Phase 1: sequential fill (every slot is overwritten, so reusing
+        // the scratchpad buffer cannot leak state between evaluations).
+        let scratchpad = &mut scratch.scratchpad;
+        scratchpad.clear();
+        scratchpad.reserve(blocks);
         let mut block = sha512(input);
         for _ in 0..blocks {
             scratchpad.push(block);
@@ -75,10 +98,6 @@ impl PowFunction for MemoryHardPow {
         }
 
         sha256(&state)
-    }
-
-    fn dominant_resource(&self) -> ResourceClass {
-        ResourceClass::Memory
     }
 }
 

@@ -9,9 +9,9 @@
 //! uniformly (every class equally represented) rather than profile-matched,
 //! and the program output is hashed exactly as HashCore's widgets are.
 
-use crate::{PowFunction, ResourceClass};
+use crate::{PowFunction, PreparedPow, ResourceClass};
 use hashcore_crypto::{sha256, Digest256, Sha256};
-use hashcore_gen::{GeneratorConfig, WidgetGenerator};
+use hashcore_gen::{GeneratorConfig, PipelineScratch, WidgetGenerator};
 use hashcore_isa::OpClass;
 use hashcore_profile::{
     BasicBlockProfile, BranchProfile, DependencyProfile, HashSeed, InstructionMix, MemoryProfile,
@@ -102,6 +102,23 @@ impl PowFunction for RandomxLitePow {
 
     fn dominant_resource(&self) -> ResourceClass {
         ResourceClass::GeneralPurpose
+    }
+}
+
+impl PreparedPow for RandomxLitePow {
+    /// Reusable generate→prepare→execute state, the same composition as
+    /// HashCore's own hash scratch.
+    type Scratch = PipelineScratch;
+
+    fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256 {
+        let seed = HashSeed::new(sha256(input));
+        scratch
+            .run(&self.generator, &seed, false)
+            .expect("random programs always halt within the step limit");
+        let mut gate = Sha256::new();
+        gate.update(seed.as_bytes());
+        gate.update(scratch.exec.output());
+        gate.finalize()
     }
 }
 

@@ -8,16 +8,22 @@
 //! a larger share of the total work. Experiment E7 quantifies exactly that
 //! tradeoff with this implementation.
 
-use crate::{PowFunction, ResourceClass};
+use crate::{PowFunction, PreparedPow, ResourceClass};
 use hashcore_crypto::{hmac::HmacStream, sha256, Digest256, Sha256};
 use hashcore_gen::{GeneratedWidget, WidgetGenerator};
 use hashcore_profile::{HashSeed, PerformanceProfile};
-use hashcore_vm::Executor;
+use hashcore_vm::{ExecScratch, Executor, PreparedProgram};
 
 /// A PoW function that selects widgets from a fixed pool.
+///
+/// The pool is pre-decoded at construction: the stored widgets never change,
+/// so selection pays the validate/pre-decode cost once per pool entry
+/// instead of once per execution — exactly the trade the paper's Section
+/// VI-A discussion describes (storage for per-hash work).
 #[derive(Debug, Clone)]
 pub struct SelectionPow {
     pool: Vec<GeneratedWidget>,
+    prepared: Vec<PreparedProgram>,
     widgets_per_hash: usize,
 }
 
@@ -36,15 +42,20 @@ impl SelectionPow {
             "must execute at least one widget per hash"
         );
         let generator = WidgetGenerator::new(profile);
-        let pool = (0..pool_size)
+        let pool: Vec<GeneratedWidget> = (0..pool_size)
             .map(|i| {
                 // Pool seeds are fixed and public: the digest of the pool index.
                 let seed = HashSeed::new(sha256(format!("hashcore-pool-{i}").as_bytes()));
                 generator.generate(&seed)
             })
             .collect();
+        let prepared = pool
+            .iter()
+            .map(|w| PreparedProgram::new(&w.program).expect("pool widgets validate"))
+            .collect();
         Self {
             pool,
+            prepared,
             widgets_per_hash,
         }
     }
@@ -70,6 +81,20 @@ impl PowFunction for SelectionPow {
     }
 
     fn pow_hash(&self, input: &[u8]) -> Digest256 {
+        self.pow_hash_scratch(input, &mut ExecScratch::new())
+    }
+
+    fn dominant_resource(&self) -> ResourceClass {
+        ResourceClass::GeneralPurpose
+    }
+}
+
+impl PreparedPow for SelectionPow {
+    /// Selection executes pre-decoded pool programs, so the only per-worker
+    /// state is the execution scratch.
+    type Scratch = ExecScratch;
+
+    fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256 {
         let seed = HashSeed::new(sha256(input));
         // The seed drives an HMAC stream that picks the ordered widget subset.
         let mut selector = HmacStream::new(seed.as_bytes());
@@ -83,17 +108,13 @@ impl PowFunction for SelectionPow {
             // The memory seed still comes from the block-specific hash seed,
             // so executing a pooled widget remains input-dependent.
             config.memory_seed ^= selector.next_u64();
-            let execution = Executor::new(config)
-                .execute(&widget.program)
+            Executor::new(config)
+                .execute_prepared(&self.prepared[index], scratch)
                 .expect("pool widgets always halt within their step limit");
             gate.update(&(index as u64).to_le_bytes());
-            gate.update(&execution.output);
+            gate.update(scratch.output());
         }
         gate.finalize()
-    }
-
-    fn dominant_resource(&self) -> ResourceClass {
-        ResourceClass::GeneralPurpose
     }
 }
 

@@ -1,6 +1,6 @@
 //! The Bitcoin-style double-SHA-256 PoW baseline.
 
-use crate::{PowFunction, ResourceClass};
+use crate::{PowFunction, PreparedPow, ResourceClass};
 use hashcore_crypto::{sha256d, Digest256};
 
 /// `SHA256(SHA256(input))` — the PoW function the paper's introduction uses
@@ -20,6 +20,16 @@ impl PowFunction for Sha256dPow {
 
     fn dominant_resource(&self) -> ResourceClass {
         ResourceClass::FixedFunction
+    }
+}
+
+impl PreparedPow for Sha256dPow {
+    /// Double SHA-256 runs entirely in fixed-size state; there is nothing
+    /// to reuse between evaluations.
+    type Scratch = ();
+
+    fn pow_hash_scratch(&self, input: &[u8], _scratch: &mut ()) -> Digest256 {
+        self.pow_hash(input)
     }
 }
 

@@ -4,10 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hashcore_crypto::sha256;
-use hashcore_gen::WidgetGenerator;
-use hashcore_profile::{apply_seed, HashSeed, NoiseConfig, PerformanceProfile};
+use hashcore_gen::{GenScratch, GeneratedWidget, WidgetGenerator};
+use hashcore_profile::{
+    apply_seed, apply_seed_into, HashSeed, NoiseConfig, PerformanceProfile, SeededProfile,
+};
 use hashcore_sim::{CoreConfig, CoreModel};
-use hashcore_vm::Executor;
+use hashcore_vm::{ExecScratch, Executor, PreparedProgram};
 use std::hint::black_box;
 
 fn profile() -> PerformanceProfile {
@@ -32,14 +34,40 @@ fn bench_widget_pipeline(c: &mut Criterion) {
     group.bench_function("seed_noise", |b| {
         b.iter(|| black_box(apply_seed(&base, &seed, &NoiseConfig::default())))
     });
+    group.bench_function("seed_noise_scratch", |b| {
+        let mut out = SeededProfile::default();
+        b.iter(|| {
+            apply_seed_into(&base, &seed, &NoiseConfig::default(), &mut out);
+            black_box(&out);
+        })
+    });
     group.bench_function("widget_generation", |b| {
         b.iter(|| black_box(generator.generate(&seed)))
+    });
+    group.bench_function("widget_generation_scratch", |b| {
+        let mut scratch = GenScratch::new();
+        let mut out = GeneratedWidget::default();
+        b.iter(|| {
+            generator.generate_into(&seed, &mut scratch, &mut out);
+            black_box(&out);
+        })
     });
     group.bench_function("widget_execution", |b| {
         b.iter(|| {
             black_box(
                 Executor::new(widget.exec_config())
                     .execute(&widget.program)
+                    .expect("widget executes"),
+            )
+        })
+    });
+    group.bench_function("widget_execution_prepared", |b| {
+        let prepared = PreparedProgram::new(&widget.program).expect("widget validates");
+        let mut exec = ExecScratch::new();
+        b.iter(|| {
+            black_box(
+                Executor::new(widget.exec_config())
+                    .execute_prepared(&prepared, &mut exec)
                     .expect("widget executes"),
             )
         })

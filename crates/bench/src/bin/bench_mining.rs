@@ -20,10 +20,56 @@
 //! single-thread rate; `available_parallelism` is recorded in the JSON so
 //! downstream comparisons are interpretable.
 
-use hashcore::{HashCore, HashScratch, Target};
+use hashcore::{HashCore, HashScratch, MiningInput, Target};
 use hashcore_profile::PerformanceProfile;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+thread_local! {
+    /// Heap operations (alloc, realloc, alloc_zeroed) performed by the
+    /// current thread. Thread-local so worker threads warming up their own
+    /// scratches do not pollute the measurement thread's count.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A counting wrapper around the system allocator: every allocation and
+/// reallocation bumps the current thread's counter. This is how the bench
+/// *proves* the steady-state mining loop is allocation-free rather than
+/// merely asserting it in documentation.
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter update allocates
+// nothing (const-initialised thread-local `Cell`).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by this thread so far.
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
 
 /// One measurement row: a mode, its thread count and its throughput.
 struct Measurement {
@@ -68,12 +114,28 @@ fn main() {
 
     let mut measurements = Vec::new();
 
-    // Warm-up: fault in code paths and populate the generator's state.
-    let mut warmup = HashScratch::new();
-    for nonce in 0..8u64 {
-        pow.hash_with_scratch(&HashCore::mining_input(header, nonce), &mut warmup)
-            .expect("widgets execute");
+    // Warm-up: fault in code paths and grow the scratch buffers to their
+    // steady-state sizes. Buffer capacities adapt to the stream of widget
+    // shapes, so we warm until a whole probe batch completes without a
+    // single heap operation (bounded in case a regression makes the loop
+    // allocate per hash — the assert below then fails loudly).
+    let mut scratch = HashScratch::new();
+    let mut input = MiningInput::new(header);
+    let mut warm_nonce = 0u64;
+    let mut warm_batches = 0u32;
+    loop {
+        let before = thread_allocations();
+        for _ in 0..32u64 {
+            pow.hash_with_scratch(input.with_nonce(warm_nonce), &mut scratch)
+                .expect("widgets execute");
+            warm_nonce += 1;
+        }
+        warm_batches += 1;
+        if thread_allocations() == before || warm_batches >= 32 {
+            break;
+        }
     }
+    println!("warmed up over {} nonces", warm_nonce);
 
     // 1. Naive single-thread path: fresh buffers per nonce.
     let started = Instant::now();
@@ -88,19 +150,31 @@ fn main() {
         seconds: started.elapsed().as_secs_f64(),
     });
 
-    // 2. Scratch single-thread path: zero allocations after warm-up.
-    let mut scratch = HashScratch::new();
+    // 2. Scratch single-thread path: zero allocations after warm-up,
+    //    witnessed by the counting allocator.
+    let allocs_before = thread_allocations();
     let started = Instant::now();
     for nonce in 0..nonces {
-        pow.hash_with_scratch(&HashCore::mining_input(header, nonce), &mut scratch)
+        pow.hash_with_scratch(input.with_nonce(nonce), &mut scratch)
             .expect("widgets execute");
     }
+    let seconds = started.elapsed().as_secs_f64();
+    let scratch_allocations = thread_allocations() - allocs_before;
+    let allocations_per_hash = scratch_allocations as f64 / nonces as f64;
     measurements.push(Measurement {
         mode: "hash_with_scratch",
         threads: 1,
         hashes: nonces,
-        seconds: started.elapsed().as_secs_f64(),
+        seconds,
     });
+    println!(
+        "  steady-state allocations: {scratch_allocations} over {nonces} hashes \
+         ({allocations_per_hash:.4}/hash)"
+    );
+    assert_eq!(
+        scratch_allocations, 0,
+        "the warmed-up scratch mining loop must perform zero heap allocations per hash"
+    );
 
     // 3. Parallel mining across thread counts.
     let mut thread_counts = vec![1usize, 2, 4];
@@ -132,7 +206,13 @@ fn main() {
         );
     }
 
-    let json = render_json(&measurements, nonces, instructions, parallelism);
+    let json = render_json(
+        &measurements,
+        nonces,
+        instructions,
+        parallelism,
+        allocations_per_hash,
+    );
     std::fs::write("BENCH_mining.json", &json).expect("BENCH_mining.json is writable");
     println!("wrote BENCH_mining.json");
 }
@@ -143,6 +223,7 @@ fn render_json(
     nonces: u64,
     instructions: u64,
     parallelism: usize,
+    allocations_per_hash: f64,
 ) -> String {
     let naive_rate = measurements[0].hashes_per_sec();
     let scratch_rate = measurements[1].hashes_per_sec();
@@ -156,6 +237,10 @@ fn render_json(
     let _ = writeln!(json, "  \"nonces_per_measurement\": {nonces},");
     let _ = writeln!(json, "  \"target_dynamic_instructions\": {instructions},");
     let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(
+        json,
+        "  \"allocations_per_hash\": {allocations_per_hash:.4},"
+    );
     let _ = writeln!(json, "  \"measurements\": [");
     for (index, m) in measurements.iter().enumerate() {
         let comma = if index + 1 == measurements.len() {
@@ -217,10 +302,11 @@ mod tests {
                 seconds: 1.0,
             },
         ];
-        let json = render_json(&measurements, 10, 20_000, 4);
+        let json = render_json(&measurements, 10, 20_000, 4, 0.0);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"hashes_per_sec\": 20.000"));
+        assert!(json.contains("\"allocations_per_hash\": 0.0000"));
         assert!(json.contains("\"four_threads_vs_single_thread\": 2.000"));
         assert!(json.ends_with("}\n"));
     }

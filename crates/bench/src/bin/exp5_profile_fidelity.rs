@@ -10,11 +10,11 @@
 //! Usage: `exp5_profile_fidelity [N]` (default 200).
 
 use hashcore_bench::{widget_count_from_args, Experiment};
+use hashcore_gen::PipelineScratch;
 use hashcore_isa::OpClass;
 use hashcore_profile::stats::Summary;
 use hashcore_profile::{per_class_error, ProfileDistance};
 use hashcore_sim::WorkloadProfiler;
-use hashcore_vm::Executor;
 
 fn main() {
     let n = widget_count_from_args(200);
@@ -27,12 +27,16 @@ fn main() {
     let mut to_reference = Vec::new();
     let mut class_errors: Vec<Vec<f64>> = vec![Vec::new(); OpClass::ALL.len()];
 
+    // Prepared-execution scratch: generation, pre-decode and trace buffers
+    // are reused across all N widgets instead of re-allocated per widget.
+    let mut scratch = PipelineScratch::new();
+
     for i in 0..n {
-        let widget = experiment.widget(i);
-        let exec = Executor::new(widget.exec_config())
-            .execute(&widget.program)
+        scratch
+            .run(experiment.generator(), &experiment.widget_seed(i), true)
             .expect("widgets execute");
-        let measured = profiler.profile("widget", &widget.program, &exec.trace);
+        let widget = &scratch.widget;
+        let measured = profiler.profile("widget", &widget.program, scratch.exec.trace());
         to_target.push(ProfileDistance::between(&measured, &widget.target.profile).mix_l1);
         to_reference.push(ProfileDistance::between(&measured, &experiment.reference).mix_l1);
         for (slot, (_, err)) in class_errors

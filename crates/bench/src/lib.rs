@@ -14,10 +14,9 @@
 #![warn(missing_docs)]
 
 use hashcore_crypto::sha256;
-use hashcore_gen::{GeneratedWidget, WidgetGenerator};
+use hashcore_gen::{GenScratch, GeneratedWidget, PipelineScratch, WidgetGenerator};
 use hashcore_profile::{HashSeed, PerformanceProfile, ProfileDistance};
 use hashcore_sim::{CoreConfig, CoreModel, WorkloadProfiler};
-use hashcore_vm::Executor;
 use hashcore_workloads::{Workload, WorkloadParams};
 
 /// Measurements taken from one generated widget.
@@ -82,42 +81,77 @@ impl Experiment {
         &self.generator
     }
 
-    /// Generates the `index`-th experiment widget (seeds are the SHA-256
-    /// digests of the index, mirroring the paper's "randomly generated one
-    /// thousand hash seeds").
-    pub fn widget(&self, index: usize) -> GeneratedWidget {
-        let seed = HashSeed::new(sha256(
+    /// The hash seed of the `index`-th experiment widget (seeds are the
+    /// SHA-256 digests of the index, mirroring the paper's "randomly
+    /// generated one thousand hash seeds").
+    pub fn widget_seed(&self, index: usize) -> HashSeed {
+        HashSeed::new(sha256(
             format!("hashcore-experiment-widget-{index}").as_bytes(),
-        ));
-        self.generator.generate(&seed)
+        ))
+    }
+
+    /// Generates the `index`-th experiment widget.
+    pub fn widget(&self, index: usize) -> GeneratedWidget {
+        let mut scratch = GenScratch::new();
+        let mut out = GeneratedWidget::default();
+        self.widget_into(index, &mut scratch, &mut out);
+        out
+    }
+
+    /// Generates the `index`-th experiment widget into reusable scratch
+    /// state — the buffer-reusing form of [`Experiment::widget`] for
+    /// harnesses sweeping many widgets.
+    pub fn widget_into(&self, index: usize, scratch: &mut GenScratch, out: &mut GeneratedWidget) {
+        self.generator
+            .generate_into(&self.widget_seed(index), scratch, out);
     }
 
     /// Generates, executes and measures one widget.
+    ///
+    /// Convenience wrapper over [`Experiment::measure_widget_with`] with
+    /// fresh scratch state.
     pub fn measure_widget(&self, index: usize) -> WidgetMeasurement {
-        let widget = self.widget(index);
-        let execution = Executor::new(widget.exec_config())
-            .execute(&widget.program)
+        self.measure_widget_with(index, &mut PipelineScratch::new())
+    }
+
+    /// Generates, executes and measures one widget through reusable scratch
+    /// state: the widget runs on the prepared-execution path and the
+    /// simulator and profiler replay the trace straight out of the
+    /// scratch's execution buffer, so sweeping many widgets re-allocates no
+    /// trace, output or program storage.
+    pub fn measure_widget_with(
+        &self,
+        index: usize,
+        scratch: &mut PipelineScratch,
+    ) -> WidgetMeasurement {
+        let stats = scratch
+            .run(&self.generator, &self.widget_seed(index), true)
             .expect("generated widgets always execute");
-        let sim = CoreModel::new(self.core).simulate(&widget.program, &execution.trace);
+        let widget = &scratch.widget;
+        let trace = scratch.exec.trace();
+        let sim = CoreModel::new(self.core).simulate(&widget.program, trace);
         let measured_profile =
-            WorkloadProfiler::new(self.core).profile("widget", &widget.program, &execution.trace);
+            WorkloadProfiler::new(self.core).profile("widget", &widget.program, trace);
         WidgetMeasurement {
             index,
             ipc: sim.counters.ipc(),
             branch_hit_rate: sim.counters.branch_hit_rate(),
             branch_mpki: sim.counters.branch_mpki(),
-            dynamic_instructions: execution.dynamic_instructions,
-            output_bytes: execution.output.len(),
-            snapshots: execution.snapshot_count,
+            dynamic_instructions: stats.dynamic_instructions,
+            output_bytes: scratch.exec.output().len(),
+            snapshots: stats.snapshot_count,
             code_bytes: hashcore_isa::encode(&widget.program).len(),
             fidelity: ProfileDistance::between(&measured_profile, &widget.target.profile),
             l1d_miss_rate: sim.counters.l1d.miss_rate(),
         }
     }
 
-    /// Measures `n` widgets (indices `0..n`).
+    /// Measures `n` widgets (indices `0..n`) through one shared scratch.
     pub fn measure_widgets(&self, n: usize) -> Vec<WidgetMeasurement> {
-        (0..n).map(|i| self.measure_widget(i)).collect()
+        let mut scratch = PipelineScratch::new();
+        (0..n)
+            .map(|i| self.measure_widget_with(i, &mut scratch))
+            .collect()
     }
 }
 

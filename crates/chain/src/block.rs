@@ -26,12 +26,20 @@ impl BlockHeader {
     /// loop.
     pub fn pow_input(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + 32 + 32 + 8 + 32);
+        self.write_pow_input(&mut out);
+        out
+    }
+
+    /// Serialises the header (without the nonce) into `out`, replacing its
+    /// contents — the buffer-reusing form of [`BlockHeader::pow_input`] used
+    /// by batch validation, which serialises one header per block.
+    pub fn write_pow_input(&self, out: &mut Vec<u8>) {
+        out.clear();
         out.extend_from_slice(&self.version.to_le_bytes());
         out.extend_from_slice(&self.prev_hash);
         out.extend_from_slice(&self.merkle_root);
         out.extend_from_slice(&self.timestamp.to_le_bytes());
         out.extend_from_slice(&self.target);
-        out
     }
 
     /// Serialises the full header including the nonce (the exact bytes whose
@@ -40,6 +48,13 @@ impl BlockHeader {
         let mut out = self.pow_input();
         out.extend_from_slice(&self.nonce.to_le_bytes());
         out
+    }
+
+    /// Serialises the full header into `out`, replacing its contents — the
+    /// buffer-reusing form of [`BlockHeader::bytes`].
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.write_pow_input(out);
+        out.extend_from_slice(&self.nonce.to_le_bytes());
     }
 }
 
@@ -87,6 +102,24 @@ mod tests {
         assert_eq!(&bytes[..4], &1u32.to_le_bytes());
         assert_eq!(&bytes[bytes.len() - 8..], &42u64.to_le_bytes());
         assert_eq!(&bytes[..bytes.len() - 8], h.pow_input().as_slice());
+    }
+
+    #[test]
+    fn buffer_reusing_serialisation_matches_allocating_form() {
+        let a = header();
+        let b = BlockHeader {
+            nonce: 7,
+            timestamp: 99,
+            ..header()
+        };
+        let mut buf = Vec::new();
+        a.write_bytes(&mut buf);
+        assert_eq!(buf, a.bytes());
+        // Reuse across headers must fully replace the contents.
+        b.write_bytes(&mut buf);
+        assert_eq!(buf, b.bytes());
+        b.write_pow_input(&mut buf);
+        assert_eq!(buf, b.pow_input());
     }
 
     #[test]

@@ -2,9 +2,17 @@
 
 use crate::block::{Block, BlockHeader};
 use hashcore::Target;
-use hashcore_baselines::PowFunction;
+use hashcore_baselines::{PowFunction, PreparedPow};
 use hashcore_crypto::Digest256;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Shared validation-failure reasons, so the sequential and parallel paths
+/// report byte-identical errors.
+const REASON_LINKAGE: &str = "previous-hash linkage broken";
+const REASON_MERKLE: &str = "merkle root does not commit to the transactions";
+const REASON_POW: &str = "proof of work does not meet the recorded target";
 
 /// Chain parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -209,11 +217,20 @@ impl<P: PowFunction> Blockchain<P> {
     /// Re-validates the entire chain: header linkage, Merkle commitments and
     /// PoW targets.
     ///
+    /// Validation fans out across the machine's hardware threads via
+    /// [`validate_blocks_parallel`]; the result — including which block is
+    /// reported when the chain is invalid — is identical to the sequential
+    /// [`validate_blocks`].
+    ///
     /// # Errors
     ///
     /// Returns the first [`ChainError::InvalidBlock`] found.
-    pub fn validate(&self) -> Result<(), ChainError> {
-        validate_blocks(&self.pow, &self.blocks)
+    pub fn validate(&self) -> Result<(), ChainError>
+    where
+        P: PreparedPow + Sync,
+    {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        validate_blocks_parallel(&self.pow, &self.blocks, threads)
     }
 }
 
@@ -229,13 +246,13 @@ pub fn validate_blocks<P: PowFunction>(pow: &P, blocks: &[Block]) -> Result<(), 
         if block.header.prev_hash != prev_hash {
             return Err(ChainError::InvalidBlock {
                 height,
-                reason: "previous-hash linkage broken".to_string(),
+                reason: REASON_LINKAGE.to_string(),
             });
         }
         if !block.merkle_consistent() {
             return Err(ChainError::InvalidBlock {
                 height,
-                reason: "merkle root does not commit to the transactions".to_string(),
+                reason: REASON_MERKLE.to_string(),
             });
         }
         let digest = pow.pow_hash(&block.header.bytes());
@@ -243,12 +260,156 @@ pub fn validate_blocks<P: PowFunction>(pow: &P, blocks: &[Block]) -> Result<(), 
         if !target.is_met_by(&digest) {
             return Err(ChainError::InvalidBlock {
                 height,
-                reason: "proof of work does not meet the recorded target".to_string(),
+                reason: REASON_POW.to_string(),
             });
         }
         prev_hash = digest;
     }
     Ok(())
+}
+
+/// The per-chunk result of one parallel-validation worker.
+struct ChunkOutcome {
+    /// Height of the chunk's first block.
+    lo: usize,
+    /// Lowest-height check failure inside the chunk (the chunk's first
+    /// block's linkage is checked by the stitch phase instead).
+    first_error: Option<(usize, &'static str)>,
+    /// PoW digest of the chunk's last block header, for the next chunk's
+    /// boundary linkage check.
+    last_digest: Digest256,
+}
+
+/// Validates a block sequence in parallel, with results — acceptance,
+/// rejection, and the height *and reason* of the first invalid block —
+/// identical to the sequential [`validate_blocks`].
+///
+/// The sequence is split into contiguous chunks, one per worker, fanned out
+/// with `std::thread::scope` exactly like `HashCore::mine_parallel`: each
+/// worker owns one [`PreparedPow::Scratch`] and one header buffer, so
+/// per-block validation performs no steady-state allocation. Workers check
+/// internal linkage, Merkle commitments and PoW targets in the sequential
+/// order; chunk-boundary linkage is stitched afterwards from each chunk's
+/// last digest. Error reporting is deterministic lowest-height-first: every
+/// block below the sequential path's first failure validates cleanly here
+/// too, so the minimum-height failure is exactly the sequential failure,
+/// regardless of thread count or scheduling.
+///
+/// # Errors
+///
+/// Returns the same [`ChainError::InvalidBlock`] the sequential path would.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if a validation worker panics.
+pub fn validate_blocks_parallel<P: PreparedPow + Sync>(
+    pow: &P,
+    blocks: &[Block],
+    threads: usize,
+) -> Result<(), ChainError> {
+    assert!(
+        threads > 0,
+        "validate_blocks_parallel requires at least one thread"
+    );
+    let threads = threads.min(blocks.len());
+    if threads <= 1 {
+        return validate_blocks(pow, blocks);
+    }
+
+    // Lowest height at which any worker found a genuine check failure.
+    // Blocks above it cannot affect the result (the lowest-height candidate
+    // wins), so workers stop scanning past it — an adversarially invalid
+    // chain costs roughly one failing block of PoW work, as in the
+    // sequential path, instead of a full-chain re-evaluation. Every cutoff
+    // value is a worker-detected error, and no block below the sequential
+    // first failure can fail a worker's check, so the worker owning the
+    // true first failure is never cut off before reaching it.
+    let cutoff = AtomicUsize::new(usize::MAX);
+    let chunk = blocks.len().div_ceil(threads);
+    let outcomes: Vec<ChunkOutcome> = thread::scope(|scope| {
+        let cutoff = &cutoff;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(blocks.len())))
+            .filter(|(lo, hi)| lo < hi)
+            .map(|(lo, hi)| {
+                scope.spawn(move || {
+                    let mut scratch = P::Scratch::default();
+                    let mut header_bytes = Vec::new();
+                    let mut prev_digest: Option<Digest256> = None;
+                    let mut first_error: Option<(usize, &'static str)> = None;
+                    let mut last_digest = [0u8; 32];
+                    for (i, block) in blocks[lo..hi].iter().enumerate() {
+                        let height = lo + i;
+                        // Past the cutoff this chunk's work — including its
+                        // last digest, which the stitch phase would use for
+                        // the next chunk's boundary check — can only feed
+                        // candidates above the cutoff, all of which lose the
+                        // lowest-height selection; abandoning it is safe.
+                        if height > cutoff.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Same per-block check order as the sequential path:
+                        // linkage, Merkle commitment, then proof of work.
+                        if first_error.is_none() {
+                            if let Some(prev) = prev_digest {
+                                if block.header.prev_hash != prev {
+                                    first_error = Some((height, REASON_LINKAGE));
+                                    cutoff.fetch_min(height, Ordering::AcqRel);
+                                }
+                            }
+                        }
+                        if first_error.is_none() && !block.merkle_consistent() {
+                            first_error = Some((height, REASON_MERKLE));
+                            cutoff.fetch_min(height, Ordering::AcqRel);
+                        }
+                        block.header.write_bytes(&mut header_bytes);
+                        let digest = pow.pow_hash_scratch(&header_bytes, &mut scratch);
+                        if first_error.is_none()
+                            && !Target::from_threshold(block.header.target).is_met_by(&digest)
+                        {
+                            first_error = Some((height, REASON_POW));
+                            cutoff.fetch_min(height, Ordering::AcqRel);
+                        }
+                        prev_digest = Some(digest);
+                        last_digest = digest;
+                    }
+                    ChunkOutcome {
+                        lo,
+                        first_error,
+                        last_digest,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("validation worker panicked"))
+            .collect()
+    });
+
+    // Stitch phase: boundary linkage checks plus lowest-height-first error
+    // selection. Within a chunk the boundary candidate is considered before
+    // the worker's own candidate, so at equal height the linkage error wins
+    // — matching the sequential per-block check order.
+    let mut first: Option<(usize, &'static str)> = None;
+    let mut prev_digest = [0u8; 32];
+    for outcome in &outcomes {
+        let boundary = (blocks[outcome.lo].header.prev_hash != prev_digest)
+            .then_some((outcome.lo, REASON_LINKAGE));
+        for candidate in boundary.into_iter().chain(outcome.first_error) {
+            if first.is_none_or(|(height, _)| candidate.0 < height) {
+                first = Some(candidate);
+            }
+        }
+        prev_digest = outcome.last_digest;
+    }
+    match first {
+        None => Ok(()),
+        Some((height, reason)) => Err(ChainError::InvalidBlock {
+            height,
+            reason: reason.to_string(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -324,5 +485,59 @@ mod tests {
         let chain = Blockchain::new(Sha256dPow, ChainConfig::fast_test());
         assert!(chain.validate().is_ok());
         assert_eq!(chain.tip_hash(), [0u8; 32]);
+    }
+
+    /// Asserts the parallel path equals the sequential path for every
+    /// interesting thread count (1, fewer/equal/more than the block count).
+    fn assert_parallel_matches(blocks: &[Block]) {
+        let sequential = validate_blocks(&Sha256dPow, blocks);
+        for threads in [1usize, 2, 3, 5, 8, 33, 64] {
+            let parallel = validate_blocks_parallel(&Sha256dPow, blocks, threads);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_validation_accepts_honest_chains() {
+        let chain = mined_chain(33);
+        assert_parallel_matches(chain.blocks());
+        assert!(validate_blocks_parallel(&Sha256dPow, &[], 4).is_ok());
+    }
+
+    #[test]
+    fn parallel_validation_reports_the_sequential_first_error() {
+        // One corruption per failure mode, at interior, chunk-boundary and
+        // edge heights.
+        for height in [0usize, 1, 10, 16, 17, 31, 32] {
+            let mut chain = mined_chain(33);
+            chain.blocks[height].transactions[0] = b"double spend".to_vec();
+            assert_parallel_matches(chain.blocks());
+
+            let mut chain = mined_chain(33);
+            chain.blocks[height].header.timestamp += 999;
+            assert_parallel_matches(chain.blocks());
+
+            let mut chain = mined_chain(33);
+            chain.blocks[height].header.prev_hash = [0xaa; 32];
+            assert_parallel_matches(chain.blocks());
+        }
+    }
+
+    #[test]
+    fn parallel_validation_with_multiple_corruptions_reports_the_lowest() {
+        let mut chain = mined_chain(33);
+        chain.blocks[29].header.timestamp += 1;
+        chain.blocks[7].transactions[0] = b"forged".to_vec();
+        chain.blocks[12].header.prev_hash = [0x55; 32];
+        let err = validate_blocks_parallel(&Sha256dPow, chain.blocks(), 4).unwrap_err();
+        assert!(matches!(err, ChainError::InvalidBlock { height: 7, .. }));
+        assert_parallel_matches(chain.blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_validation_threads_rejected() {
+        let chain = mined_chain(2);
+        let _ = validate_blocks_parallel(&Sha256dPow, chain.blocks(), 0);
     }
 }

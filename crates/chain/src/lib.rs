@@ -41,5 +41,5 @@ mod chain;
 pub mod market;
 
 pub use block::{Block, BlockHeader};
-pub use chain::{validate_blocks, Blockchain, ChainConfig, ChainError};
-pub use hashcore_baselines::PowFunction;
+pub use chain::{validate_blocks, validate_blocks_parallel, Blockchain, ChainConfig, ChainError};
+pub use hashcore_baselines::{PowFunction, PreparedPow};

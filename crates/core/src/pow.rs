@@ -2,9 +2,9 @@
 
 use crate::target::Target;
 use hashcore_crypto::{sha256, Digest256, Sha256};
-use hashcore_gen::{GeneratorConfig, WidgetGenerator};
+use hashcore_gen::{GeneratorConfig, PipelineScratch, WidgetGenerator};
 use hashcore_profile::{HashSeed, PerformanceProfile};
-use hashcore_vm::{ExecError, ExecScratch, Executor, PreparedProgram};
+use hashcore_vm::ExecError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
@@ -113,14 +113,22 @@ pub struct HashCoreOutput {
 
 /// Reusable per-evaluation state for the PoW hot path.
 ///
-/// One hash evaluation prepares and executes a freshly generated widget;
-/// the prepared-program and execution buffers in this scratch are reused
-/// across evaluations so the whole pipeline stops allocating once they
-/// reach steady-state size. Each mining worker owns exactly one scratch.
+/// One hash evaluation noises the profile, generates a widget, pre-decodes
+/// it and executes it; this scratch owns reusable storage for **every** one
+/// of those stages — the generation scratch (program builder and
+/// bookkeeping), the generated widget itself (program blocks, target
+/// profile), the prepared program's slot array, and the execution buffers
+/// (machine state, output, trace) — so the whole generate→prepare→execute
+/// chain stops allocating once the buffers reach steady-state size. Each
+/// mining or verification worker owns exactly one scratch; scratches are
+/// never shared between threads.
 #[derive(Debug, Clone, Default)]
 pub struct HashScratch {
-    prepared: PreparedProgram,
-    exec: ExecScratch,
+    pipeline: PipelineScratch,
+    /// Set once every buffer has been pre-sized to the generator's
+    /// worst-case bounds (first `hash_with_scratch` call), after which the
+    /// pipeline performs no heap allocation at all.
+    warmed: bool,
 }
 
 impl HashScratch {
@@ -142,25 +150,63 @@ pub struct MiningResult {
 }
 
 /// A reusable mining-input buffer holding `header ‖ nonce`, with the 8-byte
-/// little-endian nonce overwritten in place per attempt — the mining loops
-/// build their input once instead of allocating a fresh `Vec` per nonce.
-struct MiningInput {
+/// little-endian nonce overwritten in place per attempt — the mining and
+/// verification loops build their input once instead of allocating a fresh
+/// `Vec` per nonce (what [`HashCore::mining_input`] would do).
+#[derive(Debug, Clone, Default)]
+pub struct MiningInput {
     buffer: Vec<u8>,
 }
 
 impl MiningInput {
-    fn new(header: &[u8]) -> Self {
-        Self {
-            buffer: HashCore::mining_input(header, 0),
-        }
+    /// Creates a buffer for `header` with a zero nonce.
+    pub fn new(header: &[u8]) -> Self {
+        let mut input = Self::default();
+        input.set_header(header);
+        input
+    }
+
+    /// Replaces the header, reusing the buffer's allocation (the nonce
+    /// resets to zero). Batch verifiers call this once per block instead of
+    /// building a fresh input.
+    pub fn set_header(&mut self, header: &[u8]) {
+        self.buffer.clear();
+        self.buffer.extend_from_slice(header);
+        self.buffer.extend_from_slice(&0u64.to_le_bytes());
     }
 
     /// Writes `nonce` into the buffer tail and returns the full input,
     /// byte-identical to [`HashCore::mining_input`]`(header, nonce)`.
-    fn with_nonce(&mut self, nonce: u64) -> &[u8] {
+    ///
+    /// A default-constructed buffer with no header set behaves as if the
+    /// header were empty.
+    pub fn with_nonce(&mut self, nonce: u64) -> &[u8] {
+        if self.buffer.len() < 8 {
+            self.set_header(b"");
+        }
         let tail = self.buffer.len() - 8;
         self.buffer[tail..].copy_from_slice(&nonce.to_le_bytes());
         &self.buffer
+    }
+}
+
+/// Reusable state for the verification path: the mining-input buffer plus a
+/// full [`HashScratch`].
+///
+/// A full node re-verifying many `(header, nonce)` pairs — block validation
+/// re-evaluates one PoW per block — owns one of these per worker and calls
+/// [`HashCore::verify_with_scratch`], so steady-state verification is as
+/// allocation-free as steady-state mining.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyScratch {
+    input: MiningInput,
+    hash: HashScratch,
+}
+
+impl VerifyScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -233,6 +279,25 @@ impl HashCore {
         input: &[u8],
         scratch: &mut HashScratch,
     ) -> Result<HashCoreOutput, HashCoreError> {
+        // One-time pre-sizing to the generator's worst-case bounds: the
+        // seed noise is capped, so the largest program, memory image and
+        // output any seed can produce are known up front (the generation
+        // scratch primes itself the same way on its first use). After this,
+        // no nonce — however its widget is shaped — grows a buffer.
+        if !scratch.warmed {
+            scratch.warmed = true;
+            let bounds = self.generator.bounds();
+            let pipeline = &mut scratch.pipeline;
+            pipeline.widget.program.reserve_blocks(bounds.max_blocks);
+            pipeline.prepared.prime(
+                bounds.max_blocks * (bounds.max_block_len + 1),
+                bounds.max_blocks,
+            );
+            pipeline
+                .exec
+                .prime(bounds.max_memory_bytes, bounds.max_output_bytes);
+        }
+
         // First hash gate: s = G(x).
         let seed = HashSeed::new(sha256(input));
 
@@ -256,21 +321,15 @@ impl HashCore {
                 derivation.update(&(index as u64).to_le_bytes());
                 HashSeed::new(derivation.finalize())
             };
-            let widget = self.generator.generate(&widget_seed);
-            scratch
-                .prepared
-                .prepare(&widget.program)
-                .map_err(ExecError::from)?;
-            let stats = Executor::new(hashcore_vm::ExecConfig {
-                collect_trace: false,
-                ..widget.exec_config()
-            })
-            .execute_prepared(&scratch.prepared, &mut scratch.exec)?;
-            gate.update(scratch.exec.output());
+            let stats = scratch
+                .pipeline
+                .run(&self.generator, &widget_seed, false)
+                .map_err(HashCoreError::from)?;
+            gate.update(scratch.pipeline.exec.output());
             report.dynamic_instructions += stats.dynamic_instructions;
             report.snapshots += stats.snapshot_count;
-            report.output_bytes += scratch.exec.output().len();
-            report.program_blocks += widget.program.blocks().len();
+            report.output_bytes += scratch.pipeline.exec.output().len();
+            report.program_blocks += scratch.pipeline.widget.program.blocks().len();
         }
 
         // Second hash gate: H(x) = G(s ‖ w_0 ‖ … ‖ w_{k-1}).
@@ -440,7 +499,34 @@ impl HashCore {
         nonce: u64,
         target: Target,
     ) -> Result<Option<Digest256>, HashCoreError> {
-        let digest = self.hash_digest(&Self::mining_input(header, nonce))?;
+        self.verify_with_scratch(header, nonce, target, &mut VerifyScratch::new())
+    }
+
+    /// Verifies `(header, nonce)` against `target` using reusable scratch
+    /// state.
+    ///
+    /// Identical to [`HashCore::verify`] — same digest, byte for byte — but
+    /// the mining input is assembled in the scratch's reusable buffer (no
+    /// fresh `Vec` per call, unlike [`HashCore::mining_input`]) and the
+    /// whole hash pipeline runs out of the scratch's [`HashScratch`]. Batch
+    /// verifiers re-checking a chain segment call this once per block with
+    /// one long-lived scratch per worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates widget-execution failures.
+    pub fn verify_with_scratch(
+        &self,
+        header: &[u8],
+        nonce: u64,
+        target: Target,
+        scratch: &mut VerifyScratch,
+    ) -> Result<Option<Digest256>, HashCoreError> {
+        let VerifyScratch { input, hash } = scratch;
+        input.set_header(header);
+        let digest = self
+            .hash_with_scratch(input.with_nonce(nonce), hash)?
+            .digest;
         Ok(target.is_met_by(&digest).then_some(digest))
     }
 }
@@ -448,6 +534,7 @@ impl HashCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hashcore_vm::Executor;
 
     fn fast_pow() -> HashCore {
         let mut profile = PerformanceProfile::leela_like();
@@ -570,6 +657,46 @@ mod tests {
             let reused = pow.hash_with_scratch(input, &mut scratch).unwrap();
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn verify_scratch_path_matches_verify_across_headers() {
+        let pow = fast_pow();
+        let target = Target::from_leading_zero_bits(1);
+        let mut scratch = VerifyScratch::new();
+        // One scratch serves verifications of different headers and nonces
+        // (the chain-validation usage), including header-length changes.
+        for (header, nonce) in [
+            (b"header-a".as_ref(), 0u64),
+            (b"a-much-longer-header-b".as_ref(), 7),
+            (b"h".as_ref(), u64::MAX),
+            (b"header-a".as_ref(), 0),
+        ] {
+            let fresh = pow.verify(header, nonce, target).unwrap();
+            let reused = pow
+                .verify_with_scratch(header, nonce, target, &mut scratch)
+                .unwrap();
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn mining_input_buffer_matches_the_allocating_form() {
+        let mut input = MiningInput::new(b"abc");
+        assert_eq!(input.with_nonce(5), HashCore::mining_input(b"abc", 5));
+        input.set_header(b"longer header");
+        assert_eq!(
+            input.with_nonce(u64::MAX),
+            HashCore::mining_input(b"longer header", u64::MAX)
+        );
+        input.set_header(b"");
+        assert_eq!(input.with_nonce(1), HashCore::mining_input(b"", 1));
+        // A default-constructed buffer behaves as if the header were empty
+        // instead of panicking on the missing nonce tail.
+        assert_eq!(
+            MiningInput::default().with_nonce(3),
+            HashCore::mining_input(b"", 3)
+        );
     }
 
     #[test]

@@ -18,11 +18,13 @@
 
 use crate::rng::WidgetRng;
 use hashcore_isa::{
-    BranchCond, FpOp, FpReg, IntAluOp, IntMulOp, IntReg, OpClass, Program, ProgramBuilder,
+    BlockId, BranchCond, FpOp, FpReg, IntAluOp, IntMulOp, IntReg, OpClass, Program, ProgramBuilder,
     Terminator, VecOp, VecReg,
 };
-use hashcore_profile::{apply_seed, HashSeed, NoiseConfig, PerformanceProfile, SeededProfile};
-use hashcore_vm::{ExecConfig, SNAPSHOT_BYTES};
+use hashcore_profile::{apply_seed_into, HashSeed, NoiseConfig, PerformanceProfile, SeededProfile};
+use hashcore_vm::{
+    ExecConfig, ExecError, ExecScratch, ExecStats, Executor, PreparedProgram, SNAPSHOT_BYTES,
+};
 
 /// Tunable parameters of the generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +56,118 @@ impl Default for GeneratorConfig {
     }
 }
 
+/// Reusable widget-generation state.
+///
+/// One scratch serves a stream of seeds: the program builder's block table,
+/// instruction buffers and spare pool, the per-segment bookkeeping vectors
+/// and the class-budget table are all retained between
+/// [`WidgetGenerator::generate_into`] calls, so generation performs no heap
+/// allocation once the buffers reach their steady-state sizes. A scratch is
+/// the per-worker unit of the mining fan-out (each thread owns exactly one);
+/// it is not shared between threads.
+#[derive(Debug, Clone, Default)]
+pub struct GenScratch {
+    builder: ProgramBuilder,
+    seg_heads: Vec<BlockId>,
+    seg_arms: Vec<(BlockId, BlockId)>,
+    diamond_unpredictable: Vec<bool>,
+    budget: Vec<(OpClass, f64)>,
+    /// Set once the scratch has been pre-sized to the generator's
+    /// worst-case [`GenerationBounds`]; the first `generate_into` call does
+    /// it, so every later call is allocation-free.
+    warmed: bool,
+}
+
+impl GenScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Worst-case generation sizes over *every possible seed*, derived from the
+/// generator's configuration.
+///
+/// The Table-I noise is positive-only and capped
+/// ([`hashcore_profile::NoiseConfig::max_relative_count_noise`]), so the
+/// segment count, block sizes, memory footprint and output size of any
+/// widget the generator can ever emit are bounded by arithmetic over the
+/// base profile — no seed needs to be sampled. Scratch buffers pre-sized to
+/// these bounds never grow again, which is what turns "allocation-free
+/// after an empirical warm-up visited the worst case" (an unbounded-tail
+/// property) into "allocation-free after the first call" (a guarantee).
+/// Every bound is an over-approximation; tightness is not required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationBounds {
+    /// Maximum number of basic blocks in a generated program.
+    pub max_blocks: usize,
+    /// Maximum number of instructions in any single basic block.
+    pub max_block_len: usize,
+    /// Maximum number of diamond segments.
+    pub max_segments: usize,
+    /// Maximum data-segment size in bytes.
+    pub max_memory_bytes: usize,
+    /// Maximum widget output size in bytes.
+    pub max_output_bytes: usize,
+}
+
+/// One reusable generate→prepare→execute pipeline: the generation scratch,
+/// the generated widget, its pre-decoded form, and the execution buffers.
+///
+/// This is the common composition every batch consumer of widgets needs —
+/// the HashCore hash scratch, the RandomX-lite baseline, the measurement
+/// harnesses — factored out so the pipeline contract (buffer cycling,
+/// worst-case pre-sizing, the two-buffer-set pool rule) lives in one place.
+/// Fields are public so callers with extra stages (hash gates between
+/// widgets, profilers over the trace) can drive them individually; most
+/// callers just use [`PipelineScratch::run`]. One scratch belongs to one
+/// worker; it is never shared between threads.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineScratch {
+    /// Generation state (program builder, bookkeeping vectors).
+    pub gen: GenScratch,
+    /// The most recently generated widget.
+    pub widget: GeneratedWidget,
+    /// The widget's pre-decoded, validate-once form.
+    pub prepared: PreparedProgram,
+    /// Execution state: machine, widget output, dynamic trace.
+    pub exec: ExecScratch,
+}
+
+impl PipelineScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates the widget for `seed` with `generator`, pre-decodes it and
+    /// executes it, returning the execution stats.
+    ///
+    /// The widget output — and, when `collect_trace` is set, the dynamic
+    /// trace — is left in [`PipelineScratch::exec`]; the widget itself stays
+    /// in [`PipelineScratch::widget`]. Allocation-free at steady state, like
+    /// the stages it composes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepLimitExceeded`] if the widget does not halt
+    /// within its step limit (generated widgets never fail validation).
+    pub fn run(
+        &mut self,
+        generator: &WidgetGenerator,
+        seed: &HashSeed,
+        collect_trace: bool,
+    ) -> Result<ExecStats, ExecError> {
+        generator.generate_into(seed, &mut self.gen, &mut self.widget);
+        self.prepared.prepare(&self.widget.program)?;
+        Executor::new(ExecConfig {
+            collect_trace,
+            ..self.widget.exec_config()
+        })
+        .execute_prepared(&self.prepared, &mut self.exec)
+    }
+}
+
 /// A widget produced by the generator.
 #[derive(Debug, Clone)]
 pub struct GeneratedWidget {
@@ -66,6 +180,19 @@ pub struct GeneratedWidget {
     pub target: SeededProfile,
     /// Expected number of register snapshots (and therefore output size).
     pub expected_snapshots: u64,
+}
+
+impl Default for GeneratedWidget {
+    /// An empty placeholder widget (invalid program, zero seed) meant to be
+    /// filled in place by [`WidgetGenerator::generate_into`].
+    fn default() -> Self {
+        Self {
+            program: Program::default(),
+            seed: HashSeed::new([0u8; 32]),
+            target: SeededProfile::default(),
+            expected_snapshots: 0,
+        }
+    }
 }
 
 impl GeneratedWidget {
@@ -140,16 +267,132 @@ impl WidgetGenerator {
         &self.config
     }
 
+    /// Computes the worst-case generation sizes over every possible seed.
+    ///
+    /// See [`GenerationBounds`]; the arithmetic mirrors
+    /// [`WidgetGenerator::generate_into`] with every noise factor at its cap
+    /// (and conservative rounding), so each bound dominates the value any
+    /// actual seed can produce.
+    pub fn bounds(&self) -> GenerationBounds {
+        let cadence = self.config.snapshot_cadence.max(1) as f64;
+        let noise_cap = 1.0 + self.config.noise.max_relative_count_noise.max(0.0);
+        let base = self.base.target_count_array();
+        let t0 = base.iter().sum::<u64>().max(1) as f64;
+        let t1: f64 = base.iter().map(|&b| (b as f64 * noise_cap).ceil()).sum();
+        let outer = |t: f64| (t.max(1000.0) / cadence).round().max(1.0);
+        let (o0, o1) = (outer(t0), outer(t1));
+        // budget_c = noised_c / total * max(total, 1000) / outer, with
+        // noised_c ≤ ceil(base_c · cap), max(total, 1000)/total ≤ scale and
+        // outer ≥ o0 — so `upper` dominates any seed's per-iteration budget.
+        let scale = (1000.0 / t0).max(1.0);
+        let upper = |b: u64| (b as f64 * noise_cap).ceil() * scale / o0;
+        let class_index = |class: OpClass| {
+            OpClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("known class")
+        };
+
+        let branch_base = base[class_index(OpClass::Branch)];
+        let max_segments = (upper(branch_base).ceil() as i64 + 1).clamp(1, 1024) as usize;
+        let min_segments = ((branch_base as f64 / o1).floor() as i64 - 2).clamp(1, 1024) as usize;
+        // A work block emits at most ceil(share/2) items per class, two
+        // instructions per item; the entry block is 6 set-ups plus the pool
+        // initialisers.
+        let work_upper: f64 = OpClass::ALL
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c, OpClass::Branch | OpClass::Control))
+            .map(|(i, _)| upper(base[i]))
+            .sum();
+        let entry_len = 6 + POOL.len();
+        let max_block_len =
+            ((work_upper / min_segments as f64).ceil() as usize + 16).max(entry_len + 4);
+        let max_blocks = 3 * max_segments + 3;
+
+        // Memory geometry (the memory-profile knobs are not seed-noised, so
+        // only the load/store budgets and iteration count vary).
+        let stride = (((self.base.memory.average_stride.max(8) as i32) & !7).max(8)) as f64;
+        let loads_stores =
+            upper(base[class_index(OpClass::Load)]) + upper(base[class_index(OpClass::Store)]);
+        let strided_max =
+            loads_stores * o1 * self.base.memory.strided_fraction.clamp(0.0, 1.0) * stride;
+        let max_memory_bytes = ((strided_max / 4.0) as usize + (32 << 10))
+            .min(self.base.memory.working_set_bytes)
+            .clamp(self.config.min_memory_bytes, self.config.max_memory_bytes)
+            .next_power_of_two();
+        let max_output_bytes = (o1 as usize + 1) * SNAPSHOT_BYTES;
+
+        GenerationBounds {
+            max_blocks,
+            max_block_len,
+            max_segments,
+            max_memory_bytes,
+            max_output_bytes,
+        }
+    }
+
+    /// Pre-sizes `scratch` to this generator's [`GenerationBounds`].
+    fn warm_scratch(&self, scratch: &mut GenScratch) {
+        let bounds = self.bounds();
+        // Two full buffer sets: while a program is being built, the
+        // previous program still owns its instruction buffers — they only
+        // return to the pool when `finish_into` replaces it.
+        scratch
+            .builder
+            .prime(2 * bounds.max_blocks, bounds.max_block_len);
+        scratch.seg_heads.reserve(bounds.max_segments);
+        scratch.seg_arms.reserve(bounds.max_segments);
+        scratch.diamond_unpredictable.reserve(bounds.max_segments);
+        scratch.budget.reserve(OpClass::ALL.len());
+    }
+
     /// Generates the widget for `seed`.
+    ///
+    /// Convenience wrapper over [`WidgetGenerator::generate_into`] with
+    /// fresh scratch state; callers generating many widgets (every miner —
+    /// one widget per nonce) should reuse long-lived state instead.
     pub fn generate(&self, seed: &HashSeed) -> GeneratedWidget {
-        let target = apply_seed(&self.base, seed, &self.config.noise);
-        let profile = &target.profile;
+        let mut scratch = GenScratch::new();
+        let mut out = GeneratedWidget::default();
+        self.generate_into(seed, &mut scratch, &mut out);
+        out
+    }
+
+    /// Generates the widget for `seed` into `out`, reusing `scratch`.
+    ///
+    /// Byte-identical to [`WidgetGenerator::generate`] — the same seed
+    /// always produces the same program, whichever path built it — but the
+    /// program builder, the per-segment bookkeeping vectors and the output
+    /// widget's own storage are all reused, so generation performs no heap
+    /// allocation once the buffers reach their steady-state sizes.
+    pub fn generate_into(
+        &self,
+        seed: &HashSeed,
+        scratch: &mut GenScratch,
+        out: &mut GeneratedWidget,
+    ) {
+        if !scratch.warmed {
+            scratch.warmed = true;
+            self.warm_scratch(scratch);
+        }
+        let GenScratch {
+            builder,
+            seg_heads,
+            seg_arms,
+            diamond_unpredictable,
+            budget,
+            warmed: _,
+        } = scratch;
+
+        apply_seed_into(&self.base, seed, &self.config.noise, &mut out.target);
+        let profile = &out.target.profile;
 
         // Two PRNG streams, exactly as Table I prescribes: one shapes the
         // control-flow / instruction selection, the other shapes memory
         // behaviour.
-        let mut code_rng = WidgetRng::new(target.bbv_seed as u64);
-        let mut mem_rng = WidgetRng::new(target.memory_seed as u64);
+        let mut code_rng = WidgetRng::new(out.target.bbv_seed as u64);
+        let mut mem_rng = WidgetRng::new(out.target.memory_seed as u64);
 
         let total = profile.target_dynamic_instructions.max(1000) as f64;
         let outer_iters = (total / self.config.snapshot_cadence as f64)
@@ -158,10 +401,12 @@ impl WidgetGenerator {
         let per_iter = total / outer_iters as f64;
 
         // Per-iteration class budgets (branches handled structurally).
-        let mut budget: Vec<(OpClass, f64)> = OpClass::ALL
-            .iter()
-            .map(|&class| (class, profile.mix.fraction(class) * per_iter))
-            .collect();
+        budget.clear();
+        budget.extend(
+            OpClass::ALL
+                .iter()
+                .map(|&class| (class, profile.mix.fraction(class) * per_iter)),
+        );
         let branch_budget = budget
             .iter()
             .find(|(c, _)| *c == OpClass::Branch)
@@ -177,9 +422,9 @@ impl WidgetGenerator {
         let unpredictable_fraction = (profile.branch.transition_rate
             * self.config.unpredictable_branch_gain)
             .clamp(0.0, 1.0);
-        let diamond_unpredictable: Vec<bool> = (0..segments)
-            .map(|_| code_rng.chance(unpredictable_fraction))
-            .collect();
+        diamond_unpredictable.clear();
+        diamond_unpredictable
+            .extend((0..segments).map(|_| code_rng.chance(unpredictable_fraction)));
 
         // Memory geometry. The strided stream keeps the profile's natural
         // stride so spatial locality survives; the data segment is sized so
@@ -188,8 +433,8 @@ impl WidgetGenerator {
         // resident data structures. Pointer-chase accesses are confined to a
         // small hot region, mirroring chasing within a resident game tree.
         let stride = ((profile.memory.average_stride.max(8) as i32) & !7).max(8);
-        let loads_per_iter = class_budget(&budget, OpClass::Load);
-        let stores_per_iter = class_budget(&budget, OpClass::Store);
+        let loads_per_iter = class_budget(budget, OpClass::Load);
+        let stores_per_iter = class_budget(budget, OpClass::Store);
         let expected_strided_bytes = (loads_per_iter + stores_per_iter)
             * outer_iters as f64
             * profile.memory.strided_fraction
@@ -222,8 +467,9 @@ impl WidgetGenerator {
         // Taken-probability target for diamond branches.
         let taken_fraction = profile.branch.taken_fraction.clamp(0.05, 0.95);
 
+        builder.reset(memory_size);
         let mut emitter = Emitter {
-            builder: ProgramBuilder::new(memory_size),
+            builder,
             profile,
             stride,
             hot_region_mask,
@@ -259,17 +505,15 @@ impl WidgetGenerator {
 
         // Reserve the per-segment blocks: head + two arms each, then latch
         // and exit.
-        let seg_heads: Vec<_> = (0..segments)
-            .map(|_| emitter.builder.reserve_block())
-            .collect();
-        let seg_arms: Vec<(_, _)> = (0..segments)
-            .map(|_| {
-                (
-                    emitter.builder.reserve_block(),
-                    emitter.builder.reserve_block(),
-                )
-            })
-            .collect();
+        seg_heads.clear();
+        seg_heads.extend((0..segments).map(|_| emitter.builder.reserve_block()));
+        seg_arms.clear();
+        seg_arms.extend((0..segments).map(|_| {
+            (
+                emitter.builder.reserve_block(),
+                emitter.builder.reserve_block(),
+            )
+        }));
         let latch = emitter.builder.reserve_block();
         let exit = emitter.builder.reserve_block();
 
@@ -299,7 +543,7 @@ impl WidgetGenerator {
             // the diamond arms, of which exactly one executes).
             emitter.builder.begin_reserved(seg_heads[s]);
             for &class in &work_classes {
-                let per_segment = share(class_budget(&budget, class));
+                let per_segment = share(class_budget(budget, class));
                 let count = stochastic_round(per_segment * 0.5, &mut code_rng);
                 for _ in 0..count {
                     emitter.emit_work(class, &mut code_rng, &mut mem_rng);
@@ -320,7 +564,7 @@ impl WidgetGenerator {
             for arm in [seg_arms[s].0, seg_arms[s].1] {
                 emitter.builder.begin_reserved(arm);
                 for &class in &work_classes {
-                    let per_segment = share(class_budget(&budget, class));
+                    let per_segment = share(class_budget(budget, class));
                     let count = stochastic_round(per_segment * 0.5, &mut code_rng);
                     for _ in 0..count {
                         emitter.emit_work(class, &mut code_rng, &mut mem_rng);
@@ -349,15 +593,11 @@ impl WidgetGenerator {
         emitter.builder.snapshot();
         emitter.builder.terminate(Terminator::Halt);
 
-        let program = emitter.builder.finish(entry);
-        debug_assert!(program.validate().is_ok());
+        emitter.builder.finish_into(entry, &mut out.program);
+        debug_assert!(out.program.validate().is_ok());
 
-        GeneratedWidget {
-            program,
-            seed: *seed,
-            target,
-            expected_snapshots: outer_iters + 1,
-        }
+        out.seed = *seed;
+        out.expected_snapshots = outer_iters + 1;
     }
 }
 
@@ -379,7 +619,7 @@ fn stochastic_round(value: f64, rng: &mut WidgetRng) -> u64 {
 
 /// Internal instruction-emission state.
 struct Emitter<'a> {
-    builder: ProgramBuilder,
+    builder: &'a mut ProgramBuilder,
     profile: &'a PerformanceProfile,
     stride: i32,
     /// Mask confining pointer-chase and scattered accesses to a hot region.
@@ -577,6 +817,24 @@ mod tests {
                 .expect("widget must halt");
             assert!(exec.snapshot_count >= 1);
             assert!(!exec.output.is_empty());
+        }
+    }
+
+    #[test]
+    fn generate_into_with_reused_scratch_matches_generate() {
+        let generator = small_generator();
+        let mut scratch = GenScratch::new();
+        let mut widget = GeneratedWidget::default();
+        // One scratch and one output widget serve a stream of different
+        // seeds (the mining usage); every field must match the fresh path.
+        for fill in [0u8, 42, 42, 7, 255, 0] {
+            let fresh = generator.generate(&seed(fill));
+            generator.generate_into(&seed(fill), &mut scratch, &mut widget);
+            assert_eq!(widget.program, fresh.program, "fill {fill}");
+            assert_eq!(encode(&widget.program), encode(&fresh.program));
+            assert_eq!(widget.seed, fresh.seed);
+            assert_eq!(widget.target, fresh.target);
+            assert_eq!(widget.expected_snapshots, fresh.expected_snapshots);
         }
     }
 

@@ -43,5 +43,8 @@
 mod generator;
 mod rng;
 
-pub use generator::{GeneratedWidget, GeneratorConfig, WidgetGenerator};
+pub use generator::{
+    GenScratch, GeneratedWidget, GenerationBounds, GeneratorConfig, PipelineScratch,
+    WidgetGenerator,
+};
 pub use rng::WidgetRng;

@@ -46,12 +46,33 @@ use crate::reg::{FpReg, IntReg, VecReg};
 /// let program = b.finish(entry);
 /// assert!(program.validate().is_ok());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ProgramBuilder {
     blocks: Vec<Option<BasicBlock>>,
     current: Option<BlockId>,
     pending: Vec<Instruction>,
     memory_size: usize,
+    /// Recycled instruction buffers, sorted by capacity (ascending).
+    ///
+    /// [`ProgramBuilder::terminate`] draws the smallest adequate buffer for
+    /// each finished block and [`ProgramBuilder::reset`] /
+    /// [`ProgramBuilder::finish_into`] return buffers to the pool, so a
+    /// builder that is reused across programs of similar shape stops
+    /// allocating once the pool has warmed up. Best-fit selection matters:
+    /// because every block is compatible with any buffer at least as large
+    /// as itself, taking the smallest adequate buffer preserves the larger
+    /// ones for the larger blocks still to come, and reuse succeeds whenever
+    /// any assignment of buffers to blocks could.
+    spare: Vec<Vec<Instruction>>,
+}
+
+impl Default for ProgramBuilder {
+    /// An empty builder with the minimum 8-byte data segment; callers that
+    /// reuse a default-constructed builder start it with
+    /// [`ProgramBuilder::reset`].
+    fn default() -> Self {
+        Self::new(8)
+    }
 }
 
 impl ProgramBuilder {
@@ -63,6 +84,74 @@ impl ProgramBuilder {
             current: None,
             pending: Vec::new(),
             memory_size: memory_size.max(8).next_power_of_two(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Clears the builder for a new program with a `memory_size`-byte data
+    /// segment, retaining every allocation (the block table, the pending
+    /// buffer and the recycled instruction buffers of any blocks built since
+    /// the last [`ProgramBuilder::finish_into`]).
+    pub fn reset(&mut self, memory_size: usize) {
+        self.current = None;
+        self.pending.clear();
+        let mut drained = std::mem::take(&mut self.blocks);
+        for block in drained.drain(..).flatten() {
+            self.recycle(block.instructions);
+        }
+        self.blocks = drained;
+        self.memory_size = memory_size.max(8).next_power_of_two();
+    }
+
+    /// Returns an empty buffer for a block of `len` instructions: the
+    /// smallest recycled buffer that already has the capacity, or a fresh
+    /// allocation when none qualifies.
+    fn take_spare(&mut self, len: usize) -> Vec<Instruction> {
+        let idx = self.spare.partition_point(|buf| buf.capacity() < len);
+        if idx < self.spare.len() {
+            self.spare.remove(idx)
+        } else {
+            Vec::with_capacity(len)
+        }
+    }
+
+    /// Returns an instruction buffer to the spare pool (cleared, sorted by
+    /// capacity).
+    fn recycle(&mut self, mut buffer: Vec<Instruction>) {
+        buffer.clear();
+        let idx = self
+            .spare
+            .partition_point(|buf| buf.capacity() < buffer.capacity());
+        self.spare.insert(idx, buffer);
+    }
+
+    /// Pre-sizes the builder for programs of up to `blocks` blocks of up to
+    /// `block_capacity` instructions each: the spare pool is grown to
+    /// `blocks` buffers of at least `block_capacity`, and the block table
+    /// and pending buffer are reserved to match.
+    ///
+    /// A caller that knows an upper bound on every program it will ever
+    /// build — the widget generator's seed-noise caps bound the segment
+    /// count and block sizes over *all* seeds — primes the builder once and
+    /// every later build is allocation-free, rather than allocation-free
+    /// only after the (unbounded-tail) empirical warm-up has happened to
+    /// visit the worst case.
+    pub fn prime(&mut self, blocks: usize, block_capacity: usize) {
+        for buf in &mut self.spare {
+            if buf.capacity() < block_capacity {
+                buf.reserve_exact(block_capacity);
+            }
+        }
+        while self.spare.len() < blocks {
+            self.spare.push(Vec::with_capacity(block_capacity));
+        }
+        self.spare.sort_by_key(Vec::capacity);
+        if self.blocks.capacity() < blocks {
+            self.blocks.reserve_exact(blocks - self.blocks.len());
+        }
+        if self.pending.capacity() < block_capacity {
+            self.pending
+                .reserve_exact(block_capacity - self.pending.len());
         }
     }
 
@@ -212,7 +301,13 @@ impl ProgramBuilder {
     /// Panics if no block is open.
     pub fn terminate(&mut self, terminator: Terminator) {
         let id = self.current.take().expect("no block is open");
-        let body = std::mem::take(&mut self.pending);
+        // Copy the pending instructions into a recycled buffer instead of
+        // surrendering the pending buffer itself: `pending` then keeps its
+        // capacity forever (it only ever needs to grow to the largest single
+        // block), and the block body comes from the best-fit spare pool.
+        let mut body = self.take_spare(self.pending.len());
+        body.extend_from_slice(&self.pending);
+        self.pending.clear();
         self.blocks[id.index()] = Some(BasicBlock::new(id, body, terminator));
     }
 
@@ -245,15 +340,41 @@ impl ProgramBuilder {
     ///
     /// Panics if a block is still open or any reserved block was never
     /// populated.
-    pub fn finish(self, entry: BlockId) -> Program {
+    pub fn finish(mut self, entry: BlockId) -> Program {
+        let mut out = Program::default();
+        self.finish_into(entry, &mut out);
+        out
+    }
+
+    /// Finishes the program into `out`, reusing `out`'s storage.
+    ///
+    /// The previous contents of `out` are discarded; its block table keeps
+    /// its allocation and its old blocks' instruction buffers are recycled
+    /// into this builder's spare pool. Together with
+    /// [`ProgramBuilder::reset`] this makes the generate-into-the-same-
+    /// program loop allocation-free at steady state: buffers cycle
+    /// builder → program → builder as each new program replaces the last.
+    ///
+    /// The resulting program is byte-identical to what
+    /// [`ProgramBuilder::finish`] returns for the same builder state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is still open or any reserved block was never
+    /// populated.
+    pub fn finish_into(&mut self, entry: BlockId, out: &mut Program) {
         assert!(self.current.is_none(), "a block is still open");
-        let blocks: Vec<BasicBlock> = self
-            .blocks
-            .into_iter()
-            .enumerate()
-            .map(|(i, b)| b.unwrap_or_else(|| panic!("reserved block bb{i} was never populated")))
-            .collect();
-        Program::new(blocks, entry, self.memory_size)
+        let mut old = std::mem::take(&mut out.blocks);
+        for block in old.drain(..) {
+            self.recycle(block.instructions);
+        }
+        out.blocks = old;
+        for (i, slot) in self.blocks.drain(..).enumerate() {
+            let block = slot.unwrap_or_else(|| panic!("reserved block bb{i} was never populated"));
+            out.blocks.push(block);
+        }
+        out.entry = entry;
+        out.memory_size = self.memory_size;
     }
 }
 
@@ -307,6 +428,109 @@ mod tests {
         let dangling = b.reserve_block();
         b.terminate(Terminator::Jump(dangling));
         b.finish(entry);
+    }
+
+    fn counted_loop(b: &mut ProgramBuilder, iters: i64) -> Program {
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), iters);
+        b.load_imm(IntReg(1), 0);
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.terminate(Terminator::Jump(body));
+        b.begin_reserved(body);
+        b.int_alu_imm(IntAluOp::Add, IntReg(1), IntReg(1), 3);
+        b.int_alu_imm(IntAluOp::Sub, IntReg(0), IntReg(0), 1);
+        b.branch(BranchCond::Ne, IntReg(0), IntReg(1), body, exit);
+        b.begin_reserved(exit);
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        let mut out = Program::default();
+        b.finish_into(entry, &mut out);
+        out
+    }
+
+    #[test]
+    fn reset_and_finish_into_match_the_one_shot_path() {
+        let mut b = ProgramBuilder::new(128);
+        let reference = counted_loop(&mut b, 10);
+
+        // Rebuilding the same program through reset + finish_into must be
+        // identical, and a different program built afterwards must not be
+        // contaminated by recycled buffers.
+        let mut reused = ProgramBuilder::new(4096);
+        let mut out = Program::default();
+        for iters in [3, 10, 7, 10] {
+            reused.reset(128);
+            let entry = reused.begin_block();
+            reused.load_imm(IntReg(0), iters);
+            reused.load_imm(IntReg(1), 0);
+            let body = reused.reserve_block();
+            let exit = reused.reserve_block();
+            reused.terminate(Terminator::Jump(body));
+            reused.begin_reserved(body);
+            reused.int_alu_imm(IntAluOp::Add, IntReg(1), IntReg(1), 3);
+            reused.int_alu_imm(IntAluOp::Sub, IntReg(0), IntReg(0), 1);
+            reused.branch(BranchCond::Ne, IntReg(0), IntReg(1), body, exit);
+            reused.begin_reserved(exit);
+            reused.snapshot();
+            reused.terminate(Terminator::Halt);
+            reused.finish_into(entry, &mut out);
+            assert!(out.validate().is_ok());
+            if iters == 10 {
+                assert_eq!(out, reference);
+            } else {
+                assert_ne!(out, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_recycles_unfinished_blocks() {
+        let mut b = ProgramBuilder::new(64);
+        let entry = b.begin_block();
+        b.load_imm(IntReg(0), 1);
+        b.terminate(Terminator::Halt);
+        // Never finished: reset must recycle the terminated block and allow
+        // a clean rebuild.
+        b.reset(256);
+        let entry2 = b.begin_block();
+        b.snapshot();
+        b.terminate(Terminator::Halt);
+        let p = b.finish(entry2);
+        assert_eq!(p.memory_size(), 256);
+        assert_eq!(p.blocks().len(), 1);
+        assert_eq!(p.block(entry2).instructions.len(), 1);
+        let _ = entry;
+    }
+
+    #[test]
+    fn spare_pool_uses_best_fit_buffers() {
+        let mut b = ProgramBuilder::new(64);
+        // Build a program with one large and one small block, then rebuild:
+        // the second round must reuse the recycled buffers without mixing
+        // contents up.
+        for _ in 0..3 {
+            b.reset(64);
+            let entry = b.begin_block();
+            for i in 0..32 {
+                b.load_imm(IntReg((i % 8) as u8), i);
+            }
+            let exit = b.reserve_block();
+            b.terminate(Terminator::Jump(exit));
+            b.begin_reserved(exit);
+            b.snapshot();
+            b.terminate(Terminator::Halt);
+            let mut out = Program::default();
+            b.finish_into(entry, &mut out);
+            // `finish_into` leaves the block table drained but keeps the
+            // blocks; recycle them for the next round.
+            assert_eq!(out.blocks().len(), 2);
+            assert_eq!(out.block(entry).instructions.len(), 32);
+            b.reset(64);
+            for block in out.blocks() {
+                assert!(block.instructions.len() <= 32);
+            }
+        }
     }
 
     #[test]

@@ -12,11 +12,26 @@ use std::fmt;
 /// to). Programs are static data: execution state lives in `hashcore-vm`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
-    blocks: Vec<BasicBlock>,
-    entry: BlockId,
+    pub(crate) blocks: Vec<BasicBlock>,
+    pub(crate) entry: BlockId,
     /// Size of the data segment in bytes (always a power of two so address
     /// wrapping is a mask).
-    memory_size: usize,
+    pub(crate) memory_size: usize,
+}
+
+impl Default for Program {
+    /// An empty placeholder program (entry `bb0`, minimal memory).
+    ///
+    /// The placeholder does **not** pass [`Program::validate`]; it exists so
+    /// reusable-scratch pipelines can allocate a program slot up front and
+    /// fill it with [`crate::ProgramBuilder::finish_into`].
+    fn default() -> Self {
+        Self {
+            blocks: Vec::new(),
+            entry: BlockId(0),
+            memory_size: 8,
+        }
+    }
 }
 
 /// Errors detected by [`Program::validate`].
@@ -123,6 +138,16 @@ impl Program {
         &self.blocks
     }
 
+    /// Pre-sizes the block table for up to `blocks` blocks. Reusable-scratch
+    /// pipelines size the program once for their worst case so that
+    /// rebuilding it via [`crate::ProgramBuilder::finish_into`] never
+    /// reallocates the table.
+    pub fn reserve_blocks(&mut self, blocks: usize) {
+        if self.blocks.capacity() < blocks {
+            self.blocks.reserve_exact(blocks - self.blocks.len());
+        }
+    }
+
     /// The entry block id.
     pub fn entry(&self) -> BlockId {
         self.entry
@@ -178,17 +203,25 @@ impl Program {
                     });
                 }
             }
+            // Successor edges are matched inline rather than through
+            // `Terminator::successors` so validation performs no heap
+            // allocation: the prepared-execution path re-validates one
+            // program per nonce.
+            let check = |to: BlockId| {
+                if to.index() >= self.blocks.len() {
+                    Err(ValidateError::DanglingEdge { from: block.id, to })
+                } else {
+                    Ok(())
+                }
+            };
             match block.terminator {
                 Terminator::Halt => has_halt = true,
-                _ => {
-                    for succ in block.terminator.successors() {
-                        if succ.index() >= self.blocks.len() {
-                            return Err(ValidateError::DanglingEdge {
-                                from: block.id,
-                                to: succ,
-                            });
-                        }
-                    }
+                Terminator::Jump(to) => check(to)?,
+                Terminator::Branch {
+                    taken, not_taken, ..
+                } => {
+                    check(taken)?;
+                    check(not_taken)?;
                 }
             }
         }

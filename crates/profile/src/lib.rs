@@ -48,7 +48,7 @@ mod seed;
 pub mod stats;
 
 pub use distance::{per_class_error, ProfileDistance};
-pub use noise::{apply_seed, NoiseConfig, SeededProfile};
+pub use noise::{apply_seed, apply_seed_into, NoiseConfig, SeededProfile};
 pub use profile::{
     BasicBlockProfile, BranchProfile, DependencyProfile, InstructionMix, MemoryProfile,
     PerformanceProfile,

@@ -40,7 +40,11 @@ impl Default for NoiseConfig {
 
 /// A performance profile after seed noise has been applied, plus the two
 /// PRNG seeds Table I reserves for the generator.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The `Default` value is an empty placeholder meant to be filled in place
+/// by [`apply_seed_into`]; reusing one `SeededProfile` across seeds is what
+/// makes the per-nonce noising step allocation-free at steady state.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SeededProfile {
     /// The noised profile the generator will target.
     pub profile: PerformanceProfile,
@@ -80,9 +84,27 @@ pub fn apply_seed(
     seed: &HashSeed,
     config: &NoiseConfig,
 ) -> SeededProfile {
-    let base_counts = profile.target_counts();
-    let mut noised_counts: HashMap<OpClass, u64> = HashMap::new();
-    let mut noise_factors: HashMap<OpClass, f64> = HashMap::new();
+    let mut out = SeededProfile::default();
+    apply_seed_into(profile, seed, config, &mut out);
+    out
+}
+
+/// Applies Table-I seed noise to `profile`, writing the result into `out` in
+/// place.
+///
+/// Numerically identical to [`apply_seed`], but all of `out`'s storage (the
+/// profile name, the noise-factor map) is reused, so re-noising the same
+/// base profile for a stream of seeds — one per nonce in the mining loop —
+/// performs no heap allocation after the first call.
+pub fn apply_seed_into(
+    profile: &PerformanceProfile,
+    seed: &HashSeed,
+    config: &NoiseConfig,
+    out: &mut SeededProfile,
+) {
+    let base_counts = profile.target_count_array();
+    let mut noised_counts = [0u64; OpClass::ALL.len()];
+    out.noise_factors.clear();
 
     let class_fields = [
         (OpClass::IntAlu, SeedField::IntAlu),
@@ -93,37 +115,42 @@ pub fn apply_seed(
         (OpClass::Branch, SeedField::BranchBehavior),
     ];
 
-    for class in OpClass::ALL {
-        let base = *base_counts.get(&class).unwrap_or(&0);
-        let factor = match class_fields.iter().find(|(c, _)| *c == class) {
+    for (i, class) in OpClass::ALL.iter().enumerate() {
+        let base = base_counts[i];
+        let factor = match class_fields.iter().find(|(c, _)| c == class) {
             Some((_, field)) => 1.0 + unit(seed.field(*field)) * config.max_relative_count_noise,
             None => 1.0,
         };
         // Positive-only noise, as in the paper: counts can only grow.
         let noised = (base as f64 * factor).round() as u64;
-        noised_counts.insert(class, noised.max(base));
-        noise_factors.insert(class, factor);
+        noised_counts[i] = noised.max(base);
+        out.noise_factors.insert(*class, factor);
     }
 
-    let total: u64 = noised_counts.values().sum();
-    let mut out = profile.clone();
-    out.mix = InstructionMix::from_counts(&noised_counts);
-    out.target_dynamic_instructions = total.max(1);
+    let total: u64 = noised_counts.iter().sum();
+    // Field-by-field copy: `String::clone_from` reuses the name buffer and
+    // every other field is inline data, so nothing here touches the heap
+    // once the name has its steady-state capacity.
+    out.profile.name.clone_from(&profile.name);
+    out.profile.mix = InstructionMix::from_count_array(&noised_counts);
+    out.profile.branch = profile.branch;
+    out.profile.memory = profile.memory;
+    out.profile.dependency = profile.dependency;
+    out.profile.blocks = profile.blocks;
+    out.profile.target_dynamic_instructions = total.max(1);
+    out.profile.reference_ipc = profile.reference_ipc;
+    out.profile.reference_branch_hit_rate = profile.reference_branch_hit_rate;
 
     // The Branch-Behaviour field also perturbs the transition rate, spreading
     // widget predictability around the target value (this is what produces
     // the Figure-3 distribution).
     let branch_noise = unit(seed.field(SeedField::BranchBehavior));
     let shift = (branch_noise * 2.0 - 1.0) * config.max_transition_rate_shift;
-    out.branch.transition_rate = (out.branch.transition_rate + shift).clamp(0.0, 1.0);
-    out.branch.branch_fraction = out.mix.fraction(OpClass::Branch);
+    out.profile.branch.transition_rate = (profile.branch.transition_rate + shift).clamp(0.0, 1.0);
+    out.profile.branch.branch_fraction = out.profile.mix.fraction(OpClass::Branch);
 
-    SeededProfile {
-        profile: out,
-        bbv_seed: seed.bbv_seed(),
-        memory_seed: seed.memory_seed(),
-        noise_factors,
-    }
+    out.bbv_seed = seed.bbv_seed();
+    out.memory_seed = seed.memory_seed();
 }
 
 #[cfg(test)]
@@ -134,6 +161,20 @@ mod tests {
         let mut bytes = [0u8; 32];
         bytes[index * 4..index * 4 + 4].copy_from_slice(&value.to_le_bytes());
         HashSeed::new(bytes)
+    }
+
+    #[test]
+    fn apply_seed_into_reuses_storage_and_matches_apply_seed() {
+        let base = PerformanceProfile::leela_like();
+        let config = NoiseConfig::default();
+        let mut out = SeededProfile::default();
+        // One reused output serves a stream of different seeds (the mining
+        // usage); every result must equal the fresh-allocation path.
+        for fill in [0u8, 3, 77, 200, 255, 3] {
+            let seed = HashSeed::new([fill; 32]);
+            apply_seed_into(&base, &seed, &config, &mut out);
+            assert_eq!(out, apply_seed(&base, &seed, &config), "fill {fill}");
+        }
     }
 
     #[test]

@@ -30,11 +30,23 @@ impl InstructionMix {
     /// Classes missing from `counts` get a fraction of zero. An all-zero
     /// count map produces an all-zero mix.
     pub fn from_counts(counts: &HashMap<OpClass, u64>) -> Self {
-        let total: u64 = counts.values().sum();
+        let mut array = [0u64; OpClass::ALL.len()];
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            array[i] = *counts.get(class).unwrap_or(&0);
+        }
+        Self::from_count_array(&array)
+    }
+
+    /// Builds a mix from per-class counts in canonical [`OpClass::ALL`]
+    /// order — the allocation-free equivalent of
+    /// [`InstructionMix::from_counts`], used by the reusable-scratch seed
+    /// noising path.
+    pub fn from_count_array(counts: &[u64; OpClass::ALL.len()]) -> Self {
+        let total: u64 = counts.iter().sum();
         let mut fractions = [0.0; OpClass::ALL.len()];
         if total > 0 {
-            for (i, class) in OpClass::ALL.iter().enumerate() {
-                fractions[i] = *counts.get(class).unwrap_or(&0) as f64 / total as f64;
+            for (f, count) in fractions.iter_mut().zip(counts.iter()) {
+                *f = *count as f64 / total as f64;
             }
         }
         Self { fractions }
@@ -190,7 +202,7 @@ impl Default for BasicBlockProfile {
 /// This is the PerfProx input: the widget generator consumes a (seed-noised)
 /// copy of this structure and emits a program whose dynamic behaviour is
 /// centred on it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PerformanceProfile {
     /// Workload name, e.g. `"leela_like"`.
     pub name: String,
@@ -310,9 +322,18 @@ impl PerformanceProfile {
     /// dynamic instruction count.
     pub fn target_counts(&self) -> HashMap<OpClass, u64> {
         let mut out = HashMap::new();
-        for (class, fraction) in self.mix.iter() {
-            let count = (fraction * self.target_dynamic_instructions as f64).round() as u64;
-            out.insert(class, count);
+        for (class, count) in OpClass::ALL.iter().zip(self.target_count_array()) {
+            out.insert(*class, count);
+        }
+        out
+    }
+
+    /// Per-class target counts in canonical [`OpClass::ALL`] order — the
+    /// allocation-free equivalent of [`PerformanceProfile::target_counts`].
+    pub fn target_count_array(&self) -> [u64; OpClass::ALL.len()] {
+        let mut out = [0u64; OpClass::ALL.len()];
+        for (slot, (_, fraction)) in out.iter_mut().zip(self.mix.iter()) {
+            *slot = (fraction * self.target_dynamic_instructions as f64).round() as u64;
         }
         out
     }

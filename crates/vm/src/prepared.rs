@@ -166,6 +166,19 @@ impl PreparedProgram {
     pub fn pc_slot_count(&self) -> u32 {
         self.slots.len() as u32
     }
+
+    /// Pre-sizes the slot array for programs of up to `slots` pc slots and
+    /// `blocks` blocks, so a caller with a worst-case bound pays all growth
+    /// up front instead of on whichever program first hits the maximum.
+    pub fn prime(&mut self, slots: usize, blocks: usize) {
+        if self.slots.capacity() < slots {
+            self.slots.reserve_exact(slots - self.slots.len());
+        }
+        if self.block_starts_buf.capacity() < blocks {
+            self.block_starts_buf
+                .reserve_exact(blocks - self.block_starts_buf.len());
+        }
+    }
 }
 
 /// Reusable execution state: the machine state plus output and trace
@@ -211,6 +224,17 @@ impl ExecScratch {
     /// The architectural state at halt of the most recent execution.
     pub fn final_state(&self) -> &MachineState {
         &self.state
+    }
+
+    /// Pre-sizes the machine memory and output buffer, so a caller that
+    /// knows upper bounds over every program it will run (the widget
+    /// generator's noise caps bound both) pays all growth up front instead
+    /// of on whichever run first hits the maximum.
+    pub fn prime(&mut self, memory_size: usize, output_bytes: usize) {
+        self.state.reset(memory_size.max(8).next_power_of_two());
+        if self.output.capacity() < output_bytes {
+            self.output.reserve_exact(output_bytes - self.output.len());
+        }
     }
 }
 
