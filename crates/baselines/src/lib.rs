@@ -35,7 +35,7 @@ pub use randomx_lite::RandomxLitePow;
 pub use selection::SelectionPow;
 pub use sha256d_pow::Sha256dPow;
 
-use hashcore::{HashCore, Target};
+use hashcore::{HashCore, MiningInput, Target};
 use hashcore_crypto::Digest256;
 
 /// A Proof-of-Work function: a deterministic map from arbitrary input bytes
@@ -87,6 +87,32 @@ pub trait PreparedPow: PowFunction {
 
     /// Evaluates the PoW digest for `input`, reusing `scratch`'s buffers.
     fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256;
+
+    /// Scans nonces `start..start + attempts` of the header held in
+    /// `input`, returning the first `(nonce, digest)` meeting `target`.
+    ///
+    /// This is the shared mining loop of `Blockchain::mine_block` and the
+    /// network simulation's nodes: all per-attempt state lives in the
+    /// caller's `input` and `scratch`, so the scan performs no steady-state
+    /// allocation, and a caller holding `start` can resume an unfinished
+    /// scan at `start + attempts`.
+    fn scan_nonces(
+        &self,
+        input: &mut MiningInput,
+        target: Target,
+        start: u64,
+        attempts: u64,
+        scratch: &mut Self::Scratch,
+    ) -> Option<(u64, Digest256)> {
+        for offset in 0..attempts {
+            let nonce = start.wrapping_add(offset);
+            let digest = self.pow_hash_scratch(input.with_nonce(nonce), scratch);
+            if target.is_met_by(&digest) {
+                return Some((nonce, digest));
+            }
+        }
+        None
+    }
 }
 
 /// Coarse classification of what a PoW function stresses, used by the
@@ -235,5 +261,42 @@ mod tests {
         let target = Target::from_leading_zero_bits(4);
         let found = Sha256dPow.mine(b"hdr", target, 256).expect("easy target");
         assert!(target.is_met_by(&found.1));
+    }
+
+    #[test]
+    fn scan_nonces_matches_the_naive_mine_and_resumes() {
+        let target = Target::from_leading_zero_bits(4);
+        let naive = Sha256dPow.mine(b"hdr", target, 256).expect("easy target");
+        let mut input = MiningInput::new(b"hdr");
+        let mut scratch = MemoryHardScratch::default();
+        let pow = MemoryHardPow::new(16 * 1024, 2);
+        let mem_naive = pow.mine(b"hdr", target, 256).expect("easy target");
+        let mem_scanned = pow
+            .scan_nonces(&mut input, target, 0, 256, &mut scratch)
+            .expect("easy target");
+        assert_eq!(mem_scanned, mem_naive);
+
+        let scanned = Sha256dPow
+            .scan_nonces(&mut MiningInput::new(b"hdr"), target, 0, 256, &mut ())
+            .expect("easy target");
+        assert_eq!(scanned, naive);
+        // Resuming past the hit finds the next qualifying nonce, exactly as
+        // a fresh scan starting there would.
+        let resumed = Sha256dPow.scan_nonces(
+            &mut MiningInput::new(b"hdr"),
+            target,
+            scanned.0 + 1,
+            256,
+            &mut (),
+        );
+        let fresh = Sha256dPow.scan_nonces(
+            &mut MiningInput::new(b"hdr"),
+            target,
+            scanned.0 + 1,
+            256,
+            &mut (),
+        );
+        assert_eq!(resumed, fresh);
+        assert!(resumed.expect("easy target").0 > scanned.0);
     }
 }

@@ -1,0 +1,163 @@
+//! Network-simulation harness: fork races, a forced partition, deep reorgs
+//! and catch-up segment sync, with the batched parallel verifier on the hot
+//! path.
+//!
+//! Runs the deterministic 5-node simulation twice with the same seed,
+//! asserts the two runs are byte-identical on every deterministic metric
+//! (convergence time, reorg depth distribution, message counts), and writes
+//! `BENCH_sync.json`. The partition splits the network for a third of the
+//! run; on heal, the losing side catches up through `GetSegment` →
+//! `validate_segment_parallel`, which is where the recorded sync throughput
+//! comes from.
+//!
+//! Usage:
+//!
+//! ```text
+//! sim_network [duration-seconds] [nodes]
+//! ```
+
+use hashcore_baselines::Sha256dPow;
+use hashcore_net::{Partition, SimConfig, SimReport, Simulation};
+use std::fmt::Write as _;
+
+fn positional_arg(index: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(index)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config(duration_s: u64, nodes: usize) -> SimConfig {
+    let duration_ms = duration_s * 1_000;
+    SimConfig {
+        nodes,
+        seed: 0xc0ffee,
+        difficulty_bits: 9,
+        attempts_per_slice: 64,
+        slice_ms: 100,
+        fan_out: 2,
+        // Partition the middle third of the run: two nodes against the
+        // rest, so the minority mines a doomed branch and must reorg.
+        partitions: vec![Partition {
+            start_ms: duration_ms / 3,
+            end_ms: 2 * duration_ms / 3,
+            split: 2.min(nodes - 1),
+        }],
+        duration_ms,
+        sync_threads: 4,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    let duration_s = positional_arg(1, 60).max(9);
+    let nodes = positional_arg(2, 5).max(3) as usize;
+
+    println!(
+        "network simulation: {nodes} nodes, {duration_s} s horizon, partition in the middle third"
+    );
+
+    let mut first = Simulation::new(config(duration_s, nodes), |_| Sha256dPow);
+    let report = first.run();
+    let second = Simulation::new(config(duration_s, nodes), |_| Sha256dPow).run();
+    let runs_identical = report.fingerprint() == second.fingerprint();
+
+    println!("  converged:         {}", report.converged);
+    println!(
+        "  convergence time:  {} ms (simulated)",
+        report.convergence_ms.map_or(-1i64, |t| t as i64)
+    );
+    println!("  tip height:        {}", report.tip_height);
+    println!("  blocks mined:      {}", report.blocks_mined);
+    println!(
+        "  reorgs:            {} (max depth {})",
+        report.reorg_depths.len(),
+        report.max_reorg_depth
+    );
+    println!(
+        "  segment sync:      {} segments, {} blocks, {:.0} blocks/s wall",
+        report.segments_synced,
+        report.segment_blocks,
+        report.sync_blocks_per_sec()
+    );
+    println!(
+        "  messages:          {} sent, {} dropped at the partition",
+        report.messages_sent, report.messages_dropped
+    );
+    println!("  deterministic:     {runs_identical} (two runs, same seed)");
+
+    // The acceptance gates: a healed partition must leave one tip, reached
+    // through at least one multi-block reorg fed by the parallel verifier,
+    // and the whole race must replay identically from the seed.
+    assert!(report.converged, "nodes must converge after the heal");
+    assert!(
+        report.max_reorg_depth >= 2,
+        "the partition must force a multi-block reorg (saw {})",
+        report.max_reorg_depth
+    );
+    assert!(
+        report.segments_synced >= 1,
+        "catch-up must run through validate_segment_parallel"
+    );
+    assert!(runs_identical, "same seed must reproduce the same race");
+
+    let json = render_json(&report, runs_identical);
+    std::fs::write("BENCH_sync.json", &json).expect("BENCH_sync.json is writable");
+    println!("wrote BENCH_sync.json");
+}
+
+/// Renders the report as a small, dependency-free JSON document.
+fn render_json(report: &SimReport, runs_identical: bool) -> String {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"network_sync\",");
+    let _ = writeln!(json, "  \"nodes\": {},", report.nodes);
+    let _ = writeln!(json, "  \"seed\": {},", report.seed);
+    let _ = writeln!(json, "  \"duration_ms\": {},", report.duration_ms);
+    let _ = writeln!(json, "  \"converged\": {},", report.converged);
+    let _ = writeln!(
+        json,
+        "  \"convergence_ms\": {},",
+        report.convergence_ms.map_or(-1i64, |t| t as i64)
+    );
+    let _ = writeln!(json, "  \"tip_height\": {},", report.tip_height);
+    let _ = writeln!(json, "  \"blocks_mined\": {},", report.blocks_mined);
+    let _ = writeln!(json, "  \"reorgs\": {},", report.reorg_depths.len());
+    let _ = writeln!(json, "  \"max_reorg_depth\": {},", report.max_reorg_depth);
+    let depths: Vec<String> = report.reorg_depths.iter().map(|d| d.to_string()).collect();
+    let _ = writeln!(json, "  \"reorg_depths\": [{}],", depths.join(", "));
+    let _ = writeln!(json, "  \"segments_synced\": {},", report.segments_synced);
+    let _ = writeln!(json, "  \"segment_blocks\": {},", report.segment_blocks);
+    let _ = writeln!(
+        json,
+        "  \"sync_blocks_per_sec\": {:.3},",
+        report.sync_blocks_per_sec()
+    );
+    let _ = writeln!(json, "  \"messages_sent\": {},", report.messages_sent);
+    let _ = writeln!(json, "  \"messages_dropped\": {},", report.messages_dropped);
+    let _ = writeln!(json, "  \"runs_identical\": {runs_identical}");
+    json.push_str("}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_baselines::Sha256dPow;
+    use hashcore_net::Simulation;
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let report = Simulation::new(config(9, 3), |_| Sha256dPow).run();
+        let json = render_json(&report, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"network_sync\""));
+        assert!(json.contains("\"runs_identical\": true"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn positional_args_fall_back_to_defaults() {
+        assert_eq!(positional_arg(7, 42), 42);
+    }
+}

@@ -1,7 +1,7 @@
 //! The chain: block acceptance, validation, and difficulty retargeting.
 
 use crate::block::{Block, BlockHeader};
-use hashcore::Target;
+use hashcore::{MiningInput, Target};
 use hashcore_baselines::{PowFunction, PreparedPow};
 use hashcore_crypto::Digest256;
 use std::fmt;
@@ -94,6 +94,13 @@ pub struct Blockchain<P> {
     blocks: Vec<Block>,
     target: Target,
     clock: u64,
+    /// Fractional seconds of mining work not yet reflected in `clock`.
+    /// Carried across blocks so configs with small `seconds_per_attempt`
+    /// do not systematically lose the sub-second part of every block.
+    clock_remainder: f64,
+    /// PoW digest of the chain tip, maintained incrementally so `tip_hash`
+    /// does not re-evaluate a full PoW hash on every call.
+    tip_digest: Digest256,
     /// Difficulty (expected attempts) history, one entry per mined block.
     difficulty_history: Vec<f64>,
 }
@@ -107,6 +114,8 @@ impl<P: PowFunction> Blockchain<P> {
             config,
             blocks: Vec::new(),
             clock: 0,
+            clock_remainder: 0.0,
+            tip_digest: [0u8; 32],
             difficulty_history: Vec::new(),
         }
     }
@@ -142,72 +151,20 @@ impl<P: PowFunction> Blockchain<P> {
     }
 
     /// Hash of the chain tip (all zeros for the empty chain).
+    ///
+    /// The digest is cached when each block is mined, so this is a constant
+    /// time lookup rather than a full PoW evaluation.
     pub fn tip_hash(&self) -> Digest256 {
-        self.blocks
-            .last()
-            .map(|b| self.pow.pow_hash(&b.header.bytes()))
-            .unwrap_or([0u8; 32])
-    }
-
-    /// Mines and appends the next block containing `transactions`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ChainError::MiningExhausted`] if no nonce within
-    /// `max_attempts` meets the current target.
-    pub fn mine_block(
-        &mut self,
-        transactions: &[Vec<u8>],
-        max_attempts: u64,
-    ) -> Result<&Block, ChainError> {
-        let txs: Vec<Vec<u8>> = transactions.to_vec();
-        let header_template = BlockHeader {
-            version: 1,
-            prev_hash: self.tip_hash(),
-            merkle_root: Block::merkle_root(&txs),
-            timestamp: self.clock,
-            target: *self.target.threshold(),
-            nonce: 0,
-        };
-        let (nonce, attempts) = self.search_nonce(&header_template, max_attempts).ok_or(
-            ChainError::MiningExhausted {
-                attempts: max_attempts,
-            },
-        )?;
-
-        // Advance the simulated clock by the work that was performed.
-        let elapsed = (attempts as f64 * self.config.seconds_per_attempt).max(1.0) as u64;
-        self.clock += elapsed;
-
-        let header = BlockHeader {
-            nonce,
-            ..header_template
-        };
-        self.difficulty_history.push(self.current_difficulty());
-        self.blocks.push(Block {
-            header,
-            transactions: txs,
-        });
-        self.retarget(elapsed);
-        Ok(self.blocks.last().expect("just pushed"))
-    }
-
-    fn search_nonce(&self, header: &BlockHeader, max_attempts: u64) -> Option<(u64, u64)> {
-        let base = header.pow_input();
-        for nonce in 0..max_attempts {
-            let mut input = base.clone();
-            input.extend_from_slice(&nonce.to_le_bytes());
-            if self.target.is_met_by(&self.pow.pow_hash(&input)) {
-                return Some((nonce, nonce + 1));
-            }
-        }
-        None
+        self.tip_digest
     }
 
     /// Ethereum-style smoothed retargeting: scale the target toward the
     /// value that would have made the last block take `target_block_time`.
-    fn retarget(&mut self, elapsed: u64) {
-        let ratio = elapsed.max(1) as f64 / self.config.target_block_time as f64;
+    /// `elapsed` is the exact (fractional) seconds of mining work the block
+    /// represents — no truncation, so small `seconds_per_attempt` configs
+    /// retarget on the work actually performed.
+    fn retarget(&mut self, elapsed: f64) {
+        let ratio = elapsed / self.config.target_block_time as f64;
         // ratio > 1: blocks too slow → make the target easier (scale up).
         let gain = self.config.retarget_gain.clamp(0.0, 1.0);
         let factor = ratio.powf(gain).clamp(0.25, 4.0);
@@ -234,14 +191,109 @@ impl<P: PowFunction> Blockchain<P> {
     }
 }
 
+impl<P: PreparedPow> Blockchain<P> {
+    /// Mines and appends the next block containing `transactions`.
+    ///
+    /// The nonce search runs on the scratch path ([`MiningInput`] +
+    /// [`PreparedPow::pow_hash_scratch`]): one input buffer and one scratch
+    /// are built per call and reused across every attempt, so steady-state
+    /// mining performs no per-nonce heap allocation — the same discipline as
+    /// `HashCore::mine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::MiningExhausted`] if no nonce within
+    /// `max_attempts` meets the current target.
+    pub fn mine_block(
+        &mut self,
+        transactions: &[Vec<u8>],
+        max_attempts: u64,
+    ) -> Result<&Block, ChainError> {
+        let txs: Vec<Vec<u8>> = transactions.to_vec();
+        let header_template = BlockHeader {
+            version: 1,
+            prev_hash: self.tip_digest,
+            merkle_root: Block::merkle_root(&txs),
+            timestamp: self.clock,
+            target: *self.target.threshold(),
+            nonce: 0,
+        };
+        let (nonce, attempts, digest) = self.search_nonce(&header_template, max_attempts).ok_or(
+            ChainError::MiningExhausted {
+                attempts: max_attempts,
+            },
+        )?;
+
+        // Advance the simulated clock by the work that was performed,
+        // carrying the fractional remainder to the next block instead of
+        // truncating it away.
+        let elapsed = attempts as f64 * self.config.seconds_per_attempt;
+        let exact = elapsed + self.clock_remainder;
+        let whole = exact.floor();
+        self.clock += whole as u64;
+        self.clock_remainder = exact - whole;
+
+        let header = BlockHeader {
+            nonce,
+            ..header_template
+        };
+        self.difficulty_history.push(self.current_difficulty());
+        self.tip_digest = digest;
+        self.blocks.push(Block {
+            header,
+            transactions: txs,
+        });
+        self.retarget(elapsed);
+        Ok(self.blocks.last().expect("just pushed"))
+    }
+
+    /// Scans nonces `0..max_attempts` against the current target, returning
+    /// `(nonce, attempts, digest)` of the first hit. All per-attempt state
+    /// lives in one [`MiningInput`] and one [`PreparedPow::Scratch`].
+    fn search_nonce(
+        &self,
+        header: &BlockHeader,
+        max_attempts: u64,
+    ) -> Option<(u64, u64, Digest256)> {
+        let mut header_bytes = Vec::new();
+        header.write_pow_input(&mut header_bytes);
+        let mut input = MiningInput::new(&header_bytes);
+        let mut scratch = P::Scratch::default();
+        let (nonce, digest) =
+            self.pow
+                .scan_nonces(&mut input, self.target, 0, max_attempts, &mut scratch)?;
+        Some((nonce, nonce + 1, digest))
+    }
+}
+
 /// Validates an arbitrary block sequence (for example one received from a
 /// peer) against `pow`: header linkage, Merkle commitments and PoW targets.
+///
+/// The sequence is anchored at genesis: the first block must link to the
+/// all-zero digest. To validate a partial segment that extends some known
+/// block, use [`validate_segment`].
 ///
 /// # Errors
 ///
 /// Returns the first [`ChainError::InvalidBlock`] found.
 pub fn validate_blocks<P: PowFunction>(pow: &P, blocks: &[Block]) -> Result<(), ChainError> {
-    let mut prev_hash = [0u8; 32];
+    validate_segment(pow, blocks, [0u8; 32])
+}
+
+/// Validates a contiguous chain segment whose first block extends the block
+/// with PoW digest `prev_hash` — the sequential entry point segment sync
+/// uses when a peer ships only the blocks past a common ancestor.
+///
+/// Heights in errors are relative to the start of the segment.
+///
+/// # Errors
+///
+/// Returns the first [`ChainError::InvalidBlock`] found.
+pub fn validate_segment<P: PowFunction>(
+    pow: &P,
+    blocks: &[Block],
+    mut prev_hash: Digest256,
+) -> Result<(), ChainError> {
     for (height, block) in blocks.iter().enumerate() {
         if block.header.prev_hash != prev_hash {
             return Err(ChainError::InvalidBlock {
@@ -307,13 +359,35 @@ pub fn validate_blocks_parallel<P: PreparedPow + Sync>(
     blocks: &[Block],
     threads: usize,
 ) -> Result<(), ChainError> {
+    validate_segment_parallel(pow, blocks, threads, [0u8; 32])
+}
+
+/// Validates a contiguous chain segment anchored at `prev_hash` in parallel
+/// — the parallel form of [`validate_segment`], with results identical to it
+/// (see [`validate_blocks_parallel`] for how determinism is maintained).
+/// This is the hot path of segment sync: a node catching up after a
+/// partition fans the received segment out across its hardware threads.
+///
+/// # Errors
+///
+/// Returns the same [`ChainError::InvalidBlock`] the sequential path would.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if a validation worker panics.
+pub fn validate_segment_parallel<P: PreparedPow + Sync>(
+    pow: &P,
+    blocks: &[Block],
+    threads: usize,
+    prev_hash: Digest256,
+) -> Result<(), ChainError> {
     assert!(
         threads > 0,
         "validate_blocks_parallel requires at least one thread"
     );
     let threads = threads.min(blocks.len());
     if threads <= 1 {
-        return validate_blocks(pow, blocks);
+        return validate_segment(pow, blocks, prev_hash);
     }
 
     // Lowest height at which any worker found a genuine check failure.
@@ -392,7 +466,7 @@ pub fn validate_blocks_parallel<P: PreparedPow + Sync>(
     // the worker's own candidate, so at equal height the linkage error wins
     // — matching the sequential per-block check order.
     let mut first: Option<(usize, &'static str)> = None;
-    let mut prev_digest = [0u8; 32];
+    let mut prev_digest = prev_hash;
     for outcome in &outcomes {
         let boundary = (blocks[outcome.lo].header.prev_hash != prev_digest)
             .then_some((outcome.lo, REASON_LINKAGE));
@@ -485,6 +559,80 @@ mod tests {
         let chain = Blockchain::new(Sha256dPow, ChainConfig::fast_test());
         assert!(chain.validate().is_ok());
         assert_eq!(chain.tip_hash(), [0u8; 32]);
+    }
+
+    #[test]
+    fn tip_hash_cache_matches_the_pow_digest_of_the_last_header() {
+        let mut chain = Blockchain::new(Sha256dPow, ChainConfig::fast_test());
+        for i in 0..4 {
+            chain
+                .mine_block(&[format!("tx-{i}").into_bytes()], 1_000_000)
+                .expect("trivial difficulty");
+            let last = chain.blocks().last().expect("just mined");
+            assert_eq!(chain.tip_hash(), Sha256dPow.pow_hash(&last.header.bytes()));
+        }
+    }
+
+    #[test]
+    fn scratch_mining_finds_the_same_nonce_as_a_naive_scan() {
+        let chain = mined_chain(4);
+        for block in chain.blocks() {
+            let base = block.header.pow_input();
+            let target = Target::from_threshold(block.header.target);
+            let naive = (0u64..1_000_000).find(|n| {
+                let mut input = base.clone();
+                input.extend_from_slice(&n.to_le_bytes());
+                target.is_met_by(&Sha256dPow.pow_hash(&input))
+            });
+            assert_eq!(naive, Some(block.header.nonce));
+        }
+    }
+
+    #[test]
+    fn fractional_mining_time_carries_across_blocks() {
+        // Each attempt is worth a quarter second; the clock must advance by
+        // the floor of the *accumulated* mining time, not the per-block sum
+        // of truncated (or 1-second-clamped) values.
+        let mut chain = Blockchain::new(
+            Sha256dPow,
+            ChainConfig {
+                target_block_time: 15,
+                initial_difficulty_bits: 0,
+                retarget_gain: 0.0,
+                seconds_per_attempt: 0.25,
+            },
+        );
+        for i in 0..8 {
+            chain
+                .mine_block(&[format!("tx-{i}").into_bytes()], 64)
+                .expect("0-bit difficulty");
+        }
+        let total_attempts: u64 = chain.blocks().iter().map(|b| b.header.nonce + 1).sum();
+        assert_eq!(chain.now(), (total_attempts as f64 * 0.25) as u64);
+        // The truncating clock counted at least one second per block.
+        assert!(
+            chain.now() < 8,
+            "clock {} attempts {total_attempts}",
+            chain.now()
+        );
+    }
+
+    #[test]
+    fn segment_validation_accepts_a_mid_chain_suffix() {
+        let chain = mined_chain(12);
+        let anchor = Sha256dPow.pow_hash(&chain.blocks()[5].header.bytes());
+        let segment = &chain.blocks()[6..];
+        assert!(validate_segment(&Sha256dPow, segment, anchor).is_ok());
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(
+                validate_segment_parallel(&Sha256dPow, segment, threads, anchor),
+                Ok(()),
+                "{threads} threads"
+            );
+        }
+        // The wrong anchor is a linkage break at relative height 0.
+        let err = validate_segment_parallel(&Sha256dPow, segment, 4, [0xee; 32]).unwrap_err();
+        assert!(matches!(err, ChainError::InvalidBlock { height: 0, .. }));
     }
 
     /// Asserts the parallel path equals the sequential path for every

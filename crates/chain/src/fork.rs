@@ -1,0 +1,615 @@
+//! Fork choice: a block store keyed by header PoW digest with
+//! cumulative-work tip selection.
+//!
+//! [`Blockchain`](crate::Blockchain) models a single miner's linear history;
+//! competing chains never meet there. This module is the substrate the
+//! network simulation races on: every node holds a [`ForkTree`], blocks from
+//! any branch are [`ForkTree::apply`]'d as they arrive, and the tree keeps
+//! the tip with the most cumulative expected work — switching branches
+//! returns the detached and attached segments so callers can observe (and
+//! replay) reorgs.
+//!
+//! Fork choice is a strict total order on `(cumulative work, digest)`, so
+//! the selected tip depends only on the *set* of blocks stored, never on
+//! their arrival order — the property the convergence proptests pin down.
+
+use crate::block::Block;
+use crate::chain::{validate_segment, ChainError};
+use hashcore::Target;
+use hashcore_baselines::PreparedPow;
+use hashcore_crypto::Digest256;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The digest a chain's first block links to: the all-zero "genesis" parent.
+pub const GENESIS_HASH: Digest256 = [0u8; 32];
+
+/// Errors returned by [`ForkTree::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForkError {
+    /// The block links to a parent this tree has never stored. Carries the
+    /// digest of the offending block so a node can request the missing
+    /// segment ending at exactly that block.
+    UnknownParent {
+        /// PoW digest of the orphan block itself.
+        digest: Digest256,
+        /// The parent digest the block links to.
+        prev_hash: Digest256,
+    },
+    /// The block fails a stateless check (Merkle commitment or PoW target).
+    InvalidBlock {
+        /// Human-readable reason, matching the chain-validation wording.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ForkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForkError::UnknownParent { prev_hash, .. } => {
+                write!(
+                    f,
+                    "block links to unknown parent {}",
+                    hashcore_crypto::hex::encode(prev_hash)
+                )
+            }
+            ForkError::InvalidBlock { reason } => write!(f, "block is invalid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ForkError {}
+
+/// The segments a tip change detached and attached, both ordered by
+/// ascending height. A plain extension has an empty `detached` and a
+/// single-block `attached`; a branch switch detaches the old tip's segment
+/// back to the common ancestor and attaches the new branch from there.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Reorg {
+    /// Blocks that left the best chain (old branch, ascending height).
+    pub detached: Vec<Block>,
+    /// Blocks that joined the best chain (new branch, ascending height;
+    /// the last entry is the new tip).
+    pub attached: Vec<Block>,
+}
+
+impl Reorg {
+    /// Number of blocks that left the best chain — 0 for a plain extension.
+    pub fn depth(&self) -> usize {
+        self.detached.len()
+    }
+
+    /// `true` when the tip advanced without abandoning any block.
+    pub fn is_extension(&self) -> bool {
+        self.detached.is_empty()
+    }
+}
+
+/// What [`ForkTree::apply`] did with a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The digest was already stored; nothing changed.
+    AlreadyKnown {
+        /// PoW digest of the block.
+        digest: Digest256,
+    },
+    /// Stored on a branch that did not overtake the best tip.
+    SideChain {
+        /// PoW digest of the block.
+        digest: Digest256,
+    },
+    /// The block extended or switched the best tip.
+    TipChanged {
+        /// PoW digest of the block (the new tip).
+        digest: Digest256,
+        /// Exactly what the switch detached and attached.
+        reorg: Reorg,
+    },
+}
+
+impl ApplyOutcome {
+    /// PoW digest of the applied block, whatever happened to the tip.
+    pub fn digest(&self) -> Digest256 {
+        match self {
+            ApplyOutcome::AlreadyKnown { digest }
+            | ApplyOutcome::SideChain { digest }
+            | ApplyOutcome::TipChanged { digest, .. } => *digest,
+        }
+    }
+
+    /// `true` when the block was stored for the first time.
+    pub fn newly_stored(&self) -> bool {
+        !matches!(self, ApplyOutcome::AlreadyKnown { .. })
+    }
+}
+
+/// One stored block plus its position in the tree.
+#[derive(Debug, Clone)]
+struct Entry {
+    block: Block,
+    height: u64,
+    /// Cumulative expected hash attempts from genesis through this block.
+    work: f64,
+}
+
+/// A block store keyed by header PoW digest, with cumulative-work fork
+/// choice.
+///
+/// The tree validates each applied block statelessly (Merkle commitment and
+/// the block's own embedded PoW target) and contextually (the parent must be
+/// stored). Difficulty policy is the miner's concern — the simulation mines
+/// at a configured target — so the tree scores branches by the expected
+/// attempts their embedded targets imply.
+///
+/// Hashing runs through one owned [`PreparedPow::Scratch`] and one header
+/// buffer, so applying a stream of blocks does not allocate per block.
+pub struct ForkTree<P: PreparedPow> {
+    pow: P,
+    entries: HashMap<Digest256, Entry>,
+    tip: Digest256,
+    scratch: P::Scratch,
+    header_bytes: Vec<u8>,
+}
+
+impl<P: PreparedPow + fmt::Debug> fmt::Debug for ForkTree<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ForkTree")
+            .field("pow", &self.pow)
+            .field("blocks", &self.entries.len())
+            .field("tip", &hashcore_crypto::hex::encode(&self.tip))
+            .finish()
+    }
+}
+
+impl<P: PreparedPow> ForkTree<P> {
+    /// Creates an empty tree whose tip is [`GENESIS_HASH`].
+    pub fn new(pow: P) -> Self {
+        Self {
+            pow,
+            entries: HashMap::new(),
+            tip: GENESIS_HASH,
+            scratch: P::Scratch::default(),
+            header_bytes: Vec::new(),
+        }
+    }
+
+    /// The PoW function blocks are validated against.
+    pub fn pow(&self) -> &P {
+        &self.pow
+    }
+
+    /// Number of blocks stored, across every branch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no block has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Digest of the best tip ([`GENESIS_HASH`] for the empty tree).
+    pub fn tip(&self) -> Digest256 {
+        self.tip
+    }
+
+    /// Height of the best tip (number of blocks on the best chain).
+    pub fn tip_height(&self) -> u64 {
+        self.height_of(&self.tip)
+    }
+
+    /// Cumulative expected work of the best chain.
+    pub fn tip_work(&self) -> f64 {
+        self.entries.get(&self.tip).map_or(0.0, |e| e.work)
+    }
+
+    /// The best tip's block, if any block has been stored.
+    pub fn tip_block(&self) -> Option<&Block> {
+        self.entries.get(&self.tip).map(|e| &e.block)
+    }
+
+    /// `true` when a block with this digest is stored.
+    pub fn contains(&self, digest: &Digest256) -> bool {
+        self.entries.contains_key(digest)
+    }
+
+    /// The stored block with this digest, if any.
+    pub fn block(&self, digest: &Digest256) -> Option<&Block> {
+        self.entries.get(digest).map(|e| &e.block)
+    }
+
+    /// Height of a stored block (0 for [`GENESIS_HASH`], which "stores" the
+    /// empty chain).
+    pub fn height_of(&self, digest: &Digest256) -> u64 {
+        self.entries.get(digest).map_or(0, |e| e.height)
+    }
+
+    /// Evaluates the PoW digest that identifies `block`, through the tree's
+    /// scratch.
+    pub fn digest_of(&mut self, block: &Block) -> Digest256 {
+        block.header.write_bytes(&mut self.header_bytes);
+        self.pow
+            .pow_hash_scratch(&self.header_bytes, &mut self.scratch)
+    }
+
+    /// Validates and stores a block, advancing the tip if the block's branch
+    /// now carries the most cumulative work.
+    ///
+    /// Fork choice is the lexicographic order on `(cumulative work, digest)`
+    /// — work first, digest as the deterministic tie-break — so the selected
+    /// tip is a function of the stored block set alone, independent of
+    /// arrival order.
+    ///
+    /// # Errors
+    ///
+    /// [`ForkError::UnknownParent`] when the parent is not stored (the
+    /// caller should sync the missing segment), [`ForkError::InvalidBlock`]
+    /// when the Merkle commitment or PoW target check fails.
+    pub fn apply(&mut self, block: Block) -> Result<ApplyOutcome, ForkError> {
+        let digest = self.digest_of(&block);
+        if self.entries.contains_key(&digest) {
+            return Ok(ApplyOutcome::AlreadyKnown { digest });
+        }
+        if !block.merkle_consistent() {
+            return Err(ForkError::InvalidBlock {
+                reason: "merkle root does not commit to the transactions".to_string(),
+            });
+        }
+        let target = Target::from_threshold(block.header.target);
+        if !target.is_met_by(&digest) {
+            return Err(ForkError::InvalidBlock {
+                reason: "proof of work does not meet the recorded target".to_string(),
+            });
+        }
+        let prev = block.header.prev_hash;
+        let (parent_height, parent_work) = if prev == GENESIS_HASH {
+            (0, 0.0)
+        } else {
+            match self.entries.get(&prev) {
+                Some(parent) => (parent.height, parent.work),
+                None => {
+                    return Err(ForkError::UnknownParent {
+                        digest,
+                        prev_hash: prev,
+                    })
+                }
+            }
+        };
+
+        let work = parent_work + target.expected_attempts();
+        self.entries.insert(
+            digest,
+            Entry {
+                block,
+                height: parent_height + 1,
+                work,
+            },
+        );
+
+        if self.prefers(&digest, work) {
+            let reorg = self.reorg_segments(self.tip, digest);
+            self.tip = digest;
+            Ok(ApplyOutcome::TipChanged { digest, reorg })
+        } else {
+            Ok(ApplyOutcome::SideChain { digest })
+        }
+    }
+
+    /// `true` when `(work, digest)` beats the current tip in the fork-choice
+    /// order.
+    fn prefers(&self, digest: &Digest256, work: f64) -> bool {
+        if self.tip == GENESIS_HASH {
+            return true;
+        }
+        let tip_work = self.tip_work();
+        work > tip_work || (work == tip_work && *digest < self.tip)
+    }
+
+    /// Parent digest of a stored block ([`GENESIS_HASH`] stays genesis).
+    fn parent_of(&self, digest: &Digest256) -> Digest256 {
+        self.entries
+            .get(digest)
+            .map_or(GENESIS_HASH, |e| e.block.header.prev_hash)
+    }
+
+    /// The detached/attached segments of a tip switch from `old` to `new`,
+    /// found by walking both branches back to their common ancestor.
+    fn reorg_segments(&self, old: Digest256, new: Digest256) -> Reorg {
+        let mut detached = Vec::new();
+        let mut attached = Vec::new();
+        let (mut a, mut b) = (old, new);
+        while self.height_of(&a) > self.height_of(&b) {
+            detached.push(a);
+            a = self.parent_of(&a);
+        }
+        while self.height_of(&b) > self.height_of(&a) {
+            attached.push(b);
+            b = self.parent_of(&b);
+        }
+        while a != b {
+            detached.push(a);
+            a = self.parent_of(&a);
+            attached.push(b);
+            b = self.parent_of(&b);
+        }
+        let to_blocks = |digests: Vec<Digest256>| {
+            let mut blocks: Vec<Block> = digests
+                .into_iter()
+                .rev()
+                .map(|d| self.entries[&d].block.clone())
+                .collect();
+            blocks.shrink_to_fit();
+            blocks
+        };
+        Reorg {
+            detached: to_blocks(detached),
+            attached: to_blocks(attached),
+        }
+    }
+
+    /// The best chain, genesis child first.
+    pub fn best_chain(&self) -> Vec<Block> {
+        let mut digests = Vec::new();
+        let mut cursor = self.tip;
+        while cursor != GENESIS_HASH {
+            digests.push(cursor);
+            cursor = self.parent_of(&cursor);
+        }
+        digests
+            .into_iter()
+            .rev()
+            .map(|d| self.entries[&d].block.clone())
+            .collect()
+    }
+
+    /// A Bitcoin-style block locator for the best chain: the tip, then
+    /// ancestors at exponentially increasing depth, ending with
+    /// [`GENESIS_HASH`]. A peer serving a segment walks back from the wanted
+    /// block until it hits one of these digests, so catch-up sync ships
+    /// `O(missing)` blocks with an `O(log height)`-sized request.
+    pub fn locator(&self) -> Vec<Digest256> {
+        let mut out = Vec::new();
+        let mut cursor = self.tip;
+        let mut step = 1u64;
+        while cursor != GENESIS_HASH {
+            out.push(cursor);
+            if out.len() >= 4 {
+                step *= 2;
+            }
+            for _ in 0..step {
+                cursor = self.parent_of(&cursor);
+                if cursor == GENESIS_HASH {
+                    break;
+                }
+            }
+        }
+        out.push(GENESIS_HASH);
+        out
+    }
+
+    /// The contiguous segment ending at `want`, walking back until a digest
+    /// the requester already `known`s (or genesis), ascending height.
+    ///
+    /// Returns `None` when `want` is not stored; returns an empty segment
+    /// when the requester already knows `want`.
+    pub fn segment_to(&self, want: Digest256, known: &[Digest256]) -> Option<Vec<Block>> {
+        if !self.entries.contains_key(&want) {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cursor = want;
+        while cursor != GENESIS_HASH && !known.contains(&cursor) {
+            let entry = &self.entries[&cursor];
+            out.push(entry.block.clone());
+            cursor = entry.block.header.prev_hash;
+        }
+        out.reverse();
+        Some(out)
+    }
+
+    /// Re-validates the whole best chain through the sequential segment
+    /// validator — a consistency check for tests and tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChainError::InvalidBlock`] found.
+    pub fn validate_best_chain(&self) -> Result<(), ChainError> {
+        validate_segment(&self.pow, &self.best_chain(), GENESIS_HASH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockHeader;
+    use crate::chain::validate_segment_parallel;
+    use hashcore_baselines::{PowFunction, Sha256dPow};
+
+    /// Mines a child of `prev` tagged by `tag` at `bits` leading-zero bits.
+    fn mine_child(prev: Digest256, tag: &str, bits: u32) -> Block {
+        let txs = vec![tag.as_bytes().to_vec()];
+        let target = Target::from_leading_zero_bits(bits);
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash: prev,
+            merkle_root: Block::merkle_root(&txs),
+            timestamp: 0,
+            target: *target.threshold(),
+            nonce: 0,
+        };
+        loop {
+            if target.is_met_by(&Sha256dPow.pow_hash(&header.bytes())) {
+                return Block {
+                    header,
+                    transactions: txs,
+                };
+            }
+            header.nonce += 1;
+        }
+    }
+
+    fn digest(block: &Block) -> Digest256 {
+        Sha256dPow.pow_hash(&block.header.bytes())
+    }
+
+    #[test]
+    fn extension_advances_the_tip_without_detaching() {
+        let mut tree = ForkTree::new(Sha256dPow);
+        assert_eq!(tree.tip(), GENESIS_HASH);
+        assert_eq!(tree.tip_height(), 0);
+
+        let a = mine_child(GENESIS_HASH, "a", 2);
+        let b = mine_child(digest(&a), "b", 2);
+        for (block, height) in [(a.clone(), 1), (b.clone(), 2)] {
+            let expect = digest(&block);
+            match tree.apply(block).expect("valid block") {
+                ApplyOutcome::TipChanged { digest, reorg } => {
+                    assert_eq!(digest, expect);
+                    assert!(reorg.is_extension());
+                    assert_eq!(reorg.attached.len(), 1);
+                }
+                other => panic!("expected tip change, got {other:?}"),
+            }
+            assert_eq!(tree.tip_height(), height);
+        }
+        assert_eq!(tree.best_chain(), vec![a.clone(), b]);
+        assert!(tree.validate_best_chain().is_ok());
+        // Re-applying is idempotent.
+        assert!(matches!(
+            tree.apply(a).unwrap(),
+            ApplyOutcome::AlreadyKnown { .. }
+        ));
+    }
+
+    #[test]
+    fn longer_branch_wins_and_reports_the_reorg_segments() {
+        let mut tree = ForkTree::new(Sha256dPow);
+        let a = mine_child(GENESIS_HASH, "a", 2);
+        let b1 = mine_child(digest(&a), "b1", 2);
+        let b2 = mine_child(digest(&b1), "b2", 2);
+        // Competing branch off `a`, one block longer.
+        let c1 = mine_child(digest(&a), "c1", 2);
+        let c2 = mine_child(digest(&c1), "c2", 2);
+        let c3 = mine_child(digest(&c2), "c3", 2);
+
+        for block in [&a, &b1, &b2] {
+            tree.apply(block.clone()).expect("valid");
+        }
+        assert_eq!(tree.tip(), digest(&b2));
+        // Same length: stays a side chain (or switches on digest tie-break,
+        // but work is equal only after c2, where the digest decides).
+        tree.apply(c1.clone()).expect("valid");
+        tree.apply(c2.clone()).expect("valid");
+        let outcome = tree.apply(c3.clone()).expect("valid");
+        match outcome {
+            ApplyOutcome::TipChanged { digest: d, reorg } => {
+                assert_eq!(d, digest(&c3));
+                assert_eq!(reorg.detached, vec![b1.clone(), b2.clone()]);
+                // The attached segment walks ancestor → new tip.
+                let attached_tail = reorg.attached.clone();
+                assert_eq!(attached_tail, vec![c1.clone(), c2.clone(), c3.clone()]);
+                assert_eq!(reorg.depth(), 2);
+                // The attached segment revalidates from the common ancestor.
+                let anchor = attached_tail[0].header.prev_hash;
+                assert_eq!(anchor, digest(&a));
+                assert!(validate_segment_parallel(&Sha256dPow, &attached_tail, 3, anchor).is_ok());
+            }
+            other => panic!("expected reorg, got {other:?}"),
+        }
+        assert_eq!(tree.tip_height(), 4);
+        assert!(tree.validate_best_chain().is_ok());
+    }
+
+    #[test]
+    fn fork_choice_is_arrival_order_independent() {
+        let a = mine_child(GENESIS_HASH, "a", 2);
+        let b = mine_child(digest(&a), "b", 2);
+        let c = mine_child(digest(&a), "c", 2); // equal-work sibling of b
+
+        let mut forward = ForkTree::new(Sha256dPow);
+        for block in [&a, &b, &c] {
+            forward.apply(block.clone()).expect("valid");
+        }
+        let mut backward = ForkTree::new(Sha256dPow);
+        for block in [&a, &c, &b] {
+            backward.apply(block.clone()).expect("valid");
+        }
+        assert_eq!(forward.tip(), backward.tip());
+        assert_eq!(forward.tip(), digest(&b).min(digest(&c)));
+    }
+
+    #[test]
+    fn orphans_and_invalid_blocks_are_rejected() {
+        let mut tree = ForkTree::new(Sha256dPow);
+        let a = mine_child(GENESIS_HASH, "a", 2);
+        let b = mine_child(digest(&a), "b", 2);
+        // Parent unknown: the error names both the orphan and its parent.
+        let err = tree.apply(b.clone()).unwrap_err();
+        assert_eq!(
+            err,
+            ForkError::UnknownParent {
+                digest: digest(&b),
+                prev_hash: digest(&a),
+            }
+        );
+        // Forged transaction breaks the Merkle commitment.
+        let mut forged = a.clone();
+        forged.transactions[0] = b"forged".to_vec();
+        assert!(matches!(
+            tree.apply(forged),
+            Err(ForkError::InvalidBlock { .. })
+        ));
+        // A nonce that misses the embedded target breaks the PoW check.
+        let mut weak = a.clone();
+        weak.header.nonce = weak.header.nonce.wrapping_add(1);
+        while Target::from_threshold(weak.header.target)
+            .is_met_by(&Sha256dPow.pow_hash(&weak.header.bytes()))
+        {
+            weak.header.nonce = weak.header.nonce.wrapping_add(1);
+        }
+        assert!(matches!(
+            tree.apply(weak),
+            Err(ForkError::InvalidBlock { .. })
+        ));
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn locator_and_segment_serving_round_trip() {
+        let mut server = ForkTree::new(Sha256dPow);
+        let mut prev = GENESIS_HASH;
+        let mut chain = Vec::new();
+        for i in 0..12 {
+            let block = mine_child(prev, &format!("block-{i}"), 2);
+            prev = digest(&block);
+            server.apply(block.clone()).expect("valid");
+            chain.push(block);
+        }
+        // A client that stopped after block 5 asks for the tip's segment.
+        let mut client = ForkTree::new(Sha256dPow);
+        for block in &chain[..5] {
+            client.apply(block.clone()).expect("valid");
+        }
+        let locator = client.locator();
+        assert_eq!(locator.first(), Some(&client.tip()));
+        assert_eq!(locator.last(), Some(&GENESIS_HASH));
+
+        let segment = server
+            .segment_to(server.tip(), &locator)
+            .expect("tip is stored");
+        assert_eq!(segment, chain[5..].to_vec());
+        // The segment anchors at a digest the client has, and validates.
+        let anchor = segment[0].header.prev_hash;
+        assert!(anchor == client.tip());
+        assert!(validate_segment_parallel(&Sha256dPow, &segment, 4, anchor).is_ok());
+        for block in segment {
+            client.apply(block).expect("valid");
+        }
+        assert_eq!(client.tip(), server.tip());
+
+        // A fully synced client gets an empty segment; unknown wants, None.
+        let synced = server.segment_to(server.tip(), &server.locator());
+        assert_eq!(synced, Some(Vec::new()));
+        assert_eq!(server.segment_to([0x12; 32], &locator), None);
+    }
+}

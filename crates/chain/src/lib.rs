@@ -15,6 +15,10 @@
 //! * [`Blockchain`] — a chain driven by any [`PowFunction`], with
 //!   Ethereum-style per-block difficulty retargeting toward a target block
 //!   time, and full re-validation,
+//! * [`ForkTree`] — a block store keyed by header PoW digest with
+//!   cumulative-work fork choice: competing branches race, tip switches
+//!   report their detached/attached segments, and block locators serve the
+//!   segment-sync protocol of the `hashcore-net` simulation,
 //! * [`market`] — the mining-market model used by experiment E9: miners
 //!   with heterogeneous capital choose hardware whose efficiency depends on
 //!   how ASIC-friendly the PoW's dominant resource is, and the resulting
@@ -38,8 +42,13 @@
 
 mod block;
 mod chain;
+mod fork;
 pub mod market;
 
 pub use block::{Block, BlockHeader};
-pub use chain::{validate_blocks, validate_blocks_parallel, Blockchain, ChainConfig, ChainError};
+pub use chain::{
+    validate_blocks, validate_blocks_parallel, validate_segment, validate_segment_parallel,
+    Blockchain, ChainConfig, ChainError,
+};
+pub use fork::{ApplyOutcome, ForkError, ForkTree, Reorg, GENESIS_HASH};
 pub use hashcore_baselines::{PowFunction, PreparedPow};

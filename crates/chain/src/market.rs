@@ -90,13 +90,14 @@ pub fn simulate_market(resource: ResourceClass, config: &MarketConfig) -> Market
         let capital = config.max_capital / rank.powf(config.wealth_alpha);
 
         // Everyone already owns one GPP: baseline 1 unit of hash power.
+        // Capital is then spent once, on whichever hardware buys the most
+        // hash per dollar: custom hardware when the miner clears the minimum
+        // order and the PoW admits an ASIC at all, commodity GPPs otherwise.
         let mut power = 1.0;
-        // Extra commodity hardware with spare capital.
-        power += (capital / config.gpp_price).floor();
-        // Custom hardware only above the minimum order, and only profitable
-        // to the degree the PoW admits an ASIC at all.
         if capital >= config.asic_min_order && advantage > 1.0 {
             power += capital / config.gpp_price * advantage;
+        } else {
+            power += (capital / config.gpp_price).floor();
         }
         hash_power.push(power);
     }
@@ -190,6 +191,28 @@ mod tests {
         assert!((0.0..=1.0).contains(&a.gini));
         assert!((0.0..=1.0).contains(&a.participation));
         assert!((0.0..=1.0).contains(&a.top1_share));
+    }
+
+    #[test]
+    fn capital_is_allocated_once() {
+        // Regression: an ASIC buyer's capital must not also be spent on
+        // commodity rigs. The wealthiest miner's power is bounded by one
+        // owned GPP plus a single all-in ASIC purchase.
+        let config = MarketConfig::default();
+        for resource in [
+            ResourceClass::FixedFunction,
+            ResourceClass::Memory,
+            ResourceClass::GeneralPurpose,
+        ] {
+            let advantage = asic_advantage(resource);
+            let outcome = simulate_market(resource, &config);
+            let richest = outcome.hash_power[0];
+            let single_spend_cap = 1.0 + config.max_capital / config.gpp_price * advantage;
+            assert!(
+                richest <= single_spend_cap + 1e-9,
+                "{resource:?}: {richest} > {single_spend_cap}"
+            );
+        }
     }
 
     #[test]

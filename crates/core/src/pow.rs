@@ -149,6 +149,76 @@ pub struct MiningResult {
     pub attempts: u64,
 }
 
+/// A resumable nonce search over a fixed header and target.
+///
+/// [`HashCore::mine`] scans a range in one call; a simulated miner instead
+/// interleaves with other nodes, evaluating a bounded slice of nonces per
+/// scheduler tick. A session owns the per-worker state — one [`HashScratch`]
+/// and one [`MiningInput`] — and remembers where the scan stopped, so
+/// repeated [`MiningSession::step`] calls cover exactly the nonces a single
+/// [`HashCore::mine`] call would, with the same zero-allocation steady
+/// state.
+#[derive(Debug, Clone)]
+pub struct MiningSession {
+    scratch: HashScratch,
+    input: MiningInput,
+    target: Target,
+    start: u64,
+    scanned: u64,
+}
+
+impl MiningSession {
+    /// Starts a search over nonces `start..` of `header` against `target`.
+    pub fn new(header: &[u8], target: Target, start: u64) -> Self {
+        Self {
+            scratch: HashScratch::new(),
+            input: MiningInput::new(header),
+            target,
+            start,
+            scanned: 0,
+        }
+    }
+
+    /// Number of nonces evaluated so far across all steps.
+    pub fn attempts(&self) -> u64 {
+        self.scanned
+    }
+
+    /// Evaluates up to `budget` further nonces.
+    ///
+    /// Returns `Ok(Some(..))` as soon as a nonce meets the target — with
+    /// `attempts` counting every nonce this session has evaluated, exactly
+    /// as the equivalent single [`HashCore::mine`] call would report — and
+    /// `Ok(None)` when the budget is exhausted without a hit (call `step`
+    /// again to resume). Stepping past a hit resumes the scan at the next
+    /// nonce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates widget-execution failures.
+    pub fn step(
+        &mut self,
+        pow: &HashCore,
+        budget: u64,
+    ) -> Result<Option<MiningResult>, HashCoreError> {
+        for _ in 0..budget {
+            let nonce = self.start.wrapping_add(self.scanned);
+            let digest = pow
+                .hash_with_scratch(self.input.with_nonce(nonce), &mut self.scratch)?
+                .digest;
+            self.scanned += 1;
+            if self.target.is_met_by(&digest) {
+                return Ok(Some(MiningResult {
+                    nonce,
+                    digest,
+                    attempts: self.scanned,
+                }));
+            }
+        }
+        Ok(None)
+    }
+}
+
 /// A reusable mining-input buffer holding `header ‖ nonce`, with the 8-byte
 /// little-endian nonce overwritten in place per attempt — the mining and
 /// verification loops build their input once instead of allocating a fresh
@@ -362,6 +432,10 @@ impl HashCore {
     /// Searches nonces `start..start + max_attempts` for a digest meeting
     /// `target`.
     ///
+    /// This is a single-shot [`MiningSession`]: callers that need to
+    /// interleave the search with other work (the network simulation's
+    /// nodes) hold a session and spend the budget in slices.
+    ///
     /// # Errors
     ///
     /// Propagates widget-execution failures; returns `Ok(None)` if no nonce
@@ -373,22 +447,7 @@ impl HashCore {
         start: u64,
         max_attempts: u64,
     ) -> Result<Option<MiningResult>, HashCoreError> {
-        let mut scratch = HashScratch::new();
-        let mut input = MiningInput::new(header);
-        for offset in 0..max_attempts {
-            let nonce = start.wrapping_add(offset);
-            let digest = self
-                .hash_with_scratch(input.with_nonce(nonce), &mut scratch)?
-                .digest;
-            if target.is_met_by(&digest) {
-                return Ok(Some(MiningResult {
-                    nonce,
-                    digest,
-                    attempts: offset + 1,
-                }));
-            }
-        }
-        Ok(None)
+        MiningSession::new(header, target, start).step(self, max_attempts)
     }
 
     /// Searches nonces `start..start + max_attempts` for a digest meeting
@@ -697,6 +756,47 @@ mod tests {
             MiningInput::default().with_nonce(3),
             HashCore::mining_input(b"", 3)
         );
+    }
+
+    #[test]
+    fn stepped_mining_session_matches_single_shot_mining() {
+        let pow = fast_pow();
+        let target = Target::from_leading_zero_bits(3);
+        let single = pow.mine(b"session-block", target, 10, 96).unwrap();
+        assert!(single.is_some(), "an easy target is met within 96 nonces");
+        // The same search spent in uneven slices finds the same nonce and
+        // reports the same attempt count.
+        for slice in [1u64, 7, 30] {
+            let mut session = MiningSession::new(b"session-block", target, 10);
+            let mut found = None;
+            let mut budget = 96u64;
+            while budget > 0 && found.is_none() {
+                let step = slice.min(budget);
+                found = session.step(&pow, step).unwrap();
+                budget -= step;
+            }
+            assert_eq!(found, single, "slice {slice}");
+            assert_eq!(session.attempts(), single.as_ref().unwrap().attempts);
+        }
+    }
+
+    #[test]
+    fn mining_session_resumes_past_a_hit() {
+        let pow = fast_pow();
+        let target = Target::from_leading_zero_bits(2);
+        let mut session = MiningSession::new(b"resume-block", target, 0);
+        let first = session.step(&pow, 256).unwrap().expect("easy target");
+        let second = session.step(&pow, 256).unwrap().expect("easy target");
+        assert!(second.nonce > first.nonce);
+        assert!(second.attempts > first.attempts);
+        // The second hit is what a fresh search starting past the first
+        // winner would find.
+        let fresh = pow
+            .mine(b"resume-block", target, first.nonce + 1, 256)
+            .unwrap()
+            .expect("easy target");
+        assert_eq!(second.nonce, fresh.nonce);
+        assert_eq!(second.digest, fresh.digest);
     }
 
     #[test]

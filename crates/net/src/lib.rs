@@ -1,0 +1,44 @@
+//! # hashcore-net
+//!
+//! A deterministic, in-process multi-node network simulation around the
+//! HashCore chain substrate.
+//!
+//! The paper motivates its PoW design with Ethereum-style sub-minute block
+//! times — a constraint that only bites when competing chains actually
+//! race. This crate produces those races: a set of [`Node`]s, each holding a
+//! [`hashcore_chain::ForkTree`] and a resumable per-worker mining scratch,
+//! driven by a seeded event scheduler ([`Simulation`]) that models gossip
+//! latency, fan-out, and network partitions. Nodes that fall behind catch up
+//! through the segment-sync protocol, whose hot path is
+//! [`hashcore_chain::validate_segment_parallel`] — the batched verifier.
+//!
+//! # Determinism
+//!
+//! A simulation is a pure function of its [`SimConfig`] (including the
+//! seed): events are ordered by `(time, insertion sequence)`, all randomness
+//! flows from one seeded [`hashcore_gen::WidgetRng`], and fork choice is a
+//! strict total order on `(cumulative work, digest)`. Two runs with the same
+//! config report byte-identical [`SimReport::fingerprint`]s — CI asserts
+//! this on every push. Only wall-clock fields (`sync_wall_seconds`) vary
+//! between runs, and they are excluded from the fingerprint.
+//!
+//! # Node lifecycle
+//!
+//! Each node loops through scheduler-driven mining slices: refresh the
+//! header template when the local tip moved, scan a bounded batch of nonces
+//! through its reusable scratch (the search *resumes* across slices, so
+//! simulated miners interleave without losing progress), and broadcast any
+//! block found. Received blocks are applied to the fork tree; an unknown
+//! parent triggers a `GetSegment` request carrying a Bitcoin-style locator,
+//! and the responding peer ships exactly the missing segment, which the
+//! requester validates in parallel before applying — reorgs of any depth
+//! fall out of the fork tree's cumulative-work rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod sim;
+
+pub use node::{Message, Node, NodeStats, Outgoing, SyncReorg};
+pub use sim::{LatencyModel, Partition, SimConfig, SimReport, Simulation};

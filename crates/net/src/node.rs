@@ -1,0 +1,458 @@
+//! A simulated full node: fork tree, resumable miner, gossip and segment
+//! sync.
+
+use hashcore::{MiningInput, Target};
+use hashcore_baselines::PreparedPow;
+use hashcore_chain::{
+    validate_segment_parallel, ApplyOutcome, Block, BlockHeader, ForkError, ForkTree, Reorg,
+    GENESIS_HASH,
+};
+use hashcore_crypto::Digest256;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A message exchanged between simulated nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A full block, gossiped as it spreads through the network.
+    Block(Block),
+    /// Request for the segment ending at `want`, carrying the requester's
+    /// block locator so the responder ships only the missing suffix.
+    GetSegment {
+        /// PoW digest of the block whose ancestry the requester is missing.
+        want: Digest256,
+        /// The requester's best-chain locator (see `ForkTree::locator`).
+        locator: Vec<Digest256>,
+    },
+    /// Response to `GetSegment`: a contiguous segment, ascending height.
+    Segment(Vec<Block>),
+}
+
+/// A send a node wants performed after handling an event. The scheduler
+/// owns the peer list and the RNG, so fan-out sampling happens there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outgoing {
+    /// Send to one specific peer (sync requests and responses).
+    To(usize, Message),
+    /// Relay to a gossip sample of `fan_out` peers.
+    Gossip(Message),
+    /// Announce to every reachable peer (freshly mined blocks).
+    Broadcast(Message),
+}
+
+/// A segment sync that caused a branch switch: the segment exactly as the
+/// batched verifier accepted it, and the reorg that replayed part of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncReorg {
+    /// The blocks `validate_segment_parallel` accepted, in order.
+    pub segment: Vec<Block>,
+    /// The reorg the fork tree performed while applying them.
+    pub reorg: Reorg,
+}
+
+/// Per-node counters the simulation report aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Blocks this node mined itself.
+    pub blocks_mined: u64,
+    /// Blocks first stored via gossip or sync (not mined locally).
+    pub blocks_accepted: u64,
+    /// Depth of every non-trivial reorg (≥ 1 block detached), in order.
+    pub reorg_depths: Vec<usize>,
+    /// Segments validated through `validate_segment_parallel`.
+    pub segments_synced: u64,
+    /// Total blocks across those segments.
+    pub segment_blocks: u64,
+    /// Wall-clock seconds spent inside segment validation (not simulated
+    /// time — this measures real verifier throughput).
+    pub sync_wall_seconds: f64,
+    /// The deepest reorg a segment sync caused, with the segment that
+    /// carried it — the witness that reorgs replay verifier-accepted blocks.
+    pub deepest_sync: Option<SyncReorg>,
+}
+
+/// The resumable per-worker mining state: one scratch, one input buffer,
+/// one header template whose nonce scan continues across slices.
+#[derive(Debug)]
+struct Miner<S> {
+    scratch: S,
+    input: MiningInput,
+    header: BlockHeader,
+    transactions: Vec<Vec<u8>>,
+    next_nonce: u64,
+    template_tip: Digest256,
+    template_valid: bool,
+    header_bytes: Vec<u8>,
+}
+
+impl<S: Default> Miner<S> {
+    fn new() -> Self {
+        Self {
+            scratch: S::default(),
+            input: MiningInput::default(),
+            header: BlockHeader {
+                version: 1,
+                prev_hash: GENESIS_HASH,
+                merkle_root: [0u8; 32],
+                timestamp: 0,
+                target: [0u8; 32],
+                nonce: 0,
+            },
+            transactions: Vec::new(),
+            next_nonce: 0,
+            template_tip: GENESIS_HASH,
+            template_valid: false,
+            header_bytes: Vec::new(),
+        }
+    }
+}
+
+/// One simulated full node.
+///
+/// The node owns a [`ForkTree`] (its view of the block race) and a resumable
+/// miner. All hashing — mining and fork-tree application alike — runs
+/// through reusable per-node scratches, the same per-worker discipline as
+/// `HashCore::mine_parallel` and `validate_blocks_parallel`.
+#[derive(Debug)]
+pub struct Node<P: PreparedPow>
+where
+    P: std::fmt::Debug,
+    P::Scratch: std::fmt::Debug,
+{
+    id: usize,
+    tree: ForkTree<P>,
+    target: Target,
+    sync_threads: usize,
+    miner: Miner<P::Scratch>,
+    /// Orphan digests with a segment request in flight: concurrent
+    /// duplicate announcements of the same unknown block must not each
+    /// trigger a full segment fetch and re-validation.
+    requested: HashSet<Digest256>,
+    stats: NodeStats,
+}
+
+impl<P: PreparedPow + Sync + std::fmt::Debug> Node<P>
+where
+    P::Scratch: std::fmt::Debug,
+{
+    /// Creates a node mining against `target`, validating synced segments
+    /// across `sync_threads` workers.
+    pub fn new(id: usize, pow: P, target: Target, sync_threads: usize) -> Self {
+        Self {
+            id,
+            tree: ForkTree::new(pow),
+            target,
+            sync_threads: sync_threads.max(1),
+            miner: Miner::new(),
+            requested: HashSet::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The node's identifier (its index in the simulation).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's current best tip digest.
+    pub fn tip(&self) -> Digest256 {
+        self.tree.tip()
+    }
+
+    /// Height of the node's best chain.
+    pub fn tip_height(&self) -> u64 {
+        self.tree.tip_height()
+    }
+
+    /// The node's fork tree.
+    pub fn tree(&self) -> &ForkTree<P> {
+        &self.tree
+    }
+
+    /// The node's counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Rebuilds the mining template if the tip moved since the last slice;
+    /// otherwise the nonce scan resumes where it stopped.
+    fn refresh_template(&mut self, now_ms: u64) {
+        if self.miner.template_valid && self.miner.template_tip == self.tree.tip() {
+            return;
+        }
+        let tip = self.tree.tip();
+        let height = self.tree.tip_height() + 1;
+        let id = self.id;
+        let miner = &mut self.miner;
+        miner.transactions.clear();
+        miner
+            .transactions
+            .push(format!("node-{id} height-{height} at-{now_ms}ms").into_bytes());
+        miner.header = BlockHeader {
+            version: 1,
+            prev_hash: tip,
+            merkle_root: Block::merkle_root(&miner.transactions),
+            timestamp: now_ms,
+            target: *self.target.threshold(),
+            nonce: 0,
+        };
+        miner.header.write_pow_input(&mut miner.header_bytes);
+        miner.input.set_header(&miner.header_bytes);
+        miner.next_nonce = 0;
+        miner.template_tip = tip;
+        miner.template_valid = true;
+    }
+
+    /// Runs one mining slice of up to `attempts` nonces at simulated time
+    /// `now_ms`, returning the sends a found block triggers.
+    pub fn mine_slice(&mut self, now_ms: u64, attempts: u64) -> Vec<Outgoing> {
+        self.refresh_template(now_ms);
+        let target = self.target;
+        let found = {
+            let Self { tree, miner, .. } = &mut *self;
+            tree.pow().scan_nonces(
+                &mut miner.input,
+                target,
+                miner.next_nonce,
+                attempts,
+                &mut miner.scratch,
+            )
+        };
+        let Some((nonce, _)) = found else {
+            self.miner.next_nonce += attempts;
+            return Vec::new();
+        };
+        self.miner.next_nonce = nonce + 1;
+        let block = Block {
+            header: BlockHeader {
+                nonce,
+                ..self.miner.header.clone()
+            },
+            transactions: self.miner.transactions.clone(),
+        };
+        let outcome = self
+            .tree
+            .apply(block.clone())
+            .expect("a locally mined block extends a stored tip");
+        self.stats.blocks_mined += 1;
+        self.record_tip_change(&outcome);
+        self.miner.template_valid = false;
+        vec![Outgoing::Broadcast(Message::Block(block))]
+    }
+
+    /// Handles one delivered message from `from`, returning the follow-up
+    /// sends.
+    pub fn handle(&mut self, from: usize, message: Message) -> Vec<Outgoing> {
+        match message {
+            Message::Block(block) => self.handle_block(from, block),
+            Message::GetSegment { want, locator } => self.handle_get_segment(from, want, &locator),
+            Message::Segment(blocks) => self.handle_segment(blocks),
+        }
+    }
+
+    fn handle_block(&mut self, from: usize, block: Block) -> Vec<Outgoing> {
+        match self.tree.apply(block.clone()) {
+            Ok(outcome) if outcome.newly_stored() => {
+                self.stats.blocks_accepted += 1;
+                self.record_tip_change(&outcome);
+                vec![Outgoing::Gossip(Message::Block(block))]
+            }
+            Ok(_) => Vec::new(),
+            Err(ForkError::UnknownParent { digest, .. }) => {
+                // The sender has the block's ancestry; ask for exactly the
+                // missing segment — once. Concurrent announcements of the
+                // same orphan ride on the in-flight request.
+                if self.requested.insert(digest) {
+                    vec![Outgoing::To(
+                        from,
+                        Message::GetSegment {
+                            want: digest,
+                            locator: self.tree.locator(),
+                        },
+                    )]
+                } else {
+                    Vec::new()
+                }
+            }
+            Err(ForkError::InvalidBlock { .. }) => Vec::new(),
+        }
+    }
+
+    fn handle_get_segment(
+        &mut self,
+        from: usize,
+        want: Digest256,
+        locator: &[Digest256],
+    ) -> Vec<Outgoing> {
+        match self.tree.segment_to(want, locator) {
+            Some(segment) if !segment.is_empty() => {
+                vec![Outgoing::To(from, Message::Segment(segment))]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn handle_segment(&mut self, blocks: Vec<Block>) -> Vec<Outgoing> {
+        let Some(first) = blocks.first() else {
+            return Vec::new();
+        };
+        let anchor = first.header.prev_hash;
+        if anchor != GENESIS_HASH && !self.tree.contains(&anchor) {
+            return Vec::new();
+        }
+        // A segment whose last block is already stored brings nothing new
+        // (all its blocks are that block's ancestors): skip the verifier
+        // pass a raced duplicate response would otherwise re-run.
+        let last = blocks.last().expect("non-empty");
+        let last_digest = self.tree.digest_of(last);
+        if self.tree.contains(&last_digest) {
+            self.requested.remove(&last_digest);
+            return Vec::new();
+        }
+        // The segment-sync hot path: the batched parallel verifier checks
+        // the whole received segment before any block is applied.
+        let started = Instant::now();
+        let verdict =
+            validate_segment_parallel(self.tree.pow(), &blocks, self.sync_threads, anchor);
+        self.stats.sync_wall_seconds += started.elapsed().as_secs_f64();
+        if verdict.is_err() {
+            return Vec::new();
+        }
+        self.stats.segments_synced += 1;
+        self.stats.segment_blocks += blocks.len() as u64;
+
+        let mut deepest: Option<Reorg> = None;
+        let mut tip_changed = false;
+        for block in &blocks {
+            // The segment validated as a whole, so individual apply errors
+            // can only be duplicates raced in by gossip — skip them.
+            let Ok(outcome) = self.tree.apply(block.clone()) else {
+                continue;
+            };
+            if outcome.newly_stored() {
+                self.stats.blocks_accepted += 1;
+            }
+            if let ApplyOutcome::TipChanged { reorg, .. } = outcome {
+                tip_changed = true;
+                if reorg.depth() > 0 {
+                    self.stats.reorg_depths.push(reorg.depth());
+                }
+                if deepest.as_ref().is_none_or(|d| reorg.depth() > d.depth()) {
+                    deepest = Some(reorg);
+                }
+            }
+        }
+        // Requests this segment satisfied are no longer in flight.
+        let Self {
+            tree, requested, ..
+        } = &mut *self;
+        requested.retain(|digest| !tree.contains(digest));
+
+        if let Some(reorg) = deepest {
+            let replaces = self
+                .stats
+                .deepest_sync
+                .as_ref()
+                .is_none_or(|s| reorg.depth() > s.reorg.depth());
+            if replaces {
+                self.stats.deepest_sync = Some(SyncReorg {
+                    segment: blocks,
+                    reorg,
+                });
+            }
+        }
+        if tip_changed {
+            if let Some(tip_block) = self.tree.tip_block() {
+                return vec![Outgoing::Gossip(Message::Block(tip_block.clone()))];
+            }
+        }
+        Vec::new()
+    }
+
+    fn record_tip_change(&mut self, outcome: &ApplyOutcome) {
+        if let ApplyOutcome::TipChanged { reorg, .. } = outcome {
+            if reorg.depth() > 0 {
+                self.stats.reorg_depths.push(reorg.depth());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_baselines::Sha256dPow;
+
+    fn node(id: usize) -> Node<Sha256dPow> {
+        Node::new(id, Sha256dPow, Target::from_leading_zero_bits(2), 2)
+    }
+
+    #[test]
+    fn mining_resumes_across_slices() {
+        let mut a = node(0);
+        // Tiny slices: the search must carry `next_nonce` across calls and
+        // eventually find the same block one big slice would.
+        let mut sliced = Vec::new();
+        for _ in 0..64 {
+            sliced = a.mine_slice(5, 1);
+            if !sliced.is_empty() {
+                break;
+            }
+        }
+        let mut b = node(0);
+        let bulk = b.mine_slice(5, 64);
+        assert_eq!(sliced, bulk);
+        assert_eq!(a.tip(), b.tip());
+        assert_eq!(a.stats().blocks_mined, 1);
+    }
+
+    #[test]
+    fn gossiped_blocks_are_stored_and_relayed_once() {
+        let mut miner = node(0);
+        let mut listener = node(1);
+        let out = miner.mine_slice(0, 10_000);
+        let Some(Outgoing::Broadcast(Message::Block(block))) = out.first().cloned() else {
+            panic!("mining broadcasts the block");
+        };
+        let relays = listener.handle(0, Message::Block(block.clone()));
+        assert_eq!(
+            relays,
+            vec![Outgoing::Gossip(Message::Block(block.clone()))]
+        );
+        assert_eq!(listener.tip(), miner.tip());
+        // Duplicate delivery: no relay storm.
+        assert!(listener.handle(0, Message::Block(block)).is_empty());
+        assert_eq!(listener.stats().blocks_accepted, 1);
+    }
+
+    #[test]
+    fn unknown_parent_triggers_segment_sync() {
+        let mut miner = node(0);
+        let mut fresh = node(1);
+        // Mine three blocks; only announce the last to the fresh node.
+        let mut announced = None;
+        for _ in 0..3 {
+            for _ in 0..100_000 {
+                let out = miner.mine_slice(0, 1_000);
+                if let Some(Outgoing::Broadcast(Message::Block(b))) = out.first().cloned() {
+                    announced = Some(b);
+                    break;
+                }
+            }
+        }
+        let tip_block = announced.expect("mined three blocks");
+        let request = fresh.handle(0, Message::Block(tip_block));
+        let Some(Outgoing::To(0, get @ Message::GetSegment { .. })) = request.first().cloned()
+        else {
+            panic!("unknown parent must request a segment, got {request:?}");
+        };
+        let response = miner.handle(1, get);
+        let Some(Outgoing::To(1, segment @ Message::Segment(_))) = response.first().cloned() else {
+            panic!("the miner serves the missing segment, got {response:?}");
+        };
+        fresh.handle(0, segment);
+        assert_eq!(fresh.tip(), miner.tip());
+        assert_eq!(fresh.stats().segments_synced, 1);
+        assert_eq!(fresh.stats().segment_blocks, 3);
+    }
+}

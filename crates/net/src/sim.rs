@@ -1,0 +1,565 @@
+//! The deterministic event-driven scheduler: seeded latency, gossip
+//! fan-out, partitions, and the simulation report.
+
+use crate::node::{Message, Node, Outgoing};
+use hashcore::Target;
+use hashcore_baselines::PreparedPow;
+use hashcore_crypto::Digest256;
+use hashcore_gen::WidgetRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+
+/// Gossip latency model: every message takes `base_ms` plus a uniformly
+/// sampled jitter in `0..=jitter_ms`, drawn from the simulation's seeded
+/// RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed propagation delay, milliseconds.
+    pub base_ms: u64,
+    /// Maximum additional jitter, milliseconds.
+    pub jitter_ms: u64,
+}
+
+impl LatencyModel {
+    fn sample(&self, rng: &mut WidgetRng) -> u64 {
+        if self.jitter_ms == 0 {
+            self.base_ms
+        } else {
+            self.base_ms + rng.next_bounded(self.jitter_ms + 1)
+        }
+    }
+}
+
+/// A scheduled network partition: from `start_ms` until `end_ms`, nodes
+/// with id below `split` cannot exchange messages with the rest. On heal,
+/// every node re-announces its tip — the reconnect handshake that seeds
+/// catch-up sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// When the partition begins, milliseconds.
+    pub start_ms: u64,
+    /// When the partition heals, milliseconds.
+    pub end_ms: u64,
+    /// Nodes `0..split` form one side, `split..nodes` the other.
+    pub split: usize,
+}
+
+/// Full configuration of one simulation run. A run is a pure function of
+/// this value — see the crate docs for the determinism guarantees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Seed for all randomness (latency jitter, gossip sampling).
+    pub seed: u64,
+    /// Mining difficulty, in leading zero bits (all nodes mine at this
+    /// fixed target; difficulty policy is out of scope for the race model).
+    pub difficulty_bits: u32,
+    /// Nonces each node evaluates per mining slice.
+    pub attempts_per_slice: u64,
+    /// Simulated duration of one mining slice, milliseconds.
+    pub slice_ms: u64,
+    /// Message latency model.
+    pub latency: LatencyModel,
+    /// Peers a relayed (not freshly mined) block is gossiped to.
+    pub fan_out: usize,
+    /// Scheduled partitions. Must not overlap in time.
+    pub partitions: Vec<Partition>,
+    /// Simulated time after which mining stops, milliseconds. In-flight
+    /// messages still drain, so the network settles before the report.
+    pub duration_ms: u64,
+    /// Worker threads handed to `validate_segment_parallel` during sync.
+    pub sync_threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 5,
+            seed: 0x5eed_c0de,
+            difficulty_bits: 11,
+            attempts_per_slice: 64,
+            slice_ms: 100,
+            latency: LatencyModel {
+                base_ms: 20,
+                jitter_ms: 80,
+            },
+            fan_out: 2,
+            partitions: Vec::new(),
+            duration_ms: 60_000,
+            sync_threads: 4,
+        }
+    }
+}
+
+/// What one event does when it fires.
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// Node runs one mining slice.
+    MineSlice { node: usize },
+    /// A message arrives.
+    Deliver {
+        to: usize,
+        from: usize,
+        message: Message,
+    },
+    /// A partition begins.
+    PartitionStart { index: usize },
+    /// A partition heals.
+    PartitionEnd { index: usize },
+}
+
+/// A queued event, ordered by `(time, seq)` — `seq` is the insertion
+/// counter, so ties break deterministically.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Number of nodes simulated.
+    pub nodes: usize,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Mining horizon, milliseconds.
+    pub duration_ms: u64,
+    /// `true` when every node finished on the same non-empty tip.
+    pub converged: bool,
+    /// Simulated time at which the network last became fully converged
+    /// (and stayed so through the end), if it did.
+    pub convergence_ms: Option<u64>,
+    /// The common tip digest (node 0's tip if not converged).
+    pub tip: Digest256,
+    /// Height of that tip.
+    pub tip_height: u64,
+    /// Blocks mined across all nodes.
+    pub blocks_mined: u64,
+    /// Every non-trivial reorg depth observed by any node, sorted
+    /// descending.
+    pub reorg_depths: Vec<usize>,
+    /// The deepest reorg any node performed.
+    pub max_reorg_depth: usize,
+    /// Segments validated through `validate_segment_parallel`, all nodes.
+    pub segments_synced: u64,
+    /// Total blocks across those segments.
+    pub segment_blocks: u64,
+    /// Messages delivered (or in flight) across the run.
+    pub messages_sent: u64,
+    /// Messages dropped at partition boundaries.
+    pub messages_dropped: u64,
+    /// Wall-clock seconds spent inside segment validation, all nodes.
+    /// Excluded from [`SimReport::fingerprint`] — it is the one
+    /// non-deterministic field.
+    pub sync_wall_seconds: f64,
+}
+
+impl SimReport {
+    /// A canonical rendering of every deterministic field. Two runs with
+    /// the same [`SimConfig`] produce identical fingerprints.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "nodes={} seed={} duration={} converged={} convergence={:?} \
+             tip={} height={} mined={} reorgs={:?} max_reorg={} \
+             segments={} segment_blocks={} sent={} dropped={}",
+            self.nodes,
+            self.seed,
+            self.duration_ms,
+            self.converged,
+            self.convergence_ms,
+            hashcore_crypto::hex::encode(&self.tip),
+            self.tip_height,
+            self.blocks_mined,
+            self.reorg_depths,
+            self.max_reorg_depth,
+            self.segments_synced,
+            self.segment_blocks,
+            self.messages_sent,
+            self.messages_dropped,
+        );
+        out
+    }
+
+    /// Blocks validated by segment sync per wall-clock second — the sync
+    /// throughput figure `BENCH_sync.json` records.
+    pub fn sync_blocks_per_sec(&self) -> f64 {
+        if self.sync_wall_seconds > 0.0 {
+            self.segment_blocks as f64 / self.sync_wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The event-driven network simulation.
+///
+/// Build one with [`Simulation::new`], [`Simulation::run`] it to completion,
+/// then inspect the [`SimReport`] and the per-node state via
+/// [`Simulation::nodes`].
+#[derive(Debug)]
+pub struct Simulation<P: PreparedPow + std::fmt::Debug>
+where
+    P::Scratch: std::fmt::Debug,
+{
+    config: SimConfig,
+    nodes: Vec<Node<P>>,
+    queue: BinaryHeap<Scheduled>,
+    rng: WidgetRng,
+    seq: u64,
+    now: u64,
+    split: Option<usize>,
+    converged_at: Option<u64>,
+    messages_sent: u64,
+    messages_dropped: u64,
+}
+
+impl<P: PreparedPow + Sync + std::fmt::Debug> Simulation<P>
+where
+    P::Scratch: std::fmt::Debug,
+{
+    /// Creates a simulation; `make_pow` builds each node's PoW instance
+    /// (nodes can share a cheap `Clone` or each own a configured one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has fewer than two nodes, a zero slice, a
+    /// partition with `split` outside `1..nodes`, or partitions that
+    /// overlap in time.
+    pub fn new(config: SimConfig, mut make_pow: impl FnMut(usize) -> P) -> Self {
+        assert!(config.nodes >= 2, "a network needs at least two nodes");
+        assert!(config.slice_ms > 0, "mining slices need a positive length");
+        for p in &config.partitions {
+            assert!(
+                p.split >= 1 && p.split < config.nodes,
+                "partition split must leave nodes on both sides"
+            );
+            assert!(
+                p.start_ms < p.end_ms,
+                "partitions must have positive length"
+            );
+        }
+        // The single active-split state cannot represent concurrent
+        // partitions, so reject what it would silently get wrong.
+        let mut windows: Vec<(u64, u64)> = config
+            .partitions
+            .iter()
+            .map(|p| (p.start_ms, p.end_ms))
+            .collect();
+        windows.sort_unstable();
+        for pair in windows.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0,
+                "partitions must not overlap in time"
+            );
+        }
+        let target = Target::from_leading_zero_bits(config.difficulty_bits);
+        let nodes = (0..config.nodes)
+            .map(|id| Node::new(id, make_pow(id), target, config.sync_threads))
+            .collect();
+        let mut sim = Self {
+            rng: WidgetRng::new(config.seed),
+            nodes,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            split: None,
+            converged_at: None,
+            messages_sent: 0,
+            messages_dropped: 0,
+            config,
+        };
+        for node in 0..sim.config.nodes {
+            sim.schedule(sim.config.slice_ms, EventKind::MineSlice { node });
+        }
+        for index in 0..sim.config.partitions.len() {
+            let p = sim.config.partitions[index];
+            sim.schedule(p.start_ms, EventKind::PartitionStart { index });
+            sim.schedule(p.end_ms, EventKind::PartitionEnd { index });
+        }
+        sim
+    }
+
+    /// The simulated nodes (final state after [`Simulation::run`]).
+    pub fn nodes(&self) -> &[Node<P>] {
+        &self.nodes
+    }
+
+    /// The configuration the simulation runs under.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, kind });
+    }
+
+    /// `true` when `a` and `b` can currently exchange messages.
+    fn connected(&self, a: usize, b: usize) -> bool {
+        match self.split {
+            None => true,
+            Some(split) => (a < split) == (b < split),
+        }
+    }
+
+    /// Queues a message send, applying partition drops and sampled latency.
+    fn send(&mut self, from: usize, to: usize, message: Message) {
+        if !self.connected(from, to) {
+            self.messages_dropped += 1;
+            return;
+        }
+        self.messages_sent += 1;
+        let latency = self.config.latency.sample(&mut self.rng);
+        let time = self.now + latency.max(1);
+        self.schedule(time, EventKind::Deliver { to, from, message });
+    }
+
+    /// Executes a node's outgoing sends: direct, gossip-sampled, or
+    /// broadcast.
+    fn dispatch(&mut self, from: usize, outgoing: Vec<Outgoing>) {
+        for out in outgoing {
+            match out {
+                Outgoing::To(dest, message) => self.send(from, dest, message),
+                Outgoing::Broadcast(message) => {
+                    for dest in 0..self.config.nodes {
+                        if dest != from {
+                            self.send(from, dest, message.clone());
+                        }
+                    }
+                }
+                Outgoing::Gossip(message) => {
+                    let mut peers: Vec<usize> =
+                        (0..self.config.nodes).filter(|&d| d != from).collect();
+                    let sample = self.config.fan_out.min(peers.len());
+                    for _ in 0..sample {
+                        let pick = self.rng.next_bounded(peers.len() as u64) as usize;
+                        let dest = peers.swap_remove(pick);
+                        self.send(from, dest, message.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tracks when the network last became (and stayed) fully converged.
+    fn update_convergence(&mut self) {
+        let tip = self.nodes[0].tip();
+        let all_equal = tip != [0u8; 32] && self.nodes.iter().all(|n| n.tip() == tip);
+        if all_equal {
+            if self.converged_at.is_none() {
+                self.converged_at = Some(self.now);
+            }
+        } else {
+            self.converged_at = None;
+        }
+    }
+
+    /// Runs the simulation to completion — mining until the horizon, then
+    /// draining in-flight traffic — and reports the aggregate outcome.
+    pub fn run(&mut self) -> SimReport {
+        while let Some(event) = self.queue.pop() {
+            self.now = event.time;
+            match event.kind {
+                EventKind::MineSlice { node } => {
+                    let outgoing =
+                        self.nodes[node].mine_slice(self.now, self.config.attempts_per_slice);
+                    self.dispatch(node, outgoing);
+                    let next = self.now + self.config.slice_ms;
+                    if next <= self.config.duration_ms {
+                        self.schedule(next, EventKind::MineSlice { node });
+                    }
+                }
+                EventKind::Deliver { to, from, message } => {
+                    let outgoing = self.nodes[to].handle(from, message);
+                    self.dispatch(to, outgoing);
+                }
+                EventKind::PartitionStart { index } => {
+                    self.split = Some(self.config.partitions[index].split);
+                }
+                EventKind::PartitionEnd { index } => {
+                    let _ = index;
+                    self.split = None;
+                    // Reconnect handshake: every node announces its tip, so
+                    // the two sides discover each other's branch even if no
+                    // further block is mined.
+                    for from in 0..self.config.nodes {
+                        if let Some(block) = self.nodes[from].tree().tip_block().cloned() {
+                            self.dispatch(from, vec![Outgoing::Broadcast(Message::Block(block))]);
+                        }
+                    }
+                }
+            }
+            self.update_convergence();
+        }
+        self.report()
+    }
+
+    fn report(&self) -> SimReport {
+        let mut reorg_depths: Vec<usize> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.stats().reorg_depths.iter().copied())
+            .collect();
+        reorg_depths.sort_unstable_by(|a, b| b.cmp(a));
+        let tip = self.nodes[0].tip();
+        let converged = tip != [0u8; 32] && self.nodes.iter().all(|n| n.tip() == tip);
+        SimReport {
+            nodes: self.config.nodes,
+            seed: self.config.seed,
+            duration_ms: self.config.duration_ms,
+            converged,
+            convergence_ms: self.converged_at,
+            tip,
+            tip_height: self.nodes[0].tip_height(),
+            blocks_mined: self.nodes.iter().map(|n| n.stats().blocks_mined).sum(),
+            max_reorg_depth: reorg_depths.first().copied().unwrap_or(0),
+            reorg_depths,
+            segments_synced: self.nodes.iter().map(|n| n.stats().segments_synced).sum(),
+            segment_blocks: self.nodes.iter().map(|n| n.stats().segment_blocks).sum(),
+            messages_sent: self.messages_sent,
+            messages_dropped: self.messages_dropped,
+            sync_wall_seconds: self.nodes.iter().map(|n| n.stats().sync_wall_seconds).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_baselines::Sha256dPow;
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            nodes: 4,
+            seed: 42,
+            difficulty_bits: 8,
+            attempts_per_slice: 32,
+            slice_ms: 100,
+            duration_ms: 20_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn a_quiet_network_converges_on_one_chain() {
+        let mut sim = Simulation::new(quick_config(), |_| Sha256dPow);
+        let report = sim.run();
+        assert!(report.converged, "{}", report.fingerprint());
+        assert!(report.blocks_mined > 0);
+        assert!(report.tip_height > 0);
+        assert!(report.convergence_ms.is_some());
+        // Every node's best chain revalidates.
+        for node in sim.nodes() {
+            node.tree().validate_best_chain().expect("honest chain");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint() {
+        let a = Simulation::new(quick_config(), |_| Sha256dPow).run();
+        let b = Simulation::new(quick_config(), |_| Sha256dPow).run();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Simulation::new(
+            SimConfig {
+                seed: 43,
+                ..quick_config()
+            },
+            |_| Sha256dPow,
+        )
+        .run();
+        assert!(c.converged);
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "different seed, different race"
+        );
+    }
+
+    #[test]
+    fn a_partition_forces_a_reorg_and_heals() {
+        let config = SimConfig {
+            nodes: 5,
+            seed: 7,
+            difficulty_bits: 9,
+            attempts_per_slice: 64,
+            slice_ms: 100,
+            duration_ms: 40_000,
+            partitions: vec![Partition {
+                start_ms: 5_000,
+                end_ms: 25_000,
+                split: 2,
+            }],
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config, |_| Sha256dPow);
+        let report = sim.run();
+        assert!(report.converged, "{}", report.fingerprint());
+        assert!(report.messages_dropped > 0, "the partition must bite");
+        assert!(
+            report.max_reorg_depth >= 1,
+            "healing must reorganise the losing side: {}",
+            report.fingerprint()
+        );
+        assert!(report.segments_synced >= 1, "{}", report.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_partitions_are_rejected() {
+        let _ = Simulation::new(
+            SimConfig {
+                partitions: vec![
+                    Partition {
+                        start_ms: 1_000,
+                        end_ms: 5_000,
+                        split: 2,
+                    },
+                    Partition {
+                        start_ms: 3_000,
+                        end_ms: 10_000,
+                        split: 3,
+                    },
+                ],
+                ..SimConfig::default()
+            },
+            |_| Sha256dPow,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_networks_are_rejected() {
+        let _ = Simulation::new(
+            SimConfig {
+                nodes: 1,
+                ..SimConfig::default()
+            },
+            |_| Sha256dPow,
+        );
+    }
+}

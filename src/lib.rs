@@ -15,7 +15,9 @@
 //! * [`hashcore_sim`] — the trace-driven micro-architecture model,
 //! * [`hashcore_workloads`] — reference kernels (Go engine, LBM, MCF, …),
 //! * [`hashcore_baselines`] — comparator PoW functions,
-//! * [`hashcore_chain`] — the blockchain substrate and mining market,
+//! * [`hashcore_chain`] — the blockchain substrate, fork choice and mining
+//!   market,
+//! * [`hashcore_net`] — the deterministic multi-node network simulation,
 //! * [`hashcore_bench`] — shared experiment machinery.
 
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@ pub use hashcore_chain;
 pub use hashcore_crypto;
 pub use hashcore_gen;
 pub use hashcore_isa;
+pub use hashcore_net;
 pub use hashcore_profile;
 pub use hashcore_sim;
 pub use hashcore_vm;
