@@ -8,11 +8,30 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-/// Shared validation-failure reasons, so the sequential and parallel paths
-/// report byte-identical errors.
-const REASON_LINKAGE: &str = "previous-hash linkage broken";
-const REASON_MERKLE: &str = "merkle root does not commit to the transactions";
-const REASON_POW: &str = "proof of work does not meet the recorded target";
+/// Machine-readable classification of why a block failed validation — the
+/// rejection taxonomy shared by the sequential and parallel validators, the
+/// fork tree, and the network layer's per-peer rejection accounting. The
+/// sequential and parallel paths report identical reasons; `Display`
+/// preserves the historical human-readable wording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvalidReason {
+    /// The block's `prev_hash` does not link to the expected parent digest.
+    Linkage,
+    /// The Merkle root does not commit to the block's transactions.
+    Merkle,
+    /// The header's PoW digest does not meet the block's recorded target.
+    Pow,
+}
+
+impl fmt::Display for InvalidReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InvalidReason::Linkage => "previous-hash linkage broken",
+            InvalidReason::Merkle => "merkle root does not commit to the transactions",
+            InvalidReason::Pow => "proof of work does not meet the recorded target",
+        })
+    }
+}
 
 /// Chain parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,8 +85,8 @@ pub enum ChainError {
     InvalidBlock {
         /// Height of the offending block.
         height: usize,
-        /// Human-readable reason.
-        reason: String,
+        /// Which check failed.
+        reason: InvalidReason,
     },
 }
 
@@ -298,13 +317,13 @@ pub fn validate_segment<P: PowFunction>(
         if block.header.prev_hash != prev_hash {
             return Err(ChainError::InvalidBlock {
                 height,
-                reason: REASON_LINKAGE.to_string(),
+                reason: InvalidReason::Linkage,
             });
         }
         if !block.merkle_consistent() {
             return Err(ChainError::InvalidBlock {
                 height,
-                reason: REASON_MERKLE.to_string(),
+                reason: InvalidReason::Merkle,
             });
         }
         let digest = pow.pow_hash(&block.header.bytes());
@@ -312,7 +331,7 @@ pub fn validate_segment<P: PowFunction>(
         if !target.is_met_by(&digest) {
             return Err(ChainError::InvalidBlock {
                 height,
-                reason: REASON_POW.to_string(),
+                reason: InvalidReason::Pow,
             });
         }
         prev_hash = digest;
@@ -326,7 +345,7 @@ struct ChunkOutcome {
     lo: usize,
     /// Lowest-height check failure inside the chunk (the chunk's first
     /// block's linkage is checked by the stitch phase instead).
-    first_error: Option<(usize, &'static str)>,
+    first_error: Option<(usize, InvalidReason)>,
     /// PoW digest of the chunk's last block header, for the next chunk's
     /// boundary linkage check.
     last_digest: Digest256,
@@ -410,7 +429,7 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
                     let mut scratch = P::Scratch::default();
                     let mut header_bytes = Vec::new();
                     let mut prev_digest: Option<Digest256> = None;
-                    let mut first_error: Option<(usize, &'static str)> = None;
+                    let mut first_error: Option<(usize, InvalidReason)> = None;
                     let mut last_digest = [0u8; 32];
                     for (i, block) in blocks[lo..hi].iter().enumerate() {
                         let height = lo + i;
@@ -427,13 +446,13 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
                         if first_error.is_none() {
                             if let Some(prev) = prev_digest {
                                 if block.header.prev_hash != prev {
-                                    first_error = Some((height, REASON_LINKAGE));
+                                    first_error = Some((height, InvalidReason::Linkage));
                                     cutoff.fetch_min(height, Ordering::AcqRel);
                                 }
                             }
                         }
                         if first_error.is_none() && !block.merkle_consistent() {
-                            first_error = Some((height, REASON_MERKLE));
+                            first_error = Some((height, InvalidReason::Merkle));
                             cutoff.fetch_min(height, Ordering::AcqRel);
                         }
                         block.header.write_bytes(&mut header_bytes);
@@ -441,7 +460,7 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
                         if first_error.is_none()
                             && !Target::from_threshold(block.header.target).is_met_by(&digest)
                         {
-                            first_error = Some((height, REASON_POW));
+                            first_error = Some((height, InvalidReason::Pow));
                             cutoff.fetch_min(height, Ordering::AcqRel);
                         }
                         prev_digest = Some(digest);
@@ -465,11 +484,11 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
     // selection. Within a chunk the boundary candidate is considered before
     // the worker's own candidate, so at equal height the linkage error wins
     // — matching the sequential per-block check order.
-    let mut first: Option<(usize, &'static str)> = None;
+    let mut first: Option<(usize, InvalidReason)> = None;
     let mut prev_digest = prev_hash;
     for outcome in &outcomes {
         let boundary = (blocks[outcome.lo].header.prev_hash != prev_digest)
-            .then_some((outcome.lo, REASON_LINKAGE));
+            .then_some((outcome.lo, InvalidReason::Linkage));
         for candidate in boundary.into_iter().chain(outcome.first_error) {
             if first.is_none_or(|(height, _)| candidate.0 < height) {
                 first = Some(candidate);
@@ -479,10 +498,7 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
     }
     match first {
         None => Ok(()),
-        Some((height, reason)) => Err(ChainError::InvalidBlock {
-            height,
-            reason: reason.to_string(),
-        }),
+        Some((height, reason)) => Err(ChainError::InvalidBlock { height, reason }),
     }
 }
 

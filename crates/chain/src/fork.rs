@@ -14,11 +14,11 @@
 //! their arrival order — the property the convergence proptests pin down.
 
 use crate::block::Block;
-use crate::chain::{validate_segment, ChainError};
+use crate::chain::{validate_segment, ChainError, InvalidReason};
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
 use hashcore_crypto::Digest256;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// The digest a chain's first block links to: the all-zero "genesis" parent.
@@ -38,8 +38,8 @@ pub enum ForkError {
     },
     /// The block fails a stateless check (Merkle commitment or PoW target).
     InvalidBlock {
-        /// Human-readable reason, matching the chain-validation wording.
-        reason: String,
+        /// Which check failed, in the shared rejection taxonomy.
+        reason: InvalidReason,
     },
 }
 
@@ -59,6 +59,47 @@ impl fmt::Display for ForkError {
 }
 
 impl std::error::Error for ForkError {}
+
+/// Errors returned by [`ForkTree::segment_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The wanted block is not stored in this tree.
+    UnknownBlock {
+        /// The digest that was requested.
+        want: Digest256,
+    },
+    /// Every digest the requester knows lies below this tree's pruned
+    /// retention window: the connecting segment no longer exists here. The
+    /// requester must sync from a peer with deeper history (or from the
+    /// retention root itself).
+    Pruned {
+        /// The oldest block this tree still stores (its retention root).
+        root: Digest256,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::UnknownBlock { want } => {
+                write!(
+                    f,
+                    "segment target {} is not stored",
+                    hashcore_crypto::hex::encode(want)
+                )
+            }
+            SegmentError::Pruned { root } => {
+                write!(
+                    f,
+                    "segment history below retention root {} has been pruned",
+                    hashcore_crypto::hex::encode(root)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
 
 /// The segments a tip change detached and attached, both ordered by
 /// ascending height. A plain extension has an empty `detached` and a
@@ -147,6 +188,10 @@ pub struct ForkTree<P: PreparedPow> {
     pow: P,
     entries: HashMap<Digest256, Entry>,
     tip: Digest256,
+    /// The oldest block every stored branch descends from. [`GENESIS_HASH`]
+    /// until the first [`ForkTree::prune`]; afterwards the best-chain block
+    /// at the pruning cutoff. Backward walks stop here instead of genesis.
+    root: Digest256,
     scratch: P::Scratch,
     header_bytes: Vec<u8>,
 }
@@ -168,9 +213,21 @@ impl<P: PreparedPow> ForkTree<P> {
             pow,
             entries: HashMap::new(),
             tip: GENESIS_HASH,
+            root: GENESIS_HASH,
             scratch: P::Scratch::default(),
             header_bytes: Vec::new(),
         }
+    }
+
+    /// The oldest stored block every branch descends from: [`GENESIS_HASH`]
+    /// until the tree has been pruned, then the retention root.
+    pub fn root(&self) -> Digest256 {
+        self.root
+    }
+
+    /// Height of the retention root (0 until the tree has been pruned).
+    pub fn root_height(&self) -> u64 {
+        self.height_of(&self.root)
     }
 
     /// The PoW function blocks are validated against.
@@ -224,6 +281,35 @@ impl<P: PreparedPow> ForkTree<P> {
         self.entries.get(digest).map_or(0, |e| e.height)
     }
 
+    /// Cumulative expected work through a stored block (0.0 when the digest
+    /// is not stored).
+    pub fn work_of(&self, digest: &Digest256) -> f64 {
+        self.entries.get(digest).map_or(0.0, |e| e.work)
+    }
+
+    /// Height of the highest stored block *not* on the best chain — how
+    /// close the best runner-up branch gets to the tip. 0 when every stored
+    /// block is on the best chain. The adversary harness reports
+    /// `tip_height - max_side_branch_height` as the honest tip's safety
+    /// margin.
+    pub fn max_side_branch_height(&self) -> u64 {
+        let mut on_best: HashSet<Digest256> = HashSet::new();
+        let mut cursor = self.tip;
+        while cursor != GENESIS_HASH {
+            on_best.insert(cursor);
+            if cursor == self.root {
+                break;
+            }
+            cursor = self.parent_of(&cursor);
+        }
+        self.entries
+            .iter()
+            .filter(|(digest, _)| !on_best.contains(*digest))
+            .map(|(_, entry)| entry.height)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Evaluates the PoW digest that identifies `block`, through the tree's
     /// scratch.
     pub fn digest_of(&mut self, block: &Block) -> Digest256 {
@@ -252,13 +338,13 @@ impl<P: PreparedPow> ForkTree<P> {
         }
         if !block.merkle_consistent() {
             return Err(ForkError::InvalidBlock {
-                reason: "merkle root does not commit to the transactions".to_string(),
+                reason: InvalidReason::Merkle,
             });
         }
         let target = Target::from_threshold(block.header.target);
         if !target.is_met_by(&digest) {
             return Err(ForkError::InvalidBlock {
-                reason: "proof of work does not meet the recorded target".to_string(),
+                reason: InvalidReason::Pow,
             });
         }
         let prev = block.header.prev_hash;
@@ -347,12 +433,16 @@ impl<P: PreparedPow> ForkTree<P> {
         }
     }
 
-    /// The best chain, genesis child first.
+    /// The best chain, oldest block first: from the genesis child, or — once
+    /// the tree has been pruned — from the retention root.
     pub fn best_chain(&self) -> Vec<Block> {
         let mut digests = Vec::new();
         let mut cursor = self.tip;
         while cursor != GENESIS_HASH {
             digests.push(cursor);
+            if cursor == self.root {
+                break;
+            }
             cursor = self.parent_of(&cursor);
         }
         digests
@@ -371,17 +461,23 @@ impl<P: PreparedPow> ForkTree<P> {
         let mut out = Vec::new();
         let mut cursor = self.tip;
         let mut step = 1u64;
-        while cursor != GENESIS_HASH {
+        while cursor != GENESIS_HASH && cursor != self.root {
             out.push(cursor);
             if out.len() >= 4 {
                 step *= 2;
             }
             for _ in 0..step {
                 cursor = self.parent_of(&cursor);
-                if cursor == GENESIS_HASH {
+                if cursor == GENESIS_HASH || cursor == self.root {
                     break;
                 }
             }
+        }
+        // A pruned tree's history bottoms out at its retention root; the
+        // trailing genesis digest stays for compatibility (every peer
+        // conceptually "knows" the empty chain).
+        if cursor == self.root && self.root != GENESIS_HASH {
+            out.push(self.root);
         }
         out.push(GENESIS_HASH);
         out
@@ -390,31 +486,129 @@ impl<P: PreparedPow> ForkTree<P> {
     /// The contiguous segment ending at `want`, walking back until a digest
     /// the requester already `known`s (or genesis), ascending height.
     ///
-    /// Returns `None` when `want` is not stored; returns an empty segment
-    /// when the requester already knows `want`.
-    pub fn segment_to(&self, want: Digest256, known: &[Digest256]) -> Option<Vec<Block>> {
+    /// Returns an empty segment when the requester already knows `want`.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::UnknownBlock`] when `want` is not stored;
+    /// [`SegmentError::Pruned`] when the connecting segment would have to
+    /// reach below this tree's retention root — everything the requester
+    /// knows lies under pruned history, so the range is no longer servable.
+    /// A requester that knows the root itself *or the root's parent digest*
+    /// is still served (the retained history anchors at that parent).
+    pub fn segment_to(
+        &self,
+        want: Digest256,
+        known: &[Digest256],
+    ) -> Result<Vec<Block>, SegmentError> {
         if !self.entries.contains_key(&want) {
-            return None;
+            return Err(SegmentError::UnknownBlock { want });
         }
         let mut out = Vec::new();
         let mut cursor = want;
         while cursor != GENESIS_HASH && !known.contains(&cursor) {
             let entry = &self.entries[&cursor];
             out.push(entry.block.clone());
-            cursor = entry.block.header.prev_hash;
+            let parent = entry.block.header.prev_hash;
+            if cursor == self.root && self.root != GENESIS_HASH {
+                // The walk hit the retention root. The full retained chain
+                // is exactly servable iff the requester knows the root's
+                // parent; anything older is gone.
+                if known.contains(&parent) {
+                    break;
+                }
+                return Err(SegmentError::Pruned { root: self.root });
+            }
+            cursor = parent;
         }
         out.reverse();
-        Some(out)
+        Ok(out)
+    }
+
+    /// Drops every block more than `keep_depth` below the best tip, plus any
+    /// branch that no longer connects to the retained window — the bound
+    /// that keeps long-horizon (and adversarially spammed) simulations from
+    /// growing without limit.
+    ///
+    /// The best-chain block exactly `keep_depth` below the tip becomes the
+    /// new retention [`ForkTree::root`]: it is kept, every retained block
+    /// descends from it, and backward walks (`best_chain`, `locator`,
+    /// `segment_to`) stop there. Any peer whose locator shares at least one
+    /// digest inside the window can still be served exactly as before;
+    /// peers further behind get a clean [`SegmentError::Pruned`]. A branch
+    /// forking below the root can never be reattached — blocks extending it
+    /// are reported as [`ForkError::UnknownParent`] and their segments no
+    /// longer anchor — which is the usual finality assumption of a pruning
+    /// node.
+    ///
+    /// Returns the number of blocks evicted. Calling with a `keep_depth` of
+    /// at least the tip height — or one that would place the cutoff at or
+    /// below the existing retention root (history already gone) — is a
+    /// no-op.
+    pub fn prune(&mut self, keep_depth: u64) -> usize {
+        let tip_height = self.tip_height();
+        if tip_height <= keep_depth || self.tip == GENESIS_HASH {
+            return 0;
+        }
+        let cutoff = tip_height - keep_depth;
+        // A widened window cannot bring pruned history back: walking for a
+        // root below the current one would step through pruned parents and
+        // land on a phantom digest.
+        if cutoff <= self.root_height() && self.root != GENESIS_HASH {
+            return 0;
+        }
+        // The new root: the best-chain block at the cutoff height.
+        let mut root = self.tip;
+        while self.height_of(&root) > cutoff {
+            root = self.parent_of(&root);
+        }
+        // Keep exactly the blocks whose ancestry stays above the cutoff all
+        // the way to the new root; everything else (older history, branches
+        // forked below the cutoff) is evicted.
+        let mut keep: HashSet<Digest256> = HashSet::with_capacity(self.entries.len());
+        keep.insert(root);
+        let mut path = Vec::new();
+        for digest in self.entries.keys() {
+            let mut cursor = *digest;
+            path.clear();
+            let connected = loop {
+                if keep.contains(&cursor) {
+                    break true;
+                }
+                match self.entries.get(&cursor) {
+                    Some(entry) if entry.height > cutoff => {
+                        path.push(cursor);
+                        cursor = entry.block.header.prev_hash;
+                    }
+                    // Reached the cutoff (or a hole) on a digest that is not
+                    // the root: this branch forked below the window.
+                    _ => break false,
+                }
+            };
+            if connected {
+                keep.extend(path.iter().copied());
+            }
+        }
+        let before = self.entries.len();
+        self.entries.retain(|digest, _| keep.contains(digest));
+        self.root = root;
+        before - self.entries.len()
     }
 
     /// Re-validates the whole best chain through the sequential segment
-    /// validator — a consistency check for tests and tooling.
+    /// validator — a consistency check for tests and tooling. A pruned
+    /// tree's chain is anchored at the retention root's parent digest.
     ///
     /// # Errors
     ///
     /// Returns the first [`ChainError::InvalidBlock`] found.
     pub fn validate_best_chain(&self) -> Result<(), ChainError> {
-        validate_segment(&self.pow, &self.best_chain(), GENESIS_HASH)
+        let anchor = if self.root == GENESIS_HASH {
+            GENESIS_HASH
+        } else {
+            self.entries[&self.root].block.header.prev_hash
+        };
+        validate_segment(&self.pow, &self.best_chain(), anchor)
     }
 }
 
@@ -607,9 +801,146 @@ mod tests {
         }
         assert_eq!(client.tip(), server.tip());
 
-        // A fully synced client gets an empty segment; unknown wants, None.
+        // A fully synced client gets an empty segment; unknown wants err.
         let synced = server.segment_to(server.tip(), &server.locator());
-        assert_eq!(synced, Some(Vec::new()));
-        assert_eq!(server.segment_to([0x12; 32], &locator), None);
+        assert_eq!(synced, Ok(Vec::new()));
+        assert_eq!(
+            server.segment_to([0x12; 32], &locator),
+            Err(SegmentError::UnknownBlock { want: [0x12; 32] })
+        );
+    }
+
+    /// Mines a linear chain of `len` blocks over genesis, returning them in
+    /// order.
+    fn mined_line(len: usize, tag: &str) -> Vec<Block> {
+        let mut prev = GENESIS_HASH;
+        (0..len)
+            .map(|i| {
+                let block = mine_child(prev, &format!("{tag}-{i}"), 2);
+                prev = digest(&block);
+                block
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pruning_keeps_a_locator_safe_window_and_serves_or_errors_cleanly() {
+        let chain = mined_line(24, "main");
+        let mut server = ForkTree::new(Sha256dPow);
+        // A stale side branch forking at height 4: pruned along with the old
+        // history once the cutoff passes its fork point.
+        let stale = mine_child(digest(&chain[3]), "stale", 2);
+        for block in &chain {
+            server.apply(block.clone()).expect("valid");
+        }
+        server.apply(stale.clone()).expect("valid");
+        assert_eq!(server.len(), 25);
+
+        // Clients that stopped at various heights, with live locators taken
+        // *before* the prune.
+        let mut clients: Vec<(usize, Vec<Digest256>)> = Vec::new();
+        for stopped in [4usize, 10, 11, 16, 23] {
+            let mut client = ForkTree::new(Sha256dPow);
+            for block in &chain[..stopped] {
+                client.apply(block.clone()).expect("valid");
+            }
+            clients.push((stopped, client.locator()));
+        }
+
+        let evicted = server.prune(12);
+        // Heights 1..=11 of the main chain (11 blocks) and the stale branch.
+        assert_eq!(evicted, 12);
+        assert_eq!(server.len(), 13);
+        assert_eq!(server.root(), digest(&chain[11]));
+        assert_eq!(server.root_height(), 12);
+        assert_eq!(server.tip(), digest(&chain[23]));
+        assert_eq!(server.tip_height(), 24);
+        assert!(!server.contains(&digest(&stale)));
+        server
+            .validate_best_chain()
+            .expect("retained chain validates");
+        assert_eq!(server.best_chain(), chain[11..].to_vec());
+        assert_eq!(server.locator().first(), Some(&server.tip()));
+        assert!(server.locator().contains(&server.root()));
+
+        for (stopped, locator) in &clients {
+            let served = server.segment_to(server.tip(), locator);
+            if *stopped >= 11 {
+                // The client's tip is the root (height 12), inside the
+                // window, or the root's parent (height 11): the segment is
+                // exactly what an unpruned server would ship.
+                assert_eq!(
+                    served.as_deref(),
+                    Ok(&chain[*stopped..]),
+                    "client at height {stopped}"
+                );
+            } else {
+                // Behind the window: a clean pruned error, never a panic or
+                // a mis-anchored segment.
+                assert_eq!(
+                    served,
+                    Err(SegmentError::Pruned {
+                        root: server.root()
+                    }),
+                    "client at height {stopped}"
+                );
+            }
+        }
+
+        // The tree keeps working after the prune: new blocks extend the tip
+        // and a second prune advances the window.
+        let next = mine_child(server.tip(), "next", 2);
+        server.apply(next.clone()).expect("valid");
+        assert_eq!(server.tip(), digest(&next));
+        assert!(server.prune(12) > 0);
+        assert_eq!(server.root_height(), 13);
+        server.validate_best_chain().expect("still validates");
+
+        // Widening the window afterwards cannot resurrect pruned history
+        // (cutoff would land below the current root): it is a no-op, never
+        // a phantom root.
+        assert_eq!(server.prune(20), 0);
+        assert_eq!(server.root_height(), 13);
+        assert!(server.contains(&server.root()));
+        server.validate_best_chain().expect("root stays real");
+    }
+
+    #[test]
+    fn pruning_within_the_window_is_a_no_op() {
+        let chain = mined_line(6, "short");
+        let mut tree = ForkTree::new(Sha256dPow);
+        for block in &chain {
+            tree.apply(block.clone()).expect("valid");
+        }
+        assert_eq!(tree.prune(6), 0);
+        assert_eq!(tree.prune(100), 0);
+        assert_eq!(tree.root(), GENESIS_HASH);
+        assert_eq!(tree.len(), 6);
+        // The empty tree is also a no-op.
+        let mut empty: ForkTree<Sha256dPow> = ForkTree::new(Sha256dPow);
+        assert_eq!(empty.prune(0), 0);
+    }
+
+    #[test]
+    fn pruning_keeps_side_branches_that_fork_inside_the_window() {
+        let chain = mined_line(10, "trunk");
+        let mut tree = ForkTree::new(Sha256dPow);
+        for block in &chain {
+            tree.apply(block.clone()).expect("valid");
+        }
+        // A fresh side branch off height 8: inside any window of depth ≥ 2.
+        let side = mine_child(digest(&chain[7]), "side", 2);
+        tree.apply(side.clone()).expect("valid");
+        tree.prune(4);
+        assert!(tree.contains(&digest(&side)), "in-window fork survives");
+        assert_eq!(tree.root(), digest(&chain[5]));
+        // The side branch can still win the fork race after the prune.
+        let side2 = mine_child(digest(&side), "side-2", 2);
+        let side3 = mine_child(digest(&side2), "side-3", 2);
+        tree.apply(side2).expect("valid");
+        let outcome = tree.apply(side3.clone()).expect("valid");
+        assert!(matches!(outcome, ApplyOutcome::TipChanged { .. }));
+        assert_eq!(tree.tip(), digest(&side3));
+        tree.validate_best_chain().expect("reorged chain validates");
     }
 }

@@ -48,7 +48,7 @@ pub mod market;
 pub use block::{Block, BlockHeader};
 pub use chain::{
     validate_blocks, validate_blocks_parallel, validate_segment, validate_segment_parallel,
-    Blockchain, ChainConfig, ChainError,
+    Blockchain, ChainConfig, ChainError, InvalidReason,
 };
-pub use fork::{ApplyOutcome, ForkError, ForkTree, Reorg, GENESIS_HASH};
+pub use fork::{ApplyOutcome, ForkError, ForkTree, Reorg, SegmentError, GENESIS_HASH};
 pub use hashcore_baselines::{PowFunction, PreparedPow};

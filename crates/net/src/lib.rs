@@ -33,12 +33,33 @@
 //! and the responding peer ships exactly the missing segment, which the
 //! requester validates in parallel before applying — reorgs of any depth
 //! fall out of the fork tree's cumulative-work rule.
+//!
+//! # Adversaries and hardening
+//!
+//! Behaviour is pluggable through the [`Strategy`] trait: [`Honest`]
+//! reproduces the protocol exactly (pinned by a byte-identical fingerprint
+//! regression test), while [`SelfishMining`], [`SegmentStalling`],
+//! [`SegmentSpam`] and [`PoisonedSync`] implement the classic attacks.
+//! Honest nodes defend themselves: a consensus-target policy check,
+//! unsolicited-segment drops that never invoke the verifier, per-peer
+//! rejection accounting with banning ([`RejectionCounts`],
+//! `SimConfig::ban_threshold`), request timeouts with deterministic
+//! re-requests (`SimConfig::request_timeout_ms`), and fork-tree pruning
+//! (`SimConfig::prune_depth`). Adversarial nodes draw network randomness
+//! from a separate seeded stream, so honest traffic is provably unchanged
+//! by an adversary that honest nodes ignore — the property the adversary
+//! proptests pin down.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod node;
 mod sim;
+mod strategy;
 
-pub use node::{Message, Node, NodeStats, Outgoing, SyncReorg};
+pub use node::{Message, Node, NodeStats, Outgoing, RejectionCounts, SyncReorg};
 pub use sim::{LatencyModel, Partition, SimConfig, SimReport, Simulation};
+pub use strategy::{
+    Corruption, Honest, MinedAction, MiningMode, PoisonedSync, SegmentSpam, SegmentStalling,
+    SelfishMining, ServeAction, Silent, StallMode, Strategy,
+};

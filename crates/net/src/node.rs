@@ -1,15 +1,21 @@
 //! A simulated full node: fork tree, resumable miner, gossip and segment
-//! sync.
+//! sync — with behaviour delegated to a [`Strategy`] and hardened against
+//! the adversarial ones.
 
+use crate::strategy::{Corruption, Honest, MinedAction, MiningMode, ServeAction, Strategy};
 use hashcore::{MiningInput, Target};
 use hashcore_baselines::PreparedPow;
 use hashcore_chain::{
-    validate_segment_parallel, ApplyOutcome, Block, BlockHeader, ForkError, ForkTree, Reorg,
-    GENESIS_HASH,
+    validate_segment_parallel, ApplyOutcome, Block, BlockHeader, ForkError, ForkTree,
+    InvalidReason, Reorg, GENESIS_HASH,
 };
 use hashcore_crypto::Digest256;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
+
+/// Re-requests a node attempts after its first segment request stalls
+/// before it abandons the orphan.
+const MAX_SYNC_RETRIES: u32 = 3;
 
 /// A message exchanged between simulated nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +44,23 @@ pub enum Outgoing {
     Gossip(Message),
     /// Announce to every reachable peer (freshly mined blocks).
     Broadcast(Message),
+    /// Send to one peer after an extra delay (a stalling responder).
+    DelayedTo {
+        /// The destination peer.
+        to: usize,
+        /// Extra simulated milliseconds before the send leaves the node.
+        after_ms: u64,
+        /// The delayed message.
+        message: Message,
+    },
+    /// Ask the scheduler to call [`Node::on_timer`] with `token` after
+    /// `after_ms` simulated milliseconds — the request-timeout clock.
+    Timer {
+        /// Opaque token handed back to the node (the awaited digest).
+        token: Digest256,
+        /// Simulated milliseconds until the timer fires.
+        after_ms: u64,
+    },
 }
 
 /// A segment sync that caused a branch switch: the segment exactly as the
@@ -50,10 +73,60 @@ pub struct SyncReorg {
     pub reorg: Reorg,
 }
 
+/// Per-peer rejection accounting: one counter per rejection class of the
+/// hardened message handlers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectionCounts {
+    /// Blocks whose Merkle root does not commit to their transactions.
+    pub merkle: u64,
+    /// Blocks whose PoW digest misses their embedded target.
+    pub pow: u64,
+    /// Blocks or segments embedding a target other than the consensus one.
+    pub target_policy: u64,
+    /// Segments that answered no in-flight request — dropped *without*
+    /// running the verifier.
+    pub unsolicited_segment: u64,
+    /// Solicited segments the batched verifier rejected.
+    pub invalid_segment: u64,
+    /// Messages dropped because the sender is banned.
+    pub from_banned: u64,
+}
+
+impl RejectionCounts {
+    /// Total rejected messages across every class.
+    pub fn total(&self) -> u64 {
+        self.merkle
+            + self.pow
+            + self.target_policy
+            + self.unsolicited_segment
+            + self.invalid_segment
+            + self.from_banned
+    }
+}
+
+impl std::ops::AddAssign for RejectionCounts {
+    fn add_assign(&mut self, other: Self) {
+        let Self {
+            merkle,
+            pow,
+            target_policy,
+            unsolicited_segment,
+            invalid_segment,
+            from_banned,
+        } = other;
+        self.merkle += merkle;
+        self.pow += pow;
+        self.target_policy += target_policy;
+        self.unsolicited_segment += unsolicited_segment;
+        self.invalid_segment += invalid_segment;
+        self.from_banned += from_banned;
+    }
+}
+
 /// Per-node counters the simulation report aggregates.
 #[derive(Debug, Clone, Default)]
 pub struct NodeStats {
-    /// Blocks this node mined itself.
+    /// Blocks this node mined itself (including withheld ones).
     pub blocks_mined: u64,
     /// Blocks first stored via gossip or sync (not mined locally).
     pub blocks_accepted: u64,
@@ -69,6 +142,42 @@ pub struct NodeStats {
     /// The deepest reorg a segment sync caused, with the segment that
     /// carried it — the witness that reorgs replay verifier-accepted blocks.
     pub deepest_sync: Option<SyncReorg>,
+    /// Mined blocks kept private by the strategy.
+    pub blocks_withheld: u64,
+    /// Withheld blocks later released to the network.
+    pub blocks_released: u64,
+    /// Withheld blocks abandoned because the public chain overtook them.
+    pub withheld_abandoned: u64,
+    /// Valid-PoW bait blocks mined over a fabricated parent.
+    pub fake_orphans: u64,
+    /// Corrupted segments this node fabricated (solicited or gossiped).
+    pub spam_segments_sent: u64,
+    /// PoW digests of every fabricated or header-corrupted block this node
+    /// sent — the list honest fork trees are audited against.
+    pub spam_digests: Vec<Digest256>,
+    /// Rejected incoming messages, by class.
+    pub rejections: RejectionCounts,
+    /// Sync requests that timed out (the asked peer stalled or the reply
+    /// was lost).
+    pub stalls_detected: u64,
+    /// Timed-out requests re-issued to a different peer.
+    pub requests_retried: u64,
+    /// Requests abandoned after exhausting every retry.
+    pub requests_abandoned: u64,
+    /// Peers this node banned for repeated invalid traffic.
+    pub peers_banned: u64,
+    /// Blocks evicted by fork-tree pruning.
+    pub blocks_pruned: u64,
+}
+
+/// A sync request in flight: who was asked, how many times the request has
+/// been re-issued, and which peers already stalled *this* request (a lost
+/// reply must not blacklist an honest peer for every future sync).
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    peer: usize,
+    retries: u32,
+    tried: Vec<usize>,
 }
 
 /// The resumable per-worker mining state: one scratch, one input buffer,
@@ -107,12 +216,36 @@ impl<S: Default> Miner<S> {
     }
 }
 
+/// The fabricated parent digest fake-orphan miners build over. Consensus
+/// difficulty forces real digests to carry leading zero bits, so a `0xFA`
+/// first byte can never collide with a stored block.
+fn fake_parent_digest(id: usize, counter: u64) -> Digest256 {
+    let mut digest = [0u8; 32];
+    digest[0] = 0xFA;
+    digest[1..9].copy_from_slice(&(id as u64).to_le_bytes());
+    digest[9..17].copy_from_slice(&counter.to_le_bytes());
+    digest
+}
+
 /// One simulated full node.
 ///
-/// The node owns a [`ForkTree`] (its view of the block race) and a resumable
-/// miner. All hashing — mining and fork-tree application alike — runs
+/// The node owns a [`ForkTree`] (its view of the block race), a resumable
+/// miner, and a [`Strategy`] consulted at every behavioural decision point
+/// — the default [`Honest`] strategy reproduces the pre-strategy node byte
+/// for byte. All hashing — mining and fork-tree application alike — runs
 /// through reusable per-node scratches, the same per-worker discipline as
 /// `HashCore::mine_parallel` and `validate_blocks_parallel`.
+///
+/// # Hardening
+///
+/// Incoming traffic is filtered before it can cost hash work or state:
+/// blocks and segments embedding a non-consensus target are rejected
+/// outright, segments that answer no in-flight request are dropped without
+/// running the verifier, and every rejection increments a per-peer penalty
+/// — a peer crossing the ban threshold is ignored entirely. When request
+/// timeouts are enabled, a stalled segment request is re-issued to another
+/// peer (deterministic round-robin, excluding peers that already stalled)
+/// until it succeeds or the retry budget is spent.
 #[derive(Debug)]
 pub struct Node<P: PreparedPow>
 where
@@ -124,10 +257,38 @@ where
     target: Target,
     sync_threads: usize,
     miner: Miner<P::Scratch>,
+    strategy: Box<dyn Strategy>,
     /// Orphan digests with a segment request in flight: concurrent
     /// duplicate announcements of the same unknown block must not each
     /// trigger a full segment fetch and re-validation.
-    requested: HashSet<Digest256>,
+    requested: HashMap<Digest256, PendingRequest>,
+    /// Digests whose requests were abandoned after every retry: a reply
+    /// that limps in afterwards is stale, not unsolicited — it must not
+    /// earn its (possibly honest, merely slow) sender a penalty.
+    abandoned: HashSet<Digest256>,
+    /// Total peers in the simulation (for retry round-robin); 0 disables
+    /// re-requests.
+    peers: usize,
+    /// Simulated milliseconds before an unanswered segment request times
+    /// out; `None` disables the timeout machinery entirely.
+    request_timeout_ms: Option<u64>,
+    /// Rejections from one peer before it is banned; 0 disables banning.
+    ban_threshold: u32,
+    /// Fork-tree retention window; `None` disables pruning.
+    prune_depth: Option<u64>,
+    /// Private (withheld) chain suffix, oldest first, with digests.
+    withheld: Vec<(Block, Digest256)>,
+    /// Work and tip of the best *public* (announced) chain this node knows
+    /// — what a withholding strategy races against.
+    public_work: f64,
+    public_tip: Digest256,
+    /// Valid-PoW bait blocks mined over a fabricated parent, by digest.
+    fabricated: HashMap<Digest256, Block>,
+    /// Rejection count per peer (lookup-only; never iterated, so the map
+    /// order cannot leak into behaviour).
+    penalties: HashMap<usize, u32>,
+    /// Peers whose traffic is ignored (BTree for deterministic iteration).
+    banned: BTreeSet<usize>,
     stats: NodeStats,
 }
 
@@ -135,8 +296,8 @@ impl<P: PreparedPow + Sync + std::fmt::Debug> Node<P>
 where
     P::Scratch: std::fmt::Debug,
 {
-    /// Creates a node mining against `target`, validating synced segments
-    /// across `sync_threads` workers.
+    /// Creates an honest node mining against `target`, validating synced
+    /// segments across `sync_threads` workers.
     pub fn new(id: usize, pow: P, target: Target, sync_threads: usize) -> Self {
         Self {
             id,
@@ -144,9 +305,45 @@ where
             target,
             sync_threads: sync_threads.max(1),
             miner: Miner::new(),
-            requested: HashSet::new(),
+            strategy: Box::new(Honest),
+            requested: HashMap::new(),
+            abandoned: HashSet::new(),
+            peers: 0,
+            request_timeout_ms: None,
+            ban_threshold: 0,
+            prune_depth: None,
+            withheld: Vec::new(),
+            public_work: 0.0,
+            public_tip: GENESIS_HASH,
+            fabricated: HashMap::new(),
+            penalties: HashMap::new(),
+            banned: BTreeSet::new(),
             stats: NodeStats::default(),
         }
+    }
+
+    /// Replaces the node's behaviour strategy (builder style).
+    pub fn with_strategy(mut self, strategy: Box<dyn Strategy>) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Configures the hardening limits (builder style): total peer count
+    /// for retry round-robin, the request timeout (`None` = no timeouts),
+    /// the per-peer ban threshold (0 = never ban), and the fork-tree
+    /// retention window (`None` = never prune).
+    pub fn with_limits(
+        mut self,
+        peers: usize,
+        request_timeout_ms: Option<u64>,
+        ban_threshold: u32,
+        prune_depth: Option<u64>,
+    ) -> Self {
+        self.peers = peers;
+        self.request_timeout_ms = request_timeout_ms;
+        self.ban_threshold = ban_threshold;
+        self.prune_depth = prune_depth;
+        self
     }
 
     /// The node's identifier (its index in the simulation).
@@ -174,38 +371,65 @@ where
         &self.stats
     }
 
-    /// Rebuilds the mining template if the tip moved since the last slice;
-    /// otherwise the nonce scan resumes where it stopped.
-    fn refresh_template(&mut self, now_ms: u64) {
-        if self.miner.template_valid && self.miner.template_tip == self.tree.tip() {
-            return;
-        }
-        let tip = self.tree.tip();
-        let height = self.tree.tip_height() + 1;
-        let id = self.id;
+    /// `true` when this node runs an adversarial strategy.
+    pub fn is_adversarial(&self) -> bool {
+        self.strategy.is_adversarial()
+    }
+
+    /// The strategy's short name.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Peers this node has banned.
+    pub fn banned_peers(&self) -> &BTreeSet<usize> {
+        &self.banned
+    }
+
+    /// Blocks currently withheld by the strategy.
+    pub fn withheld_len(&self) -> usize {
+        self.withheld.len()
+    }
+
+    /// Points the miner at `prev` with a single tagged transaction.
+    fn reset_template(&mut self, prev: Digest256, tag: String, timestamp: u64) {
         let miner = &mut self.miner;
         miner.transactions.clear();
-        miner
-            .transactions
-            .push(format!("node-{id} height-{height} at-{now_ms}ms").into_bytes());
+        miner.transactions.push(tag.into_bytes());
         miner.header = BlockHeader {
             version: 1,
-            prev_hash: tip,
+            prev_hash: prev,
             merkle_root: Block::merkle_root(&miner.transactions),
-            timestamp: now_ms,
+            timestamp,
             target: *self.target.threshold(),
             nonce: 0,
         };
         miner.header.write_pow_input(&mut miner.header_bytes);
         miner.input.set_header(&miner.header_bytes);
         miner.next_nonce = 0;
-        miner.template_tip = tip;
+        miner.template_tip = prev;
         miner.template_valid = true;
     }
 
     /// Runs one mining slice of up to `attempts` nonces at simulated time
-    /// `now_ms`, returning the sends a found block triggers.
+    /// `now_ms`, returning the sends a found block (or fabricated spam)
+    /// triggers.
     pub fn mine_slice(&mut self, now_ms: u64, attempts: u64) -> Vec<Outgoing> {
+        let mut out = match self.strategy.mining_mode() {
+            MiningMode::Off => Vec::new(),
+            MiningMode::Extend => self.mine_extend(now_ms, attempts),
+            MiningMode::FakeOrphan => self.mine_fake_orphan(attempts),
+        };
+        if let Some(class) = self.strategy.on_slice() {
+            if let Some(message) = self.fabricate_unsolicited(class) {
+                out.push(Outgoing::Gossip(message));
+            }
+        }
+        out
+    }
+
+    /// Honest/selfish mining: extend the local best tip.
+    fn mine_extend(&mut self, now_ms: u64, attempts: u64) -> Vec<Outgoing> {
         self.refresh_template(now_ms);
         let target = self.target;
         let found = {
@@ -237,45 +461,223 @@ where
         self.stats.blocks_mined += 1;
         self.record_tip_change(&outcome);
         self.miner.template_valid = false;
+        match self.strategy.on_mined() {
+            MinedAction::Announce => {
+                // Releases triggered by our own (now public) block go out
+                // first, oldest withheld block to newest, then the block.
+                let mut out = self.note_public_work(outcome.digest());
+                out.push(Outgoing::Broadcast(Message::Block(block)));
+                out
+            }
+            MinedAction::Withhold => {
+                self.stats.blocks_withheld += 1;
+                self.withheld.push((block, outcome.digest()));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Rebuilds the mining template if the tip moved since the last slice;
+    /// otherwise the nonce scan resumes where it stopped.
+    fn refresh_template(&mut self, now_ms: u64) {
+        if self.miner.template_valid && self.miner.template_tip == self.tree.tip() {
+            return;
+        }
+        let tip = self.tree.tip();
+        let height = self.tree.tip_height() + 1;
+        let id = self.id;
+        self.reset_template(
+            tip,
+            format!("node-{id} height-{height} at-{now_ms}ms"),
+            now_ms,
+        );
+    }
+
+    /// Spam mining: valid PoW over a fabricated parent. The block passes
+    /// every stateless check, so honest receivers see an orphan and request
+    /// its (nonexistent) ancestry — which this node answers with corrupted
+    /// segments.
+    fn mine_fake_orphan(&mut self, attempts: u64) -> Vec<Outgoing> {
+        if !self.miner.template_valid {
+            let parent = fake_parent_digest(self.id, self.stats.fake_orphans);
+            let tag = format!("spam-{} orphan-{}", self.id, self.stats.fake_orphans);
+            self.reset_template(parent, tag, 0);
+        }
+        let target = self.target;
+        let found = {
+            let Self { tree, miner, .. } = &mut *self;
+            tree.pow().scan_nonces(
+                &mut miner.input,
+                target,
+                miner.next_nonce,
+                attempts,
+                &mut miner.scratch,
+            )
+        };
+        let Some((nonce, digest)) = found else {
+            self.miner.next_nonce += attempts;
+            return Vec::new();
+        };
+        let block = Block {
+            header: BlockHeader {
+                nonce,
+                ..self.miner.header.clone()
+            },
+            transactions: self.miner.transactions.clone(),
+        };
+        self.miner.template_valid = false;
+        self.stats.fake_orphans += 1;
+        self.stats.spam_digests.push(digest);
+        self.fabricated.insert(digest, block.clone());
         vec![Outgoing::Broadcast(Message::Block(block))]
     }
 
     /// Handles one delivered message from `from`, returning the follow-up
-    /// sends.
+    /// sends. Traffic from banned peers is dropped unseen.
     pub fn handle(&mut self, from: usize, message: Message) -> Vec<Outgoing> {
+        if self.banned.contains(&from) {
+            self.stats.rejections.from_banned += 1;
+            return Vec::new();
+        }
         match message {
             Message::Block(block) => self.handle_block(from, block),
             Message::GetSegment { want, locator } => self.handle_get_segment(from, want, &locator),
-            Message::Segment(blocks) => self.handle_segment(blocks),
+            Message::Segment(blocks) => self.handle_segment(from, blocks),
+        }
+    }
+
+    /// One rejection against `from`; bans the peer once the threshold is
+    /// crossed.
+    fn penalize(&mut self, from: usize) {
+        let count = self.penalties.entry(from).or_insert(0);
+        *count += 1;
+        if self.ban_threshold > 0 && *count >= self.ban_threshold && self.banned.insert(from) {
+            self.stats.peers_banned += 1;
         }
     }
 
     fn handle_block(&mut self, from: usize, block: Block) -> Vec<Outgoing> {
+        // Target policy: every protocol-following block embeds exactly the
+        // consensus threshold. A cheaper embedded target would otherwise
+        // let spam mine its way into the fork tree at trivial cost.
+        if block.header.target != *self.target.threshold() {
+            self.stats.rejections.target_policy += 1;
+            self.penalize(from);
+            return Vec::new();
+        }
         match self.tree.apply(block.clone()) {
             Ok(outcome) if outcome.newly_stored() => {
                 self.stats.blocks_accepted += 1;
                 self.record_tip_change(&outcome);
-                vec![Outgoing::Gossip(Message::Block(block))]
+                let mut out = self.note_public_work(outcome.digest());
+                if self.strategy.relays() {
+                    out.push(Outgoing::Gossip(Message::Block(block)));
+                }
+                out
             }
             Ok(_) => Vec::new(),
             Err(ForkError::UnknownParent { digest, .. }) => {
-                // The sender has the block's ancestry; ask for exactly the
-                // missing segment — once. Concurrent announcements of the
-                // same orphan ride on the in-flight request.
-                if self.requested.insert(digest) {
-                    vec![Outgoing::To(
-                        from,
-                        Message::GetSegment {
-                            want: digest,
-                            locator: self.tree.locator(),
-                        },
-                    )]
-                } else {
-                    Vec::new()
+                if !self.strategy.syncs() {
+                    return Vec::new();
                 }
+                self.request_segment(digest, from)
             }
-            Err(ForkError::InvalidBlock { .. }) => Vec::new(),
+            Err(ForkError::InvalidBlock { reason }) => {
+                match reason {
+                    InvalidReason::Merkle => self.stats.rejections.merkle += 1,
+                    InvalidReason::Pow => self.stats.rejections.pow += 1,
+                    // `ForkTree::apply` never reports linkage (an unknown
+                    // parent is `UnknownParent`); count it as PoW abuse.
+                    InvalidReason::Linkage => self.stats.rejections.pow += 1,
+                }
+                self.penalize(from);
+                Vec::new()
+            }
         }
+    }
+
+    /// Issues a segment request for orphan `want` to `peer` — once. The
+    /// sender of a duplicate announcement rides on the in-flight request.
+    fn request_segment(&mut self, want: Digest256, peer: usize) -> Vec<Outgoing> {
+        if self.requested.contains_key(&want) {
+            return Vec::new();
+        }
+        // A fresh request supersedes an earlier abandonment: replies to it
+        // must be processed, not dropped as stale.
+        self.abandoned.remove(&want);
+        self.requested.insert(
+            want,
+            PendingRequest {
+                peer,
+                retries: 0,
+                tried: Vec::new(),
+            },
+        );
+        let mut out = vec![Outgoing::To(
+            peer,
+            Message::GetSegment {
+                want,
+                locator: self.tree.locator(),
+            },
+        )];
+        if let Some(after_ms) = self.request_timeout_ms {
+            out.push(Outgoing::Timer {
+                token: want,
+                after_ms,
+            });
+        }
+        out
+    }
+
+    /// The request-timeout clock: if the awaited digest is still missing,
+    /// the asked peer stalled (or the reply was lost) — exclude it and
+    /// re-request from the next peer in a deterministic round-robin.
+    pub fn on_timer(&mut self, token: Digest256) -> Vec<Outgoing> {
+        if self.tree.contains(&token) {
+            self.requested.remove(&token);
+            return Vec::new();
+        }
+        let Some(pending) = self.requested.get(&token).cloned() else {
+            return Vec::new();
+        };
+        self.stats.stalls_detected += 1;
+        let mut tried = pending.tried;
+        tried.push(pending.peer);
+        let retries = pending.retries + 1;
+        let candidates: Vec<usize> = (0..self.peers)
+            .filter(|p| *p != self.id && !tried.contains(p) && !self.banned.contains(p))
+            .collect();
+        if retries > MAX_SYNC_RETRIES || candidates.is_empty() {
+            self.requested.remove(&token);
+            self.abandoned.insert(token);
+            self.stats.requests_abandoned += 1;
+            return Vec::new();
+        }
+        let peer = candidates[(self.id + retries as usize) % candidates.len()];
+        self.requested.insert(
+            token,
+            PendingRequest {
+                peer,
+                retries,
+                tried,
+            },
+        );
+        self.stats.requests_retried += 1;
+        vec![
+            Outgoing::To(
+                peer,
+                Message::GetSegment {
+                    want: token,
+                    locator: self.tree.locator(),
+                },
+            ),
+            Outgoing::Timer {
+                token,
+                after_ms: self
+                    .request_timeout_ms
+                    .expect("timers fire only when timeouts are enabled"),
+            },
+        ]
     }
 
     fn handle_get_segment(
@@ -284,22 +686,163 @@ where
         want: Digest256,
         locator: &[Digest256],
     ) -> Vec<Outgoing> {
+        match self.strategy.serve_segment(from) {
+            ServeAction::Honest => self.serve_segment(from, want, locator, None, None),
+            ServeAction::Prefix(n) => self.serve_segment(from, want, locator, Some(n), None),
+            ServeAction::Delay(ms) => self.serve_segment(from, want, locator, None, Some(ms)),
+            ServeAction::Ignore => Vec::new(),
+            ServeAction::Corrupt(class) => self.serve_corrupt(from, want, class),
+        }
+    }
+
+    /// Serves the missing segment (honestly, or truncated/delayed for the
+    /// stalling modes). Unknown wants, fully synced requesters and pruned
+    /// history all produce no reply — the requester's timeout handles it.
+    fn serve_segment(
+        &mut self,
+        from: usize,
+        want: Digest256,
+        locator: &[Digest256],
+        prefix: Option<usize>,
+        delay_ms: Option<u64>,
+    ) -> Vec<Outgoing> {
         match self.tree.segment_to(want, locator) {
-            Some(segment) if !segment.is_empty() => {
-                vec![Outgoing::To(from, Message::Segment(segment))]
+            Ok(mut segment) if !segment.is_empty() => {
+                if let Some(n) = prefix {
+                    segment.truncate(n);
+                    if segment.is_empty() {
+                        return Vec::new();
+                    }
+                }
+                let message = Message::Segment(segment);
+                match delay_ms {
+                    None => vec![Outgoing::To(from, message)],
+                    Some(after_ms) => vec![Outgoing::DelayedTo {
+                        to: from,
+                        after_ms,
+                        message,
+                    }],
+                }
             }
             _ => Vec::new(),
         }
     }
 
-    fn handle_segment(&mut self, blocks: Vec<Block>) -> Vec<Outgoing> {
+    /// The chain suffix ending at `want` (at most `n` blocks), oldest
+    /// first. Empty when `want` is not stored.
+    fn suffix_ending_at(&self, want: Digest256, n: usize) -> Vec<Block> {
+        let mut out = Vec::new();
+        let mut cursor = want;
+        while out.len() < n {
+            let Some(block) = self.tree.block(&cursor) else {
+                break;
+            };
+            out.push(block.clone());
+            cursor = block.header.prev_hash;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Corrupts one block of `segment` in place per `class`, recording the
+    /// digests of header-altered blocks in the spam audit list. With
+    /// `protect_last` the terminal block is left intact so the receiver's
+    /// pending-request match still holds and the segment reaches the
+    /// verifier. Returns `false` when the segment is too short to corrupt.
+    fn apply_corruption(
+        &mut self,
+        segment: &mut [Block],
+        protect_last: bool,
+        class: Corruption,
+    ) -> bool {
+        let limit = if protect_last {
+            segment.len().saturating_sub(1)
+        } else {
+            segment.len()
+        };
+        if limit == 0 {
+            return false;
+        }
+        // A broken prev-link on the first block would fail the receiver's
+        // anchor check before the verifier ever ran; corrupt later, or fall
+        // back to a PoW break when there is no later block.
+        let mut class = class;
+        let idx = match class {
+            Corruption::BrokenPrevLink if limit == 1 => {
+                class = Corruption::BadPow;
+                0
+            }
+            Corruption::BrokenPrevLink => (limit / 2).max(1),
+            _ => limit / 2,
+        };
+        match class {
+            Corruption::BadPow => loop {
+                segment[idx].header.nonce = segment[idx].header.nonce.wrapping_add(1);
+                let digest = self.tree.digest_of(&segment[idx]);
+                if !Target::from_threshold(segment[idx].header.target).is_met_by(&digest) {
+                    self.stats.spam_digests.push(digest);
+                    break;
+                }
+            },
+            Corruption::BrokenPrevLink => {
+                segment[idx].header.prev_hash = [0xBB; 32];
+                let digest = self.tree.digest_of(&segment[idx]);
+                self.stats.spam_digests.push(digest);
+            }
+            Corruption::WrongTarget => {
+                segment[idx].header.target = [0xFF; 32];
+                let digest = self.tree.digest_of(&segment[idx]);
+                self.stats.spam_digests.push(digest);
+            }
+            Corruption::BadMerkle => {
+                // The header — and so the digest — is unchanged; the real
+                // block with this digest is valid, so it is not recorded in
+                // the spam audit list.
+                segment[idx].transactions.push(b"spam".to_vec());
+            }
+        }
+        true
+    }
+
+    /// Answers a `GetSegment` with a corrupted segment: real chain suffix
+    /// plus (for fabricated wants) the bait orphan, with one block
+    /// corrupted mid-segment — engineered to pass the cheap pre-checks and
+    /// be rejected by the batched verifier.
+    fn serve_corrupt(&mut self, from: usize, want: Digest256, class: Corruption) -> Vec<Outgoing> {
+        let mut segment = if let Some(bait) = self.fabricated.get(&want).cloned() {
+            let mut basis = self.suffix_ending_at(self.tree.tip(), 2);
+            basis.push(bait);
+            basis
+        } else if self.tree.contains(&want) {
+            self.suffix_ending_at(want, 3)
+        } else {
+            return Vec::new();
+        };
+        if !self.apply_corruption(&mut segment, true, class) {
+            // Too short to corrupt without touching the terminal block:
+            // sending it would be an honest (and uncounted) serve.
+            return Vec::new();
+        }
+        self.stats.spam_segments_sent += 1;
+        vec![Outgoing::To(from, Message::Segment(segment))]
+    }
+
+    /// Fabricates one unsolicited corrupted segment from the local chain
+    /// suffix (the pure-spam strategy's per-slice payload).
+    fn fabricate_unsolicited(&mut self, class: Corruption) -> Option<Message> {
+        let mut segment = self.suffix_ending_at(self.tree.tip(), 3);
+        if segment.is_empty() || !self.apply_corruption(&mut segment, false, class) {
+            return None;
+        }
+        self.stats.spam_segments_sent += 1;
+        Some(Message::Segment(segment))
+    }
+
+    fn handle_segment(&mut self, from: usize, blocks: Vec<Block>) -> Vec<Outgoing> {
         let Some(first) = blocks.first() else {
             return Vec::new();
         };
         let anchor = first.header.prev_hash;
-        if anchor != GENESIS_HASH && !self.tree.contains(&anchor) {
-            return Vec::new();
-        }
         // A segment whose last block is already stored brings nothing new
         // (all its blocks are that block's ancestors): skip the verifier
         // pass a raced duplicate response would otherwise re-run.
@@ -309,13 +852,46 @@ where
             self.requested.remove(&last_digest);
             return Vec::new();
         }
+        // A reply for a request we already gave up on: stale, not hostile.
+        if self.abandoned.contains(&last_digest) {
+            return Vec::new();
+        }
+        // Unsolicited: we never asked for this terminal block. Dropped
+        // *without* running the verifier: identifying the segment costs
+        // exactly one PoW evaluation (the terminal digest above — needed
+        // to tell benign raced duplicates and stale replies from spam).
+        // The penalty caps unknown-terminal spam at `ban_threshold`
+        // evaluations per peer (the ban filter then drops their traffic
+        // before any hashing); a segment ending at an already-stored block
+        // is dropped silently above, so that shape keeps costing one
+        // evaluation per message — the price of never penalising an
+        // honest raced duplicate.
+        if !self.requested.contains_key(&last_digest) {
+            self.stats.rejections.unsolicited_segment += 1;
+            self.penalize(from);
+            return Vec::new();
+        }
+        // Target policy scan: free, before any per-block hashing.
+        let threshold = *self.target.threshold();
+        if blocks.iter().any(|b| b.header.target != threshold) {
+            self.stats.rejections.target_policy += 1;
+            self.penalize(from);
+            return Vec::new();
+        }
+        if anchor != GENESIS_HASH && !self.tree.contains(&anchor) {
+            return Vec::new();
+        }
         // The segment-sync hot path: the batched parallel verifier checks
-        // the whole received segment before any block is applied.
+        // the whole received segment before any block is applied. The
+        // pending request is kept alive on rejection, so a poisoned answer
+        // cannot mask a later honest one.
         let started = Instant::now();
         let verdict =
             validate_segment_parallel(self.tree.pow(), &blocks, self.sync_threads, anchor);
         self.stats.sync_wall_seconds += started.elapsed().as_secs_f64();
         if verdict.is_err() {
+            self.stats.rejections.invalid_segment += 1;
+            self.penalize(from);
             return Vec::new();
         }
         self.stats.segments_synced += 1;
@@ -323,6 +899,7 @@ where
 
         let mut deepest: Option<Reorg> = None;
         let mut tip_changed = false;
+        let mut out = Vec::new();
         for block in &blocks {
             // The segment validated as a whole, so individual apply errors
             // can only be duplicates raced in by gossip — skip them.
@@ -332,21 +909,23 @@ where
             if outcome.newly_stored() {
                 self.stats.blocks_accepted += 1;
             }
-            if let ApplyOutcome::TipChanged { reorg, .. } = outcome {
+            if let ApplyOutcome::TipChanged { reorg, .. } = &outcome {
                 tip_changed = true;
                 if reorg.depth() > 0 {
                     self.stats.reorg_depths.push(reorg.depth());
                 }
                 if deepest.as_ref().is_none_or(|d| reorg.depth() > d.depth()) {
-                    deepest = Some(reorg);
+                    deepest = Some(reorg.clone());
                 }
             }
+            out.extend(self.note_public_work(outcome.digest()));
         }
+        self.maybe_prune();
         // Requests this segment satisfied are no longer in flight.
         let Self {
             tree, requested, ..
         } = &mut *self;
-        requested.retain(|digest| !tree.contains(digest));
+        requested.retain(|digest, _| !tree.contains(digest));
 
         if let Some(reorg) = deepest {
             let replaces = self
@@ -361,18 +940,79 @@ where
                 });
             }
         }
-        if tip_changed {
+        if tip_changed && self.strategy.relays() {
             if let Some(tip_block) = self.tree.tip_block() {
-                return vec![Outgoing::Gossip(Message::Block(tip_block.clone()))];
+                out.push(Outgoing::Gossip(Message::Block(tip_block.clone())));
             }
         }
-        Vec::new()
+        out
     }
 
+    /// Notes that a public (announced) block now carries `work`; while the
+    /// strategy withholds a private chain, the public chain's advance is
+    /// what triggers releases — or abandonment, when the fork tree has
+    /// already switched to the public branch.
+    fn note_public_work(&mut self, digest: Digest256) -> Vec<Outgoing> {
+        let work = self.tree.work_of(&digest);
+        if work <= self.public_work {
+            return Vec::new();
+        }
+        self.public_work = work;
+        self.public_tip = digest;
+        if self.withheld.is_empty() {
+            return Vec::new();
+        }
+        let private_tip = self.withheld.last().expect("non-empty").1;
+        if self.tree.tip() != private_tip {
+            // The public branch overtook the private chain: abandon it.
+            self.stats.withheld_abandoned += self.withheld.len() as u64;
+            self.withheld.clear();
+            return Vec::new();
+        }
+        let lead = self.tree.tip_height() as i64 - self.tree.height_of(&self.public_tip) as i64;
+        let release = self
+            .strategy
+            .on_public_advance(lead, self.withheld.len())
+            .min(self.withheld.len());
+        let mut out = Vec::new();
+        for (block, digest) in self.withheld.drain(..release) {
+            self.stats.blocks_released += 1;
+            // Released blocks are public now.
+            let released_work = self.tree.work_of(&digest);
+            if released_work > self.public_work {
+                self.public_work = released_work;
+                self.public_tip = digest;
+            }
+            out.push(Outgoing::Broadcast(Message::Block(block)));
+        }
+        out
+    }
+
+    /// Books a tip change's reorg depth and enforces the retention window
+    /// — called on every path that can advance the tip (mining, gossip;
+    /// segment sync prunes once after its apply loop).
     fn record_tip_change(&mut self, outcome: &ApplyOutcome) {
         if let ApplyOutcome::TipChanged { reorg, .. } = outcome {
             if reorg.depth() > 0 {
                 self.stats.reorg_depths.push(reorg.depth());
+            }
+            self.maybe_prune();
+        }
+    }
+
+    fn maybe_prune(&mut self) {
+        if let Some(depth) = self.prune_depth {
+            // Amortized batch eviction: `prune` walks every retained entry,
+            // so let the window grow to twice the retention depth and evict
+            // in chunks instead of paying O(stored blocks) per tip change.
+            // Serving is unaffected (extra retained history only widens the
+            // locator-safe window) and memory stays bounded by 2x depth.
+            let lag = self
+                .tree
+                .tip_height()
+                .saturating_sub(self.tree.root_height());
+            if lag > depth.saturating_mul(2) {
+                self.stats.blocks_pruned += self.tree.prune(depth) as u64;
             }
         }
     }
@@ -381,10 +1021,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::{PoisonedSync, SegmentSpam, SelfishMining};
     use hashcore_baselines::Sha256dPow;
 
     fn node(id: usize) -> Node<Sha256dPow> {
         Node::new(id, Sha256dPow, Target::from_leading_zero_bits(2), 2)
+    }
+
+    /// Mines until `node` finds and announces a block, returning it.
+    fn mine_one(node: &mut Node<Sha256dPow>, now_ms: u64) -> Block {
+        for _ in 0..100_000 {
+            let out = node.mine_slice(now_ms, 1_000);
+            if let Some(Outgoing::Broadcast(Message::Block(b))) = out.first().cloned() {
+                return b;
+            }
+        }
+        panic!("no block found at trivial difficulty");
     }
 
     #[test]
@@ -432,13 +1084,7 @@ mod tests {
         // Mine three blocks; only announce the last to the fresh node.
         let mut announced = None;
         for _ in 0..3 {
-            for _ in 0..100_000 {
-                let out = miner.mine_slice(0, 1_000);
-                if let Some(Outgoing::Broadcast(Message::Block(b))) = out.first().cloned() {
-                    announced = Some(b);
-                    break;
-                }
-            }
+            announced = Some(mine_one(&mut miner, 0));
         }
         let tip_block = announced.expect("mined three blocks");
         let request = fresh.handle(0, Message::Block(tip_block));
@@ -454,5 +1100,196 @@ mod tests {
         assert_eq!(fresh.tip(), miner.tip());
         assert_eq!(fresh.stats().segments_synced, 1);
         assert_eq!(fresh.stats().segment_blocks, 3);
+    }
+
+    #[test]
+    fn selfish_miner_withholds_then_releases_on_competition() {
+        let mut selfish = node(0).with_strategy(Box::new(SelfishMining));
+        let mut honest = node(1);
+        // The selfish miner builds a private lead of two: nothing is
+        // broadcast, and it keeps mining on its own withheld tip.
+        while selfish.withheld_len() < 2 {
+            let out = selfish.mine_slice(0, 1_000);
+            assert!(out.is_empty(), "withheld blocks must not be announced");
+        }
+        assert_eq!(selfish.stats().blocks_withheld, 2);
+        assert_eq!(selfish.tip_height(), 2, "mines on its private chain");
+
+        // An honest block arrives at height 1: the lead drops to 1, so the
+        // classic rule releases the whole private chain and wins outright
+        // (its two blocks out-work the public one).
+        let honest_block = mine_one(&mut honest, 7);
+        let out = selfish.handle(1, Message::Block(honest_block));
+        let released = out
+            .iter()
+            .filter(|o| matches!(o, Outgoing::Broadcast(Message::Block(_))))
+            .count();
+        assert_eq!(released, 2, "lead 1 publishes the private chain: {out:?}");
+        assert_eq!(selfish.withheld_len(), 0);
+        assert_eq!(selfish.stats().blocks_released, 2);
+        // The selfish branch stays the local tip (more cumulative work).
+        assert_eq!(selfish.tip_height(), 2);
+    }
+
+    #[test]
+    fn selfish_miner_abandons_a_losing_private_chain() {
+        let mut selfish = node(0).with_strategy(Box::new(SelfishMining));
+        let mut honest = node(1);
+        // One withheld block...
+        while selfish.withheld_len() < 1 {
+            selfish.mine_slice(0, 1_000);
+        }
+        // ...but the public chain reaches height 2: the fork tree switches
+        // to the public branch and the private block is abandoned.
+        let b1 = mine_one(&mut honest, 3);
+        let b2 = mine_one(&mut honest, 9);
+        selfish.handle(1, Message::Block(b1));
+        selfish.handle(1, Message::Block(b2));
+        // Depending on the height-1 digest tie-break the private block was
+        // either released into the (lost) race or abandoned outright —
+        // both end with the private queue empty and the public chain
+        // adopted.
+        assert_eq!(selfish.withheld_len(), 0);
+        assert_eq!(
+            selfish.stats().blocks_released + selfish.stats().withheld_abandoned,
+            1
+        );
+        assert_eq!(selfish.tip(), honest.tip(), "adopted the public chain");
+    }
+
+    #[test]
+    fn spam_strategy_mines_nothing_and_gossips_corrupt_segments() {
+        let mut spammer = node(0).with_strategy(Box::new(SegmentSpam::default()));
+        let mut honest = node(1);
+        // Give the spammer a real block to corrupt.
+        let block = mine_one(&mut honest, 0);
+        spammer.handle(1, Message::Block(block));
+        assert_eq!(spammer.stats().blocks_mined, 0);
+        let out = spammer.mine_slice(100, 1_000);
+        assert_eq!(out.len(), 1, "one spam gossip per slice");
+        let Some(Outgoing::Gossip(Message::Segment(segment))) = out.first().cloned() else {
+            panic!("spam must be an unsolicited segment, got {out:?}");
+        };
+        assert!(!segment.is_empty());
+        assert!(spammer.stats().spam_segments_sent >= 1);
+    }
+
+    #[test]
+    fn poisoned_sync_baits_with_fake_orphans_and_serves_corruption() {
+        let mut poisoner = node(0).with_strategy(Box::new(PoisonedSync::default()));
+        let mut victim = node(1).with_limits(3, Some(2_000), 3, None);
+        // Both sides share two real blocks (gossip in the simulation), so
+        // the poisoner has a basis to corrupt and the victim knows the
+        // anchor the corrupted segment will claim.
+        let mut honest = node(2);
+        for now in [0u64, 5] {
+            let block = mine_one(&mut honest, now);
+            poisoner.handle(2, Message::Block(block.clone()));
+            victim.handle(2, Message::Block(block));
+        }
+        // Bait block: valid PoW over a fabricated parent.
+        let bait = loop {
+            let out = poisoner.mine_slice(0, 10_000);
+            if let Some(Outgoing::Broadcast(Message::Block(b))) = out.first().cloned() {
+                break b;
+            }
+        };
+        assert_eq!(poisoner.stats().fake_orphans, 1);
+        // The victim sees an orphan and requests the segment.
+        let request = victim.handle(0, Message::Block(bait));
+        let Some(Outgoing::To(0, get @ Message::GetSegment { .. })) = request.first().cloned()
+        else {
+            panic!("bait must trigger a segment request, got {request:?}");
+        };
+        assert!(
+            matches!(request.get(1), Some(Outgoing::Timer { .. })),
+            "timeouts enabled: the request must arm a timer"
+        );
+        // The poisoner answers with a corrupted segment...
+        let response = poisoner.handle(1, get);
+        let Some(Outgoing::To(1, segment @ Message::Segment(_))) = response.first().cloned() else {
+            panic!("poisoner must serve a corrupt segment, got {response:?}");
+        };
+        // ...which the victim's verifier rejects without storing anything.
+        let before = victim.tree().len();
+        let out = victim.handle(0, segment);
+        assert!(out.is_empty());
+        assert_eq!(victim.tree().len(), before);
+        assert_eq!(victim.stats().segments_synced, 0);
+        assert_eq!(victim.stats().rejections.invalid_segment, 1);
+        // No spam digest ever lands in the victim's tree.
+        for digest in &poisoner.stats().spam_digests {
+            assert!(!victim.tree().contains(digest));
+        }
+    }
+
+    #[test]
+    fn repeated_invalid_traffic_gets_a_peer_banned() {
+        let mut victim = node(1).with_limits(3, None, 2, None);
+        let mut honest = node(0);
+        let block = mine_one(&mut honest, 0);
+        // Two forged variants: penalties 1 and 2 → ban at threshold 2.
+        for tag in [b"forge-a".to_vec(), b"forge-b".to_vec()] {
+            let mut forged = block.clone();
+            forged.transactions.push(tag);
+            assert!(victim.handle(2, Message::Block(forged)).is_empty());
+        }
+        assert_eq!(victim.stats().rejections.merkle, 2);
+        assert_eq!(victim.stats().peers_banned, 1);
+        assert!(victim.banned_peers().contains(&2));
+        // Even a valid block from the banned peer is now ignored...
+        assert!(victim.handle(2, Message::Block(block.clone())).is_empty());
+        assert_eq!(victim.stats().rejections.from_banned, 1);
+        assert_eq!(victim.tree().len(), 0);
+        // ...while the same block from a clean peer is accepted.
+        assert!(!victim.handle(0, Message::Block(block)).is_empty());
+        assert_eq!(victim.tree().len(), 1);
+    }
+
+    #[test]
+    fn wrong_target_blocks_are_rejected_by_policy() {
+        let mut victim = node(1).with_limits(3, None, 0, None);
+        let mut cheap =
+            Node::<Sha256dPow>::new(0, Sha256dPow, Target::from_leading_zero_bits(0), 2);
+        let block = mine_one(&mut cheap, 0);
+        // Valid PoW at its own (trivial) target — but not the consensus one.
+        assert!(victim.handle(0, Message::Block(block)).is_empty());
+        assert_eq!(victim.stats().rejections.target_policy, 1);
+        assert_eq!(victim.tree().len(), 0);
+    }
+
+    #[test]
+    fn timeout_reissues_the_request_to_another_peer_then_abandons() {
+        let mut fresh = node(1).with_limits(4, Some(1_000), 0, None);
+        let mut miner = node(0);
+        for _ in 0..2 {
+            mine_one(&mut miner, 0);
+        }
+        let tip_block = miner.tree().tip_block().cloned().expect("mined");
+        let out = fresh.handle(0, Message::Block(tip_block));
+        assert!(matches!(out.first(), Some(Outgoing::To(0, _))));
+        let Some(Outgoing::Timer { token, .. }) = out.get(1).cloned() else {
+            panic!("expected a timer, got {out:?}");
+        };
+        // Fire the timer: peer 0 stalled; the retry must go elsewhere.
+        let retry = fresh.on_timer(token);
+        let Some(Outgoing::To(peer, Message::GetSegment { .. })) = retry.first() else {
+            panic!("expected a re-request, got {retry:?}");
+        };
+        assert_ne!(*peer, 0, "the stalled peer must be excluded");
+        assert_eq!(fresh.stats().stalls_detected, 1);
+        assert_eq!(fresh.stats().requests_retried, 1);
+        // Exhaust the retries: the request is abandoned, never panics.
+        let mut fired = 0;
+        loop {
+            let out = fresh.on_timer(token);
+            fired += 1;
+            if out.is_empty() {
+                break;
+            }
+            assert!(fired < 10, "retry budget must be finite");
+        }
+        assert_eq!(fresh.stats().requests_abandoned, 1);
+        assert!(fresh.on_timer(token).is_empty(), "abandoned token is inert");
     }
 }

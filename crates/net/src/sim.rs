@@ -1,7 +1,8 @@
 //! The deterministic event-driven scheduler: seeded latency, gossip
-//! fan-out, partitions, and the simulation report.
+//! fan-out, partitions, request timeouts, and the simulation report.
 
-use crate::node::{Message, Node, Outgoing};
+use crate::node::{Message, Node, Outgoing, RejectionCounts};
+use crate::strategy::{Honest, Strategy};
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
 use hashcore_crypto::Digest256;
@@ -46,7 +47,8 @@ pub struct Partition {
 }
 
 /// Full configuration of one simulation run. A run is a pure function of
-/// this value — see the crate docs for the determinism guarantees.
+/// this value (plus the strategy assignment) — see the crate docs for the
+/// determinism guarantees.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of nodes.
@@ -58,6 +60,9 @@ pub struct SimConfig {
     pub difficulty_bits: u32,
     /// Nonces each node evaluates per mining slice.
     pub attempts_per_slice: u64,
+    /// Per-node overrides of `attempts_per_slice` — how adversary hash
+    /// power fractions are configured. Empty by default.
+    pub node_attempts: Vec<(usize, u64)>,
     /// Simulated duration of one mining slice, milliseconds.
     pub slice_ms: u64,
     /// Message latency model.
@@ -71,6 +76,27 @@ pub struct SimConfig {
     pub duration_ms: u64,
     /// Worker threads handed to `validate_segment_parallel` during sync.
     pub sync_threads: usize,
+    /// Simulated milliseconds before an unanswered segment request is
+    /// re-issued to another peer. `None` (the default) disables timeouts —
+    /// and keeps all-honest runs byte-identical to the pre-timeout node.
+    pub request_timeout_ms: Option<u64>,
+    /// Rejections from one peer before a node bans it (0 = never ban).
+    /// Honest peers never accumulate penalties, so the default of 3 does
+    /// not affect honest runs.
+    pub ban_threshold: u32,
+    /// Fork-tree retention window (blocks below the tip); `None` (the
+    /// default) keeps every branch forever, as before pruning existed.
+    pub prune_depth: Option<u64>,
+}
+
+impl SimConfig {
+    /// Nonces `node` evaluates per slice, honouring `node_attempts`.
+    pub fn attempts_for(&self, node: usize) -> u64 {
+        self.node_attempts
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map_or(self.attempts_per_slice, |(_, attempts)| *attempts)
+    }
 }
 
 impl Default for SimConfig {
@@ -80,6 +106,7 @@ impl Default for SimConfig {
             seed: 0x5eed_c0de,
             difficulty_bits: 11,
             attempts_per_slice: 64,
+            node_attempts: Vec::new(),
             slice_ms: 100,
             latency: LatencyModel {
                 base_ms: 20,
@@ -89,6 +116,9 @@ impl Default for SimConfig {
             partitions: Vec::new(),
             duration_ms: 60_000,
             sync_threads: 4,
+            request_timeout_ms: None,
+            ban_threshold: 3,
+            prune_depth: None,
         }
     }
 }
@@ -104,6 +134,8 @@ enum EventKind {
         from: usize,
         message: Message,
     },
+    /// A node's request-timeout clock fires.
+    Timeout { node: usize, token: Digest256 },
     /// A partition begins.
     PartitionStart { index: usize },
     /// A partition heals.
@@ -138,6 +170,11 @@ impl Ord for Scheduled {
 }
 
 /// Aggregated outcome of one simulation run.
+///
+/// Convergence, tip and safety figures are computed over the *honest*
+/// (non-adversarial) nodes — a withholding miner's private tip or a silent
+/// spammer's stale tree must not mask honest agreement. In all-honest runs
+/// this is every node, exactly as before the adversary framework.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Number of nodes simulated.
@@ -146,12 +183,13 @@ pub struct SimReport {
     pub seed: u64,
     /// Mining horizon, milliseconds.
     pub duration_ms: u64,
-    /// `true` when every node finished on the same non-empty tip.
+    /// `true` when every honest node finished on the same non-empty tip.
     pub converged: bool,
-    /// Simulated time at which the network last became fully converged
-    /// (and stayed so through the end), if it did.
+    /// Simulated time at which the honest nodes last became fully
+    /// converged (and stayed so through the end), if they did.
     pub convergence_ms: Option<u64>,
-    /// The common tip digest (node 0's tip if not converged).
+    /// The common tip digest (the first honest node's tip if not
+    /// converged).
     pub tip: Digest256,
     /// Height of that tip.
     pub tip_height: u64,
@@ -174,11 +212,45 @@ pub struct SimReport {
     /// Excluded from [`SimReport::fingerprint`] — it is the one
     /// non-deterministic field.
     pub sync_wall_seconds: f64,
+    /// Corrupted segments fabricated by adversarial nodes.
+    pub spam_segments_sent: u64,
+    /// Spam blocks (fabricated or header-corrupted) found in any honest
+    /// node's fork tree at the end of the run. The acceptance gate is 0.
+    pub spam_accepted: u64,
+    /// Valid-PoW bait orphans mined over fabricated parents.
+    pub fake_orphans: u64,
+    /// Rejected incoming messages across all nodes, by class.
+    pub rejections: RejectionCounts,
+    /// Sync-request timeouts observed across all nodes.
+    pub stalls_detected: u64,
+    /// Timed-out requests re-issued to another peer.
+    pub requests_retried: u64,
+    /// Requests abandoned after exhausting retries.
+    pub requests_abandoned: u64,
+    /// Ban events across all nodes.
+    pub peers_banned: u64,
+    /// Blocks withheld by selfish strategies (total ever).
+    pub blocks_withheld: u64,
+    /// Withheld blocks later released.
+    pub blocks_released: u64,
+    /// Withheld blocks abandoned to a winning public chain.
+    pub withheld_abandoned: u64,
+    /// Blocks evicted by fork-tree pruning, all nodes.
+    pub blocks_pruned: u64,
+    /// Minimum over honest nodes of `tip height − best side-branch
+    /// height`: how far the closest runner-up branch sits below each
+    /// honest tip. Large margins mean adversarial branches never came
+    /// close.
+    pub honest_tip_safety_margin: u64,
 }
 
 impl SimReport {
-    /// A canonical rendering of every deterministic field. Two runs with
-    /// the same [`SimConfig`] produce identical fingerprints.
+    /// A canonical rendering of the deterministic fields every run has had
+    /// since the honest-only simulation. Two runs with the same
+    /// [`SimConfig`] and strategies produce identical fingerprints. This
+    /// string is pinned by the strategy-refactor regression gate, so it
+    /// deliberately excludes the adversary-era fields — see
+    /// [`SimReport::fingerprint_extended`].
     pub fn fingerprint(&self) -> String {
         let mut out = String::new();
         let _ = write!(
@@ -204,6 +276,32 @@ impl SimReport {
         out
     }
 
+    /// [`SimReport::fingerprint`] plus every deterministic adversary-era
+    /// field — what the adversary bench compares across runs.
+    pub fn fingerprint_extended(&self) -> String {
+        let mut out = self.fingerprint();
+        let _ = write!(
+            out,
+            " spam_sent={} spam_accepted={} fake_orphans={} rejections={:?} \
+             stalls={} retried={} abandoned={} banned={} withheld={} \
+             released={} abandoned_private={} pruned={} safety_margin={}",
+            self.spam_segments_sent,
+            self.spam_accepted,
+            self.fake_orphans,
+            self.rejections,
+            self.stalls_detected,
+            self.requests_retried,
+            self.requests_abandoned,
+            self.peers_banned,
+            self.blocks_withheld,
+            self.blocks_released,
+            self.withheld_abandoned,
+            self.blocks_pruned,
+            self.honest_tip_safety_margin,
+        );
+        out
+    }
+
     /// Blocks validated by segment sync per wall-clock second — the sync
     /// throughput figure `BENCH_sync.json` records.
     pub fn sync_blocks_per_sec(&self) -> f64 {
@@ -217,9 +315,18 @@ impl SimReport {
 
 /// The event-driven network simulation.
 ///
-/// Build one with [`Simulation::new`], [`Simulation::run`] it to completion,
-/// then inspect the [`SimReport`] and the per-node state via
-/// [`Simulation::nodes`].
+/// Build one with [`Simulation::new`] (all-honest) or
+/// [`Simulation::with_strategies`] (per-node behaviour), [`Simulation::run`]
+/// it to completion, then inspect the [`SimReport`] and the per-node state
+/// via [`Simulation::nodes`].
+///
+/// # RNG isolation
+///
+/// Sends originating from adversarial nodes draw latency and gossip
+/// samples from a *separate* seeded stream. Honest traffic therefore
+/// consumes exactly the same random sequence whether an adversary is
+/// present or replaced by [`crate::Silent`] — the property that lets the
+/// adversary proptests compare honest fork choice against a baseline run.
 #[derive(Debug)]
 pub struct Simulation<P: PreparedPow + std::fmt::Debug>
 where
@@ -227,8 +334,12 @@ where
 {
     config: SimConfig,
     nodes: Vec<Node<P>>,
+    /// Indices of the non-adversarial nodes (all nodes when every strategy
+    /// is adversarial, so reports never divide by zero).
+    honest: Vec<usize>,
     queue: BinaryHeap<Scheduled>,
     rng: WidgetRng,
+    adversary_rng: WidgetRng,
     seq: u64,
     now: u64,
     split: Option<usize>,
@@ -241,15 +352,29 @@ impl<P: PreparedPow + Sync + std::fmt::Debug> Simulation<P>
 where
     P::Scratch: std::fmt::Debug,
 {
-    /// Creates a simulation; `make_pow` builds each node's PoW instance
-    /// (nodes can share a cheap `Clone` or each own a configured one).
+    /// Creates an all-honest simulation; `make_pow` builds each node's PoW
+    /// instance (nodes can share a cheap `Clone` or each own a configured
+    /// one).
     ///
     /// # Panics
     ///
     /// Panics if the config has fewer than two nodes, a zero slice, a
     /// partition with `split` outside `1..nodes`, or partitions that
     /// overlap in time.
-    pub fn new(config: SimConfig, mut make_pow: impl FnMut(usize) -> P) -> Self {
+    pub fn new(config: SimConfig, make_pow: impl FnMut(usize) -> P) -> Self {
+        Self::with_strategies(config, make_pow, |_| Box::new(Honest))
+    }
+
+    /// Creates a simulation with a per-node behaviour strategy.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::new`].
+    pub fn with_strategies(
+        config: SimConfig,
+        mut make_pow: impl FnMut(usize) -> P,
+        mut make_strategy: impl FnMut(usize) -> Box<dyn Strategy>,
+    ) -> Self {
         assert!(config.nodes >= 2, "a network needs at least two nodes");
         assert!(config.slice_ms > 0, "mining slices need a positive length");
         for p in &config.partitions {
@@ -262,6 +387,24 @@ where
                 "partitions must have positive length"
             );
         }
+        // A timeout shorter than a round trip would make honest nodes
+        // mistake in-flight replies for stalls (and, worse, late honest
+        // replies for unsolicited spam), so demand headroom for two
+        // worst-case latency samples.
+        if let Some(timeout) = config.request_timeout_ms {
+            assert!(
+                timeout >= 2 * (config.latency.base_ms + config.latency.jitter_ms),
+                "request_timeout_ms must cover a worst-case round trip"
+            );
+        }
+        // Pruned peers answer out-of-window requests with silence; without
+        // the timeout machinery that silence would strand the pending
+        // request forever, so the combination is rejected up front.
+        assert!(
+            config.prune_depth.is_none() || config.request_timeout_ms.is_some(),
+            "prune_depth requires request_timeout_ms (a pruned peer's \
+             silent non-answer must be recoverable)"
+        );
         // The single active-split state cannot represent concurrent
         // partitions, so reject what it would silently get wrong.
         let mut windows: Vec<(u64, u64)> = config
@@ -277,12 +420,29 @@ where
             );
         }
         let target = Target::from_leading_zero_bits(config.difficulty_bits);
-        let nodes = (0..config.nodes)
-            .map(|id| Node::new(id, make_pow(id), target, config.sync_threads))
+        let nodes: Vec<Node<P>> = (0..config.nodes)
+            .map(|id| {
+                Node::new(id, make_pow(id), target, config.sync_threads)
+                    .with_strategy(make_strategy(id))
+                    .with_limits(
+                        config.nodes,
+                        config.request_timeout_ms,
+                        config.ban_threshold,
+                        config.prune_depth,
+                    )
+            })
             .collect();
+        let mut honest: Vec<usize> = (0..config.nodes)
+            .filter(|&id| !nodes[id].is_adversarial())
+            .collect();
+        if honest.is_empty() {
+            honest = (0..config.nodes).collect();
+        }
         let mut sim = Self {
             rng: WidgetRng::new(config.seed),
+            adversary_rng: WidgetRng::new(config.seed ^ 0xADAD_F0F0_1234_5678),
             nodes,
+            honest,
             queue: BinaryHeap::new(),
             seq: 0,
             now: 0,
@@ -319,6 +479,17 @@ where
         self.queue.push(Scheduled { time, seq, kind });
     }
 
+    /// The RNG stream `from`'s traffic draws on — the isolation that keeps
+    /// honest randomness byte-identical whether an adversary acts or sits
+    /// silent. Every latency/gossip sample must come through here.
+    fn rng_for(&mut self, from: usize) -> &mut WidgetRng {
+        if self.nodes[from].is_adversarial() {
+            &mut self.adversary_rng
+        } else {
+            &mut self.rng
+        }
+    }
+
     /// `true` when `a` and `b` can currently exchange messages.
     fn connected(&self, a: usize, b: usize) -> bool {
         match self.split {
@@ -328,27 +499,34 @@ where
     }
 
     /// Queues a message send, applying partition drops and sampled latency.
-    fn send(&mut self, from: usize, to: usize, message: Message) {
+    /// `extra_ms` models a sender that sits on the message before sending.
+    fn send(&mut self, from: usize, to: usize, message: Message, extra_ms: u64) {
         if !self.connected(from, to) {
             self.messages_dropped += 1;
             return;
         }
         self.messages_sent += 1;
-        let latency = self.config.latency.sample(&mut self.rng);
-        let time = self.now + latency.max(1);
+        let latency_model = self.config.latency;
+        let latency = latency_model.sample(self.rng_for(from));
+        let time = self.now + extra_ms + latency.max(1);
         self.schedule(time, EventKind::Deliver { to, from, message });
     }
 
-    /// Executes a node's outgoing sends: direct, gossip-sampled, or
-    /// broadcast.
+    /// Executes a node's outgoing sends: direct, gossip-sampled, broadcast,
+    /// delayed, or timer arming.
     fn dispatch(&mut self, from: usize, outgoing: Vec<Outgoing>) {
         for out in outgoing {
             match out {
-                Outgoing::To(dest, message) => self.send(from, dest, message),
+                Outgoing::To(dest, message) => self.send(from, dest, message, 0),
+                Outgoing::DelayedTo {
+                    to,
+                    after_ms,
+                    message,
+                } => self.send(from, to, message, after_ms),
                 Outgoing::Broadcast(message) => {
                     for dest in 0..self.config.nodes {
                         if dest != from {
-                            self.send(from, dest, message.clone());
+                            self.send(from, dest, message.clone(), 0);
                         }
                     }
                 }
@@ -357,19 +535,26 @@ where
                         (0..self.config.nodes).filter(|&d| d != from).collect();
                     let sample = self.config.fan_out.min(peers.len());
                     for _ in 0..sample {
-                        let pick = self.rng.next_bounded(peers.len() as u64) as usize;
+                        let pick = self.rng_for(from).next_bounded(peers.len() as u64) as usize;
                         let dest = peers.swap_remove(pick);
-                        self.send(from, dest, message.clone());
+                        self.send(from, dest, message.clone(), 0);
                     }
+                }
+                Outgoing::Timer { token, after_ms } => {
+                    self.schedule(
+                        self.now + after_ms.max(1),
+                        EventKind::Timeout { node: from, token },
+                    );
                 }
             }
         }
     }
 
-    /// Tracks when the network last became (and stayed) fully converged.
+    /// Tracks when the honest nodes last became (and stayed) converged.
     fn update_convergence(&mut self) {
-        let tip = self.nodes[0].tip();
-        let all_equal = tip != [0u8; 32] && self.nodes.iter().all(|n| n.tip() == tip);
+        let tip = self.nodes[self.honest[0]].tip();
+        let all_equal =
+            tip != [0u8; 32] && self.honest.iter().all(|&id| self.nodes[id].tip() == tip);
         if all_equal {
             if self.converged_at.is_none() {
                 self.converged_at = Some(self.now);
@@ -386,8 +571,8 @@ where
             self.now = event.time;
             match event.kind {
                 EventKind::MineSlice { node } => {
-                    let outgoing =
-                        self.nodes[node].mine_slice(self.now, self.config.attempts_per_slice);
+                    let attempts = self.config.attempts_for(node);
+                    let outgoing = self.nodes[node].mine_slice(self.now, attempts);
                     self.dispatch(node, outgoing);
                     let next = self.now + self.config.slice_ms;
                     if next <= self.config.duration_ms {
@@ -397,6 +582,10 @@ where
                 EventKind::Deliver { to, from, message } => {
                     let outgoing = self.nodes[to].handle(from, message);
                     self.dispatch(to, outgoing);
+                }
+                EventKind::Timeout { node, token } => {
+                    let outgoing = self.nodes[node].on_timer(token);
+                    self.dispatch(node, outgoing);
                 }
                 EventKind::PartitionStart { index } => {
                     self.split = Some(self.config.partitions[index].split);
@@ -426,8 +615,43 @@ where
             .flat_map(|n| n.stats().reorg_depths.iter().copied())
             .collect();
         reorg_depths.sort_unstable_by(|a, b| b.cmp(a));
-        let tip = self.nodes[0].tip();
-        let converged = tip != [0u8; 32] && self.nodes.iter().all(|n| n.tip() == tip);
+        let first_honest = &self.nodes[self.honest[0]];
+        let tip = first_honest.tip();
+        let converged =
+            tip != [0u8; 32] && self.honest.iter().all(|&id| self.nodes[id].tip() == tip);
+        // Audit every honest fork tree against the spam lists.
+        let spam_digests: Vec<Digest256> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.stats().spam_digests.iter().copied())
+            .collect();
+        let spam_accepted: u64 = self
+            .honest
+            .iter()
+            .map(|&id| {
+                spam_digests
+                    .iter()
+                    .filter(|d| self.nodes[id].tree().contains(d))
+                    .count() as u64
+            })
+            .sum();
+        let honest_tip_safety_margin = self
+            .honest
+            .iter()
+            .map(|&id| {
+                let node = &self.nodes[id];
+                node.tip_height()
+                    .saturating_sub(node.tree().max_side_branch_height())
+            })
+            .min()
+            .unwrap_or(0);
+        let mut rejections = RejectionCounts::default();
+        for node in &self.nodes {
+            rejections += node.stats().rejections;
+        }
+        let sum = |f: &dyn Fn(&crate::node::NodeStats) -> u64| -> u64 {
+            self.nodes.iter().map(|n| f(n.stats())).sum()
+        };
         SimReport {
             nodes: self.config.nodes,
             seed: self.config.seed,
@@ -435,15 +659,28 @@ where
             converged,
             convergence_ms: self.converged_at,
             tip,
-            tip_height: self.nodes[0].tip_height(),
-            blocks_mined: self.nodes.iter().map(|n| n.stats().blocks_mined).sum(),
+            tip_height: first_honest.tip_height(),
+            blocks_mined: sum(&|s| s.blocks_mined),
             max_reorg_depth: reorg_depths.first().copied().unwrap_or(0),
             reorg_depths,
-            segments_synced: self.nodes.iter().map(|n| n.stats().segments_synced).sum(),
-            segment_blocks: self.nodes.iter().map(|n| n.stats().segment_blocks).sum(),
+            segments_synced: sum(&|s| s.segments_synced),
+            segment_blocks: sum(&|s| s.segment_blocks),
             messages_sent: self.messages_sent,
             messages_dropped: self.messages_dropped,
             sync_wall_seconds: self.nodes.iter().map(|n| n.stats().sync_wall_seconds).sum(),
+            spam_segments_sent: sum(&|s| s.spam_segments_sent),
+            spam_accepted,
+            fake_orphans: sum(&|s| s.fake_orphans),
+            rejections,
+            stalls_detected: sum(&|s| s.stalls_detected),
+            requests_retried: sum(&|s| s.requests_retried),
+            requests_abandoned: sum(&|s| s.requests_abandoned),
+            peers_banned: sum(&|s| s.peers_banned),
+            blocks_withheld: sum(&|s| s.blocks_withheld),
+            blocks_released: sum(&|s| s.blocks_released),
+            withheld_abandoned: sum(&|s| s.withheld_abandoned),
+            blocks_pruned: sum(&|s| s.blocks_pruned),
+            honest_tip_safety_margin,
         }
     }
 }
@@ -451,6 +688,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::{SegmentSpam, SegmentStalling, SelfishMining, Silent, StallMode};
     use hashcore_baselines::Sha256dPow;
 
     fn quick_config() -> SimConfig {
@@ -484,6 +722,7 @@ mod tests {
         let a = Simulation::new(quick_config(), |_| Sha256dPow).run();
         let b = Simulation::new(quick_config(), |_| Sha256dPow).run();
         assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint_extended(), b.fingerprint_extended());
         let c = Simulation::new(
             SimConfig {
                 seed: 43,
@@ -497,6 +736,42 @@ mod tests {
             a.fingerprint(),
             c.fingerprint(),
             "different seed, different race"
+        );
+    }
+
+    /// The Strategy-refactor regression gate: an all-honest simulation must
+    /// keep producing exactly the fingerprint the pre-strategy node code
+    /// produced. The literal below was captured from the honest-only
+    /// implementation; if this test fails, the honest code path changed
+    /// behaviour, not just shape.
+    #[test]
+    fn honest_fingerprint_is_byte_identical_to_the_pre_strategy_node() {
+        let report = Simulation::new(
+            SimConfig {
+                nodes: 4,
+                seed: 0xfee1_600d,
+                difficulty_bits: 8,
+                attempts_per_slice: 32,
+                slice_ms: 100,
+                duration_ms: 15_000,
+                partitions: vec![Partition {
+                    start_ms: 4_000,
+                    end_ms: 9_000,
+                    split: 2,
+                }],
+                ..SimConfig::default()
+            },
+            |_| Sha256dPow,
+        )
+        .run();
+        assert_eq!(
+            report.fingerprint(),
+            "nodes=4 seed=4276183053 duration=15000 converged=true \
+             convergence=Some(14883) \
+             tip=00619b00757512f1d17fb4741258d7829a415f0eff630530b58d0f8f785ed7d1 \
+             height=56 mined=80 \
+             reorgs=[11, 11, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1] \
+             max_reorg=11 segments=4 segment_blocks=68 sent=543 dropped=93"
         );
     }
 
@@ -561,5 +836,135 @@ mod tests {
             },
             |_| Sha256dPow,
         );
+    }
+
+    /// RNG isolation: replacing a [`Silent`] node with a spammer must not
+    /// change honest traffic at all — the honest fingerprint (tip, reorg
+    /// distribution, convergence time) is identical; only the adversary
+    /// counters differ.
+    #[test]
+    fn spam_does_not_perturb_honest_traffic() {
+        let config = SimConfig {
+            request_timeout_ms: Some(2_000),
+            ..quick_config()
+        };
+        let baseline = Simulation::with_strategies(
+            config.clone(),
+            |_| Sha256dPow,
+            |id| {
+                if id == 0 {
+                    Box::new(Silent)
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        )
+        .run();
+        let spammed = Simulation::with_strategies(
+            config,
+            |_| Sha256dPow,
+            |id| {
+                if id == 0 {
+                    Box::new(SegmentSpam::default())
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        )
+        .run();
+        assert_eq!(baseline.tip, spammed.tip);
+        assert_eq!(baseline.tip_height, spammed.tip_height);
+        assert_eq!(baseline.convergence_ms, spammed.convergence_ms);
+        assert_eq!(baseline.reorg_depths, spammed.reorg_depths);
+        assert!(spammed.spam_segments_sent > 0, "the spammer must spam");
+        assert_eq!(spammed.spam_accepted, 0, "no spam in any honest tree");
+        assert!(spammed.rejections.unsolicited_segment > 0);
+    }
+
+    /// A stalling adversary cannot stop convergence: honest peers time
+    /// out, exclude it, and sync from each other.
+    #[test]
+    fn stalling_is_survived_through_timeouts_and_rerequests() {
+        for mode in [
+            StallMode::Ignore,
+            StallMode::Prefix(1),
+            StallMode::Delay(30_000),
+        ] {
+            let config = SimConfig {
+                nodes: 5,
+                seed: 99,
+                difficulty_bits: 9,
+                attempts_per_slice: 64,
+                duration_ms: 40_000,
+                request_timeout_ms: Some(1_500),
+                partitions: vec![Partition {
+                    start_ms: 5_000,
+                    end_ms: 20_000,
+                    split: 2,
+                }],
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::with_strategies(
+                config,
+                |_| Sha256dPow,
+                move |id| {
+                    if id == 2 {
+                        Box::new(SegmentStalling { mode })
+                    } else {
+                        Box::new(Honest)
+                    }
+                },
+            );
+            let report = sim.run();
+            assert!(
+                report.converged,
+                "honest nodes must converge despite {mode:?}: {}",
+                report.fingerprint_extended()
+            );
+            for node in sim.nodes() {
+                node.tree().validate_best_chain().expect("valid chain");
+            }
+        }
+    }
+
+    /// Selfish mining with majority-ish hash power ends up owning more of
+    /// the final chain than its fair share, and the accounting fields
+    /// observe the withhold/release cycle.
+    #[test]
+    fn selfish_mining_withholds_and_releases_deterministically() {
+        let config = SimConfig {
+            nodes: 4,
+            seed: 1234,
+            difficulty_bits: 8,
+            attempts_per_slice: 32,
+            // Node 0 holds ~45% of total hash power.
+            node_attempts: vec![(0, 80)],
+            duration_ms: 30_000,
+            ..SimConfig::default()
+        };
+        let run = |cfg: SimConfig| {
+            Simulation::with_strategies(
+                cfg,
+                |_| Sha256dPow,
+                |id| {
+                    if id == 0 {
+                        Box::new(SelfishMining)
+                    } else {
+                        Box::new(Honest)
+                    }
+                },
+            )
+            .run()
+        };
+        let a = run(config.clone());
+        let b = run(config);
+        assert_eq!(a.fingerprint_extended(), b.fingerprint_extended());
+        assert!(a.blocks_withheld > 0, "{}", a.fingerprint_extended());
+        assert!(
+            a.blocks_released > 0 || a.withheld_abandoned > 0,
+            "withheld blocks must eventually be released or abandoned: {}",
+            a.fingerprint_extended()
+        );
+        assert!(a.converged, "honest nodes still converge");
     }
 }

@@ -1,0 +1,394 @@
+//! Node behaviour strategies: honest participation and the adversaries the
+//! verifier-cost argument must survive.
+//!
+//! A [`Strategy`] is consulted by [`Node`](crate::Node) at every behavioural
+//! decision point — what to do with a freshly mined block, how far to let
+//! the public chain advance before releasing withheld blocks, how to answer
+//! a `GetSegment` request, and whether to fabricate traffic of its own. The
+//! [`Honest`] strategy reproduces the pre-strategy node byte for byte (the
+//! `honest_fingerprint_is_byte_identical_to_the_pre_strategy_node` test in
+//! `sim` pins this); the adversarial strategies implement the classic
+//! attacks the ROADMAP calls for:
+//!
+//! * [`SelfishMining`] — withhold a private chain, release just enough to
+//!   orphan honest work (Eyal–Sirer state machine on the private lead),
+//! * [`SegmentStalling`] — answer `GetSegment` late, partially, or never,
+//!   forcing honest peers through the timeout / re-request machinery,
+//! * [`SegmentSpam`] — gossip unsolicited corrupted segments, which
+//!   hardened nodes drop *without* running the batched verifier,
+//! * [`PoisonedSync`] — mine orphan blocks over a fabricated parent and
+//!   answer the resulting sync requests with corrupted segments, so the
+//!   spam lands on `validate_segment_parallel`'s rejection paths,
+//! * [`Silent`] — an offline placeholder used as the baseline when proving
+//!   that spam never changes honest fork choice.
+
+use std::fmt;
+
+/// The corruption classes invalid-segment spam cycles through — one per
+/// rejection path of the segment verifier and the node's target policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Nonce rewritten: the recorded PoW digest no longer meets the target.
+    BadPow,
+    /// A mid-segment `prev_hash` rewritten: linkage broken.
+    BrokenPrevLink,
+    /// Embedded target easier than consensus: caught by the target policy
+    /// before the verifier burns any hash work.
+    WrongTarget,
+    /// A transaction tampered with: the Merkle commitment breaks (the
+    /// header — and so the block's digest — is unchanged).
+    BadMerkle,
+}
+
+impl Corruption {
+    /// All corruption classes, in the order spam strategies cycle them.
+    pub const ALL: [Corruption; 4] = [
+        Corruption::BadPow,
+        Corruption::BrokenPrevLink,
+        Corruption::WrongTarget,
+        Corruption::BadMerkle,
+    ];
+}
+
+/// What the node's miner works on during a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiningMode {
+    /// Extend the local best tip (honest and selfish miners).
+    Extend,
+    /// Contribute no hash power (pure spammers, silent baselines).
+    Off,
+    /// Mine valid-PoW blocks over a fabricated unknown parent — bait that
+    /// makes honest peers request a segment the adversary will poison.
+    FakeOrphan,
+}
+
+/// What a node does with a block its miner just found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinedAction {
+    /// Broadcast it to every reachable peer (honest behaviour).
+    Announce,
+    /// Keep it private; the strategy decides later when (and whether) the
+    /// withheld suffix is released.
+    Withhold,
+}
+
+/// How a node answers a `GetSegment` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeAction {
+    /// Serve the exact missing segment (honest behaviour).
+    Honest,
+    /// Serve only the first `n` blocks of the segment — the wanted block
+    /// never arrives, so the requester must time out and re-request.
+    Prefix(usize),
+    /// Serve honestly, but only after an extra delay in simulated
+    /// milliseconds.
+    Delay(u64),
+    /// Never answer.
+    Ignore,
+    /// Serve a corrupted segment carrying this corruption class.
+    Corrupt(Corruption),
+}
+
+/// A node behaviour policy, consulted at every decision point.
+///
+/// Strategies are intentionally stateless about the chain: they see only
+/// the small, pre-digested facts a real attacker's controller would (the
+/// private lead, the withheld queue length) and return plain decisions; all
+/// chain state stays in the [`Node`](crate::Node). That keeps one node
+/// implementation serving every behaviour, with the honest path untouched.
+pub trait Strategy: fmt::Debug + Send {
+    /// Short identifier used in reports and scenario tables.
+    fn name(&self) -> &'static str;
+
+    /// `true` for strategies that deviate from the protocol. Adversarial
+    /// nodes draw their network randomness from a separate RNG stream and
+    /// are excluded from convergence accounting, so honest traffic is
+    /// byte-identical with the adversary present or replaced by [`Silent`].
+    fn is_adversarial(&self) -> bool {
+        true
+    }
+
+    /// What the miner works on (default: extend the best tip).
+    fn mining_mode(&mut self) -> MiningMode {
+        MiningMode::Extend
+    }
+
+    /// Whether this node relays blocks it accepts from gossip.
+    fn relays(&self) -> bool {
+        true
+    }
+
+    /// Whether this node requests segments for unknown-parent blocks.
+    fn syncs(&self) -> bool {
+        true
+    }
+
+    /// Called when the local miner finds a block.
+    fn on_mined(&mut self) -> MinedAction {
+        MinedAction::Announce
+    }
+
+    /// Called after the public chain advances while `withheld` blocks are
+    /// held back; `lead` is private height minus public height. Returns how
+    /// many withheld blocks to release (clamped to the queue length).
+    fn on_public_advance(&mut self, lead: i64, withheld: usize) -> usize {
+        let _ = (lead, withheld);
+        0
+    }
+
+    /// Called when a `GetSegment` request arrives from `from`.
+    fn serve_segment(&mut self, from: usize) -> ServeAction {
+        let _ = from;
+        ServeAction::Honest
+    }
+
+    /// Called once per mining slice; `Some(class)` gossips one unsolicited
+    /// corrupted segment of that class.
+    fn on_slice(&mut self) -> Option<Corruption> {
+        None
+    }
+}
+
+/// Protocol-following behaviour — the extracted pre-strategy node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Honest;
+
+impl Strategy for Honest {
+    fn name(&self) -> &'static str {
+        "honest"
+    }
+
+    fn is_adversarial(&self) -> bool {
+        false
+    }
+}
+
+/// Classic selfish mining (Eyal & Sirer): every found block is withheld;
+/// when the public chain advances, release the whole private chain while
+/// the lead is ≤ 1 (win outright, or force a tie the digest tie-break
+/// settles), and exactly one matching block while the lead is larger.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfishMining;
+
+impl Strategy for SelfishMining {
+    fn name(&self) -> &'static str {
+        "selfish-mining"
+    }
+
+    fn on_mined(&mut self) -> MinedAction {
+        MinedAction::Withhold
+    }
+
+    fn on_public_advance(&mut self, lead: i64, withheld: usize) -> usize {
+        if withheld == 0 {
+            0
+        } else if lead <= 1 {
+            withheld
+        } else {
+            1
+        }
+    }
+}
+
+/// How a [`SegmentStalling`] adversary mishandles sync requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallMode {
+    /// Never answer `GetSegment`.
+    Ignore,
+    /// Ship only the first `n` blocks of every requested segment.
+    Prefix(usize),
+    /// Answer honestly but this many simulated milliseconds late.
+    Delay(u64),
+}
+
+/// Mines and relays honestly, but stalls every peer that tries to sync
+/// through it — the withholding adversary the request-timeout machinery
+/// exists for.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentStalling {
+    /// How requests are mishandled.
+    pub mode: StallMode,
+}
+
+impl Strategy for SegmentStalling {
+    fn name(&self) -> &'static str {
+        "segment-stalling"
+    }
+
+    fn serve_segment(&mut self, _from: usize) -> ServeAction {
+        match self.mode {
+            StallMode::Ignore => ServeAction::Ignore,
+            StallMode::Prefix(n) => ServeAction::Prefix(n),
+            StallMode::Delay(ms) => ServeAction::Delay(ms),
+        }
+    }
+}
+
+/// Pure unsolicited-spam flooding: no mining, no relaying, no syncing —
+/// just a corrupted segment gossiped every slice, cycling the corruption
+/// classes. Hardened nodes drop these without invoking the verifier, so
+/// the spam provably cannot change honest fork choice (the adversary
+/// proptest pins honest tips against a [`Silent`] baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegmentSpam {
+    counter: u64,
+}
+
+impl Strategy for SegmentSpam {
+    fn name(&self) -> &'static str {
+        "segment-spam"
+    }
+
+    fn mining_mode(&mut self) -> MiningMode {
+        MiningMode::Off
+    }
+
+    fn relays(&self) -> bool {
+        false
+    }
+
+    fn syncs(&self) -> bool {
+        false
+    }
+
+    fn serve_segment(&mut self, _from: usize) -> ServeAction {
+        self.counter += 1;
+        ServeAction::Corrupt(Corruption::ALL[(self.counter - 1) as usize % Corruption::ALL.len()])
+    }
+
+    fn on_slice(&mut self) -> Option<Corruption> {
+        self.counter += 1;
+        Some(Corruption::ALL[(self.counter - 1) as usize % Corruption::ALL.len()])
+    }
+}
+
+/// Sync poisoning: spend real hash power mining valid-PoW blocks over a
+/// fabricated parent, announce them, and answer the resulting `GetSegment`
+/// requests with corrupted segments — the spam that actually lands on
+/// `validate_segment_parallel`'s rejection paths and must be rejected
+/// without poisoning any honest [`ForkTree`](hashcore_chain::ForkTree),
+/// with the sender penalised and eventually banned.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoisonedSync {
+    counter: u64,
+}
+
+impl Strategy for PoisonedSync {
+    fn name(&self) -> &'static str {
+        "poisoned-sync"
+    }
+
+    fn mining_mode(&mut self) -> MiningMode {
+        MiningMode::FakeOrphan
+    }
+
+    fn relays(&self) -> bool {
+        false
+    }
+
+    fn syncs(&self) -> bool {
+        false
+    }
+
+    fn serve_segment(&mut self, _from: usize) -> ServeAction {
+        self.counter += 1;
+        // Never serve `WrongTarget` here: the target policy would drop the
+        // segment before the verifier, and this strategy exists to exercise
+        // the verifier's own rejection paths.
+        const VERIFIER_CLASSES: [Corruption; 3] = [
+            Corruption::BadPow,
+            Corruption::BrokenPrevLink,
+            Corruption::BadMerkle,
+        ];
+        ServeAction::Corrupt(VERIFIER_CLASSES[(self.counter - 1) as usize % 3])
+    }
+}
+
+/// A dead node: no mining, no relaying, no syncing, no serving. The
+/// rng-isolated baseline an adversary is swapped against when proving that
+/// its traffic did not move honest fork choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Silent;
+
+impl Strategy for Silent {
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+
+    fn mining_mode(&mut self) -> MiningMode {
+        MiningMode::Off
+    }
+
+    fn relays(&self) -> bool {
+        false
+    }
+
+    fn syncs(&self) -> bool {
+        false
+    }
+
+    fn serve_segment(&mut self, _from: usize) -> ServeAction {
+        ServeAction::Ignore
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_is_the_identity_strategy() {
+        let mut honest = Honest;
+        assert!(!honest.is_adversarial());
+        assert_eq!(honest.mining_mode(), MiningMode::Extend);
+        assert_eq!(honest.on_mined(), MinedAction::Announce);
+        assert_eq!(honest.on_public_advance(3, 5), 0);
+        assert_eq!(honest.serve_segment(1), ServeAction::Honest);
+        assert_eq!(honest.on_slice(), None);
+        assert!(honest.relays());
+        assert!(honest.syncs());
+    }
+
+    #[test]
+    fn selfish_release_rule_matches_the_classic_state_machine() {
+        let mut selfish = SelfishMining;
+        assert_eq!(selfish.on_mined(), MinedAction::Withhold);
+        // Tie (lead 0 after honest catch-up): publish everything and race.
+        assert_eq!(selfish.on_public_advance(0, 1), 1);
+        // Lead 1: publish everything and win outright.
+        assert_eq!(selfish.on_public_advance(1, 2), 2);
+        // Comfortable lead: publish exactly one matching block.
+        assert_eq!(selfish.on_public_advance(2, 3), 1);
+        assert_eq!(selfish.on_public_advance(7, 9), 1);
+        // Nothing withheld: nothing to do.
+        assert_eq!(selfish.on_public_advance(0, 0), 0);
+    }
+
+    #[test]
+    fn spam_strategies_cycle_every_corruption_class() {
+        let mut spam = SegmentSpam::default();
+        let classes: Vec<Corruption> = (0..4).map(|_| spam.on_slice().unwrap()).collect();
+        assert_eq!(classes, Corruption::ALL);
+        let mut poison = PoisonedSync::default();
+        let served: Vec<ServeAction> = (0..3).map(|_| poison.serve_segment(0)).collect();
+        for action in served {
+            assert!(
+                !matches!(action, ServeAction::Corrupt(Corruption::WrongTarget)),
+                "poisoned sync must exercise the verifier, not the target policy"
+            );
+        }
+    }
+
+    #[test]
+    fn stalling_maps_modes_to_serve_actions() {
+        let mut s = SegmentStalling {
+            mode: StallMode::Ignore,
+        };
+        assert_eq!(s.serve_segment(0), ServeAction::Ignore);
+        s.mode = StallMode::Prefix(2);
+        assert_eq!(s.serve_segment(0), ServeAction::Prefix(2));
+        s.mode = StallMode::Delay(5_000);
+        assert_eq!(s.serve_segment(0), ServeAction::Delay(5_000));
+        assert!(s.is_adversarial());
+    }
+}

@@ -1,0 +1,148 @@
+//! Negative-path tests for the `Node` message handlers: hostile or
+//! malformed messages must never panic, never re-run the batched verifier,
+//! and never mutate the fork tree.
+//!
+//! The verifier-invocation count is observable as
+//! `segments_synced + rejections.invalid_segment` — every
+//! `validate_segment_parallel` call increments exactly one of the two.
+
+use hashcore::Target;
+use hashcore_baselines::Sha256dPow;
+use hashcore_crypto::Digest256;
+use hashcore_net::{Message, Node, Outgoing};
+
+fn node(id: usize) -> Node<Sha256dPow> {
+    Node::new(id, Sha256dPow, Target::from_leading_zero_bits(2), 2)
+}
+
+/// Mines until `node` announces a block, returning it.
+fn mine_one(node: &mut Node<Sha256dPow>, now_ms: u64) -> hashcore_chain::Block {
+    for _ in 0..100_000 {
+        let out = node.mine_slice(now_ms, 1_000);
+        if let Some(Outgoing::Broadcast(Message::Block(b))) = out.first().cloned() {
+            return b;
+        }
+    }
+    panic!("no block found at trivial difficulty");
+}
+
+/// Verifier invocations observed so far on `node`.
+fn verifier_runs(node: &Node<Sha256dPow>) -> u64 {
+    node.stats().segments_synced + node.stats().rejections.invalid_segment
+}
+
+#[test]
+fn unsolicited_segment_is_dropped_without_verifying_or_mutating() {
+    let mut server = node(0);
+    for now in [0u64, 5, 9] {
+        mine_one(&mut server, now);
+    }
+    let segment: Vec<_> = server.tree().best_chain();
+    let mut victim = node(1);
+    let tip_before = victim.tip();
+    let len_before = victim.tree().len();
+
+    // A perfectly valid segment the victim never asked for: dropped
+    // without a verifier pass, without storing a block, without replying.
+    let out = victim.handle(0, Message::Segment(segment.clone()));
+    assert!(out.is_empty(), "no reply to unsolicited segments: {out:?}");
+    assert_eq!(verifier_runs(&victim), 0, "verifier must not run");
+    assert_eq!(victim.tree().len(), len_before);
+    assert_eq!(victim.tip(), tip_before);
+    assert_eq!(victim.stats().rejections.unsolicited_segment, 1);
+    assert_eq!(victim.stats().blocks_accepted, 0);
+
+    // An empty segment is equally inert (and must not panic).
+    assert!(victim.handle(0, Message::Segment(Vec::new())).is_empty());
+    assert_eq!(victim.tree().len(), len_before);
+}
+
+#[test]
+fn duplicate_segment_for_an_in_flight_request_is_not_reverified() {
+    let mut server = node(0);
+    for now in [0u64, 5, 9] {
+        mine_one(&mut server, now);
+    }
+    let tip_block = server.tree().tip_block().cloned().expect("mined");
+
+    let mut client = node(1);
+    let request = client.handle(0, Message::Block(tip_block));
+    let Some(Outgoing::To(0, get @ Message::GetSegment { .. })) = request.first().cloned() else {
+        panic!("orphan must trigger a request, got {request:?}");
+    };
+    let response = server.handle(1, get);
+    let Some(Outgoing::To(1, Message::Segment(segment))) = response.first().cloned() else {
+        panic!("server must serve the segment, got {response:?}");
+    };
+
+    // First delivery: one verifier pass, chain adopted.
+    client.handle(0, Message::Segment(segment.clone()));
+    assert_eq!(client.tip(), server.tip());
+    assert_eq!(verifier_runs(&client), 1);
+    let len_after_first = client.tree().len();
+    let reorgs_after_first = client.stats().reorg_depths.clone();
+
+    // A raced duplicate of the same response: no verifier pass, no tree
+    // mutation, no reply, no reorg bookkeeping.
+    let out = client.handle(0, Message::Segment(segment));
+    assert!(out.is_empty(), "duplicate must be silent: {out:?}");
+    assert_eq!(verifier_runs(&client), 1, "verifier must not re-run");
+    assert_eq!(client.tree().len(), len_after_first);
+    assert_eq!(client.stats().reorg_depths, reorgs_after_first);
+    // And it is not penalised as unsolicited — benign duplicates happen.
+    assert_eq!(client.stats().rejections.unsolicited_segment, 0);
+}
+
+#[test]
+fn get_segment_for_an_unknown_want_or_locator_is_inert() {
+    let mut server = node(0);
+    for now in [0u64, 5] {
+        mine_one(&mut server, now);
+    }
+    let len_before = server.tree().len();
+    let tip_before = server.tip();
+
+    // Unknown want: no reply, no panic, no verifier, no mutation.
+    let unknown_want: Digest256 = [0x12; 32];
+    let out = server.handle(
+        1,
+        Message::GetSegment {
+            want: unknown_want,
+            locator: vec![[0x34; 32], [0u8; 32]],
+        },
+    );
+    assert!(out.is_empty(), "unknown want must yield nothing: {out:?}");
+
+    // Known want with a garbage locator: serves the whole chain (the
+    // locator is advisory), still no mutation.
+    let out = server.handle(
+        1,
+        Message::GetSegment {
+            want: tip_before,
+            locator: vec![[0x34; 32]],
+        },
+    );
+    match out.first() {
+        Some(Outgoing::To(1, Message::Segment(segment))) => {
+            assert_eq!(segment.len(), len_before, "full chain from genesis");
+        }
+        other => panic!("expected a full-segment reply, got {other:?}"),
+    }
+
+    // Empty locator: same, never panics.
+    let out = server.handle(
+        1,
+        Message::GetSegment {
+            want: tip_before,
+            locator: Vec::new(),
+        },
+    );
+    assert!(matches!(
+        out.first(),
+        Some(Outgoing::To(1, Message::Segment(_)))
+    ));
+
+    assert_eq!(server.tree().len(), len_before);
+    assert_eq!(server.tip(), tip_before);
+    assert_eq!(verifier_runs(&server), 0);
+}

@@ -1,0 +1,130 @@
+//! Property-based adversary resilience: for any seeded adversary,
+//! invalid-segment spam never changes honest fork choice (the honest
+//! nodes' converged tip equals the tip of the same run with the adversary
+//! silenced), every spammed segment is rejected, and sync poisoning never
+//! lands a corrupted block in an honest fork tree.
+
+use hashcore_baselines::Sha256dPow;
+use hashcore_net::{Honest, PoisonedSync, SegmentSpam, Silent, SimConfig, Simulation, Strategy};
+use proptest::prelude::*;
+
+fn adversary_config(seed: u64, jitter_ms: u64) -> SimConfig {
+    SimConfig {
+        nodes: 4,
+        seed,
+        difficulty_bits: 8,
+        attempts_per_slice: 32,
+        slice_ms: 100,
+        latency: hashcore_net::LatencyModel {
+            base_ms: 10,
+            jitter_ms,
+        },
+        duration_ms: 16_000,
+        request_timeout_ms: Some(1_500),
+        ban_threshold: 3,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs `config` with node 0 using `adversary` and the rest honest.
+fn run_with(
+    config: SimConfig,
+    mut adversary: impl FnMut() -> Box<dyn Strategy>,
+) -> (hashcore_net::SimReport, Vec<hashcore_crypto::Digest256>) {
+    let mut sim = Simulation::with_strategies(
+        config,
+        |_| Sha256dPow,
+        |id| {
+            if id == 0 {
+                adversary()
+            } else {
+                Box::new(Honest)
+            }
+        },
+    );
+    let report = sim.run();
+    let spam: Vec<_> = sim
+        .nodes()
+        .iter()
+        .flat_map(|n| n.stats().spam_digests.iter().copied())
+        .collect();
+    // Audit: no spam digest in any honest tree (the report's
+    // `spam_accepted` aggregates exactly this).
+    for node in sim.nodes().iter().filter(|n| !n.is_adversarial()) {
+        for digest in &spam {
+            assert!(
+                !node.tree().contains(digest),
+                "spam digest stored by honest node {}",
+                node.id()
+            );
+        }
+        node.tree()
+            .validate_best_chain()
+            .expect("honest best chain must revalidate");
+    }
+    (report, spam)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Unsolicited corrupted-segment spam from any seeded adversary is
+    /// fully rejected, and the honest nodes' converged tip is exactly the
+    /// tip of the same run with the adversary silenced: the spam bought
+    /// nothing — not one fork-choice decision — network-wide.
+    #[test]
+    fn spam_never_changes_fork_choice_and_is_always_rejected(
+        seed in 0u64..1_000_000,
+        jitter_ms in 1u64..150,
+    ) {
+        let config = adversary_config(seed, jitter_ms);
+        let (baseline, _) = run_with(config.clone(), || Box::new(Silent));
+        let (spammed, _) = run_with(config, || Box::new(SegmentSpam::default()));
+
+        prop_assert!(baseline.converged, "{}", baseline.fingerprint());
+        prop_assert!(spammed.converged, "{}", spammed.fingerprint());
+        prop_assert_eq!(baseline.tip, spammed.tip);
+        prop_assert_eq!(baseline.tip_height, spammed.tip_height);
+        prop_assert_eq!(baseline.convergence_ms, spammed.convergence_ms);
+        prop_assert_eq!(&baseline.reorg_depths, &spammed.reorg_depths);
+
+        // The spam existed and every delivered segment was rejected.
+        prop_assert!(spammed.spam_segments_sent > 0);
+        prop_assert_eq!(spammed.spam_accepted, 0);
+        prop_assert!(
+            spammed.rejections.unsolicited_segment > 0
+                || spammed.rejections.from_banned > 0,
+            "delivered spam must be counted somewhere: {}",
+            spammed.fingerprint_extended()
+        );
+    }
+
+    /// Sync poisoning — valid-PoW bait orphans answered with corrupted
+    /// segments — is rejected by the batched verifier for any seed, never
+    /// reaches an honest fork tree, and the poisoner ends up banned once
+    /// its rejections cross the threshold.
+    #[test]
+    fn poisoned_sync_is_rejected_verifier_side_for_any_seed(
+        seed in 0u64..1_000_000,
+    ) {
+        let config = adversary_config(seed, 60);
+        let (report, spam) = run_with(config, || Box::new(PoisonedSync::default()));
+
+        prop_assert!(report.converged, "{}", report.fingerprint_extended());
+        prop_assert_eq!(report.spam_accepted, 0);
+        // The bait was mined and announced...
+        prop_assert!(report.fake_orphans > 0, "{}", report.fingerprint_extended());
+        prop_assert!(!spam.is_empty());
+        // ...and every poisoned answer died in a rejection path (verifier,
+        // pre-checks, or the ban filter) or stalled into a timeout — never
+        // silently absorbed into a tree.
+        prop_assert!(
+            report.rejections.invalid_segment > 0
+                || report.rejections.from_banned > 0
+                || report.rejections.unsolicited_segment > 0
+                || report.stalls_detected > 0,
+            "poisoned segments must hit a rejection path: {}",
+            report.fingerprint_extended()
+        );
+    }
+}
