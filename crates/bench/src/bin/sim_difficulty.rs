@@ -1,0 +1,399 @@
+//! Difficulty-manipulation harness: adaptive (per-branch EMA) difficulty
+//! under timestamp-skew and difficulty-hopping adversaries, swept across
+//! skew magnitudes and hop thresholds, each scenario run twice for
+//! determinism, with the aggregate results written to
+//! `BENCH_difficulty.json`.
+//!
+//! Scenarios (all with `SimConfig::retarget` enabled, so every node mines
+//! at its best branch's expected target and every fork tree enforces the
+//! rule branch-aware):
+//!
+//! * **honest** — the all-honest baseline the attacks are measured
+//!   against.
+//! * **skew-\<S\>** — node 0 runs [`TimestampSkew`] with `skew_ms = S` and
+//!   no timestamp rule is enforced: the skewed headers are
+//!   rule-consistent (their inflated gaps *derive* their easier targets),
+//!   so honest nodes accept them and the chain grows faster than the
+//!   honest baseline — blocks-per-hour inflation.
+//! * **skew-\<S\>-defended** — same attack, but honest nodes enforce the
+//!   median-time-past/future-drift [`TimestampRule`] with a drift bound
+//!   below `S`: every skewed header is rejected at the edge, the
+//!   attacker's hash power buys nothing, and the block rate falls back to
+//!   (below) the baseline.
+//! * **hop-\<T\>** — node 0 runs [`DifficultyHopping`], spending hash
+//!   power only while the expected target costs at most `T` attempts.
+//!
+//! Acceptance gates asserted here (and grepped by CI from the JSON):
+//! every scenario converges and replays byte-identically
+//! (`runs_identical`); every undefended skew inflates blocks/hour to at
+//! least [`MIN_SKEW_INFLATION`]× the honest baseline (`skew_inflates`);
+//! and the defence crushes every skew's rate by at least
+//! [`MIN_DEFENCE_CRUSH`]× relative to its undefended twin with timestamp
+//! rejections actually observed (`drift_rule_holds`). The crush gate is
+//! relative to the undefended twin rather than the baseline because the
+//! EMA's convergence transient makes absolute block counts shift with
+//! effective hash power (rejecting the skewer leaves difficulty easier
+//! for the remaining miners), while the attack's order-of-magnitude
+//! inflation — and its collapse under the rule — is robust.
+//!
+//! Usage:
+//!
+//! ```text
+//! sim_difficulty [duration-seconds]
+//! ```
+
+use hashcore_baselines::Sha256dPow;
+use hashcore_net::{
+    DifficultyHopping, Honest, RetargetConfig, SimConfig, SimReport, Simulation, Strategy,
+    TimestampRule, TimestampSkew,
+};
+use std::fmt::Write as _;
+
+/// Honest nodes in every scenario (the adversary is node 0, extra).
+const HONEST_NODES: usize = 4;
+/// Base nonce attempts per slice for every honest node.
+const BASE_ATTEMPTS: u64 = 32;
+/// Node 0's attempts per slice in *every* scenario — honest baseline
+/// included — so it holds ≈ 40% of total hash power throughout and the
+/// inflation figures isolate the node's *behaviour* (skewing, hopping)
+/// from its hash power.
+const ADVERSARY_ATTEMPTS: u64 = 85;
+/// Desired simulated milliseconds between blocks.
+const TARGET_BLOCK_TIME_MS: f64 = 1_000.0;
+/// EMA gain: at 0.5 the ×4 easing a large skew buys is fully refunded by
+/// the ×0.25 hardening its successor's real timestamp applies, so the
+/// attacker's extra cheap blocks are pure chain-growth inflation.
+const GAIN: f64 = 0.5;
+/// Future-drift bound of the defended scenarios — below every swept skew.
+const MAX_DRIFT_MS: u64 = 4_000;
+/// An undefended skew must inflate chain growth to at least this multiple
+/// of the honest baseline (observed: ×15–30).
+const MIN_SKEW_INFLATION: f64 = 2.0;
+/// The timestamp rule must divide an undefended skew's chain growth by at
+/// least this factor (observed: ×15+).
+const MIN_DEFENCE_CRUSH: f64 = 4.0;
+
+fn positional_arg(index: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(index)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One scenario of the sweep.
+struct Scenario {
+    name: String,
+    /// Timestamp skew of the adversary (0 = no skew attack).
+    skew_ms: u64,
+    /// Hop threshold of the adversary (0 = no hopping).
+    hop_threshold: f64,
+    /// Whether honest nodes enforce the timestamp-validity rule.
+    defended: bool,
+}
+
+impl Scenario {
+    fn strategy(&self) -> Box<dyn Strategy> {
+        if self.skew_ms > 0 {
+            Box::new(TimestampSkew {
+                skew_ms: self.skew_ms,
+            })
+        } else if self.hop_threshold > 0.0 {
+            Box::new(DifficultyHopping {
+                max_expected_attempts: self.hop_threshold,
+            })
+        } else {
+            Box::new(Honest)
+        }
+    }
+}
+
+/// What one scenario produced.
+struct Outcome {
+    report: SimReport,
+    runs_identical: bool,
+    blocks_per_hour: f64,
+}
+
+fn scenario_config(scenario: &Scenario, duration_ms: u64) -> SimConfig {
+    SimConfig {
+        nodes: HONEST_NODES + 1,
+        seed: 0xd1f_f1cu64,
+        difficulty_bits: 10,
+        attempts_per_slice: BASE_ATTEMPTS,
+        node_attempts: vec![(0, ADVERSARY_ATTEMPTS)],
+        slice_ms: 100,
+        fan_out: 2,
+        duration_ms,
+        sync_threads: 4,
+        retarget: Some(RetargetConfig {
+            target_block_time_ms: TARGET_BLOCK_TIME_MS,
+            gain: GAIN,
+        }),
+        timestamp_rule: scenario.defended.then_some(TimestampRule {
+            max_future_drift_ms: MAX_DRIFT_MS,
+            mtp_window: 11,
+        }),
+        ..SimConfig::default()
+    }
+}
+
+fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
+    let run = || {
+        let config = scenario_config(scenario, duration_ms);
+        let mut sim = Simulation::with_strategies(
+            config,
+            |_| Sha256dPow,
+            |id| {
+                if id == 0 {
+                    scenario.strategy()
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        );
+        sim.run()
+    };
+    let report = run();
+    let second = run();
+    let runs_identical = report.fingerprint_extended() == second.fingerprint_extended();
+    // Chain growth of the honest best chain, normalised to blocks/hour.
+    let blocks_per_hour = report.tip_height as f64 * 3_600_000.0 / duration_ms as f64;
+    Outcome {
+        report,
+        runs_identical,
+        blocks_per_hour,
+    }
+}
+
+fn main() {
+    let duration_s = positional_arg(1, 60).max(20);
+    let duration_ms = duration_s * 1_000;
+
+    let mut scenarios = vec![Scenario {
+        name: "honest".into(),
+        skew_ms: 0,
+        hop_threshold: 0.0,
+        defended: false,
+    }];
+    for skew_ms in [8_000u64, 24_000] {
+        for defended in [false, true] {
+            scenarios.push(Scenario {
+                name: format!(
+                    "skew-{}s{}",
+                    skew_ms / 1_000,
+                    if defended { "-defended" } else { "" }
+                ),
+                skew_ms,
+                hop_threshold: 0.0,
+                defended,
+            });
+        }
+    }
+    for hop_threshold in [1_024.0f64, 2_048.0] {
+        scenarios.push(Scenario {
+            name: format!("hop-{hop_threshold:.0}"),
+            skew_ms: 0,
+            hop_threshold,
+            defended: false,
+        });
+    }
+
+    println!(
+        "difficulty matrix: {} scenarios × 2 runs, {duration_s} s horizon, \
+         {HONEST_NODES} honest nodes + 1 adversary, EMA retarget \
+         (block time {TARGET_BLOCK_TIME_MS} ms, gain {GAIN})",
+        scenarios.len()
+    );
+
+    let outcomes: Vec<(&Scenario, Outcome)> = scenarios
+        .iter()
+        .map(|scenario| {
+            let outcome = run_scenario(scenario, duration_ms);
+            let r = &outcome.report;
+            println!(
+                "  {:<17} converged={} height={} blocks/h={:.0} deepest_reorg={} \
+                 ts_rejected={} target_rejected={} deterministic={}",
+                scenario.name,
+                r.converged,
+                r.tip_height,
+                outcome.blocks_per_hour,
+                r.max_reorg_depth,
+                r.rejections.timestamp,
+                r.rejections.target_policy,
+                outcome.runs_identical,
+            );
+            (scenario, outcome)
+        })
+        .collect();
+
+    let baseline = outcomes
+        .iter()
+        .find(|(s, _)| s.name == "honest")
+        .map(|(_, o)| o.blocks_per_hour)
+        .expect("the honest baseline ran");
+
+    // Acceptance gates.
+    let runs_identical = outcomes.iter().all(|(_, o)| o.runs_identical);
+    let mut skew_inflates = true;
+    let mut drift_rule_holds = true;
+    for (scenario, outcome) in &outcomes {
+        assert!(
+            outcome.report.converged,
+            "honest nodes must converge under {}: {}",
+            scenario.name,
+            outcome.report.fingerprint_extended()
+        );
+        if scenario.skew_ms > 0 && !scenario.defended {
+            skew_inflates &= outcome.blocks_per_hour >= MIN_SKEW_INFLATION * baseline;
+        }
+        if scenario.skew_ms > 0 && scenario.defended {
+            let undefended = outcomes
+                .iter()
+                .find(|(s, _)| s.skew_ms == scenario.skew_ms && !s.defended)
+                .map(|(_, o)| o.blocks_per_hour)
+                .expect("the undefended twin ran");
+            drift_rule_holds &= outcome.blocks_per_hour <= undefended / MIN_DEFENCE_CRUSH
+                && outcome.report.rejections.timestamp > 0;
+        }
+    }
+    assert!(runs_identical, "every scenario must replay identically");
+    assert!(
+        skew_inflates,
+        "undefended timestamp skew must inflate blocks/hour well above the honest baseline"
+    );
+    assert!(
+        drift_rule_holds,
+        "the timestamp rule must crush every skew's chain growth"
+    );
+
+    let json = render_json(
+        &outcomes,
+        duration_ms,
+        baseline,
+        runs_identical,
+        skew_inflates,
+        drift_rule_holds,
+    );
+    std::fs::write("BENCH_difficulty.json", &json).expect("BENCH_difficulty.json is writable");
+    println!("wrote BENCH_difficulty.json");
+}
+
+/// Renders the sweep as a small, dependency-free JSON document.
+fn render_json(
+    outcomes: &[(&Scenario, Outcome)],
+    duration_ms: u64,
+    baseline: f64,
+    runs_identical: bool,
+    skew_inflates: bool,
+    drift_rule_holds: bool,
+) -> String {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"difficulty_adversary\",");
+    let _ = writeln!(json, "  \"duration_ms\": {duration_ms},");
+    let _ = writeln!(json, "  \"honest_nodes\": {HONEST_NODES},");
+    let _ = writeln!(json, "  \"target_block_time_ms\": {TARGET_BLOCK_TIME_MS},");
+    let _ = writeln!(json, "  \"gain\": {GAIN},");
+    let _ = writeln!(json, "  \"baseline_blocks_per_hour\": {baseline:.1},");
+    let _ = writeln!(json, "  \"scenarios\": [");
+    for (i, (scenario, outcome)) in outcomes.iter().enumerate() {
+        let r = &outcome.report;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", scenario.name);
+        let _ = writeln!(json, "      \"skew_ms\": {},", scenario.skew_ms);
+        let _ = writeln!(
+            json,
+            "      \"hop_threshold\": {:.0},",
+            scenario.hop_threshold
+        );
+        let _ = writeln!(json, "      \"defended\": {},", scenario.defended);
+        let _ = writeln!(json, "      \"converged\": {},", r.converged);
+        let _ = writeln!(json, "      \"tip_height\": {},", r.tip_height);
+        let _ = writeln!(
+            json,
+            "      \"blocks_per_hour\": {:.1},",
+            outcome.blocks_per_hour
+        );
+        let _ = writeln!(
+            json,
+            "      \"inflation_vs_honest\": {:.4},",
+            outcome.blocks_per_hour / baseline
+        );
+        let _ = writeln!(json, "      \"deepest_reorg\": {},", r.max_reorg_depth);
+        let _ = writeln!(
+            json,
+            "      \"timestamp_rejections\": {},",
+            r.rejections.timestamp
+        );
+        let _ = writeln!(
+            json,
+            "      \"target_rejections\": {},",
+            r.rejections.target_policy
+        );
+        let _ = writeln!(json, "      \"runs_identical\": {}", outcome.runs_identical);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < outcomes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"skew_inflates\": {skew_inflates},");
+    let _ = writeln!(json, "  \"drift_rule_holds\": {drift_rule_holds},");
+    let _ = writeln!(json, "  \"runs_identical\": {runs_identical}");
+    json.push_str("}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_strategies_match_their_knobs() {
+        let skew = Scenario {
+            name: "skew".into(),
+            skew_ms: 9_000,
+            hop_threshold: 0.0,
+            defended: false,
+        };
+        assert_eq!(skew.strategy().name(), "timestamp-skew");
+        let hop = Scenario {
+            name: "hop".into(),
+            skew_ms: 0,
+            hop_threshold: 512.0,
+            defended: false,
+        };
+        assert_eq!(hop.strategy().name(), "difficulty-hopping");
+        let honest = Scenario {
+            name: "honest".into(),
+            skew_ms: 0,
+            hop_threshold: 0.0,
+            defended: false,
+        };
+        assert_eq!(honest.strategy().name(), "honest");
+        // Defended scenarios install a drift bound below every swept skew.
+        let config = scenario_config(
+            &Scenario {
+                defended: true,
+                ..skew
+            },
+            20_000,
+        );
+        let rule = config.timestamp_rule.expect("defended installs the rule");
+        assert!(rule.max_future_drift_ms < 8_000);
+        assert!(config.retarget.is_some(), "the sweep is always adaptive");
+    }
+
+    #[test]
+    fn a_short_skew_scenario_is_deterministic() {
+        let scenario = Scenario {
+            name: "skew-8s".into(),
+            skew_ms: 8_000,
+            hop_threshold: 0.0,
+            defended: false,
+        };
+        let outcome = run_scenario(&scenario, 20_000);
+        assert!(outcome.runs_identical);
+        assert!(outcome.report.converged);
+    }
+}

@@ -1,6 +1,7 @@
 //! The chain: block acceptance, validation, and difficulty retargeting.
 
 use crate::block::{Block, BlockHeader};
+use crate::difficulty::{DifficultyRule, EmaRetarget};
 use hashcore::{MiningInput, Target};
 use hashcore_baselines::{PowFunction, PreparedPow};
 use hashcore_crypto::Digest256;
@@ -21,6 +22,11 @@ pub enum InvalidReason {
     Merkle,
     /// The header's PoW digest does not meet the block's recorded target.
     Pow,
+    /// The block's embedded target is not the one the difficulty rule
+    /// expects at its position on the branch (reported by rule-enforcing
+    /// [`ForkTree`](crate::ForkTree)s and the network layer's target
+    /// policy; the stateless segment validators trust embedded targets).
+    Target,
 }
 
 impl fmt::Display for InvalidReason {
@@ -29,6 +35,7 @@ impl fmt::Display for InvalidReason {
             InvalidReason::Linkage => "previous-hash linkage broken",
             InvalidReason::Merkle => "merkle root does not commit to the transactions",
             InvalidReason::Pow => "proof of work does not meet the recorded target",
+            InvalidReason::Target => "embedded target violates the difficulty rule",
         })
     }
 }
@@ -177,17 +184,35 @@ impl<P: PowFunction> Blockchain<P> {
         self.tip_digest
     }
 
+    /// The chain's retarget policy as a shared, branch-evaluable
+    /// [`DifficultyRule`] — the exact rule [`Blockchain::mine_block`]
+    /// applies after every block, extracted so fork trees and the network
+    /// simulation can enforce it along arbitrary branches.
+    ///
+    /// Branch enforcement re-derives elapsed time from *header timestamp
+    /// deltas*. `Blockchain` itself retargets on the exact fractional
+    /// elapsed seconds while its header timestamps advance by floored
+    /// whole seconds (the remainder is carried), so a rule-enforcing
+    /// [`ForkTree`](crate::ForkTree) only accepts chains whose timestamps
+    /// carry the exact elapsed time — as `hashcore-net`'s millisecond
+    /// clock does. Do not feed a `Blockchain`-mined chain with fractional
+    /// per-block elapsed into `ForkTree::with_rule(_, chain.difficulty_rule())`.
+    pub fn difficulty_rule(&self) -> DifficultyRule {
+        DifficultyRule::Ema(EmaRetarget {
+            initial: Target::from_leading_zero_bits(self.config.initial_difficulty_bits),
+            target_block_time: self.config.target_block_time as f64,
+            gain: self.config.retarget_gain,
+        })
+    }
+
     /// Ethereum-style smoothed retargeting: scale the target toward the
     /// value that would have made the last block take `target_block_time`.
     /// `elapsed` is the exact (fractional) seconds of mining work the block
     /// represents — no truncation, so small `seconds_per_attempt` configs
-    /// retarget on the work actually performed.
+    /// retarget on the work actually performed. One step of
+    /// [`Blockchain::difficulty_rule`].
     fn retarget(&mut self, elapsed: f64) {
-        let ratio = elapsed / self.config.target_block_time as f64;
-        // ratio > 1: blocks too slow → make the target easier (scale up).
-        let gain = self.config.retarget_gain.clamp(0.0, 1.0);
-        let factor = ratio.powf(gain).clamp(0.25, 4.0);
-        self.target = self.target.scale(factor);
+        self.target = self.difficulty_rule().next_target(self.target, elapsed);
     }
 
     /// Re-validates the entire chain: header linkage, Merkle commitments and

@@ -1,0 +1,257 @@
+//! The difficulty-retarget rule, extracted from
+//! [`Blockchain`](crate::Blockchain) into a pure function of a branch's
+//! header timestamps and targets — so a [`ForkTree`](crate::ForkTree) can
+//! compute the *expected* target at every block of every branch, and the
+//! network simulation can race adaptive-difficulty chains.
+//!
+//! Two deployments share the same step:
+//!
+//! * [`Blockchain`](crate::Blockchain) retargets on the exact (fractional)
+//!   seconds of mining work each block represents — its historical
+//!   behaviour, unchanged by the extraction.
+//! * A [`ForkTree`](crate::ForkTree) built with
+//!   [`with_rule`](crate::ForkTree::with_rule) evaluates the rule along
+//!   each branch from header timestamps alone: the expected target of a
+//!   child block is [`DifficultyRule::child_target`] of its parent's
+//!   (already-enforced) target and the timestamp delta between them.
+//!   Headers carry integer timestamps, so branch evaluation observes the
+//!   elapsed time a miner *reported* — which is exactly what makes
+//!   timestamp-manipulation attacks expressible, and what the
+//!   median-time-past/future-drift validity rule in `hashcore-net` bounds.
+
+use crate::block::Block;
+use hashcore::Target;
+
+/// Parameters of the smoothed (EMA) retarget step: scale the target toward
+/// the value that would have made the last block take `target_block_time`.
+///
+/// The time unit is whatever the caller's timestamps use — seconds for
+/// [`Blockchain`](crate::Blockchain), simulated milliseconds in
+/// `hashcore-net` — as long as `target_block_time` and the elapsed values
+/// agree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmaRetarget {
+    /// The genesis target: the difficulty a chain's first block must embed.
+    pub initial: Target,
+    /// Desired time between blocks, in the same unit as the timestamps the
+    /// rule is evaluated over.
+    pub target_block_time: f64,
+    /// Exponential-moving-average weight (0 = never adjust, 1 = jump
+    /// straight to the implied difficulty); clamped to `[0, 1]` when
+    /// applied, exactly as `Blockchain` always has.
+    pub gain: f64,
+}
+
+impl EmaRetarget {
+    /// One retarget step: the target for the successor of a block that took
+    /// `elapsed` time units at `current` difficulty.
+    ///
+    /// `elapsed > target_block_time` means blocks come too slow, so the
+    /// target is scaled up (easier); too fast scales it down (harder). The
+    /// per-step factor is clamped to `[0.25, 4]` and negative elapsed time
+    /// (a child timestamp behind its parent's) is treated as zero — the
+    /// maximum-hardening correction, not a panic. [`Target::scale`]
+    /// saturates at the hardest (threshold 1) and easiest (2^255)
+    /// representable targets.
+    pub fn step(&self, current: Target, elapsed: f64) -> Target {
+        let ratio = (elapsed / self.target_block_time).max(0.0);
+        let gain = self.gain.clamp(0.0, 1.0);
+        let factor = ratio.powf(gain).clamp(0.25, 4.0);
+        current.scale(factor)
+    }
+}
+
+/// A difficulty policy evaluable along any branch from headers alone.
+///
+/// [`Fixed`](DifficultyRule::Fixed) is the classic fixed-difficulty
+/// simulation: every block of every branch must embed exactly the
+/// consensus target (the branch-aware generalisation of the old flat
+/// target-policy check — behaviourally identical, which the fork proptests
+/// pin). [`Ema`](DifficultyRule::Ema) retargets per block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DifficultyRule {
+    /// Constant difficulty: the expected target of every block is this one.
+    Fixed(Target),
+    /// Smoothed per-block retargeting on reported timestamps.
+    Ema(EmaRetarget),
+}
+
+impl DifficultyRule {
+    /// The target the chain's first block (a genesis child) must embed.
+    pub fn genesis_target(&self) -> Target {
+        match self {
+            DifficultyRule::Fixed(target) => *target,
+            DifficultyRule::Ema(ema) => ema.initial,
+        }
+    }
+
+    /// The branch-independent expected target, when the rule has one —
+    /// `Some` for [`Fixed`](DifficultyRule::Fixed), `None` for rules whose
+    /// expectation depends on the branch. A `Some` lets callers reject a
+    /// wrong-target block before any hashing or parent lookup.
+    pub fn flat_target(&self) -> Option<Target> {
+        match self {
+            DifficultyRule::Fixed(target) => Some(*target),
+            DifficultyRule::Ema(_) => None,
+        }
+    }
+
+    /// The target for the successor of a block mined at `current`
+    /// difficulty in `elapsed` time units — the step
+    /// [`Blockchain`](crate::Blockchain) applies after every mined block.
+    pub fn next_target(&self, current: Target, elapsed: f64) -> Target {
+        match self {
+            DifficultyRule::Fixed(target) => *target,
+            DifficultyRule::Ema(ema) => ema.step(current, elapsed),
+        }
+    }
+
+    /// The expected target of a child block, from its parent's (enforced)
+    /// target and the reported timestamps of both — the branch-evaluable
+    /// form [`ForkTree`](crate::ForkTree) enforces along every branch.
+    pub fn child_target(
+        &self,
+        parent_target: Target,
+        parent_timestamp: u64,
+        child_timestamp: u64,
+    ) -> Target {
+        match self {
+            DifficultyRule::Fixed(target) => *target,
+            DifficultyRule::Ema(ema) => ema.step(
+                parent_target,
+                child_timestamp as f64 - parent_timestamp as f64,
+            ),
+        }
+    }
+
+    /// `true` when every block of a contiguous segment embeds exactly the
+    /// target this rule expects along it. `anchor` is the `(target,
+    /// timestamp)` of the stored block the segment extends, or `None` when
+    /// the segment starts at genesis. Pure header arithmetic — no hashing —
+    /// so nodes run it before the batched verifier burns any work.
+    pub fn segment_targets_valid(&self, anchor: Option<(Target, u64)>, blocks: &[Block]) -> bool {
+        let mut prev = anchor;
+        for block in blocks {
+            let expected = match prev {
+                None => self.genesis_target(),
+                Some((target, timestamp)) => {
+                    self.child_target(target, timestamp, block.header.timestamp)
+                }
+            };
+            if block.header.target != *expected.threshold() {
+                return false;
+            }
+            prev = Some((expected, block.header.timestamp));
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockHeader;
+
+    fn ema() -> EmaRetarget {
+        EmaRetarget {
+            initial: Target::from_leading_zero_bits(8),
+            target_block_time: 15.0,
+            gain: 0.3,
+        }
+    }
+
+    #[test]
+    fn on_time_blocks_leave_the_target_unchanged() {
+        let rule = ema();
+        let t = Target::from_leading_zero_bits(12);
+        assert_eq!(rule.step(t, 15.0), t.scale(1.0));
+    }
+
+    #[test]
+    fn slow_blocks_ease_and_fast_blocks_harden() {
+        let rule = ema();
+        let t = Target::from_leading_zero_bits(12);
+        assert!(rule.step(t, 60.0).threshold() > t.threshold());
+        assert!(rule.step(t, 1.0).threshold() < t.threshold());
+    }
+
+    #[test]
+    fn negative_and_zero_elapsed_apply_the_full_hardening_clamp() {
+        let rule = DifficultyRule::Ema(ema());
+        let t = Target::from_leading_zero_bits(12);
+        let zero = rule.next_target(t, 0.0);
+        assert_eq!(zero, t.scale(0.25));
+        // A child timestamp behind its parent's is clamped to zero elapsed,
+        // never a NaN scale factor.
+        assert_eq!(rule.child_target(t, 1_000, 400), zero);
+        assert_eq!(rule.next_target(t, -123.0), zero);
+    }
+
+    #[test]
+    fn gain_boundaries_freeze_or_fully_apply_the_ratio() {
+        let t = Target::from_leading_zero_bits(12);
+        let frozen = EmaRetarget { gain: 0.0, ..ema() };
+        // gain 0: ratio^0 = 1 for every elapsed, including zero.
+        assert_eq!(frozen.step(t, 0.0), t.scale(1.0));
+        assert_eq!(frozen.step(t, 1_000.0), t.scale(1.0));
+        let full = EmaRetarget { gain: 1.0, ..ema() };
+        assert_eq!(full.step(t, 30.0), t.scale(2.0));
+        // Out-of-range gains clamp to the boundaries, as Blockchain always
+        // has.
+        let below = EmaRetarget {
+            gain: -3.0,
+            ..ema()
+        };
+        assert_eq!(below.step(t, 30.0), frozen.step(t, 30.0));
+        let above = EmaRetarget { gain: 7.0, ..ema() };
+        assert_eq!(above.step(t, 30.0), full.step(t, 30.0));
+    }
+
+    #[test]
+    fn fixed_rule_expects_its_target_everywhere() {
+        let t = Target::from_leading_zero_bits(4);
+        let rule = DifficultyRule::Fixed(t);
+        assert_eq!(rule.genesis_target(), t);
+        assert_eq!(rule.flat_target(), Some(t));
+        assert_eq!(rule.next_target(Target::MAX, 99.0), t);
+        assert_eq!(rule.child_target(Target::MAX, 5, 1), t);
+        assert_eq!(DifficultyRule::Ema(ema()).flat_target(), None);
+    }
+
+    fn block_with(timestamp: u64, target: Target) -> Block {
+        Block {
+            header: BlockHeader {
+                version: 1,
+                prev_hash: [0u8; 32],
+                merkle_root: [0u8; 32],
+                timestamp,
+                target: *target.threshold(),
+                nonce: 0,
+            },
+            transactions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn segment_target_validation_walks_the_expectations() {
+        let rule = DifficultyRule::Ema(ema());
+        let genesis = rule.genesis_target();
+        // Three blocks with uneven gaps, so each expected target differs.
+        let t1 = genesis;
+        let t2 = rule.child_target(t1, 0, 60);
+        let t3 = rule.child_target(t2, 60, 63);
+        assert_ne!(t2, t3);
+        let good = vec![block_with(0, t1), block_with(60, t2), block_with(63, t3)];
+        assert!(rule.segment_targets_valid(None, &good));
+        // Anchored mid-chain: the same suffix validates from its anchor.
+        assert!(rule.segment_targets_valid(Some((t1, 0)), &good[1..]));
+        // An empty segment is vacuously valid.
+        assert!(rule.segment_targets_valid(None, &[]));
+        // One block embedding a stale target breaks the walk.
+        let mut bad = good.clone();
+        bad[2].header.target = *t2.threshold();
+        assert!(!rule.segment_targets_valid(None, &bad));
+        // The wrong anchor state propagates into a mismatch.
+        assert!(!rule.segment_targets_valid(Some((Target::MAX, 0)), &good[1..]));
+    }
+}

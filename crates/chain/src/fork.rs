@@ -15,6 +15,7 @@
 
 use crate::block::Block;
 use crate::chain::{validate_segment, ChainError, InvalidReason};
+use crate::difficulty::DifficultyRule;
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
 use hashcore_crypto::Digest256;
@@ -178,9 +179,14 @@ struct Entry {
 ///
 /// The tree validates each applied block statelessly (Merkle commitment and
 /// the block's own embedded PoW target) and contextually (the parent must be
-/// stored). Difficulty policy is the miner's concern — the simulation mines
-/// at a configured target — so the tree scores branches by the expected
-/// attempts their embedded targets imply.
+/// stored). A tree built with [`ForkTree::with_rule`] additionally enforces
+/// a [`DifficultyRule`] *along every branch*: each block's embedded target
+/// must equal the target the rule expects at that position, computed from
+/// the parent's (already-enforced) target and the two headers' timestamps.
+/// A plain [`ForkTree::new`] tree trusts embedded targets, as it always
+/// has — difficulty policy stays the caller's concern there. Either way,
+/// branches are scored by the expected attempts their embedded targets
+/// imply.
 ///
 /// Hashing runs through one owned [`PreparedPow::Scratch`] and one header
 /// buffer, so applying a stream of blocks does not allocate per block.
@@ -192,6 +198,9 @@ pub struct ForkTree<P: PreparedPow> {
     /// until the first [`ForkTree::prune`]; afterwards the best-chain block
     /// at the pruning cutoff. Backward walks stop here instead of genesis.
     root: Digest256,
+    /// Difficulty policy enforced per branch; `None` trusts embedded
+    /// targets (the historical behaviour).
+    rule: Option<DifficultyRule>,
     scratch: P::Scratch,
     header_bytes: Vec<u8>,
 }
@@ -207,16 +216,49 @@ impl<P: PreparedPow + fmt::Debug> fmt::Debug for ForkTree<P> {
 }
 
 impl<P: PreparedPow> ForkTree<P> {
-    /// Creates an empty tree whose tip is [`GENESIS_HASH`].
+    /// Creates an empty tree whose tip is [`GENESIS_HASH`]. Embedded
+    /// targets are trusted; use [`ForkTree::with_rule`] to enforce a
+    /// difficulty policy along every branch.
     pub fn new(pow: P) -> Self {
         Self {
             pow,
             entries: HashMap::new(),
             tip: GENESIS_HASH,
             root: GENESIS_HASH,
+            rule: None,
             scratch: P::Scratch::default(),
             header_bytes: Vec::new(),
         }
+    }
+
+    /// Creates an empty tree that enforces `rule` along every branch:
+    /// [`ForkTree::apply`] rejects (as [`InvalidReason::Target`]) any block
+    /// whose embedded target differs from the rule's expectation at its
+    /// branch position.
+    pub fn with_rule(pow: P, rule: DifficultyRule) -> Self {
+        let mut tree = Self::new(pow);
+        tree.rule = Some(rule);
+        tree
+    }
+
+    /// Installs a difficulty rule on an empty tree (builder-style wiring
+    /// for callers that construct the tree before choosing the policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is already stored — retroactive enforcement
+    /// would leave unchecked branches behind.
+    pub fn set_rule(&mut self, rule: DifficultyRule) {
+        assert!(
+            self.entries.is_empty(),
+            "the difficulty rule must be installed before any block is stored"
+        );
+        self.rule = Some(rule);
+    }
+
+    /// The difficulty rule enforced along every branch, if one was set.
+    pub fn rule(&self) -> Option<&DifficultyRule> {
+        self.rule.as_ref()
     }
 
     /// The oldest stored block every branch descends from: [`GENESIS_HASH`]
@@ -330,7 +372,10 @@ impl<P: PreparedPow> ForkTree<P> {
     ///
     /// [`ForkError::UnknownParent`] when the parent is not stored (the
     /// caller should sync the missing segment), [`ForkError::InvalidBlock`]
-    /// when the Merkle commitment or PoW target check fails.
+    /// when the Merkle commitment or PoW target check fails — or, on a
+    /// rule-enforcing tree, when the embedded target is not the one the
+    /// [`DifficultyRule`] expects at this branch position
+    /// ([`InvalidReason::Target`]).
     pub fn apply(&mut self, block: Block) -> Result<ApplyOutcome, ForkError> {
         let digest = self.digest_of(&block);
         if self.entries.contains_key(&digest) {
@@ -340,6 +385,16 @@ impl<P: PreparedPow> ForkTree<P> {
             return Err(ForkError::InvalidBlock {
                 reason: InvalidReason::Merkle,
             });
+        }
+        // The branch-independent half of the difficulty policy: a fixed
+        // rule's expectation needs no parent, so a wrong-target block is
+        // rejected before the orphan path could trigger a segment sync.
+        if let Some(flat) = self.rule.as_ref().and_then(DifficultyRule::flat_target) {
+            if block.header.target != *flat.threshold() {
+                return Err(ForkError::InvalidBlock {
+                    reason: InvalidReason::Target,
+                });
+            }
         }
         let target = Target::from_threshold(block.header.target);
         if !target.is_met_by(&digest) {
@@ -361,6 +416,19 @@ impl<P: PreparedPow> ForkTree<P> {
                 }
             }
         };
+        // The branch-aware half: with the parent resolved, the rule's
+        // expected target at this exact branch position is computable from
+        // headers alone and must match the embedded one.
+        if self.rule.is_some() {
+            let expected = self
+                .expected_child_target(&prev, block.header.timestamp)
+                .expect("rule is set and the parent is stored");
+            if block.header.target != *expected.threshold() {
+                return Err(ForkError::InvalidBlock {
+                    reason: InvalidReason::Target,
+                });
+            }
+        }
 
         let work = parent_work + target.expected_attempts();
         self.entries.insert(
@@ -379,6 +447,64 @@ impl<P: PreparedPow> ForkTree<P> {
         } else {
             Ok(ApplyOutcome::SideChain { digest })
         }
+    }
+
+    /// The target the tree's [`DifficultyRule`] expects of a child of
+    /// `parent` reporting `child_timestamp` — what a miner extending that
+    /// branch must embed (and meet). `None` when the tree enforces no rule
+    /// or `parent` is neither stored nor [`GENESIS_HASH`].
+    pub fn expected_child_target(
+        &self,
+        parent: &Digest256,
+        child_timestamp: u64,
+    ) -> Option<Target> {
+        let rule = self.rule.as_ref()?;
+        if *parent == GENESIS_HASH {
+            return Some(rule.genesis_target());
+        }
+        let entry = self.entries.get(parent)?;
+        Some(rule.child_target(
+            Target::from_threshold(entry.block.header.target),
+            entry.block.header.timestamp,
+            child_timestamp,
+        ))
+    }
+
+    /// Reported timestamps of up to `window` blocks ending at `digest` (the
+    /// block itself and its nearest stored ancestors), oldest first — the
+    /// window the median-time-past timestamp-validity rule is computed
+    /// over. Empty when `digest` stores no block; the walk stops at the
+    /// retention root.
+    pub fn ancestor_timestamps(&self, digest: &Digest256, window: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = *digest;
+        while out.len() < window {
+            let Some(entry) = self.entries.get(&cursor) else {
+                break;
+            };
+            out.push(entry.block.header.timestamp);
+            if cursor == self.root {
+                break;
+            }
+            cursor = entry.block.header.prev_hash;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Median-time-past: the median of the up-to-`window` reported
+    /// timestamps ending at `digest` — the lower bound the
+    /// timestamp-validity rule holds child blocks strictly above, so a
+    /// miner cannot rewind reported time to re-harden (or re-ease) a branch
+    /// retroactively. `None` when `digest` stores no block (a genesis child
+    /// has no history to bound).
+    pub fn median_time_past(&self, digest: &Digest256, window: usize) -> Option<u64> {
+        let mut timestamps = self.ancestor_timestamps(digest, window);
+        if timestamps.is_empty() {
+            return None;
+        }
+        timestamps.sort_unstable();
+        Some(timestamps[(timestamps.len() - 1) / 2])
     }
 
     /// `true` when `(work, digest)` beats the current tip in the fork-choice
@@ -919,6 +1045,115 @@ mod tests {
         // The empty tree is also a no-op.
         let mut empty: ForkTree<Sha256dPow> = ForkTree::new(Sha256dPow);
         assert_eq!(empty.prune(0), 0);
+    }
+
+    /// Mines a child of `prev` with an explicit timestamp and target.
+    fn mine_child_at(prev: Digest256, tag: &str, target: Target, timestamp: u64) -> Block {
+        let txs = vec![tag.as_bytes().to_vec()];
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash: prev,
+            merkle_root: Block::merkle_root(&txs),
+            timestamp,
+            target: *target.threshold(),
+            nonce: 0,
+        };
+        while !target.is_met_by(&Sha256dPow.pow_hash(&header.bytes())) {
+            header.nonce += 1;
+        }
+        Block {
+            header,
+            transactions: txs,
+        }
+    }
+
+    #[test]
+    fn fixed_rule_rejects_foreign_targets_before_the_parent_lookup() {
+        use crate::chain::InvalidReason;
+        use crate::difficulty::DifficultyRule;
+        let consensus = Target::from_leading_zero_bits(2);
+        let mut tree = ForkTree::with_rule(Sha256dPow, DifficultyRule::Fixed(consensus));
+        assert_eq!(tree.rule(), Some(&DifficultyRule::Fixed(consensus)));
+        // A valid-PoW block at a cheaper target: rejected as a target
+        // violation even though its parent is unknown — never an orphan
+        // that would trigger a sync request.
+        let cheap = mine_child_at([0xAB; 32], "cheap", Target::from_leading_zero_bits(0), 0);
+        assert_eq!(
+            tree.apply(cheap),
+            Err(ForkError::InvalidBlock {
+                reason: InvalidReason::Target,
+            })
+        );
+        // Consensus-target blocks apply exactly as on a trusting tree.
+        let a = mine_child(GENESIS_HASH, "a", 2);
+        let mut trusting = ForkTree::new(Sha256dPow);
+        assert_eq!(tree.apply(a.clone()), trusting.apply(a));
+        assert_eq!(tree.expected_child_target(&tree.tip(), 77), Some(consensus));
+    }
+
+    #[test]
+    fn ema_rule_enforces_the_expected_target_along_each_branch() {
+        use crate::chain::InvalidReason;
+        use crate::difficulty::{DifficultyRule, EmaRetarget};
+        let initial = Target::from_leading_zero_bits(2);
+        let rule = DifficultyRule::Ema(EmaRetarget {
+            initial,
+            target_block_time: 100.0,
+            gain: 1.0,
+        });
+        let mut tree = ForkTree::with_rule(Sha256dPow, rule);
+        // Genesis child: the initial target, whatever its timestamp.
+        let a = mine_child_at(GENESIS_HASH, "a", initial, 100);
+        tree.apply(a.clone()).expect("genesis child at initial");
+        // Two children of `a` on diverging branches with different
+        // reported gaps: each must embed its own branch's expectation.
+        let slow = rule.child_target(initial, 100, 500); // ratio 4 → easier
+        let steady = rule.child_target(initial, 100, 200); // ratio 1 → equal
+        assert!(slow.threshold() > steady.threshold());
+        assert_eq!(steady, initial.scale(1.0));
+        let b = mine_child_at(digest(&a), "b-slow", slow, 500);
+        let c = mine_child_at(digest(&a), "c-steady", steady, 200);
+        tree.apply(b.clone()).expect("slow branch expectation");
+        tree.apply(c.clone()).expect("steady branch expectation");
+        // Embedding the *other* branch's target is a target violation, not
+        // a PoW or policy pass.
+        let wrong = mine_child_at(digest(&a), "wrong", slow, 200);
+        assert_eq!(
+            tree.apply(wrong),
+            Err(ForkError::InvalidBlock {
+                reason: InvalidReason::Target,
+            })
+        );
+        // The easier (slow) branch carries *less* work: fork choice stays
+        // with the steady branch — cheap self-eased blocks cannot buy the
+        // tip.
+        assert!(tree.work_of(&digest(&c)) > tree.work_of(&digest(&b)));
+        assert_eq!(tree.tip(), digest(&c));
+        // The query helper exposes exactly what apply enforced.
+        assert_eq!(tree.expected_child_target(&digest(&a), 500), Some(slow));
+        assert_eq!(tree.expected_child_target(&[0xCD; 32], 0), None);
+    }
+
+    #[test]
+    fn ancestor_timestamps_and_median_time_past_walk_the_branch() {
+        let mut tree = ForkTree::new(Sha256dPow);
+        let target = Target::from_leading_zero_bits(2);
+        let mut prev = GENESIS_HASH;
+        // Deliberately non-monotonic reported times.
+        for (i, ts) in [50u64, 10, 40, 20, 30].iter().enumerate() {
+            let block = mine_child_at(prev, &format!("t-{i}"), target, *ts);
+            prev = digest(&block);
+            tree.apply(block).expect("valid");
+        }
+        assert_eq!(tree.ancestor_timestamps(&prev, 3), vec![40, 20, 30]);
+        assert_eq!(tree.ancestor_timestamps(&prev, 99).len(), 5);
+        // Median of [40, 20, 30] sorted = [20, 30, 40] → 30.
+        assert_eq!(tree.median_time_past(&prev, 3), Some(30));
+        // Even-sized window takes the lower middle: [20, 30, 40, 50]... the
+        // last four are [10, 40, 20, 30] → sorted [10, 20, 30, 40] → 20.
+        assert_eq!(tree.median_time_past(&prev, 4), Some(20));
+        assert_eq!(tree.median_time_past(&GENESIS_HASH, 5), None);
+        assert!(tree.ancestor_timestamps(&GENESIS_HASH, 5).is_empty());
     }
 
     #[test]

@@ -15,10 +15,16 @@
 //! * [`Blockchain`] — a chain driven by any [`PowFunction`], with
 //!   Ethereum-style per-block difficulty retargeting toward a target block
 //!   time, and full re-validation,
+//! * [`DifficultyRule`] — the retarget rule extracted from [`Blockchain`]
+//!   as a pure function of a branch's header timestamps and targets, so
+//!   difficulty is evaluable (and enforceable) along arbitrary fork-tree
+//!   branches, not just a linear history,
 //! * [`ForkTree`] — a block store keyed by header PoW digest with
 //!   cumulative-work fork choice: competing branches race, tip switches
 //!   report their detached/attached segments, and block locators serve the
-//!   segment-sync protocol of the `hashcore-net` simulation,
+//!   segment-sync protocol of the `hashcore-net` simulation. Built with
+//!   [`ForkTree::with_rule`], it enforces the expected difficulty target
+//!   along every branch,
 //! * [`market`] — the mining-market model used by experiment E9: miners
 //!   with heterogeneous capital choose hardware whose efficiency depends on
 //!   how ASIC-friendly the PoW's dominant resource is, and the resulting
@@ -42,6 +48,7 @@
 
 mod block;
 mod chain;
+mod difficulty;
 mod fork;
 pub mod market;
 
@@ -50,5 +57,6 @@ pub use chain::{
     validate_blocks, validate_blocks_parallel, validate_segment, validate_segment_parallel,
     Blockchain, ChainConfig, ChainError, InvalidReason,
 };
+pub use difficulty::{DifficultyRule, EmaRetarget};
 pub use fork::{ApplyOutcome, ForkError, ForkTree, Reorg, SegmentError, GENESIS_HASH};
 pub use hashcore_baselines::{PowFunction, PreparedPow};

@@ -6,7 +6,8 @@
 use hashcore::Target;
 use hashcore_baselines::{PowFunction, Sha256dPow};
 use hashcore_chain::{
-    validate_segment_parallel, ApplyOutcome, Block, BlockHeader, ForkError, ForkTree, GENESIS_HASH,
+    validate_segment_parallel, ApplyOutcome, Block, BlockHeader, DifficultyRule, ForkError,
+    ForkTree, GENESIS_HASH,
 };
 use hashcore_crypto::Digest256;
 use proptest::prelude::*;
@@ -124,5 +125,34 @@ proptest! {
             validate_segment_parallel(&Sha256dPow, &a.best_chain(), 4, GENESIS_HASH),
             Ok(())
         );
+    }
+
+    /// The branch-aware target check is behaviour-preserving for fixed
+    /// difficulty: a tree enforcing `DifficultyRule::Fixed` at the
+    /// consensus target produces, block for block, *exactly* the outcomes
+    /// of the historical trusting tree — same apply results (including
+    /// every reorg's detached/attached segments), same tip, same stored
+    /// set — for any block tree and any delivery order.
+    #[test]
+    fn fixed_rule_enforcement_is_byte_identical_to_the_trusting_tree(
+        parent_picks in prop::collection::vec(0usize..64, 1..14),
+        shuffle_seed in 0u64..1_000_000,
+    ) {
+        let blocks = build_blocks(&parent_picks);
+        let order = permutation(blocks.len(), shuffle_seed);
+        let consensus = Target::from_leading_zero_bits(2);
+
+        let mut trusting = ForkTree::new(Sha256dPow);
+        let mut enforcing = ForkTree::with_rule(Sha256dPow, DifficultyRule::Fixed(consensus));
+        for &i in &order {
+            let a = trusting.apply(blocks[i].clone());
+            let b = enforcing.apply(blocks[i].clone());
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(trusting.tip(), enforcing.tip());
+        prop_assert_eq!(trusting.tip_height(), enforcing.tip_height());
+        prop_assert_eq!(trusting.len(), enforcing.len());
+        prop_assert_eq!(trusting.best_chain(), enforcing.best_chain());
+        prop_assert_eq!(trusting.locator(), enforcing.locator());
     }
 }

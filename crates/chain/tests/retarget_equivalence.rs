@@ -1,0 +1,154 @@
+//! The extracted [`DifficultyRule`] is *the* retarget rule: replaying a
+//! mined chain's exact elapsed times through the rule reproduces every
+//! target [`Blockchain`] embedded and ends on its current target — across
+//! the edge cases (zero elapsed, gain clamp boundaries, saturation at the
+//! hardest and easiest representable targets).
+
+use hashcore::Target;
+use hashcore_baselines::Sha256dPow;
+use hashcore_chain::{Blockchain, ChainConfig};
+
+/// Mines `blocks` blocks under `config` and asserts that replaying the
+/// per-block elapsed times through [`Blockchain::difficulty_rule`] yields
+/// exactly the embedded target of every block plus the chain's final
+/// target. Returns the final target for saturation assertions.
+fn assert_rule_replays_chain(config: ChainConfig, blocks: usize) -> Target {
+    let mut chain = Blockchain::new(Sha256dPow, config);
+    let rule = chain.difficulty_rule();
+    for i in 0..blocks {
+        chain
+            .mine_block(&[format!("tx-{i}").into_bytes()], 10_000_000)
+            .expect("mining at test difficulty succeeds");
+    }
+    let mut target = rule.genesis_target();
+    for block in chain.blocks() {
+        assert_eq!(
+            block.header.target,
+            *target.threshold(),
+            "embedded target diverges from the rule's replay"
+        );
+        // The elapsed time the chain retargeted on: the block's exact
+        // (fractional) mining work, attempts × seconds-per-attempt.
+        let attempts = block.header.nonce + 1;
+        target = rule.next_target(target, attempts as f64 * config.seconds_per_attempt);
+    }
+    assert_eq!(
+        *target.threshold(),
+        *chain.current_target().threshold(),
+        "final target diverges from the rule's replay"
+    );
+    target
+}
+
+#[test]
+fn rule_replays_the_default_and_fast_test_configs() {
+    assert_rule_replays_chain(ChainConfig::fast_test(), 30);
+    assert_rule_replays_chain(
+        ChainConfig {
+            initial_difficulty_bits: 2,
+            ..ChainConfig::default()
+        },
+        20,
+    );
+}
+
+#[test]
+fn zero_elapsed_time_is_the_full_hardening_clamp_on_both_paths() {
+    // seconds_per_attempt = 0: every block reports zero mining time, so
+    // each retarget step applies the full 0.25 hardening clamp — difficulty
+    // quadruples per block, and the replay must track it exactly. (Eight
+    // blocks keep the mining cost of the quadrupling chain testable.)
+    let config = ChainConfig {
+        target_block_time: 15,
+        initial_difficulty_bits: 0,
+        retarget_gain: 0.3,
+        seconds_per_attempt: 0.0,
+    };
+    let hardened = assert_rule_replays_chain(config, 8);
+    let rule = Blockchain::new(Sha256dPow, config).difficulty_rule();
+    // The rule also defines negative elapsed (expressible on fork-tree
+    // branches, never in the linear chain) as the same clamp.
+    let t = Target::from_leading_zero_bits(12);
+    assert_eq!(rule.next_target(t, -42.0), rule.next_target(t, 0.0));
+    // Iterating the same maximal-hardening step (mining there would cost
+    // ~4^k hashes per block, so this regime is rule-only) saturates at the
+    // hardest representable threshold (1) and is absorbing there.
+    let mut target = hardened;
+    for _ in 0..200 {
+        target = rule.next_target(target, 0.0);
+    }
+    let mut floor = [0u8; 32];
+    floor[31] = 1;
+    assert_eq!(*target.threshold(), floor, "hardest-target saturation");
+    assert_eq!(rule.next_target(target, 0.0), target, "absorbing floor");
+}
+
+#[test]
+fn gain_boundaries_match_between_chain_and_rule() {
+    // gain 0: the ratio is ignored entirely — the target never moves (it
+    // only passes through Target::scale(1.0), identically on both paths).
+    let frozen = assert_rule_replays_chain(
+        ChainConfig {
+            target_block_time: 15,
+            initial_difficulty_bits: 3,
+            retarget_gain: 0.0,
+            seconds_per_attempt: 1.0,
+        },
+        15,
+    );
+    assert_eq!(
+        frozen,
+        Target::from_leading_zero_bits(3).scale(1.0),
+        "gain 0 never retargets"
+    );
+    // gain 1: the full implied correction, clamp permitting.
+    assert_rule_replays_chain(
+        ChainConfig {
+            target_block_time: 15,
+            initial_difficulty_bits: 2,
+            retarget_gain: 1.0,
+            seconds_per_attempt: 1.0,
+        },
+        20,
+    );
+    // Out-of-range gains clamp identically on both paths.
+    assert_rule_replays_chain(
+        ChainConfig {
+            target_block_time: 15,
+            initial_difficulty_bits: 2,
+            retarget_gain: 42.0,
+            seconds_per_attempt: 1.0,
+        },
+        10,
+    );
+}
+
+#[test]
+fn easiest_target_saturation_matches_between_chain_and_rule() {
+    // Enormous seconds-per-attempt: every block looks catastrophically
+    // slow, so each step applies the ×4 clamp until the target saturates
+    // at the easiest representable threshold (2^255).
+    let easiest = assert_rule_replays_chain(
+        ChainConfig {
+            target_block_time: 15,
+            initial_difficulty_bits: 16,
+            retarget_gain: 1.0,
+            seconds_per_attempt: 1e9,
+        },
+        12,
+    );
+    let mut cap = [0u8; 32];
+    cap[0] = 0x80;
+    assert_eq!(*easiest.threshold(), cap, "easiest-target saturation");
+    // Saturation is absorbing on both paths: one more maximal step stays
+    // put.
+    let rule = Blockchain::new(
+        Sha256dPow,
+        ChainConfig {
+            retarget_gain: 1.0,
+            ..ChainConfig::fast_test()
+        },
+    )
+    .difficulty_rule();
+    assert_eq!(rule.next_target(easiest, 1e12), easiest);
+}

@@ -6,8 +6,8 @@
 //! crate provides a from-scratch, dependency-free implementation of the
 //! FIPS 180-4 secure hash family members used throughout the workspace:
 //!
-//! * [`Sha256`] / [`sha256`] — the hash-gate function `G` in the paper,
-//! * [`Sha512`] / [`sha512`] — used by the memory-hard baseline,
+//! * [`Sha256`] / [`sha256()`](fn@sha256) — the hash-gate function `G` in the paper,
+//! * [`Sha512`] / [`sha512()`](fn@sha512) — used by the memory-hard baseline,
 //! * [`sha256d`] — double SHA-256 (the Bitcoin PoW baseline),
 //! * [`hmac_sha256`] — keyed hashing used by the deterministic stream cipher
 //!   in the widget-selection baseline,

@@ -34,21 +34,36 @@
 //! requester validates in parallel before applying — reorgs of any depth
 //! fall out of the fork tree's cumulative-work rule.
 //!
+//! # Adaptive difficulty
+//!
+//! With `SimConfig::retarget` set, the run races *adaptive-difficulty*
+//! chains: every node derives its mining target from its current best
+//! branch through the shared [`hashcore_chain::DifficultyRule`], and every
+//! fork tree enforces the rule's expected target along each branch
+//! (rejecting mismatches as `InvalidReason::Target`). Because the rule is
+//! evaluated over *reported* header timestamps, timestamp manipulation
+//! becomes a real attack surface — which the [`TimestampRule`]
+//! (`SimConfig::timestamp_rule`) bounds with a future-drift cap and a
+//! median-time-past floor. Left `None` (the default), the run mines at the
+//! fixed `difficulty_bits` target, byte-identical to the pre-adaptive
+//! simulation.
+//!
 //! # Adversaries and hardening
 //!
 //! Behaviour is pluggable through the [`Strategy`] trait: [`Honest`]
 //! reproduces the protocol exactly (pinned by a byte-identical fingerprint
 //! regression test), while [`SelfishMining`], [`SegmentStalling`],
-//! [`SegmentSpam`] and [`PoisonedSync`] implement the classic attacks.
-//! Honest nodes defend themselves: a consensus-target policy check,
-//! unsolicited-segment drops that never invoke the verifier, per-peer
-//! rejection accounting with banning ([`RejectionCounts`],
-//! `SimConfig::ban_threshold`), request timeouts with deterministic
-//! re-requests (`SimConfig::request_timeout_ms`), and fork-tree pruning
-//! (`SimConfig::prune_depth`). Adversarial nodes draw network randomness
-//! from a separate seeded stream, so honest traffic is provably unchanged
-//! by an adversary that honest nodes ignore — the property the adversary
-//! proptests pin down.
+//! [`SegmentSpam`], [`PoisonedSync`], [`TimestampSkew`] and
+//! [`DifficultyHopping`] implement the classic attacks. Honest nodes
+//! defend themselves: a branch-aware target policy check, the timestamp
+//! validity rule above, unsolicited-segment drops that never invoke the
+//! verifier, per-peer rejection accounting with banning
+//! ([`RejectionCounts`], `SimConfig::ban_threshold`), request timeouts
+//! with deterministic re-requests (`SimConfig::request_timeout_ms`), and
+//! fork-tree pruning (`SimConfig::prune_depth`). Adversarial nodes draw
+//! network randomness from a separate seeded stream, so honest traffic is
+//! provably unchanged by an adversary that honest nodes ignore — the
+//! property the adversary proptests pin down.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,9 +72,9 @@ mod node;
 mod sim;
 mod strategy;
 
-pub use node::{Message, Node, NodeStats, Outgoing, RejectionCounts, SyncReorg};
-pub use sim::{LatencyModel, Partition, SimConfig, SimReport, Simulation};
+pub use node::{Message, Node, NodeStats, Outgoing, RejectionCounts, SyncReorg, TimestampRule};
+pub use sim::{LatencyModel, Partition, RetargetConfig, SimConfig, SimReport, Simulation};
 pub use strategy::{
-    Corruption, Honest, MinedAction, MiningMode, PoisonedSync, SegmentSpam, SegmentStalling,
-    SelfishMining, ServeAction, Silent, StallMode, Strategy,
+    Corruption, DifficultyHopping, Honest, MinedAction, MiningMode, PoisonedSync, SegmentSpam,
+    SegmentStalling, SelfishMining, ServeAction, Silent, StallMode, Strategy, TimestampSkew,
 };

@@ -6,8 +6,8 @@ use crate::strategy::{Corruption, Honest, MinedAction, MiningMode, ServeAction, 
 use hashcore::{MiningInput, Target};
 use hashcore_baselines::PreparedPow;
 use hashcore_chain::{
-    validate_segment_parallel, ApplyOutcome, Block, BlockHeader, ForkError, ForkTree,
-    InvalidReason, Reorg, GENESIS_HASH,
+    validate_segment_parallel, ApplyOutcome, Block, BlockHeader, DifficultyRule, ForkError,
+    ForkTree, InvalidReason, Reorg, GENESIS_HASH,
 };
 use hashcore_crypto::Digest256;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -16,6 +16,54 @@ use std::time::Instant;
 /// Re-requests a node attempts after its first segment request stalls
 /// before it abandons the orphan.
 const MAX_SYNC_RETRIES: u32 = 3;
+
+/// Easiest embedded target an unknown-parent (orphan) announcement may
+/// claim, relative to the local tip's target, before an adaptive-rule node
+/// refuses to spend sync effort on it: three retarget clamp steps
+/// (4³ = 64×). Spam minted at a near-free target fails the floor and is
+/// dropped instead of buying a PoW evaluation plus a request/timeout/retry
+/// cycle per message. The drop is deliberately *penalty-free*: after a
+/// long partition an honest side's branch can legitimately ease beyond
+/// the slack, and its re-announcements must not get honest relayers
+/// banned — ignoring them is convergence-safe because a heavier
+/// (harder-target) competing chain always passes the floor, so the
+/// heavier side's chain still propagates and the easier side reorgs onto
+/// it. Fixed-rule nodes need no floor: any non-consensus target is
+/// rejected outright.
+const ORPHAN_EASING_SLACK: f64 = 64.0;
+
+/// Header-timestamp validity rule honest nodes enforce on incoming blocks
+/// and segments — the defence that bounds timestamp-skew difficulty
+/// manipulation once difficulty is adaptive:
+///
+/// * **future drift** — a block's reported timestamp may sit at most
+///   `max_future_drift_ms` past the receiver's clock at delivery time, and
+/// * **median-time-past** — it must be strictly greater than the median of
+///   the `mtp_window` reported timestamps ending at its parent, so time
+///   (and with it the retarget rule's elapsed observations) cannot be
+///   rewound.
+///
+/// Locally mined blocks are not self-checked — an adversary would not
+/// police itself — so a skewing miner's blocks are rejected at every
+/// *honest* node's edge instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimestampRule {
+    /// Maximum simulated milliseconds a block timestamp may lie in the
+    /// receiving node's future.
+    pub max_future_drift_ms: u64,
+    /// Number of trailing ancestor timestamps the median-time-past lower
+    /// bound is computed over.
+    pub mtp_window: usize,
+}
+
+impl Default for TimestampRule {
+    fn default() -> Self {
+        Self {
+            max_future_drift_ms: 5_000,
+            mtp_window: 11,
+        }
+    }
+}
 
 /// A message exchanged between simulated nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,8 +129,12 @@ pub struct RejectionCounts {
     pub merkle: u64,
     /// Blocks whose PoW digest misses their embedded target.
     pub pow: u64,
-    /// Blocks or segments embedding a target other than the consensus one.
+    /// Blocks or segments embedding a target other than the one the
+    /// difficulty rule expects at their branch position.
     pub target_policy: u64,
+    /// Blocks or segments whose reported timestamps violate the
+    /// [`TimestampRule`] (future drift or median-time-past).
+    pub timestamp: u64,
     /// Segments that answered no in-flight request — dropped *without*
     /// running the verifier.
     pub unsolicited_segment: u64,
@@ -98,6 +150,7 @@ impl RejectionCounts {
         self.merkle
             + self.pow
             + self.target_policy
+            + self.timestamp
             + self.unsolicited_segment
             + self.invalid_segment
             + self.from_banned
@@ -110,6 +163,7 @@ impl std::ops::AddAssign for RejectionCounts {
             merkle,
             pow,
             target_policy,
+            timestamp,
             unsolicited_segment,
             invalid_segment,
             from_banned,
@@ -117,6 +171,7 @@ impl std::ops::AddAssign for RejectionCounts {
         self.merkle += merkle;
         self.pow += pow;
         self.target_policy += target_policy;
+        self.timestamp += timestamp;
         self.unsolicited_segment += unsolicited_segment;
         self.invalid_segment += invalid_segment;
         self.from_banned += from_banned;
@@ -254,7 +309,12 @@ where
 {
     id: usize,
     tree: ForkTree<P>,
+    /// The genesis (initial-difficulty) target: what a fixed-difficulty
+    /// node mines at throughout, and what fake-orphan bait embeds.
     target: Target,
+    /// Timestamp validity policy applied to incoming blocks and segments;
+    /// `None` accepts any reported timestamp.
+    timestamp_rule: Option<TimestampRule>,
     sync_threads: usize,
     miner: Miner<P::Scratch>,
     strategy: Box<dyn Strategy>,
@@ -301,8 +361,9 @@ where
     pub fn new(id: usize, pow: P, target: Target, sync_threads: usize) -> Self {
         Self {
             id,
-            tree: ForkTree::new(pow),
+            tree: ForkTree::with_rule(pow, DifficultyRule::Fixed(target)),
             target,
+            timestamp_rule: None,
             sync_threads: sync_threads.max(1),
             miner: Miner::new(),
             strategy: Box::new(Honest),
@@ -326,6 +387,32 @@ where
     pub fn with_strategy(mut self, strategy: Box<dyn Strategy>) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Installs the difficulty rule — mining targets then follow the best
+    /// branch's expectation, and the fork tree enforces it per branch —
+    /// and the timestamp validity policy (builder style; must run before
+    /// any block is mined or applied). The default is
+    /// `DifficultyRule::Fixed` at the construction target with no
+    /// timestamp rule, which reproduces the fixed-difficulty node exactly.
+    pub fn with_difficulty(
+        mut self,
+        rule: DifficultyRule,
+        timestamp_rule: Option<TimestampRule>,
+    ) -> Self {
+        self.tree.set_rule(rule);
+        // Keep the genesis target aligned with the rule: fake-orphan bait
+        // and the template fallback must embed what peers' trees expect of
+        // a genesis child, not a stale construction-time target.
+        self.target = rule.genesis_target();
+        self.timestamp_rule = timestamp_rule;
+        self
+    }
+
+    /// The difficulty rule mining targets derive from — the single copy
+    /// the node's fork tree holds and enforces per branch.
+    fn rule(&self) -> &DifficultyRule {
+        self.tree.rule().expect("nodes always install a rule")
     }
 
     /// Configures the hardening limits (builder style): total peer count
@@ -391,8 +478,9 @@ where
         self.withheld.len()
     }
 
-    /// Points the miner at `prev` with a single tagged transaction.
-    fn reset_template(&mut self, prev: Digest256, tag: String, timestamp: u64) {
+    /// Points the miner at `prev` with a single tagged transaction,
+    /// embedding `target` (the branch's expected target, or the fixed one).
+    fn reset_template(&mut self, prev: Digest256, tag: String, timestamp: u64, target: Target) {
         let miner = &mut self.miner;
         miner.transactions.clear();
         miner.transactions.push(tag.into_bytes());
@@ -401,7 +489,7 @@ where
             prev_hash: prev,
             merkle_root: Block::merkle_root(&miner.transactions),
             timestamp,
-            target: *self.target.threshold(),
+            target: *target.threshold(),
             nonce: 0,
         };
         miner.header.write_pow_input(&mut miner.header_bytes);
@@ -428,10 +516,23 @@ where
         out
     }
 
-    /// Honest/selfish mining: extend the local best tip.
+    /// Honest/selfish mining: extend the local best tip at the branch's
+    /// expected target.
     fn mine_extend(&mut self, now_ms: u64, attempts: u64) -> Vec<Outgoing> {
         self.refresh_template(now_ms);
-        let target = self.target;
+        // The scan target is whatever the template embeds — the branch's
+        // expected target under an adaptive rule, the consensus target
+        // under a fixed one.
+        let target = Target::from_threshold(self.miner.header.target);
+        // A difficulty hopper defects (spends nothing) while the branch is
+        // expensive. The template is invalidated so the next slice
+        // re-derives the expected target from a fresh timestamp — under an
+        // adaptive rule, waiting itself makes the branch look slower and
+        // the target easier, which is exactly the moment a hopper rejoins.
+        if !self.strategy.mines_at(target.expected_attempts()) {
+            self.miner.template_valid = false;
+            return Vec::new();
+        }
         let found = {
             let Self { tree, miner, .. } = &mut *self;
             tree.pow().scan_nonces(
@@ -478,7 +579,18 @@ where
     }
 
     /// Rebuilds the mining template if the tip moved since the last slice;
-    /// otherwise the nonce scan resumes where it stopped.
+    /// otherwise the nonce scan resumes where it stopped. The template's
+    /// timestamp is the current time plus the strategy's skew (cumulative
+    /// past an already-skewed parent), and its target is the difficulty
+    /// rule's expectation for exactly that child timestamp on the current
+    /// best branch — so the block is rule-consistent by construction and
+    /// only a timestamp-validity rule can catch the skew.
+    ///
+    /// A node that itself enforces a [`TimestampRule`] also clamps its own
+    /// template to the parent window's median-time-past + 1 (Bitcoin's
+    /// miner rule): accepted ancestors may sit legitimately inside the
+    /// future-drift bound, and an honest block dated plainly "now" behind
+    /// that median would be rejected by every honest peer.
     fn refresh_template(&mut self, now_ms: u64) {
         if self.miner.template_valid && self.miner.template_tip == self.tree.tip() {
             return;
@@ -486,10 +598,27 @@ where
         let tip = self.tree.tip();
         let height = self.tree.tip_height() + 1;
         let id = self.id;
+        let skew = self.strategy.timestamp_skew_ms();
+        let timestamp = if skew == 0 {
+            let mtp_floor = self.timestamp_rule.map_or(0, |rule| {
+                self.tree
+                    .median_time_past(&tip, rule.mtp_window)
+                    .map_or(0, |mtp| mtp.saturating_add(1))
+            });
+            now_ms.max(mtp_floor)
+        } else {
+            let parent_ts = self.tree.tip_block().map_or(0, |b| b.header.timestamp);
+            now_ms.max(parent_ts.saturating_add(1)).saturating_add(skew)
+        };
+        let target = self
+            .tree
+            .expected_child_target(&tip, timestamp)
+            .unwrap_or(self.target);
         self.reset_template(
             tip,
             format!("node-{id} height-{height} at-{now_ms}ms"),
-            now_ms,
+            timestamp,
+            target,
         );
     }
 
@@ -501,7 +630,7 @@ where
         if !self.miner.template_valid {
             let parent = fake_parent_digest(self.id, self.stats.fake_orphans);
             let tag = format!("spam-{} orphan-{}", self.id, self.stats.fake_orphans);
-            self.reset_template(parent, tag, 0);
+            self.reset_template(parent, tag, 0, self.target);
         }
         let target = self.target;
         let found = {
@@ -532,17 +661,18 @@ where
         vec![Outgoing::Broadcast(Message::Block(block))]
     }
 
-    /// Handles one delivered message from `from`, returning the follow-up
-    /// sends. Traffic from banned peers is dropped unseen.
-    pub fn handle(&mut self, from: usize, message: Message) -> Vec<Outgoing> {
+    /// Handles one delivered message from `from` at simulated time
+    /// `now_ms` (the timestamp-validity rule's clock), returning the
+    /// follow-up sends. Traffic from banned peers is dropped unseen.
+    pub fn handle(&mut self, now_ms: u64, from: usize, message: Message) -> Vec<Outgoing> {
         if self.banned.contains(&from) {
             self.stats.rejections.from_banned += 1;
             return Vec::new();
         }
         match message {
-            Message::Block(block) => self.handle_block(from, block),
+            Message::Block(block) => self.handle_block(now_ms, from, block),
             Message::GetSegment { want, locator } => self.handle_get_segment(from, want, &locator),
-            Message::Segment(blocks) => self.handle_segment(from, blocks),
+            Message::Segment(blocks) => self.handle_segment(now_ms, from, blocks),
         }
     }
 
@@ -556,12 +686,25 @@ where
         }
     }
 
-    fn handle_block(&mut self, from: usize, block: Block) -> Vec<Outgoing> {
-        // Target policy: every protocol-following block embeds exactly the
-        // consensus threshold. A cheaper embedded target would otherwise
-        // let spam mine its way into the fork tree at trivial cost.
-        if block.header.target != *self.target.threshold() {
-            self.stats.rejections.target_policy += 1;
+    fn handle_block(&mut self, now_ms: u64, from: usize, block: Block) -> Vec<Outgoing> {
+        // Branch-independent target policy: under a fixed rule every
+        // protocol-following block embeds exactly the consensus threshold,
+        // so a cheaper embedded target is rejected for free — before any
+        // hashing. Adaptive rules have no flat expectation; their
+        // branch-aware check is the fork tree's, below.
+        if let Some(flat) = self.rule().flat_target() {
+            if block.header.target != *flat.threshold() {
+                self.stats.rejections.target_policy += 1;
+                self.penalize(from);
+                return Vec::new();
+            }
+        }
+        // Timestamp validity: bounded future drift, and strictly above the
+        // parent window's median-time-past when the parent chain is known.
+        // (An orphan is only drift-checked here; the segment delivering
+        // its ancestry re-walks the full window.)
+        if !self.block_timestamp_plausible(now_ms, &block) {
+            self.stats.rejections.timestamp += 1;
             self.penalize(from);
             return Vec::new();
         }
@@ -580,12 +723,24 @@ where
                 if !self.strategy.syncs() {
                     return Vec::new();
                 }
+                // Adaptive rules have no flat pre-check, so an orphan's
+                // target is only bounded here: one claiming a difficulty
+                // implausibly far below the local view is counted and
+                // dropped — but never penalised, since a post-partition
+                // honest branch can sit beyond the slack too (see
+                // ORPHAN_EASING_SLACK).
+                if self.rule().flat_target().is_none() && !self.orphan_target_plausible(&block) {
+                    self.stats.rejections.target_policy += 1;
+                    return Vec::new();
+                }
                 self.request_segment(digest, from)
             }
             Err(ForkError::InvalidBlock { reason }) => {
                 match reason {
                     InvalidReason::Merkle => self.stats.rejections.merkle += 1,
                     InvalidReason::Pow => self.stats.rejections.pow += 1,
+                    // The rule-enforcing fork tree's branch-aware check.
+                    InvalidReason::Target => self.stats.rejections.target_policy += 1,
                     // `ForkTree::apply` never reports linkage (an unknown
                     // parent is `UnknownParent`); count it as PoW abuse.
                     InvalidReason::Linkage => self.stats.rejections.pow += 1,
@@ -838,7 +993,81 @@ where
         Some(Message::Segment(segment))
     }
 
-    fn handle_segment(&mut self, from: usize, blocks: Vec<Block>) -> Vec<Outgoing> {
+    /// `true` when an orphan's embedded target is within
+    /// [`ORPHAN_EASING_SLACK`] of the local tip's target — the
+    /// anti-sync-DoS floor adaptive-rule nodes apply before requesting an
+    /// unknown branch's ancestry.
+    fn orphan_target_plausible(&self, block: &Block) -> bool {
+        let local = match self.tree.tip_block() {
+            Some(tip) => Target::from_threshold(tip.header.target),
+            None => self.rule().genesis_target(),
+        };
+        let floor = local.scale(ORPHAN_EASING_SLACK);
+        // Bigger threshold = easier target; beyond the eased floor is
+        // implausible.
+        block.header.target <= *floor.threshold()
+    }
+
+    /// Timestamp validity of one gossiped block under the configured
+    /// [`TimestampRule`] (`true` when no rule is configured).
+    fn block_timestamp_plausible(&self, now_ms: u64, block: &Block) -> bool {
+        let Some(rule) = self.timestamp_rule else {
+            return true;
+        };
+        if block.header.timestamp > now_ms.saturating_add(rule.max_future_drift_ms) {
+            return false;
+        }
+        let prev = block.header.prev_hash;
+        if prev != GENESIS_HASH {
+            if let Some(mtp) = self.tree.median_time_past(&prev, rule.mtp_window) {
+                if block.header.timestamp <= mtp {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Timestamp validity of a whole received segment: every block is
+    /// drift-bounded against `now_ms` and strictly above the
+    /// median-time-past of its own rolling ancestor window, seeded with
+    /// the anchor's stored ancestry — the same bound
+    /// [`Node::block_timestamp_plausible`] applies per gossiped block.
+    fn segment_timestamps_plausible(
+        &self,
+        now_ms: u64,
+        anchor: Digest256,
+        blocks: &[Block],
+    ) -> bool {
+        let Some(rule) = self.timestamp_rule else {
+            return true;
+        };
+        let horizon = now_ms.saturating_add(rule.max_future_drift_ms);
+        let mut window: Vec<u64> = if anchor == GENESIS_HASH {
+            Vec::new()
+        } else {
+            self.tree.ancestor_timestamps(&anchor, rule.mtp_window)
+        };
+        for block in blocks {
+            if block.header.timestamp > horizon {
+                return false;
+            }
+            if !window.is_empty() {
+                let mut sorted = window.clone();
+                sorted.sort_unstable();
+                if block.header.timestamp <= sorted[(sorted.len() - 1) / 2] {
+                    return false;
+                }
+            }
+            window.push(block.header.timestamp);
+            if window.len() > rule.mtp_window {
+                window.remove(0);
+            }
+        }
+        true
+    }
+
+    fn handle_segment(&mut self, now_ms: u64, from: usize, blocks: Vec<Block>) -> Vec<Outgoing> {
         let Some(first) = blocks.first() else {
             return Vec::new();
         };
@@ -871,14 +1100,44 @@ where
             self.penalize(from);
             return Vec::new();
         }
-        // Target policy scan: free, before any per-block hashing.
-        let threshold = *self.target.threshold();
-        if blocks.iter().any(|b| b.header.target != threshold) {
-            self.stats.rejections.target_policy += 1;
-            self.penalize(from);
-            return Vec::new();
+        // Target policy scan (branch-independent form): free, before any
+        // per-block hashing — and before the anchor lookup, exactly as the
+        // flat consensus check always ran.
+        if let Some(flat) = self.rule().flat_target() {
+            let threshold = *flat.threshold();
+            if blocks.iter().any(|b| b.header.target != threshold) {
+                self.stats.rejections.target_policy += 1;
+                self.penalize(from);
+                return Vec::new();
+            }
         }
         if anchor != GENESIS_HASH && !self.tree.contains(&anchor) {
+            return Vec::new();
+        }
+        // Branch-aware target policy: with the anchor resolved, every
+        // embedded target must equal the difficulty rule's expectation
+        // along the segment — still pure header arithmetic, before the
+        // verifier burns any hash work. Fixed rules skip this: the flat
+        // scan above already proved every target, so the walk cannot fire.
+        if self.rule().flat_target().is_none() {
+            let anchor_state = (anchor != GENESIS_HASH).then(|| {
+                let block = self.tree.block(&anchor).expect("anchor checked above");
+                (
+                    Target::from_threshold(block.header.target),
+                    block.header.timestamp,
+                )
+            });
+            if !self.rule().segment_targets_valid(anchor_state, &blocks) {
+                self.stats.rejections.target_policy += 1;
+                self.penalize(from);
+                return Vec::new();
+            }
+        }
+        // Timestamp validity along the segment, same bounds as per-block
+        // gossip.
+        if !self.segment_timestamps_plausible(now_ms, anchor, &blocks) {
+            self.stats.rejections.timestamp += 1;
+            self.penalize(from);
             return Vec::new();
         }
         // The segment-sync hot path: the batched parallel verifier checks
@@ -1028,6 +1287,24 @@ mod tests {
         Node::new(id, Sha256dPow, Target::from_leading_zero_bits(2), 2)
     }
 
+    /// An adaptive-difficulty node: EMA rule over the trivial initial
+    /// target, optionally with the timestamp validity rule.
+    fn adaptive_node(
+        id: usize,
+        strategy: Box<dyn Strategy>,
+        timestamp_rule: Option<TimestampRule>,
+    ) -> Node<Sha256dPow> {
+        let initial = Target::from_leading_zero_bits(2);
+        let rule = DifficultyRule::Ema(hashcore_chain::EmaRetarget {
+            initial,
+            target_block_time: 1_000.0,
+            gain: 0.5,
+        });
+        Node::new(id, Sha256dPow, initial, 2)
+            .with_difficulty(rule, timestamp_rule)
+            .with_strategy(strategy)
+    }
+
     /// Mines until `node` finds and announces a block, returning it.
     fn mine_one(node: &mut Node<Sha256dPow>, now_ms: u64) -> Block {
         for _ in 0..100_000 {
@@ -1066,14 +1343,14 @@ mod tests {
         let Some(Outgoing::Broadcast(Message::Block(block))) = out.first().cloned() else {
             panic!("mining broadcasts the block");
         };
-        let relays = listener.handle(0, Message::Block(block.clone()));
+        let relays = listener.handle(0, 0, Message::Block(block.clone()));
         assert_eq!(
             relays,
             vec![Outgoing::Gossip(Message::Block(block.clone()))]
         );
         assert_eq!(listener.tip(), miner.tip());
         // Duplicate delivery: no relay storm.
-        assert!(listener.handle(0, Message::Block(block)).is_empty());
+        assert!(listener.handle(0, 0, Message::Block(block)).is_empty());
         assert_eq!(listener.stats().blocks_accepted, 1);
     }
 
@@ -1087,16 +1364,16 @@ mod tests {
             announced = Some(mine_one(&mut miner, 0));
         }
         let tip_block = announced.expect("mined three blocks");
-        let request = fresh.handle(0, Message::Block(tip_block));
+        let request = fresh.handle(0, 0, Message::Block(tip_block));
         let Some(Outgoing::To(0, get @ Message::GetSegment { .. })) = request.first().cloned()
         else {
             panic!("unknown parent must request a segment, got {request:?}");
         };
-        let response = miner.handle(1, get);
+        let response = miner.handle(0, 1, get);
         let Some(Outgoing::To(1, segment @ Message::Segment(_))) = response.first().cloned() else {
             panic!("the miner serves the missing segment, got {response:?}");
         };
-        fresh.handle(0, segment);
+        fresh.handle(0, 0, segment);
         assert_eq!(fresh.tip(), miner.tip());
         assert_eq!(fresh.stats().segments_synced, 1);
         assert_eq!(fresh.stats().segment_blocks, 3);
@@ -1119,7 +1396,7 @@ mod tests {
         // classic rule releases the whole private chain and wins outright
         // (its two blocks out-work the public one).
         let honest_block = mine_one(&mut honest, 7);
-        let out = selfish.handle(1, Message::Block(honest_block));
+        let out = selfish.handle(0, 1, Message::Block(honest_block));
         let released = out
             .iter()
             .filter(|o| matches!(o, Outgoing::Broadcast(Message::Block(_))))
@@ -1143,8 +1420,8 @@ mod tests {
         // to the public branch and the private block is abandoned.
         let b1 = mine_one(&mut honest, 3);
         let b2 = mine_one(&mut honest, 9);
-        selfish.handle(1, Message::Block(b1));
-        selfish.handle(1, Message::Block(b2));
+        selfish.handle(0, 1, Message::Block(b1));
+        selfish.handle(0, 1, Message::Block(b2));
         // Depending on the height-1 digest tie-break the private block was
         // either released into the (lost) race or abandoned outright —
         // both end with the private queue empty and the public chain
@@ -1163,7 +1440,7 @@ mod tests {
         let mut honest = node(1);
         // Give the spammer a real block to corrupt.
         let block = mine_one(&mut honest, 0);
-        spammer.handle(1, Message::Block(block));
+        spammer.handle(0, 1, Message::Block(block));
         assert_eq!(spammer.stats().blocks_mined, 0);
         let out = spammer.mine_slice(100, 1_000);
         assert_eq!(out.len(), 1, "one spam gossip per slice");
@@ -1184,8 +1461,8 @@ mod tests {
         let mut honest = node(2);
         for now in [0u64, 5] {
             let block = mine_one(&mut honest, now);
-            poisoner.handle(2, Message::Block(block.clone()));
-            victim.handle(2, Message::Block(block));
+            poisoner.handle(0, 2, Message::Block(block.clone()));
+            victim.handle(0, 2, Message::Block(block));
         }
         // Bait block: valid PoW over a fabricated parent.
         let bait = loop {
@@ -1196,7 +1473,7 @@ mod tests {
         };
         assert_eq!(poisoner.stats().fake_orphans, 1);
         // The victim sees an orphan and requests the segment.
-        let request = victim.handle(0, Message::Block(bait));
+        let request = victim.handle(0, 0, Message::Block(bait));
         let Some(Outgoing::To(0, get @ Message::GetSegment { .. })) = request.first().cloned()
         else {
             panic!("bait must trigger a segment request, got {request:?}");
@@ -1206,13 +1483,13 @@ mod tests {
             "timeouts enabled: the request must arm a timer"
         );
         // The poisoner answers with a corrupted segment...
-        let response = poisoner.handle(1, get);
+        let response = poisoner.handle(0, 1, get);
         let Some(Outgoing::To(1, segment @ Message::Segment(_))) = response.first().cloned() else {
             panic!("poisoner must serve a corrupt segment, got {response:?}");
         };
         // ...which the victim's verifier rejects without storing anything.
         let before = victim.tree().len();
-        let out = victim.handle(0, segment);
+        let out = victim.handle(0, 0, segment);
         assert!(out.is_empty());
         assert_eq!(victim.tree().len(), before);
         assert_eq!(victim.stats().segments_synced, 0);
@@ -1232,17 +1509,19 @@ mod tests {
         for tag in [b"forge-a".to_vec(), b"forge-b".to_vec()] {
             let mut forged = block.clone();
             forged.transactions.push(tag);
-            assert!(victim.handle(2, Message::Block(forged)).is_empty());
+            assert!(victim.handle(0, 2, Message::Block(forged)).is_empty());
         }
         assert_eq!(victim.stats().rejections.merkle, 2);
         assert_eq!(victim.stats().peers_banned, 1);
         assert!(victim.banned_peers().contains(&2));
         // Even a valid block from the banned peer is now ignored...
-        assert!(victim.handle(2, Message::Block(block.clone())).is_empty());
+        assert!(victim
+            .handle(0, 2, Message::Block(block.clone()))
+            .is_empty());
         assert_eq!(victim.stats().rejections.from_banned, 1);
         assert_eq!(victim.tree().len(), 0);
         // ...while the same block from a clean peer is accepted.
-        assert!(!victim.handle(0, Message::Block(block)).is_empty());
+        assert!(!victim.handle(0, 0, Message::Block(block)).is_empty());
         assert_eq!(victim.tree().len(), 1);
     }
 
@@ -1253,7 +1532,7 @@ mod tests {
             Node::<Sha256dPow>::new(0, Sha256dPow, Target::from_leading_zero_bits(0), 2);
         let block = mine_one(&mut cheap, 0);
         // Valid PoW at its own (trivial) target — but not the consensus one.
-        assert!(victim.handle(0, Message::Block(block)).is_empty());
+        assert!(victim.handle(0, 0, Message::Block(block)).is_empty());
         assert_eq!(victim.stats().rejections.target_policy, 1);
         assert_eq!(victim.tree().len(), 0);
     }
@@ -1266,7 +1545,7 @@ mod tests {
             mine_one(&mut miner, 0);
         }
         let tip_block = miner.tree().tip_block().cloned().expect("mined");
-        let out = fresh.handle(0, Message::Block(tip_block));
+        let out = fresh.handle(0, 0, Message::Block(tip_block));
         assert!(matches!(out.first(), Some(Outgoing::To(0, _))));
         let Some(Outgoing::Timer { token, .. }) = out.get(1).cloned() else {
             panic!("expected a timer, got {out:?}");
@@ -1291,5 +1570,229 @@ mod tests {
         }
         assert_eq!(fresh.stats().requests_abandoned, 1);
         assert!(fresh.on_timer(token).is_empty(), "abandoned token is inert");
+    }
+
+    #[test]
+    fn adaptive_mining_embeds_the_branch_expected_target() {
+        use crate::strategy::Honest;
+        let mut miner = adaptive_node(0, Box::new(Honest), None);
+        let mut listener = adaptive_node(1, Box::new(Honest), None);
+        let rule = *miner.tree().rule().expect("adaptive tree has a rule");
+        let mut parent: Option<Block> = None;
+        // Widely spaced slices keep every expected target cheap to mine.
+        for now in [500u64, 4_500, 8_500] {
+            let block = mine_one(&mut miner, now);
+            let expected = match &parent {
+                None => rule.genesis_target(),
+                Some(prev) => rule.child_target(
+                    Target::from_threshold(prev.header.target),
+                    prev.header.timestamp,
+                    block.header.timestamp,
+                ),
+            };
+            assert_eq!(
+                block.header.target,
+                *expected.threshold(),
+                "mined blocks must embed the branch's expected target"
+            );
+            // A fellow adaptive node accepts the rule-consistent block.
+            assert!(!listener
+                .handle(now, 0, Message::Block(block.clone()))
+                .is_empty());
+            parent = Some(block);
+        }
+        assert_eq!(listener.tip(), miner.tip());
+    }
+
+    #[test]
+    fn future_skewed_blocks_are_rejected_only_under_the_timestamp_rule() {
+        use crate::strategy::TimestampSkew;
+        let drift = TimestampRule {
+            max_future_drift_ms: 5_000,
+            mtp_window: 11,
+        };
+        let mut skewer = adaptive_node(0, Box::new(TimestampSkew { skew_ms: 20_000 }), None);
+        let mut lenient = adaptive_node(1, Box::new(Honest), None);
+        let mut enforcing = adaptive_node(2, Box::new(Honest), Some(drift));
+        let block = mine_one(&mut skewer, 1_000);
+        assert!(
+            block.header.timestamp >= 21_000,
+            "the skewer reports a future time: {}",
+            block.header.timestamp
+        );
+        // Without the rule the skewed header is accepted — the rule-derived
+        // easier target makes it fully protocol-consistent.
+        assert!(!lenient
+            .handle(1_100, 0, Message::Block(block.clone()))
+            .is_empty());
+        assert_eq!(lenient.tip(), skewer.tip());
+        // With the rule it is rejected at the edge: nothing stored, the
+        // sender penalised under the timestamp class.
+        assert!(enforcing.handle(1_100, 0, Message::Block(block)).is_empty());
+        assert_eq!(enforcing.tree().len(), 0);
+        assert_eq!(enforcing.stats().rejections.timestamp, 1);
+    }
+
+    #[test]
+    fn backdated_blocks_fail_the_median_time_past_floor() {
+        let rule = TimestampRule {
+            max_future_drift_ms: 5_000,
+            mtp_window: 3,
+        };
+        let mut miner = node(0);
+        let mut enforcing = node(1).with_difficulty(
+            DifficultyRule::Fixed(Target::from_leading_zero_bits(2)),
+            Some(rule),
+        );
+        // An honest history with strictly rising times: accepted as usual.
+        for now in [2_000u64, 4_000, 6_000] {
+            let block = mine_one(&mut miner, now);
+            assert!(!enforcing
+                .handle(now + 100, 0, Message::Block(block))
+                .is_empty());
+        }
+        assert_eq!(enforcing.tip_height(), 3);
+        // A backdated child of the tip: below the median of the parent
+        // window [2000, 4000, 6000] → 4000, so the floor rejects it.
+        let backdated = mine_block_at(
+            miner.tip(),
+            "backdated",
+            Target::from_leading_zero_bits(2),
+            3_999,
+        );
+        assert!(enforcing
+            .handle(7_000, 0, Message::Block(backdated))
+            .is_empty());
+        assert_eq!(enforcing.stats().rejections.timestamp, 1);
+        assert_eq!(enforcing.tip_height(), 3);
+    }
+
+    /// Mines a block over `prev` with explicit timestamp and target (test
+    /// helper for hand-crafted headers).
+    fn mine_block_at(prev: Digest256, tag: &str, target: Target, timestamp: u64) -> Block {
+        use hashcore_baselines::PowFunction;
+        let txs = vec![tag.as_bytes().to_vec()];
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash: prev,
+            merkle_root: Block::merkle_root(&txs),
+            timestamp,
+            target: *target.threshold(),
+            nonce: 0,
+        };
+        while !target.is_met_by(&Sha256dPow.pow_hash(&header.bytes())) {
+            header.nonce += 1;
+        }
+        Block {
+            header,
+            transactions: txs,
+        }
+    }
+
+    #[test]
+    fn implausibly_easy_orphans_buy_no_sync_requests_under_an_adaptive_rule() {
+        let mut honest = adaptive_node(0, Box::new(Honest), None);
+        let mut victim = adaptive_node(1, Box::new(Honest), None);
+        let seed_block = mine_one(&mut honest, 500);
+        assert!(!victim.handle(600, 0, Message::Block(seed_block)).is_empty());
+        // A valid-PoW orphan at a near-free target: no segment request, a
+        // target-policy penalty instead — the spam costs its sender, not
+        // the victim's sync machinery.
+        let spam = mine_block_at([0xFA; 32], "free-spam", Target::MAX, 700);
+        let out = victim.handle(800, 2, Message::Block(spam));
+        assert!(out.is_empty(), "spam must not trigger sync: {out:?}");
+        assert_eq!(victim.stats().rejections.target_policy, 1);
+        // An orphan inside the easing floor (the chain's own initial
+        // target) still triggers catch-up sync as before.
+        let plausible = mine_block_at(
+            [0xAB; 32],
+            "plausible",
+            Target::from_leading_zero_bits(2),
+            900,
+        );
+        let out = victim.handle(1_000, 0, Message::Block(plausible));
+        assert!(
+            matches!(
+                out.first(),
+                Some(Outgoing::To(0, Message::GetSegment { .. }))
+            ),
+            "a plausible orphan must still be synced: {out:?}"
+        );
+    }
+
+    #[test]
+    fn honest_templates_clamp_above_the_parent_windows_median_time_past() {
+        let rule = TimestampRule {
+            max_future_drift_ms: 5_000,
+            mtp_window: 3,
+        };
+        use hashcore_baselines::PowFunction;
+        let fixed = DifficultyRule::Fixed(Target::from_leading_zero_bits(2));
+        let mut miner = node(0).with_difficulty(fixed, Some(rule));
+        let mut peer = node(1).with_difficulty(fixed, Some(rule));
+        // A chain whose reported times sit legitimately in the receivers'
+        // future (inside the drift bound at acceptance time).
+        let mut prev = GENESIS_HASH;
+        for (i, ts) in [10_000u64, 10_001, 10_002].iter().enumerate() {
+            let block = mine_block_at(
+                prev,
+                &format!("future-{i}"),
+                Target::from_leading_zero_bits(2),
+                *ts,
+            );
+            prev = Sha256dPow.pow_hash(&block.header.bytes());
+            assert!(!miner
+                .handle(6_000, 2, Message::Block(block.clone()))
+                .is_empty());
+            assert!(!peer.handle(6_000, 2, Message::Block(block)).is_empty());
+        }
+        // Mining at a real clock behind that window: the template must be
+        // clamped to median-time-past + 1, not dated plainly "now" — else
+        // every honest peer would reject (and penalise) the honest block.
+        let mined = mine_one(&mut miner, 7_000);
+        assert_eq!(
+            mined.header.timestamp, 10_002,
+            "template clamps to the window's mtp + 1"
+        );
+        assert!(
+            !peer.handle(7_100, 0, Message::Block(mined)).is_empty(),
+            "a fellow enforcing peer accepts the clamped block"
+        );
+        assert_eq!(peer.stats().rejections.timestamp, 0);
+    }
+
+    #[test]
+    fn difficulty_hopper_defects_until_waiting_eases_the_target() {
+        use crate::strategy::DifficultyHopping;
+        let mut honest = adaptive_node(0, Box::new(Honest), None);
+        // Two quick honest blocks re-tighten the branch: the expected
+        // next-block target goes well past the hopper's threshold.
+        let b1 = mine_one(&mut honest, 1_000);
+        let b2 = mine_one(&mut honest, 1_100);
+        let mut hopper = adaptive_node(
+            1,
+            Box::new(DifficultyHopping {
+                max_expected_attempts: 4.0,
+            }),
+            None,
+        );
+        for block in [b1, b2] {
+            hopper.handle(1_200, 0, Message::Block(block));
+        }
+        assert_eq!(hopper.tip_height(), 2);
+        // Right after the fast block the branch is expensive: defect.
+        assert!(hopper.mine_slice(1_200, 10_000).is_empty());
+        assert_eq!(hopper.stats().blocks_mined, 0);
+        // Much later the reported gap has grown, the expected target eased
+        // back under the threshold, and the hopper rejoins and mines.
+        let mut mined = false;
+        for now in [60_000u64, 120_000, 180_000] {
+            if !hopper.mine_slice(now, 100_000).is_empty() {
+                mined = true;
+                break;
+            }
+        }
+        assert!(mined, "an eased branch must pull the hopper back in");
+        assert_eq!(hopper.stats().blocks_mined, 1);
     }
 }

@@ -1,10 +1,11 @@
 //! The deterministic event-driven scheduler: seeded latency, gossip
 //! fan-out, partitions, request timeouts, and the simulation report.
 
-use crate::node::{Message, Node, Outgoing, RejectionCounts};
+use crate::node::{Message, Node, Outgoing, RejectionCounts, TimestampRule};
 use crate::strategy::{Honest, Strategy};
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
+use hashcore_chain::{DifficultyRule, EmaRetarget};
 use hashcore_crypto::Digest256;
 use hashcore_gen::WidgetRng;
 use std::cmp::Ordering;
@@ -44,6 +45,20 @@ pub struct Partition {
     pub end_ms: u64,
     /// Nodes `0..split` form one side, `split..nodes` the other.
     pub split: usize,
+}
+
+/// Per-branch EMA difficulty retargeting for the simulation: the
+/// [`DifficultyRule::Ema`] rule, seeded at the run's `difficulty_bits` and
+/// evaluated in simulated milliseconds. Every node derives its mining
+/// target from its current best branch, and every fork tree enforces the
+/// rule's expectation along each branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetargetConfig {
+    /// Desired simulated milliseconds between blocks.
+    pub target_block_time_ms: f64,
+    /// Exponential-moving-average weight of the retarget step (see
+    /// [`EmaRetarget::gain`]).
+    pub gain: f64,
 }
 
 /// Full configuration of one simulation run. A run is a pure function of
@@ -87,6 +102,15 @@ pub struct SimConfig {
     /// Fork-tree retention window (blocks below the tip); `None` (the
     /// default) keeps every branch forever, as before pruning existed.
     pub prune_depth: Option<u64>,
+    /// Per-branch adaptive difficulty; `None` (the default) mines the
+    /// whole run at the fixed `difficulty_bits` target, exactly as before
+    /// adaptive difficulty existed.
+    pub retarget: Option<RetargetConfig>,
+    /// Header-timestamp validity rule nodes enforce on incoming blocks and
+    /// segments; `None` (the default) accepts any reported timestamp —
+    /// which is what makes the timestamp-skew attack land, and what this
+    /// knob exists to demonstrate turning off.
+    pub timestamp_rule: Option<TimestampRule>,
 }
 
 impl SimConfig {
@@ -119,6 +143,8 @@ impl Default for SimConfig {
             request_timeout_ms: None,
             ban_threshold: 3,
             prune_depth: None,
+            retarget: None,
+            timestamp_rule: None,
         }
     }
 }
@@ -420,9 +446,18 @@ where
             );
         }
         let target = Target::from_leading_zero_bits(config.difficulty_bits);
+        let rule = match config.retarget {
+            None => DifficultyRule::Fixed(target),
+            Some(retarget) => DifficultyRule::Ema(EmaRetarget {
+                initial: target,
+                target_block_time: retarget.target_block_time_ms,
+                gain: retarget.gain,
+            }),
+        };
         let nodes: Vec<Node<P>> = (0..config.nodes)
             .map(|id| {
                 Node::new(id, make_pow(id), target, config.sync_threads)
+                    .with_difficulty(rule, config.timestamp_rule)
                     .with_strategy(make_strategy(id))
                     .with_limits(
                         config.nodes,
@@ -580,7 +615,7 @@ where
                     }
                 }
                 EventKind::Deliver { to, from, message } => {
-                    let outgoing = self.nodes[to].handle(from, message);
+                    let outgoing = self.nodes[to].handle(self.now, from, message);
                     self.dispatch(to, outgoing);
                 }
                 EventKind::Timeout { node, token } => {
@@ -923,6 +958,95 @@ mod tests {
             );
             for node in sim.nodes() {
                 node.tree().validate_best_chain().expect("valid chain");
+            }
+        }
+    }
+
+    /// An adaptive-difficulty network still converges, still replays
+    /// byte-identically from its seed, and actually moves difficulty: the
+    /// final chain embeds more than one distinct target.
+    #[test]
+    fn adaptive_difficulty_runs_converge_and_replay_identically() {
+        let config = SimConfig {
+            nodes: 4,
+            seed: 77,
+            difficulty_bits: 9,
+            attempts_per_slice: 32,
+            slice_ms: 100,
+            duration_ms: 30_000,
+            retarget: Some(RetargetConfig {
+                target_block_time_ms: 1_000.0,
+                gain: 0.5,
+            }),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config.clone(), |_| Sha256dPow);
+        let a = sim.run();
+        let b = Simulation::new(config, |_| Sha256dPow).run();
+        assert_eq!(a.fingerprint_extended(), b.fingerprint_extended());
+        assert!(a.converged, "{}", a.fingerprint());
+        assert!(a.tip_height > 0);
+        let chain = sim.nodes()[0].tree().best_chain();
+        let distinct_targets: std::collections::HashSet<[u8; 32]> =
+            chain.iter().map(|block| block.header.target).collect();
+        assert!(
+            distinct_targets.len() > 1,
+            "difficulty must actually retarget along the chain"
+        );
+        for node in sim.nodes() {
+            node.tree().validate_best_chain().expect("adaptive chain");
+        }
+    }
+
+    /// With the timestamp rule enforced, a skewing miner's future-dated
+    /// blocks are rejected at every honest edge; the honest network still
+    /// converges and the rejections land in the new class.
+    #[test]
+    fn timestamp_skew_is_neutralised_by_the_validity_rule() {
+        let config = SimConfig {
+            nodes: 5,
+            seed: 31,
+            difficulty_bits: 9,
+            attempts_per_slice: 32,
+            slice_ms: 100,
+            duration_ms: 30_000,
+            retarget: Some(RetargetConfig {
+                target_block_time_ms: 1_000.0,
+                gain: 0.5,
+            }),
+            timestamp_rule: Some(crate::node::TimestampRule {
+                max_future_drift_ms: 4_000,
+                mtp_window: 11,
+            }),
+            ban_threshold: 0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::with_strategies(
+            config,
+            |_| Sha256dPow,
+            |id| {
+                if id == 0 {
+                    Box::new(crate::strategy::TimestampSkew { skew_ms: 20_000 })
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        );
+        let report = sim.run();
+        assert!(report.converged, "{}", report.fingerprint_extended());
+        assert!(
+            report.rejections.timestamp > 0,
+            "skewed headers must be rejected: {}",
+            report.fingerprint_extended()
+        );
+        // No honest chain carries a timestamp past the drift bound at the
+        // time it could have been mined (the horizon of the whole run).
+        for node in sim.nodes().iter().filter(|n| !n.is_adversarial()) {
+            for block in node.tree().best_chain() {
+                assert!(
+                    block.header.timestamp <= report.duration_ms + 4_000,
+                    "honest chains stay drift-bounded"
+                );
             }
         }
     }

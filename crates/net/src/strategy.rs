@@ -19,6 +19,12 @@
 //! * [`PoisonedSync`] — mine orphan blocks over a fabricated parent and
 //!   answer the resulting sync requests with corrupted segments, so the
 //!   spam lands on `validate_segment_parallel`'s rejection paths,
+//! * [`TimestampSkew`] — report future-skewed block times so an adaptive
+//!   difficulty rule drags the attacker's targets easier (bounded by the
+//!   honest nodes' median-time-past/future-drift timestamp rule),
+//! * [`DifficultyHopping`] — contribute hash power only while the branch's
+//!   expected target is easy, defecting when retargeting makes blocks
+//!   expensive,
 //! * [`Silent`] — an offline placeholder used as the baseline when proving
 //!   that spam never changes honest fork choice.
 
@@ -146,6 +152,23 @@ pub trait Strategy: fmt::Debug + Send {
     /// corrupted segment of that class.
     fn on_slice(&mut self) -> Option<Corruption> {
         None
+    }
+
+    /// Simulated milliseconds this node pushes the timestamps of blocks it
+    /// mines into the future (0 = report true time, the honest default).
+    /// Under an adaptive difficulty rule a forward-skewed timestamp
+    /// inflates the elapsed time the rule observes, making the skewed
+    /// block's own target easier.
+    fn timestamp_skew_ms(&self) -> u64 {
+        0
+    }
+
+    /// Whether to spend this slice's hash power, given the expected
+    /// attempts per block of the current mining target (default: always
+    /// mine). Difficulty hoppers defect while the branch is expensive.
+    fn mines_at(&mut self, expected_attempts: f64) -> bool {
+        let _ = expected_attempts;
+        true
     }
 }
 
@@ -304,6 +327,58 @@ impl Strategy for PoisonedSync {
     }
 }
 
+/// Timestamp-skew difficulty manipulation: mine, announce and relay like
+/// an honest node, but report every mined block's timestamp `skew_ms`
+/// simulated milliseconds in the future (cumulatively past an
+/// already-skewed parent). An adaptive
+/// [`DifficultyRule`](hashcore_chain::DifficultyRule) reads the inflated
+/// gap as "blocks
+/// are too slow" and hands the skewed block an easier target — so the
+/// attacker mines cheaper blocks than its hash power deserves and drags
+/// chain growth above the honest rate. The defence is the honest nodes'
+/// timestamp-validity rule ([`TimestampRule`](crate::TimestampRule)):
+/// with a future-drift bound below `skew_ms`, skewed headers are rejected
+/// on arrival and the attack buys nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct TimestampSkew {
+    /// Simulated milliseconds each mined block's timestamp is pushed past
+    /// the later of "now" and its parent's reported time.
+    pub skew_ms: u64,
+}
+
+impl Strategy for TimestampSkew {
+    fn name(&self) -> &'static str {
+        "timestamp-skew"
+    }
+
+    fn timestamp_skew_ms(&self) -> u64 {
+        self.skew_ms
+    }
+}
+
+/// Difficulty hopping (coin hopping turned on a single chain): contribute
+/// hash power only while the branch's expected target is easy — at most
+/// `max_expected_attempts` per block — and defect when per-block
+/// retargeting makes blocks expensive, harvesting the cheap blocks that
+/// honest miners' steady work pays to re-tighten. Protocol-valid but
+/// parasitic: the hopper's revenue per attempt beats the steady miners'.
+#[derive(Debug, Clone, Copy)]
+pub struct DifficultyHopping {
+    /// Mine only while the expected attempts per block are at or below
+    /// this threshold.
+    pub max_expected_attempts: f64,
+}
+
+impl Strategy for DifficultyHopping {
+    fn name(&self) -> &'static str {
+        "difficulty-hopping"
+    }
+
+    fn mines_at(&mut self, expected_attempts: f64) -> bool {
+        expected_attempts <= self.max_expected_attempts
+    }
+}
+
 /// A dead node: no mining, no relaying, no syncing, no serving. The
 /// rng-isolated baseline an adversary is swapped against when proving that
 /// its traffic did not move honest fork choice.
@@ -377,6 +452,33 @@ mod tests {
                 "poisoned sync must exercise the verifier, not the target policy"
             );
         }
+    }
+
+    #[test]
+    fn skew_and_hopping_use_the_new_hooks_and_stay_otherwise_honest() {
+        let skew = TimestampSkew { skew_ms: 9_000 };
+        assert_eq!(skew.timestamp_skew_ms(), 9_000);
+        assert!(skew.is_adversarial());
+        // The skewer follows the protocol everywhere else: it announces,
+        // relays and syncs like an honest miner.
+        let mut s = TimestampSkew { skew_ms: 9_000 };
+        assert_eq!(s.mining_mode(), MiningMode::Extend);
+        assert_eq!(s.on_mined(), MinedAction::Announce);
+        assert!(s.relays() && s.syncs());
+        assert!(s.mines_at(1e12), "skewers never defect on difficulty");
+
+        let mut hop = DifficultyHopping {
+            max_expected_attempts: 1_000.0,
+        };
+        assert!(hop.mines_at(999.0));
+        assert!(hop.mines_at(1_000.0));
+        assert!(!hop.mines_at(1_000.5));
+        assert_eq!(hop.timestamp_skew_ms(), 0);
+        assert!(hop.is_adversarial());
+        // Honest default: never skew, never defect.
+        let mut honest = Honest;
+        assert_eq!(honest.timestamp_skew_ms(), 0);
+        assert!(honest.mines_at(f64::INFINITY));
     }
 
     #[test]

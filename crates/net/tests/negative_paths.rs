@@ -44,7 +44,7 @@ fn unsolicited_segment_is_dropped_without_verifying_or_mutating() {
 
     // A perfectly valid segment the victim never asked for: dropped
     // without a verifier pass, without storing a block, without replying.
-    let out = victim.handle(0, Message::Segment(segment.clone()));
+    let out = victim.handle(0, 0, Message::Segment(segment.clone()));
     assert!(out.is_empty(), "no reply to unsolicited segments: {out:?}");
     assert_eq!(verifier_runs(&victim), 0, "verifier must not run");
     assert_eq!(victim.tree().len(), len_before);
@@ -53,7 +53,7 @@ fn unsolicited_segment_is_dropped_without_verifying_or_mutating() {
     assert_eq!(victim.stats().blocks_accepted, 0);
 
     // An empty segment is equally inert (and must not panic).
-    assert!(victim.handle(0, Message::Segment(Vec::new())).is_empty());
+    assert!(victim.handle(0, 0, Message::Segment(Vec::new())).is_empty());
     assert_eq!(victim.tree().len(), len_before);
 }
 
@@ -66,17 +66,17 @@ fn duplicate_segment_for_an_in_flight_request_is_not_reverified() {
     let tip_block = server.tree().tip_block().cloned().expect("mined");
 
     let mut client = node(1);
-    let request = client.handle(0, Message::Block(tip_block));
+    let request = client.handle(0, 0, Message::Block(tip_block));
     let Some(Outgoing::To(0, get @ Message::GetSegment { .. })) = request.first().cloned() else {
         panic!("orphan must trigger a request, got {request:?}");
     };
-    let response = server.handle(1, get);
+    let response = server.handle(0, 1, get);
     let Some(Outgoing::To(1, Message::Segment(segment))) = response.first().cloned() else {
         panic!("server must serve the segment, got {response:?}");
     };
 
     // First delivery: one verifier pass, chain adopted.
-    client.handle(0, Message::Segment(segment.clone()));
+    client.handle(0, 0, Message::Segment(segment.clone()));
     assert_eq!(client.tip(), server.tip());
     assert_eq!(verifier_runs(&client), 1);
     let len_after_first = client.tree().len();
@@ -84,7 +84,7 @@ fn duplicate_segment_for_an_in_flight_request_is_not_reverified() {
 
     // A raced duplicate of the same response: no verifier pass, no tree
     // mutation, no reply, no reorg bookkeeping.
-    let out = client.handle(0, Message::Segment(segment));
+    let out = client.handle(0, 0, Message::Segment(segment));
     assert!(out.is_empty(), "duplicate must be silent: {out:?}");
     assert_eq!(verifier_runs(&client), 1, "verifier must not re-run");
     assert_eq!(client.tree().len(), len_after_first);
@@ -105,6 +105,7 @@ fn get_segment_for_an_unknown_want_or_locator_is_inert() {
     // Unknown want: no reply, no panic, no verifier, no mutation.
     let unknown_want: Digest256 = [0x12; 32];
     let out = server.handle(
+        0,
         1,
         Message::GetSegment {
             want: unknown_want,
@@ -116,6 +117,7 @@ fn get_segment_for_an_unknown_want_or_locator_is_inert() {
     // Known want with a garbage locator: serves the whole chain (the
     // locator is advisory), still no mutation.
     let out = server.handle(
+        0,
         1,
         Message::GetSegment {
             want: tip_before,
@@ -131,6 +133,7 @@ fn get_segment_for_an_unknown_want_or_locator_is_inert() {
 
     // Empty locator: same, never panics.
     let out = server.handle(
+        0,
         1,
         Message::GetSegment {
             want: tip_before,

@@ -144,8 +144,8 @@ impl Workload {
 /// Executes `workload` and extracts its performance profile.
 ///
 /// This is the "profile the reference workload" stage of the paper's
-/// pipeline; the returned profile is what [`hashcore_gen::WidgetGenerator`]
-/// (in the `hashcore-gen` crate) consumes.
+/// pipeline; the returned profile is what the `hashcore-gen` crate's
+/// `WidgetGenerator` consumes.
 ///
 /// # Errors
 ///
