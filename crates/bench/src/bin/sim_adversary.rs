@@ -30,6 +30,7 @@
 //! ```
 
 use hashcore_baselines::Sha256dPow;
+use hashcore_bench::simbench::{positional_arg, run_twice, write_json};
 use hashcore_net::{
     Honest, Node, Partition, PoisonedSync, SegmentSpam, SegmentStalling, SelfishMining, SimConfig,
     SimReport, Simulation, StallMode, Strategy,
@@ -40,13 +41,6 @@ use std::fmt::Write as _;
 const HONEST_NODES: usize = 4;
 /// Base nonce attempts per slice for every honest node.
 const BASE_ATTEMPTS: u64 = 32;
-
-fn positional_arg(index: usize, default: u64) -> u64 {
-    std::env::args()
-        .nth(index)
-        .and_then(|arg| arg.parse().ok())
-        .unwrap_or(default)
-}
 
 /// The adversary's per-slice attempts for hash-power fraction `alpha`.
 fn attempts_for_alpha(alpha: f64) -> u64 {
@@ -157,10 +151,17 @@ fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
         }
         (report, revenue_share, chain.len())
     };
-    let (report, revenue_share, revenue_window) = run();
-    let (second, second_revenue, _) = run();
-    let runs_identical = report.fingerprint_extended() == second.fingerprint_extended()
-        && (revenue_share - second_revenue).abs() < f64::EPSILON;
+    // The revenue share rides along in the fingerprint bit-exactly: a
+    // deterministic replay must reproduce the measurement, not just the
+    // race.
+    let ((report, revenue_share, revenue_window), runs_identical) =
+        run_twice(run, |(report, revenue, _)| {
+            format!(
+                "{} revenue={:016x}",
+                report.fingerprint_extended(),
+                revenue.to_bits()
+            )
+        });
     // Fair share is attempts-derived for every scenario: non-mining
     // adversaries (spam/poison) configure BASE_ATTEMPTS but contribute no
     // blocks, while the stalling adversary mines honestly at BASE_ATTEMPTS
@@ -326,8 +327,7 @@ fn main() {
     );
 
     let json = render_json(&outcomes, duration_ms, runs_identical, spam_accepted);
-    std::fs::write("BENCH_adversary.json", &json).expect("BENCH_adversary.json is writable");
-    println!("wrote BENCH_adversary.json");
+    write_json("BENCH_adversary.json", &json);
 }
 
 /// Renders the matrix as a small, dependency-free JSON document.

@@ -43,6 +43,7 @@
 //! ```
 
 use hashcore_baselines::Sha256dPow;
+use hashcore_bench::simbench::{positional_arg, run_twice, write_json};
 use hashcore_net::{
     DifficultyHopping, Honest, RetargetConfig, SimConfig, SimReport, Simulation, Strategy,
     TimestampRule, TimestampSkew,
@@ -72,13 +73,6 @@ const MIN_SKEW_INFLATION: f64 = 2.0;
 /// The timestamp rule must divide an undefended skew's chain growth by at
 /// least this factor (observed: ×15+).
 const MIN_DEFENCE_CRUSH: f64 = 4.0;
-
-fn positional_arg(index: usize, default: u64) -> u64 {
-    std::env::args()
-        .nth(index)
-        .and_then(|arg| arg.parse().ok())
-        .unwrap_or(default)
-}
 
 /// One scenario of the sweep.
 struct Scenario {
@@ -153,9 +147,7 @@ fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
         );
         sim.run()
     };
-    let report = run();
-    let second = run();
-    let runs_identical = report.fingerprint_extended() == second.fingerprint_extended();
+    let (report, runs_identical) = run_twice(run, SimReport::fingerprint_extended);
     // Chain growth of the honest best chain, normalised to blocks/hour.
     let blocks_per_hour = report.tip_height as f64 * 3_600_000.0 / duration_ms as f64;
     Outcome {
@@ -274,8 +266,7 @@ fn main() {
         skew_inflates,
         drift_rule_holds,
     );
-    std::fs::write("BENCH_difficulty.json", &json).expect("BENCH_difficulty.json is writable");
-    println!("wrote BENCH_difficulty.json");
+    write_json("BENCH_difficulty.json", &json);
 }
 
 /// Renders the sweep as a small, dependency-free JSON document.

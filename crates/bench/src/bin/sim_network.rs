@@ -17,15 +17,9 @@
 //! ```
 
 use hashcore_baselines::Sha256dPow;
+use hashcore_bench::simbench::{positional_arg, run_twice, write_json};
 use hashcore_net::{Partition, SimConfig, SimReport, Simulation};
 use std::fmt::Write as _;
-
-fn positional_arg(index: usize, default: u64) -> u64 {
-    std::env::args()
-        .nth(index)
-        .and_then(|arg| arg.parse().ok())
-        .unwrap_or(default)
-}
 
 fn config(duration_s: u64, nodes: usize) -> SimConfig {
     let duration_ms = duration_s * 1_000;
@@ -57,10 +51,10 @@ fn main() {
         "network simulation: {nodes} nodes, {duration_s} s horizon, partition in the middle third"
     );
 
-    let mut first = Simulation::new(config(duration_s, nodes), |_| Sha256dPow);
-    let report = first.run();
-    let second = Simulation::new(config(duration_s, nodes), |_| Sha256dPow).run();
-    let runs_identical = report.fingerprint() == second.fingerprint();
+    let (report, runs_identical) = run_twice(
+        || Simulation::new(config(duration_s, nodes), |_| Sha256dPow).run(),
+        SimReport::fingerprint,
+    );
 
     println!("  converged:         {}", report.converged);
     println!(
@@ -102,8 +96,7 @@ fn main() {
     assert!(runs_identical, "same seed must reproduce the same race");
 
     let json = render_json(&report, runs_identical);
-    std::fs::write("BENCH_sync.json", &json).expect("BENCH_sync.json is writable");
-    println!("wrote BENCH_sync.json");
+    write_json("BENCH_sync.json", &json);
 }
 
 /// Renders the report as a small, dependency-free JSON document.
@@ -154,10 +147,5 @@ mod tests {
         assert!(json.contains("\"bench\": \"network_sync\""));
         assert!(json.contains("\"runs_identical\": true"));
         assert!(json.ends_with("}\n"));
-    }
-
-    #[test]
-    fn positional_args_fall_back_to_defaults() {
-        assert_eq!(positional_arg(7, 42), 42);
     }
 }

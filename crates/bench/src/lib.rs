@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod simbench;
+
 use hashcore_crypto::sha256;
 use hashcore_gen::{GenScratch, GeneratedWidget, PipelineScratch, WidgetGenerator};
 use hashcore_profile::{HashSeed, PerformanceProfile, ProfileDistance};

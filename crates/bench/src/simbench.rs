@@ -1,0 +1,77 @@
+//! Shared plumbing for the `sim_*` network-simulation harnesses.
+//!
+//! Every simulation bench follows the same contract: parse a couple of
+//! positional arguments, run each deterministic scenario **twice** and
+//! compare a fingerprint to prove the run replays byte-identically from
+//! its seed, then write a small dependency-free JSON document that CI
+//! greps for the acceptance gates. The three pieces of that contract live
+//! here so the binaries only contain what is unique to their scenario
+//! matrix.
+
+/// Parses positional argument `index` as a `u64`, falling back to
+/// `default` when absent or unparsable.
+pub fn positional_arg(index: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(index)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `run` twice and compares the two results under `fingerprint`.
+///
+/// Returns the first result and whether the second replayed identically.
+/// The fingerprint closure decides how strict "identical" is — the
+/// network bench compares `SimReport::fingerprint`, the adversary and
+/// difficulty benches the extended variant, optionally folding in
+/// scenario-level figures (bit-exact floats via [`f64::to_bits`]).
+pub fn run_twice<R>(mut run: impl FnMut() -> R, fingerprint: impl Fn(&R) -> String) -> (R, bool) {
+    let first = run();
+    let second = run();
+    let identical = fingerprint(&first) == fingerprint(&second);
+    (first, identical)
+}
+
+/// Writes a rendered JSON document to `path` and announces it on stdout —
+/// the closing step of every simulation bench.
+///
+/// # Panics
+///
+/// When `path` is not writable: a bench that cannot record its results
+/// has failed.
+pub fn write_json(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|error| panic!("{path} is writable: {error}"));
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_args_fall_back_to_defaults() {
+        assert_eq!(positional_arg(99, 42), 42);
+    }
+
+    #[test]
+    fn run_twice_detects_divergence() {
+        let mut calls = 0u64;
+        let (first, identical) = run_twice(
+            || {
+                calls += 1;
+                7u64
+            },
+            |r| r.to_string(),
+        );
+        assert_eq!((first, identical, calls), (7, true, 2));
+
+        let mut counter = 0u64;
+        let (_, identical) = run_twice(
+            || {
+                counter += 1;
+                counter
+            },
+            |r| r.to_string(),
+        );
+        assert!(!identical, "a nondeterministic run must be flagged");
+    }
+}

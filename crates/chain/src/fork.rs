@@ -18,7 +18,7 @@ use crate::chain::{validate_segment, ChainError, InvalidReason};
 use crate::difficulty::DifficultyRule;
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
-use hashcore_crypto::Digest256;
+use hashcore_crypto::{Digest256, Sha256};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -172,6 +172,94 @@ struct Entry {
     height: u64,
     /// Cumulative expected hash attempts from genesis through this block.
     work: f64,
+}
+
+/// A complete, self-contained description of a [`ForkTree`]'s logical state
+/// — everything [`ForkTree::restore_from_snapshot`] needs to rebuild a tree
+/// whose [`ForkTree::fingerprint`] is byte-identical to the source tree's.
+///
+/// Blocks are ordered by ascending `(height, digest)`, so parents always
+/// precede children and the ordering is canonical (two snapshots of equal
+/// trees are equal). For a pruned tree the first block is the retention
+/// root, whose position in the original chain cannot be recomputed from the
+/// retained blocks alone — `root_height` and `root_work` carry it across.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSnapshot {
+    /// Digest of the retention root ([`GENESIS_HASH`] for an unpruned
+    /// tree, in which case no root block entry exists).
+    pub root: Digest256,
+    /// Height of the retention root (0 when `root` is [`GENESIS_HASH`]).
+    pub root_height: u64,
+    /// Cumulative work through the retention root (0.0 when `root` is
+    /// [`GENESIS_HASH`]).
+    pub root_work: f64,
+    /// The difficulty rule the tree enforces along every branch, if any.
+    pub rule: Option<DifficultyRule>,
+    /// Every stored block, ascending `(height, digest)`.
+    pub blocks: Vec<Block>,
+}
+
+/// Errors returned when rebuilding a [`ForkTree`] from a [`TreeSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The snapshot names a non-genesis root but its first block's PoW
+    /// digest is not that root (the root block is missing or corrupt).
+    RootMismatch {
+        /// The root digest the snapshot promised.
+        want: Digest256,
+        /// The digest of the first block actually present (all-zero when
+        /// the snapshot holds no blocks at all).
+        got: Digest256,
+    },
+    /// The snapshot's root block fails its own embedded PoW target — a
+    /// corrupted snapshot, since the live tree only ever stored valid
+    /// blocks.
+    RootPow,
+    /// A non-root block failed [`ForkTree::apply`] during the replay;
+    /// carries the index of the offending block in the snapshot ordering.
+    Apply {
+        /// Index into [`TreeSnapshot::blocks`].
+        index: usize,
+        /// The underlying apply error.
+        error: ForkError,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::RootMismatch { want, .. } => write!(
+                f,
+                "snapshot root {} does not match its first block",
+                hashcore_crypto::hex::encode(want)
+            ),
+            RestoreError::RootPow => write!(f, "snapshot root block fails its own PoW target"),
+            RestoreError::Apply { index, error } => {
+                write!(f, "snapshot block {index} failed to re-apply: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Canonical byte encoding of an optional difficulty rule, used only
+/// inside [`ForkTree::fingerprint`] (the on-disk codec lives in
+/// `hashcore-store` and is versioned separately).
+fn hash_rule(hasher: &mut Sha256, rule: Option<&DifficultyRule>) {
+    match rule {
+        None => hasher.update(&[0u8]),
+        Some(DifficultyRule::Fixed(target)) => {
+            hasher.update(&[1u8]);
+            hasher.update(target.threshold());
+        }
+        Some(DifficultyRule::Ema(ema)) => {
+            hasher.update(&[2u8]);
+            hasher.update(ema.initial.threshold());
+            hasher.update(&ema.target_block_time.to_bits().to_le_bytes());
+            hasher.update(&ema.gain.to_bits().to_le_bytes());
+        }
+    }
 }
 
 /// A block store keyed by header PoW digest, with cumulative-work fork
@@ -721,6 +809,139 @@ impl<P: PreparedPow> ForkTree<P> {
         before - self.entries.len()
     }
 
+    /// A canonical digest of the tree's complete logical state: the rule,
+    /// the retention root (with its height and cumulative-work bits), the
+    /// tip, and every stored block with its height and work, ordered by
+    /// digest. Two trees with the same fingerprint store the same block
+    /// set, agree on fork choice, and will answer every query (`locator`,
+    /// `segment_to`, `best_chain`, …) identically — the byte-identity
+    /// witness the persistence layer's `save → crash → restore` proofs
+    /// compare.
+    pub fn fingerprint(&self) -> Digest256 {
+        let mut hasher = Sha256::new();
+        hasher.update(b"hashcore-forktree-fingerprint-v1");
+        hash_rule(&mut hasher, self.rule.as_ref());
+        hasher.update(&self.root);
+        hasher.update(&self.root_height().to_le_bytes());
+        hasher.update(&self.work_of(&self.root).to_bits().to_le_bytes());
+        hasher.update(&self.tip);
+        hasher.update(&(self.entries.len() as u64).to_le_bytes());
+        let mut digests: Vec<&Digest256> = self.entries.keys().collect();
+        digests.sort_unstable();
+        let mut header_bytes = Vec::new();
+        for digest in digests {
+            let entry = &self.entries[digest];
+            hasher.update(digest);
+            hasher.update(&entry.height.to_le_bytes());
+            hasher.update(&entry.work.to_bits().to_le_bytes());
+            entry.block.header.write_bytes(&mut header_bytes);
+            hasher.update(&header_bytes);
+            hasher.update(&(entry.block.transactions.len() as u64).to_le_bytes());
+            for tx in &entry.block.transactions {
+                hasher.update(&(tx.len() as u64).to_le_bytes());
+                hasher.update(tx);
+            }
+        }
+        hasher.finalize()
+    }
+
+    /// Exports the tree's complete logical state as a [`TreeSnapshot`] —
+    /// blocks in canonical ascending `(height, digest)` order, plus the
+    /// root/rule context a restore needs. The inverse of
+    /// [`ForkTree::restore_from_snapshot`].
+    pub fn snapshot(&self) -> TreeSnapshot {
+        let mut keyed: Vec<(u64, &Digest256)> = self
+            .entries
+            .iter()
+            .map(|(digest, entry)| (entry.height, digest))
+            .collect();
+        keyed.sort_unstable();
+        TreeSnapshot {
+            root: self.root,
+            root_height: self.root_height(),
+            root_work: self.work_of(&self.root),
+            rule: self.rule,
+            blocks: keyed
+                .into_iter()
+                .map(|(_, digest)| self.entries[digest].block.clone())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds this tree in place from a snapshot, reusing the existing
+    /// PoW instance and scratch. All current state is discarded. The
+    /// snapshot's root block (when the snapshot is of a pruned tree) is
+    /// verified against its recorded digest and its own PoW target, then
+    /// trusted at `root_height`/`root_work`; every other block replays
+    /// through [`ForkTree::apply`], so the usual Merkle/PoW/target checks
+    /// all run and fork choice recomputes the tip from scratch. On success
+    /// the restored tree's [`ForkTree::fingerprint`] equals the source
+    /// tree's.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] on a root/blocks mismatch or any block that fails
+    /// to re-apply; the tree is left empty (never half-restored) in that
+    /// case.
+    pub fn restore_from_snapshot(&mut self, snapshot: &TreeSnapshot) -> Result<(), RestoreError> {
+        self.entries.clear();
+        self.tip = GENESIS_HASH;
+        self.root = GENESIS_HASH;
+        self.rule = snapshot.rule;
+        let mut blocks = snapshot.blocks.iter().enumerate();
+        if snapshot.root != GENESIS_HASH {
+            let Some((_, root_block)) = blocks.next() else {
+                return Err(RestoreError::RootMismatch {
+                    want: snapshot.root,
+                    got: [0u8; 32],
+                });
+            };
+            let digest = self.digest_of(root_block);
+            if digest != snapshot.root {
+                return Err(RestoreError::RootMismatch {
+                    want: snapshot.root,
+                    got: digest,
+                });
+            }
+            if !Target::from_threshold(root_block.header.target).is_met_by(&digest)
+                || !root_block.merkle_consistent()
+            {
+                return Err(RestoreError::RootPow);
+            }
+            self.entries.insert(
+                digest,
+                Entry {
+                    block: root_block.clone(),
+                    height: snapshot.root_height,
+                    work: snapshot.root_work,
+                },
+            );
+            self.root = digest;
+            self.tip = digest;
+        }
+        for (index, block) in blocks {
+            if let Err(error) = self.apply(block.clone()) {
+                self.entries.clear();
+                self.tip = GENESIS_HASH;
+                self.root = GENESIS_HASH;
+                return Err(RestoreError::Apply { index, error });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh tree from a snapshot — the owning form of
+    /// [`ForkTree::restore_from_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ForkTree::restore_from_snapshot`].
+    pub fn from_snapshot(pow: P, snapshot: &TreeSnapshot) -> Result<Self, RestoreError> {
+        let mut tree = Self::new(pow);
+        tree.restore_from_snapshot(snapshot)?;
+        Ok(tree)
+    }
+
     /// Re-validates the whole best chain through the sequential segment
     /// validator — a consistency check for tests and tooling. A pruned
     /// tree's chain is anchored at the retention root's parent digest.
@@ -1177,5 +1398,128 @@ mod tests {
         assert!(matches!(outcome, ApplyOutcome::TipChanged { .. }));
         assert_eq!(tree.tip(), digest(&side3));
         tree.validate_best_chain().expect("reorged chain validates");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_fingerprint_and_queries() {
+        let mut tree = ForkTree::with_rule(
+            Sha256dPow,
+            DifficultyRule::Ema(crate::difficulty::EmaRetarget {
+                initial: Target::from_leading_zero_bits(2),
+                target_block_time: 10.0,
+                gain: 0.0, // flat: mined fixtures stay valid under the rule
+            }),
+        );
+        let chain = mined_line(6, "trunk");
+        for block in &chain {
+            tree.apply(block.clone()).expect("valid");
+        }
+        // A side branch so the snapshot carries more than the best chain.
+        let side = mine_child(digest(&chain[3]), "side", 2);
+        tree.apply(side.clone()).expect("valid");
+
+        let snap = tree.snapshot();
+        assert_eq!(snap.root, GENESIS_HASH);
+        assert_eq!(snap.blocks.len(), 7);
+        let restored = ForkTree::from_snapshot(Sha256dPow, &snap).expect("restores");
+        assert_eq!(restored.fingerprint(), tree.fingerprint());
+        assert_eq!(restored.tip(), tree.tip());
+        assert_eq!(restored.locator(), tree.locator());
+        assert_eq!(restored.best_chain(), tree.best_chain());
+        assert_eq!(restored.rule(), tree.rule());
+
+        // Fingerprints discriminate: dropping the side branch changes it.
+        let mut trimmed = snap.clone();
+        trimmed
+            .blocks
+            .retain(|block| digest(block) != digest(&side));
+        let thinner = ForkTree::from_snapshot(Sha256dPow, &trimmed).expect("restores");
+        assert_ne!(thinner.fingerprint(), tree.fingerprint());
+    }
+
+    #[test]
+    fn pruned_tree_snapshot_restores_identically() {
+        let chain = mined_line(10, "trunk");
+        let mut tree = ForkTree::new(Sha256dPow);
+        for block in &chain {
+            tree.apply(block.clone()).expect("valid");
+        }
+        assert!(tree.prune(4) > 0);
+        assert_eq!(tree.root(), digest(&chain[5]));
+
+        let snap = tree.snapshot();
+        assert_eq!(snap.root, digest(&chain[5]));
+        assert_eq!(snap.root_height, 6);
+        let restored = ForkTree::from_snapshot(Sha256dPow, &snap).expect("restores");
+
+        assert_eq!(restored.fingerprint(), tree.fingerprint());
+        assert_eq!(restored.root(), tree.root());
+        assert_eq!(restored.root_height(), tree.root_height());
+        assert_eq!(restored.tip(), tree.tip());
+        assert_eq!(restored.locator(), tree.locator());
+        // A requester below the retention window gets the same clean
+        // `Pruned` answer from the live and the restored tree.
+        let want = tree.tip();
+        let below = vec![digest(&chain[1]), GENESIS_HASH];
+        let live = tree.segment_to(want, &below).unwrap_err();
+        let back = restored.segment_to(want, &below).unwrap_err();
+        assert_eq!(live, back);
+        assert!(matches!(live, SegmentError::Pruned { root } if root == digest(&chain[5])));
+        // And an in-window requester gets the identical segment.
+        let known = vec![digest(&chain[7])];
+        assert_eq!(
+            tree.segment_to(want, &known).expect("servable"),
+            restored.segment_to(want, &known).expect("servable"),
+        );
+        restored
+            .validate_best_chain()
+            .expect("restored chain validates");
+    }
+
+    #[test]
+    fn restore_rejects_tampered_snapshots() {
+        let chain = mined_line(6, "trunk");
+        let mut tree = ForkTree::new(Sha256dPow);
+        for block in &chain {
+            tree.apply(block.clone()).expect("valid");
+        }
+        tree.prune(2);
+        let snap = tree.snapshot();
+
+        // Swapped root block: digest no longer matches the recorded root.
+        let mut wrong_root = snap.clone();
+        wrong_root.blocks[0] = chain[0].clone();
+        assert!(matches!(
+            ForkTree::from_snapshot(Sha256dPow, &wrong_root),
+            Err(RestoreError::RootMismatch { .. })
+        ));
+
+        // Forged transaction in the root: the digest (header-only) still
+        // matches, but the Merkle commitment breaks.
+        let mut forged = snap.clone();
+        forged.blocks[0].transactions[0] = b"forged".to_vec();
+        assert!(matches!(
+            ForkTree::from_snapshot(Sha256dPow, &forged),
+            Err(RestoreError::RootPow)
+        ));
+
+        // Missing interior block: its child fails to attach.
+        let mut gapped = snap.clone();
+        gapped.blocks.remove(1);
+        assert!(matches!(
+            ForkTree::from_snapshot(Sha256dPow, &gapped),
+            Err(RestoreError::Apply {
+                error: ForkError::UnknownParent { .. },
+                ..
+            })
+        ));
+
+        // Empty block list for a pruned snapshot: no root to anchor on.
+        let mut empty = snap;
+        empty.blocks.clear();
+        assert!(matches!(
+            ForkTree::from_snapshot(Sha256dPow, &empty),
+            Err(RestoreError::RootMismatch { .. })
+        ));
     }
 }

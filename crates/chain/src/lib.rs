@@ -58,5 +58,8 @@ pub use chain::{
     Blockchain, ChainConfig, ChainError, InvalidReason,
 };
 pub use difficulty::{DifficultyRule, EmaRetarget};
-pub use fork::{ApplyOutcome, ForkError, ForkTree, Reorg, SegmentError, GENESIS_HASH};
+pub use fork::{
+    ApplyOutcome, ForkError, ForkTree, Reorg, RestoreError, SegmentError, TreeSnapshot,
+    GENESIS_HASH,
+};
 pub use hashcore_baselines::{PowFunction, PreparedPow};

@@ -64,6 +64,18 @@
 //! network randomness from a separate seeded stream, so honest traffic is
 //! provably unchanged by an adversary that honest nodes ignore — the
 //! property the adversary proptests pin down.
+//!
+//! # Persistence and crash recovery
+//!
+//! With `SimConfig::persistence` set, every node attaches a
+//! `hashcore_store::ChainStore`: accepted blocks append to a CRC-framed
+//! segment log and the fork tree is snapshotted periodically (and after
+//! every prune). Scheduled [`CrashRestart`] events then kill a node at a
+//! deterministic simulated time — it mines nothing and drops all traffic
+//! while down — and restart it from disk through the store's recovery
+//! ladder, optionally shearing a torn tail off its active log first. The
+//! restarted node re-announces its recovered tip and catches back up
+//! through the existing segment sync.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,7 +85,10 @@ mod sim;
 mod strategy;
 
 pub use node::{Message, Node, NodeStats, Outgoing, RejectionCounts, SyncReorg, TimestampRule};
-pub use sim::{LatencyModel, Partition, RetargetConfig, SimConfig, SimReport, Simulation};
+pub use sim::{
+    CrashRestart, LatencyModel, Partition, PersistenceConfig, RetargetConfig, SimConfig, SimReport,
+    Simulation,
+};
 pub use strategy::{
     Corruption, DifficultyHopping, Honest, MinedAction, MiningMode, PoisonedSync, SegmentSpam,
     SegmentStalling, SelfishMining, ServeAction, Silent, StallMode, Strategy, TimestampSkew,

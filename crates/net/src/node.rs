@@ -7,10 +7,13 @@ use hashcore::{MiningInput, Target};
 use hashcore_baselines::PreparedPow;
 use hashcore_chain::{
     validate_segment_parallel, ApplyOutcome, Block, BlockHeader, DifficultyRule, ForkError,
-    ForkTree, InvalidReason, Reorg, GENESIS_HASH,
+    ForkTree, InvalidReason, Reorg, TreeSnapshot, GENESIS_HASH,
 };
 use hashcore_crypto::Digest256;
+use hashcore_store::{ChainStore, RecoveryReport};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io;
+use std::path::Path;
 use std::time::Instant;
 
 /// Re-requests a node attempts after its first segment request stalls
@@ -223,6 +226,15 @@ pub struct NodeStats {
     pub peers_banned: u64,
     /// Blocks evicted by fork-tree pruning.
     pub blocks_pruned: u64,
+    /// Times this node crash-restarted from its persistent store.
+    pub crash_restarts: u64,
+    /// Crash-restarts whose recovered tree fingerprint matched the
+    /// pre-crash tree exactly (always, unless log bytes were lost).
+    pub recoveries_identical: u64,
+    /// Log records re-applied on top of recovered snapshots.
+    pub blocks_replayed: u64,
+    /// Torn/corrupt log bytes recovery discarded across every restart.
+    pub recovery_lost_bytes: u64,
 }
 
 /// A sync request in flight: who was asked, how many times the request has
@@ -269,6 +281,22 @@ impl<S: Default> Miner<S> {
             header_bytes: Vec::new(),
         }
     }
+}
+
+/// A node's attachment to its on-disk [`ChainStore`]: every newly stored
+/// block is appended to the segment log, and a full-tree snapshot is
+/// committed every `snapshot_interval` stored blocks (and after every
+/// prune, so the durable state never resurrects evicted branches).
+#[derive(Debug)]
+struct Persistence {
+    store: ChainStore,
+    /// Stored blocks between periodic snapshots (0 = snapshot only on
+    /// prune).
+    snapshot_interval: u64,
+    /// Blocks appended since the last committed snapshot.
+    since_snapshot: u64,
+    /// Whether appends fsync per record (restored after a crash-restart).
+    sync_appends: bool,
 }
 
 /// The fabricated parent digest fake-orphan miners build over. Consensus
@@ -349,6 +377,9 @@ where
     penalties: HashMap<usize, u32>,
     /// Peers whose traffic is ignored (BTree for deterministic iteration).
     banned: BTreeSet<usize>,
+    /// On-disk persistence, when enabled; `None` keeps the node purely
+    /// in-memory, exactly as before persistence existed.
+    persistence: Option<Persistence>,
     stats: NodeStats,
 }
 
@@ -379,6 +410,7 @@ where
             fabricated: HashMap::new(),
             penalties: HashMap::new(),
             banned: BTreeSet::new(),
+            persistence: None,
             stats: NodeStats::default(),
         }
     }
@@ -431,6 +463,144 @@ where
         self.ban_threshold = ban_threshold;
         self.prune_depth = prune_depth;
         self
+    }
+
+    /// Attaches an on-disk [`ChainStore`] (builder style): every block the
+    /// node stores is appended to the segment log, and a full-tree
+    /// snapshot is committed every `snapshot_interval` stored blocks
+    /// (0 = only after prunes). The store's fsync policy is preserved
+    /// across [`Node::crash_restart`].
+    pub fn with_persistence(mut self, store: ChainStore, snapshot_interval: u64) -> Self {
+        self.persistence = Some(Persistence {
+            sync_appends: store.synced_appends(),
+            store,
+            snapshot_interval,
+            since_snapshot: 0,
+        });
+        self
+    }
+
+    /// Directory of the attached chain store, if persistence is enabled.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.persistence.as_ref().map(|p| p.store.dir())
+    }
+
+    /// Simulates a process crash plus restart from disk: all volatile
+    /// state (miner template, in-flight requests, withheld chain, peer
+    /// penalties and bans, public-tip tracking) is discarded, the store
+    /// directory is reopened through the recovery ladder, and the fork
+    /// tree is rebuilt from the newest valid snapshot plus the committed
+    /// log suffix. Returns the recovery report and the rejoin sends (a
+    /// tip announcement — peers that moved ahead answer the node's
+    /// resulting orphan requests through the existing segment sync).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the node has no attached store; otherwise any
+    /// I/O error from reopening, or `InvalidData` when the recovered
+    /// snapshot itself fails restore validation (tampering the ladder
+    /// could not detect structurally).
+    pub fn crash_restart(&mut self) -> io::Result<(RecoveryReport, Vec<Outgoing>)> {
+        let Some(old) = self.persistence.take() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "crash_restart requires an attached chain store",
+            ));
+        };
+        let dir = old.store.dir().to_path_buf();
+        let snapshot_interval = old.snapshot_interval;
+        let sync_appends = old.sync_appends;
+        // Close the old file handles before reopening: the crashed
+        // process's descriptors are gone.
+        drop(old);
+
+        let pre_crash_fingerprint = self.tree.fingerprint();
+        let rule = *self.rule();
+
+        // Volatile state dies with the process.
+        self.miner.template_valid = false;
+        self.requested.clear();
+        self.abandoned.clear();
+        self.withheld.clear();
+        self.fabricated.clear();
+        self.penalties.clear();
+        self.banned.clear();
+        self.public_work = 0.0;
+        self.public_tip = GENESIS_HASH;
+
+        let (mut store, recovered) = ChainStore::open(&dir)?;
+        store.set_sync(sync_appends);
+        let base = recovered.snapshot.unwrap_or(TreeSnapshot {
+            root: GENESIS_HASH,
+            root_height: 0,
+            root_work: 0.0,
+            rule: Some(rule),
+            blocks: Vec::new(),
+        });
+        self.tree.restore_from_snapshot(&base).map_err(|error| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("recovered snapshot failed restore: {error}"),
+            )
+        })?;
+        for block in &recovered.replay {
+            if self.tree.apply(block.clone()).is_ok() {
+                self.stats.blocks_replayed += 1;
+            }
+        }
+        self.persistence = Some(Persistence {
+            store,
+            snapshot_interval,
+            since_snapshot: 0,
+            sync_appends,
+        });
+        self.stats.crash_restarts += 1;
+        self.stats.recovery_lost_bytes += recovered.report.lost_bytes;
+        if self.tree.fingerprint() == pre_crash_fingerprint {
+            self.stats.recoveries_identical += 1;
+        }
+        // Rejoin handshake: announce the recovered tip so peers learn the
+        // node is back; any block mined meanwhile arrives as an orphan and
+        // triggers the normal catch-up segment sync.
+        let out = match self.tree.tip_block().cloned() {
+            Some(tip) => vec![Outgoing::Broadcast(Message::Block(tip))],
+            None => Vec::new(),
+        };
+        Ok((recovered.report, out))
+    }
+
+    /// Appends a newly stored block to the segment log and commits a
+    /// periodic snapshot when the interval is due. Persistence I/O errors
+    /// are fatal: a store that silently stops recording would break the
+    /// crash-recovery guarantee the simulation asserts.
+    fn persist_block(&mut self, block: &Block) {
+        let due = {
+            let Some(p) = self.persistence.as_mut() else {
+                return;
+            };
+            p.store
+                .append_block(block)
+                .expect("segment-log append must succeed while the node runs");
+            p.since_snapshot += 1;
+            p.snapshot_interval > 0 && p.since_snapshot >= p.snapshot_interval
+        };
+        if due {
+            self.snapshot_to_store();
+        }
+    }
+
+    /// Commits a full-tree snapshot to the attached store (no-op without
+    /// one), resetting the periodic-snapshot counter.
+    fn snapshot_to_store(&mut self) {
+        let Self {
+            tree, persistence, ..
+        } = &mut *self;
+        if let Some(p) = persistence.as_mut() {
+            p.store
+                .snapshot_now(&tree.snapshot())
+                .expect("snapshot commit must succeed while the node runs");
+            p.since_snapshot = 0;
+        }
     }
 
     /// The node's identifier (its index in the simulation).
@@ -561,6 +731,7 @@ where
             .expect("a locally mined block extends a stored tip");
         self.stats.blocks_mined += 1;
         self.record_tip_change(&outcome);
+        self.persist_block(&block);
         self.miner.template_valid = false;
         match self.strategy.on_mined() {
             MinedAction::Announce => {
@@ -711,6 +882,7 @@ where
         match self.tree.apply(block.clone()) {
             Ok(outcome) if outcome.newly_stored() => {
                 self.stats.blocks_accepted += 1;
+                self.persist_block(&block);
                 self.record_tip_change(&outcome);
                 let mut out = self.note_public_work(outcome.digest());
                 if self.strategy.relays() {
@@ -1167,6 +1339,7 @@ where
             };
             if outcome.newly_stored() {
                 self.stats.blocks_accepted += 1;
+                self.persist_block(block);
             }
             if let ApplyOutcome::TipChanged { reorg, .. } = &outcome {
                 tip_changed = true;
@@ -1271,7 +1444,16 @@ where
                 .tip_height()
                 .saturating_sub(self.tree.root_height());
             if lag > depth.saturating_mul(2) {
-                self.stats.blocks_pruned += self.tree.prune(depth) as u64;
+                let pruned = self.tree.prune(depth) as u64;
+                self.stats.blocks_pruned += pruned;
+                // A snapshot right after the eviction keeps the durable
+                // state in lock-step with the pruned tree: recovery from
+                // (post-prune snapshot + later appends) reproduces the
+                // live tree exactly, instead of resurrecting evicted
+                // branches from pre-prune logs.
+                if pruned > 0 {
+                    self.snapshot_to_store();
+                }
             }
         }
     }
@@ -1794,5 +1976,91 @@ mod tests {
         }
         assert!(mined, "an eased branch must pull the hopper back in");
         assert_eq!(hopper.stats().blocks_mined, 1);
+    }
+
+    #[test]
+    fn crash_restart_recovers_the_exact_tree_and_keeps_persisting() {
+        let dir = hashcore_store::TempDir::new("node-crash").unwrap();
+        let store = ChainStore::create(dir.path()).unwrap();
+        let mut node = node(0).with_persistence(store, 3);
+        // Mine locally and accept a peer block: both storage paths persist.
+        for now in [100, 200, 300, 400] {
+            mine_one(&mut node, now);
+        }
+        // A peer's genesis child lands as a side branch — the gossip
+        // acceptance path must persist it too, or recovery forgets the fork.
+        let mut peer = super::tests::node(1);
+        let peer_block = mine_one(&mut peer, 500);
+        node.handle(550, 1, Message::Block(peer_block));
+        assert_eq!(node.tip_height(), 4);
+        assert_eq!(node.stats().blocks_accepted, 1);
+
+        let fingerprint = node.tree().fingerprint();
+        let tip = node.tip();
+        let (report, out) = node.crash_restart().unwrap();
+        assert!(report.clean(), "nothing was damaged: {report:?}");
+        assert_eq!(node.tree().fingerprint(), fingerprint);
+        assert_eq!(node.tip(), tip);
+        assert_eq!(node.stats().crash_restarts, 1);
+        assert_eq!(node.stats().recoveries_identical, 1);
+        assert!(
+            matches!(&out[..], [Outgoing::Broadcast(Message::Block(b))]
+                if b == node.tree().tip_block().unwrap()),
+            "the restarted node announces its recovered tip"
+        );
+
+        // The reopened store keeps recording: mine more, crash again.
+        mine_one(&mut node, 600);
+        let fingerprint = node.tree().fingerprint();
+        node.crash_restart().unwrap();
+        assert_eq!(node.tree().fingerprint(), fingerprint);
+        assert_eq!(node.stats().recoveries_identical, 2);
+    }
+
+    #[test]
+    fn a_torn_tail_loses_exactly_the_last_appends() {
+        let dir = hashcore_store::TempDir::new("node-torn").unwrap();
+        let store = ChainStore::create(dir.path()).unwrap();
+        let mut node = node(0).with_persistence(store, 0);
+        for now in [100, 200, 300] {
+            mine_one(&mut node, now);
+        }
+        let full = node.tree().fingerprint();
+        hashcore_store::inject_torn_tail(node.store_dir().unwrap(), 5).unwrap();
+        let (report, _) = node.crash_restart().unwrap();
+        assert!(report.lost_bytes > 0);
+        assert_ne!(node.tree().fingerprint(), full);
+        assert_eq!(node.tip_height(), 2, "exactly the torn record is lost");
+        assert_eq!(node.stats().recoveries_identical, 0);
+        assert_eq!(node.stats().recovery_lost_bytes, report.lost_bytes);
+    }
+
+    #[test]
+    fn crash_restart_without_a_store_is_an_error() {
+        let mut bare = node(0);
+        let err = bare.crash_restart().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    /// The snapshot-on-prune policy: pruning commits a snapshot of the
+    /// pruned tree immediately, so recovery never resurrects an evicted
+    /// branch and the restored tree stays fingerprint-identical.
+    #[test]
+    fn a_pruned_node_still_recovers_its_exact_tree() {
+        let dir = hashcore_store::TempDir::new("node-prune").unwrap();
+        let store = ChainStore::create(dir.path()).unwrap();
+        let mut node = node(0)
+            .with_limits(2, None, 0, Some(2))
+            .with_persistence(store, 0);
+        for now in 1..=6u64 {
+            mine_one(&mut node, now * 100);
+        }
+        assert!(node.stats().blocks_pruned > 0, "the window forced prunes");
+        let fingerprint = node.tree().fingerprint();
+        let root = node.tree().root();
+        node.crash_restart().unwrap();
+        assert_eq!(node.tree().fingerprint(), fingerprint);
+        assert_eq!(node.tree().root(), root, "the retention root survives");
+        assert_eq!(node.stats().recoveries_identical, 1);
     }
 }

@@ -8,9 +8,11 @@ use hashcore_baselines::PreparedPow;
 use hashcore_chain::{DifficultyRule, EmaRetarget};
 use hashcore_crypto::Digest256;
 use hashcore_gen::WidgetRng;
+use hashcore_store::ChainStore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Gossip latency model: every message takes `base_ms` plus a uniformly
 /// sampled jitter in `0..=jitter_ms`, drawn from the simulation's seeded
@@ -59,6 +61,39 @@ pub struct RetargetConfig {
     /// Exponential-moving-average weight of the retarget step (see
     /// [`EmaRetarget::gain`]).
     pub gain: f64,
+}
+
+/// Per-node on-disk persistence for a simulation run: each node gets a
+/// fresh [`ChainStore`] in `dir/node-<id>/` and appends every stored block
+/// to its segment log (see [`crate::Node::with_persistence`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// Directory under which each node's store lives (`node-<id>/`
+    /// subdirectories are created; pre-existing store files are an error —
+    /// a run never silently extends an older run's history).
+    pub dir: PathBuf,
+    /// Snapshot every N stored blocks (0 = snapshot only after prunes).
+    pub snapshot_interval: u64,
+    /// Whether every append fsyncs before returning.
+    pub sync_appends: bool,
+}
+
+/// A scheduled crash-restart: `node` goes dark at `at_ms` (drops all
+/// traffic, mines nothing), then restarts at `at_ms + down_ms` from its
+/// on-disk store — recovery ladder, tip re-announcement, and catch-up via
+/// the existing segment sync. Requires [`SimConfig::persistence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRestart {
+    /// The node that crashes.
+    pub node: usize,
+    /// Simulated time of the crash, milliseconds.
+    pub at_ms: u64,
+    /// Downtime before the restart, milliseconds (must be positive).
+    pub down_ms: u64,
+    /// Bytes sheared off the node's active segment log at restart —
+    /// deterministic torn-tail injection modelling appends that never
+    /// became durable (0 = the disk kept everything).
+    pub torn_tail_bytes: u64,
 }
 
 /// Full configuration of one simulation run. A run is a pure function of
@@ -111,6 +146,13 @@ pub struct SimConfig {
     /// which is what makes the timestamp-skew attack land, and what this
     /// knob exists to demonstrate turning off.
     pub timestamp_rule: Option<TimestampRule>,
+    /// Per-node on-disk persistence; `None` (the default) keeps every node
+    /// purely in-memory, exactly as before persistence existed. Building
+    /// the simulation creates the stores (and panics on I/O failure).
+    pub persistence: Option<PersistenceConfig>,
+    /// Scheduled crash-restarts; requires `persistence`. Windows for the
+    /// same node must not overlap.
+    pub crashes: Vec<CrashRestart>,
 }
 
 impl SimConfig {
@@ -145,6 +187,8 @@ impl Default for SimConfig {
             prune_depth: None,
             retarget: None,
             timestamp_rule: None,
+            persistence: None,
+            crashes: Vec::new(),
         }
     }
 }
@@ -166,6 +210,10 @@ enum EventKind {
     PartitionStart { index: usize },
     /// A partition heals.
     PartitionEnd { index: usize },
+    /// A node crashes (goes dark until its restart).
+    Crash { index: usize },
+    /// A crashed node restarts from its on-disk store.
+    Restart { index: usize },
 }
 
 /// A queued event, ordered by `(time, seq)` — `seq` is the insertion
@@ -268,6 +316,17 @@ pub struct SimReport {
     /// honest tip. Large margins mean adversarial branches never came
     /// close.
     pub honest_tip_safety_margin: u64,
+    /// Crash-restarts performed across all nodes.
+    pub crash_restarts: u64,
+    /// Crash-restarts whose recovered tree was fingerprint-identical to
+    /// the pre-crash tree (always, unless torn-tail bytes were injected).
+    pub recoveries_identical: u64,
+    /// Log records re-applied on top of recovered snapshots, all nodes.
+    pub blocks_replayed: u64,
+    /// Torn/corrupt log bytes recovery discarded, all nodes.
+    pub recovery_lost_bytes: u64,
+    /// Messages dropped because the sender or receiver was crashed.
+    pub messages_lost_to_crashes: u64,
 }
 
 impl SimReport {
@@ -310,7 +369,9 @@ impl SimReport {
             out,
             " spam_sent={} spam_accepted={} fake_orphans={} rejections={:?} \
              stalls={} retried={} abandoned={} banned={} withheld={} \
-             released={} abandoned_private={} pruned={} safety_margin={}",
+             released={} abandoned_private={} pruned={} safety_margin={} \
+             crashes={} recovered_identical={} replayed={} lost_bytes={} \
+             crash_dropped={}",
             self.spam_segments_sent,
             self.spam_accepted,
             self.fake_orphans,
@@ -324,6 +385,11 @@ impl SimReport {
             self.withheld_abandoned,
             self.blocks_pruned,
             self.honest_tip_safety_margin,
+            self.crash_restarts,
+            self.recoveries_identical,
+            self.blocks_replayed,
+            self.recovery_lost_bytes,
+            self.messages_lost_to_crashes,
         );
         out
     }
@@ -372,6 +438,10 @@ where
     converged_at: Option<u64>,
     messages_sent: u64,
     messages_dropped: u64,
+    /// Per-node crashed flag: a down node mines nothing and all its
+    /// traffic (both directions) is dropped until its restart.
+    down: Vec<bool>,
+    messages_lost_to_crashes: u64,
 }
 
 impl<P: PreparedPow + Sync + std::fmt::Debug> Simulation<P>
@@ -445,6 +515,29 @@ where
                 "partitions must not overlap in time"
             );
         }
+        // Crash-restarts only make sense for nodes that can come back
+        // with their chain: demand persistence and non-degenerate,
+        // per-node non-overlapping downtime windows.
+        if !config.crashes.is_empty() {
+            assert!(
+                config.persistence.is_some(),
+                "crash-restart events require persistence"
+            );
+        }
+        for c in &config.crashes {
+            assert!(c.node < config.nodes, "crash node out of range");
+            assert!(c.down_ms > 0, "downtime must be positive");
+        }
+        for (i, a) in config.crashes.iter().enumerate() {
+            for b in &config.crashes[i + 1..] {
+                assert!(
+                    a.node != b.node
+                        || a.at_ms + a.down_ms <= b.at_ms
+                        || b.at_ms + b.down_ms <= a.at_ms,
+                    "crash windows for one node must not overlap"
+                );
+            }
+        }
         let target = Target::from_leading_zero_bits(config.difficulty_bits);
         let rule = match config.retarget {
             None => DifficultyRule::Fixed(target),
@@ -456,7 +549,7 @@ where
         };
         let nodes: Vec<Node<P>> = (0..config.nodes)
             .map(|id| {
-                Node::new(id, make_pow(id), target, config.sync_threads)
+                let mut node = Node::new(id, make_pow(id), target, config.sync_threads)
                     .with_difficulty(rule, config.timestamp_rule)
                     .with_strategy(make_strategy(id))
                     .with_limits(
@@ -464,7 +557,15 @@ where
                         config.request_timeout_ms,
                         config.ban_threshold,
                         config.prune_depth,
-                    )
+                    );
+                if let Some(p) = &config.persistence {
+                    let dir = p.dir.join(format!("node-{id}"));
+                    let mut store = ChainStore::create(&dir)
+                        .expect("each node's store directory must be creatable and empty");
+                    store.set_sync(p.sync_appends);
+                    node = node.with_persistence(store, p.snapshot_interval);
+                }
+                node
             })
             .collect();
         let mut honest: Vec<usize> = (0..config.nodes)
@@ -476,6 +577,7 @@ where
         let mut sim = Self {
             rng: WidgetRng::new(config.seed),
             adversary_rng: WidgetRng::new(config.seed ^ 0xADAD_F0F0_1234_5678),
+            down: vec![false; config.nodes],
             nodes,
             honest,
             queue: BinaryHeap::new(),
@@ -485,6 +587,7 @@ where
             converged_at: None,
             messages_sent: 0,
             messages_dropped: 0,
+            messages_lost_to_crashes: 0,
             config,
         };
         for node in 0..sim.config.nodes {
@@ -494,6 +597,11 @@ where
             let p = sim.config.partitions[index];
             sim.schedule(p.start_ms, EventKind::PartitionStart { index });
             sim.schedule(p.end_ms, EventKind::PartitionEnd { index });
+        }
+        for index in 0..sim.config.crashes.len() {
+            let c = sim.config.crashes[index];
+            sim.schedule(c.at_ms, EventKind::Crash { index });
+            sim.schedule(c.at_ms + c.down_ms, EventKind::Restart { index });
         }
         sim
     }
@@ -536,6 +644,13 @@ where
     /// Queues a message send, applying partition drops and sampled latency.
     /// `extra_ms` models a sender that sits on the message before sending.
     fn send(&mut self, from: usize, to: usize, message: Message, extra_ms: u64) {
+        // A crashed endpoint drops traffic before any RNG is consumed —
+        // mirroring the partition path, so crash-free runs stay
+        // byte-identical.
+        if self.down[from] || self.down[to] {
+            self.messages_lost_to_crashes += 1;
+            return;
+        }
         if !self.connected(from, to) {
             self.messages_dropped += 1;
             return;
@@ -606,21 +721,33 @@ where
             self.now = event.time;
             match event.kind {
                 EventKind::MineSlice { node } => {
-                    let attempts = self.config.attempts_for(node);
-                    let outgoing = self.nodes[node].mine_slice(self.now, attempts);
-                    self.dispatch(node, outgoing);
+                    // A crashed node mines nothing, but the slice clock
+                    // keeps ticking so mining resumes after the restart.
+                    if !self.down[node] {
+                        let attempts = self.config.attempts_for(node);
+                        let outgoing = self.nodes[node].mine_slice(self.now, attempts);
+                        self.dispatch(node, outgoing);
+                    }
                     let next = self.now + self.config.slice_ms;
                     if next <= self.config.duration_ms {
                         self.schedule(next, EventKind::MineSlice { node });
                     }
                 }
                 EventKind::Deliver { to, from, message } => {
-                    let outgoing = self.nodes[to].handle(self.now, from, message);
-                    self.dispatch(to, outgoing);
+                    // In-flight messages sent before the crash arrive at a
+                    // dead socket.
+                    if self.down[to] {
+                        self.messages_lost_to_crashes += 1;
+                    } else {
+                        let outgoing = self.nodes[to].handle(self.now, from, message);
+                        self.dispatch(to, outgoing);
+                    }
                 }
                 EventKind::Timeout { node, token } => {
-                    let outgoing = self.nodes[node].on_timer(token);
-                    self.dispatch(node, outgoing);
+                    if !self.down[node] {
+                        let outgoing = self.nodes[node].on_timer(token);
+                        self.dispatch(node, outgoing);
+                    }
                 }
                 EventKind::PartitionStart { index } => {
                     self.split = Some(self.config.partitions[index].split);
@@ -636,6 +763,27 @@ where
                             self.dispatch(from, vec![Outgoing::Broadcast(Message::Block(block))]);
                         }
                     }
+                }
+                EventKind::Crash { index } => {
+                    self.down[self.config.crashes[index].node] = true;
+                }
+                EventKind::Restart { index } => {
+                    let crash = self.config.crashes[index];
+                    // Deterministic torn-tail injection: the configured
+                    // byte count of the active log never became durable.
+                    if crash.torn_tail_bytes > 0 {
+                        let dir = self.nodes[crash.node]
+                            .store_dir()
+                            .expect("crash-restart nodes have a store")
+                            .to_path_buf();
+                        hashcore_store::inject_torn_tail(&dir, crash.torn_tail_bytes)
+                            .expect("torn-tail injection targets an existing log");
+                    }
+                    self.down[crash.node] = false;
+                    let (_report, out) = self.nodes[crash.node]
+                        .crash_restart()
+                        .expect("a crashed node restarts from its store");
+                    self.dispatch(crash.node, out);
                 }
             }
             self.update_convergence();
@@ -716,6 +864,11 @@ where
             withheld_abandoned: sum(&|s| s.withheld_abandoned),
             blocks_pruned: sum(&|s| s.blocks_pruned),
             honest_tip_safety_margin,
+            crash_restarts: sum(&|s| s.crash_restarts),
+            recoveries_identical: sum(&|s| s.recoveries_identical),
+            blocks_replayed: sum(&|s| s.blocks_replayed),
+            recovery_lost_bytes: sum(&|s| s.recovery_lost_bytes),
+            messages_lost_to_crashes: self.messages_lost_to_crashes,
         }
     }
 }
@@ -1090,5 +1243,92 @@ mod tests {
             a.fingerprint_extended()
         );
         assert!(a.converged, "honest nodes still converge");
+    }
+
+    /// A persistence run builds each node's store under its own scratch
+    /// directory (each run needs a fresh one: `ChainStore::create` refuses
+    /// a directory that already holds store files).
+    fn persistent_run(
+        dir: &hashcore_store::TempDir,
+        crashes: Vec<CrashRestart>,
+        snapshot_interval: u64,
+    ) -> SimReport {
+        let config = SimConfig {
+            persistence: Some(PersistenceConfig {
+                dir: dir.path().to_path_buf(),
+                snapshot_interval,
+                sync_appends: false,
+            }),
+            crashes,
+            ..quick_config()
+        };
+        Simulation::new(config, |_| Sha256dPow).run()
+    }
+
+    #[test]
+    fn a_crashed_node_recovers_from_disk_and_reconverges() {
+        let run = |label: &str| {
+            let dir = hashcore_store::TempDir::new(label).unwrap();
+            persistent_run(
+                &dir,
+                vec![CrashRestart {
+                    node: 1,
+                    at_ms: 6_000,
+                    down_ms: 4_000,
+                    torn_tail_bytes: 0,
+                }],
+                4,
+            )
+        };
+        let a = run("sim-crash-a");
+        assert!(a.converged, "{}", a.fingerprint_extended());
+        assert_eq!(a.crash_restarts, 1);
+        assert_eq!(
+            a.recoveries_identical,
+            1,
+            "a clean crash restores the exact pre-crash tree: {}",
+            a.fingerprint_extended()
+        );
+        assert!(
+            a.messages_lost_to_crashes > 0,
+            "a down node drops its traffic"
+        );
+        // The whole crash/recovery cycle is deterministic.
+        let b = run("sim-crash-b");
+        assert_eq!(a.fingerprint_extended(), b.fingerprint_extended());
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncated_and_segment_sync_heals_the_gap() {
+        let dir = hashcore_store::TempDir::new("sim-torn").unwrap();
+        let report = persistent_run(
+            &dir,
+            vec![CrashRestart {
+                node: 2,
+                at_ms: 8_000,
+                down_ms: 3_000,
+                torn_tail_bytes: 7,
+            }],
+            0,
+        );
+        assert_eq!(report.crash_restarts, 1);
+        assert!(
+            report.recovery_lost_bytes > 0,
+            "the sheared tail must be detected and truncated: {}",
+            report.fingerprint_extended()
+        );
+        assert!(
+            report.converged,
+            "the restarted node catches back up over segment sync: {}",
+            report.fingerprint_extended()
+        );
+    }
+
+    #[test]
+    fn persistence_without_crashes_leaves_the_race_untouched() {
+        let dir = hashcore_store::TempDir::new("sim-quiet").unwrap();
+        let persisted = persistent_run(&dir, Vec::new(), 8);
+        let volatile = Simulation::new(quick_config(), |_| Sha256dPow).run();
+        assert_eq!(persisted.fingerprint(), volatile.fingerprint());
     }
 }

@@ -442,7 +442,12 @@ mod tests {
     #[test]
     fn spam_strategies_cycle_every_corruption_class() {
         let mut spam = SegmentSpam::default();
-        let classes: Vec<Corruption> = (0..4).map(|_| spam.on_slice().unwrap()).collect();
+        let classes: Vec<Corruption> = (0..4)
+            .map(|_| {
+                spam.on_slice()
+                    .expect("SegmentSpam fabricates a corruption class on every slice")
+            })
+            .collect();
         assert_eq!(classes, Corruption::ALL);
         let mut poison = PoisonedSync::default();
         let served: Vec<ServeAction> = (0..3).map(|_| poison.serve_segment(0)).collect();

@@ -1,0 +1,323 @@
+//! Canonical byte codecs for [`Block`] and [`TreeSnapshot`].
+//!
+//! Everything is little-endian and length-prefixed; headers reuse the exact
+//! 116-byte layout [`BlockHeader::write_bytes`] hashes, so the stored bytes
+//! are the PoW input bytes — a decoded block re-hashes to the same digest
+//! by construction. Decoders validate every length against the remaining
+//! input and return [`DecodeError`] instead of panicking: corrupt records
+//! must surface as recoverable errors so the log scanner can truncate a
+//! torn tail and the snapshot ladder can fall back.
+
+use hashcore::Target;
+use hashcore_chain::{Block, BlockHeader, DifficultyRule, EmaRetarget, TreeSnapshot};
+use std::fmt;
+
+/// Serialized [`BlockHeader`] size: version `u32` + two 32-byte digests +
+/// timestamp `u64` + 32-byte target + nonce `u64`.
+pub const HEADER_LEN: usize = 4 + 32 + 32 + 8 + 32 + 8;
+
+/// A record or snapshot payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the structure it declared.
+    Truncated,
+    /// Trailing bytes followed a complete structure.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A declared length is implausible for the remaining input.
+    BadLength,
+    /// An enum tag byte is outside the known range.
+    BadTag {
+        /// The offending tag value.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input ends mid-structure"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete structure")
+            }
+            DecodeError::BadLength => write!(f, "declared length exceeds remaining input"),
+            DecodeError::BadTag { tag } => write!(f, "unknown tag byte {tag:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(input: &'a [u8]) -> Self {
+        Reader { input, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.input.len() - self.pos < n {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn digest(&mut self) -> Result<[u8; 32], DecodeError> {
+        Ok(self.take(32)?.try_into().unwrap())
+    }
+
+    /// A length prefix that must still fit in the remaining input —
+    /// rejects absurd values before any allocation is sized by them.
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if self.input.len() - self.pos < n {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        let extra = self.input.len() - self.pos;
+        if extra != 0 {
+            return Err(DecodeError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+/// Appends the canonical encoding of `block` to `out`.
+pub fn encode_block(block: &Block, out: &mut Vec<u8>) {
+    let header = &block.header;
+    out.extend_from_slice(&header.version.to_le_bytes());
+    out.extend_from_slice(&header.prev_hash);
+    out.extend_from_slice(&header.merkle_root);
+    out.extend_from_slice(&header.timestamp.to_le_bytes());
+    out.extend_from_slice(&header.target);
+    out.extend_from_slice(&header.nonce.to_le_bytes());
+    out.extend_from_slice(&(block.transactions.len() as u32).to_le_bytes());
+    for tx in &block.transactions {
+        out.extend_from_slice(&(tx.len() as u32).to_le_bytes());
+        out.extend_from_slice(tx);
+    }
+}
+
+fn read_block(reader: &mut Reader<'_>) -> Result<Block, DecodeError> {
+    let version = reader.u32()?;
+    let prev_hash = reader.digest()?;
+    let merkle_root = reader.digest()?;
+    let timestamp = reader.u64()?;
+    let target = reader.digest()?;
+    let nonce = reader.u64()?;
+    let tx_count = reader.len()?;
+    let mut transactions = Vec::with_capacity(tx_count.min(1024));
+    for _ in 0..tx_count {
+        let len = reader.len()?;
+        transactions.push(reader.take(len)?.to_vec());
+    }
+    Ok(Block {
+        header: BlockHeader {
+            version,
+            prev_hash,
+            merkle_root,
+            timestamp,
+            target,
+            nonce,
+        },
+        transactions,
+    })
+}
+
+/// Decodes a [`Block`] from exactly `input` — trailing bytes are an error.
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation, bad lengths or trailing bytes.
+pub fn decode_block(input: &[u8]) -> Result<Block, DecodeError> {
+    let mut reader = Reader::new(input);
+    let block = read_block(&mut reader)?;
+    reader.finish()?;
+    Ok(block)
+}
+
+fn encode_rule(rule: Option<&DifficultyRule>, out: &mut Vec<u8>) {
+    match rule {
+        None => out.push(0),
+        Some(DifficultyRule::Fixed(target)) => {
+            out.push(1);
+            out.extend_from_slice(target.threshold());
+        }
+        Some(DifficultyRule::Ema(ema)) => {
+            out.push(2);
+            out.extend_from_slice(ema.initial.threshold());
+            out.extend_from_slice(&ema.target_block_time.to_bits().to_le_bytes());
+            out.extend_from_slice(&ema.gain.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn read_rule(reader: &mut Reader<'_>) -> Result<Option<DifficultyRule>, DecodeError> {
+    let tag = reader.take(1)?[0];
+    match tag {
+        0 => Ok(None),
+        1 => Ok(Some(DifficultyRule::Fixed(Target::from_threshold(
+            reader.digest()?,
+        )))),
+        2 => Ok(Some(DifficultyRule::Ema(EmaRetarget {
+            initial: Target::from_threshold(reader.digest()?),
+            target_block_time: reader.f64()?,
+            gain: reader.f64()?,
+        }))),
+        tag => Err(DecodeError::BadTag { tag }),
+    }
+}
+
+/// Appends the canonical encoding of `snapshot` to `out`.
+pub fn encode_snapshot(snapshot: &TreeSnapshot, out: &mut Vec<u8>) {
+    out.extend_from_slice(&snapshot.root);
+    out.extend_from_slice(&snapshot.root_height.to_le_bytes());
+    out.extend_from_slice(&snapshot.root_work.to_bits().to_le_bytes());
+    encode_rule(snapshot.rule.as_ref(), out);
+    out.extend_from_slice(&(snapshot.blocks.len() as u32).to_le_bytes());
+    for block in &snapshot.blocks {
+        encode_block(block, out);
+    }
+}
+
+/// Decodes a [`TreeSnapshot`] from exactly `input`.
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation, bad lengths, an unknown rule tag or
+/// trailing bytes.
+pub fn decode_snapshot(input: &[u8]) -> Result<TreeSnapshot, DecodeError> {
+    let mut reader = Reader::new(input);
+    let root = reader.digest()?;
+    let root_height = reader.u64()?;
+    let root_work = reader.f64()?;
+    let rule = read_rule(&mut reader)?;
+    let block_count = reader.u32()? as usize;
+    let mut blocks = Vec::with_capacity(block_count.min(4096));
+    for _ in 0..block_count {
+        blocks.push(read_block(&mut reader)?);
+    }
+    reader.finish()?;
+    Ok(TreeSnapshot {
+        root,
+        root_height,
+        root_work,
+        rule,
+        blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(tag: u8) -> Block {
+        let transactions = vec![vec![tag; 3], Vec::new(), vec![tag ^ 0xFF; 40]];
+        Block {
+            header: BlockHeader {
+                version: 7,
+                prev_hash: [tag; 32],
+                merkle_root: Block::merkle_root(&transactions),
+                timestamp: 123_456,
+                target: [0x0F; 32],
+                nonce: 42,
+            },
+            transactions,
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_and_header_len() {
+        let block = sample_block(9);
+        let mut bytes = Vec::new();
+        encode_block(&block, &mut bytes);
+        assert_eq!(bytes.len(), HEADER_LEN + 4 + (4 + 3) + 4 + (4 + 40));
+        assert_eq!(decode_block(&bytes).unwrap(), block);
+        // Truncation at every prefix errors; never panics.
+        for cut in 0..bytes.len() {
+            assert!(decode_block(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            decode_block(&padded).unwrap_err(),
+            DecodeError::TrailingBytes { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_every_rule_shape() {
+        for rule in [
+            None,
+            Some(DifficultyRule::Fixed(Target::from_leading_zero_bits(2))),
+            Some(DifficultyRule::Ema(EmaRetarget {
+                initial: Target::from_leading_zero_bits(3),
+                target_block_time: 12.5,
+                gain: 0.25,
+            })),
+        ] {
+            let snapshot = TreeSnapshot {
+                root: [3; 32],
+                root_height: 17,
+                root_work: 1234.5,
+                rule,
+                blocks: vec![sample_block(1), sample_block(2)],
+            };
+            let mut bytes = Vec::new();
+            encode_snapshot(&snapshot, &mut bytes);
+            assert_eq!(decode_snapshot(&bytes).unwrap(), snapshot);
+            for cut in 0..bytes.len() {
+                assert!(decode_snapshot(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn bogus_tags_and_lengths_are_rejected() {
+        let snapshot = TreeSnapshot {
+            root: [0; 32],
+            root_height: 0,
+            root_work: 0.0,
+            rule: None,
+            blocks: Vec::new(),
+        };
+        let mut bytes = Vec::new();
+        encode_snapshot(&snapshot, &mut bytes);
+        // The rule tag sits right after root digest + height + work.
+        let tag_at = 32 + 8 + 8;
+        bytes[tag_at] = 9;
+        assert_eq!(
+            decode_snapshot(&bytes).unwrap_err(),
+            DecodeError::BadTag { tag: 9 }
+        );
+        // A block whose tx count claims more than the input holds.
+        let block = sample_block(5);
+        let mut encoded = Vec::new();
+        encode_block(&block, &mut encoded);
+        encoded[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_block(&encoded).unwrap_err(), DecodeError::BadLength);
+    }
+}

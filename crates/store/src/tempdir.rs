@@ -1,0 +1,52 @@
+//! Self-cleaning scratch directories for tests and benches.
+//!
+//! The workspace is offline and vendors no `tempfile` crate, so this is
+//! the minimal subset the persistence tests and `sim_persistence` bench
+//! need: a uniquely named directory under the system temp root that is
+//! removed (best-effort) on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs, io, process};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory, recursively deleted on drop.
+///
+/// Uniqueness combines the process id with a process-wide counter, so
+/// concurrent tests in one binary and concurrent test binaries both get
+/// distinct directories without any randomness (the store's determinism
+/// tests forbid nondeterministic inputs).
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<system-temp>/hashcore-store-<pid>-<n>-<label>/`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the directory creation.
+    pub fn new(label: &str) -> io::Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            env::temp_dir().join(format!("hashcore-store-{}-{}-{}", process::id(), n, label));
+        // A stale directory from a killed previous run with the same pid is
+        // possible; start clean either way.
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
