@@ -17,8 +17,9 @@
 //! ```
 //!
 //! On a single-core machine the multi-thread rows cannot exceed the
-//! single-thread rate; `available_parallelism` is recorded in the JSON so
-//! downstream comparisons are interpretable.
+//! single-thread rate; the host's logical core count is recorded in the
+//! JSON (the shared `host` fragment) so downstream comparisons are
+//! interpretable.
 
 use hashcore::{HashCore, HashScratch, MiningInput, Target};
 use hashcore_profile::PerformanceProfile;
@@ -206,11 +207,12 @@ fn main() {
         );
     }
 
+    let threads_used = thread_counts.iter().copied().max().unwrap_or(1);
     let json = render_json(
         &measurements,
         nonces,
         instructions,
-        parallelism,
+        threads_used,
         allocations_per_hash,
     );
     std::fs::write("BENCH_mining.json", &json).expect("BENCH_mining.json is writable");
@@ -222,7 +224,7 @@ fn render_json(
     measurements: &[Measurement],
     nonces: u64,
     instructions: u64,
-    parallelism: usize,
+    threads_used: usize,
     allocations_per_hash: f64,
 ) -> String {
     let naive_rate = measurements[0].hashes_per_sec();
@@ -234,9 +236,13 @@ fn render_json(
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"mining_throughput\",");
+    let _ = writeln!(
+        json,
+        "{}",
+        hashcore_bench::simbench::host_json(threads_used)
+    );
     let _ = writeln!(json, "  \"nonces_per_measurement\": {nonces},");
     let _ = writeln!(json, "  \"target_dynamic_instructions\": {instructions},");
-    let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
     let _ = writeln!(
         json,
         "  \"allocations_per_hash\": {allocations_per_hash:.4},"
@@ -306,6 +312,8 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"hashes_per_sec\": 20.000"));
+        assert!(json.contains("\"host\""));
+        assert!(json.contains("\"threads_used\": 4"));
         assert!(json.contains("\"allocations_per_hash\": 0.0000"));
         assert!(json.contains("\"four_threads_vs_single_thread\": 2.000"));
         assert!(json.ends_with("}\n"));

@@ -26,11 +26,14 @@
 //! Usage:
 //!
 //! ```text
-//! sim_adversary [duration-seconds]
+//! sim_adversary [duration-seconds] [threads]
 //! ```
+//!
+//! `threads` drives both the scheduler workers and the segment verifier
+//! (0 = all logical cores); it never changes a deterministic metric.
 
 use hashcore_baselines::Sha256dPow;
-use hashcore_bench::simbench::{positional_arg, run_twice, write_json};
+use hashcore_bench::simbench::{host_json, positional_arg, run_twice, threads_arg, write_json};
 use hashcore_net::{
     Honest, Node, Partition, PoisonedSync, SegmentSpam, SegmentStalling, SelfishMining, SimConfig,
     SimReport, Simulation, StallMode, Strategy,
@@ -75,7 +78,7 @@ struct Outcome {
     fair_share: f64,
 }
 
-fn scenario_config(scenario: &Scenario, duration_ms: u64) -> SimConfig {
+fn scenario_config(scenario: &Scenario, duration_ms: u64, threads: usize) -> SimConfig {
     let adversary_attempts = if scenario.alpha > 0.0 {
         attempts_for_alpha(scenario.alpha)
     } else {
@@ -99,7 +102,8 @@ fn scenario_config(scenario: &Scenario, duration_ms: u64) -> SimConfig {
             Vec::new()
         },
         duration_ms,
-        sync_threads: 4,
+        threads,
+        sync_threads: threads,
         request_timeout_ms: if scenario.hardened { Some(1_500) } else { None },
         ban_threshold: 3,
         prune_depth: if scenario.hardened { Some(64) } else { None },
@@ -115,9 +119,9 @@ fn miner_of(block: &hashcore_chain::Block) -> Option<usize> {
     rest.split_whitespace().next()?.parse().ok()
 }
 
-fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
+fn run_scenario(scenario: &Scenario, duration_ms: u64, threads: usize) -> Outcome {
     let run = || {
-        let config = scenario_config(scenario, duration_ms);
+        let config = scenario_config(scenario, duration_ms, threads);
         let mut sim = Simulation::with_strategies(
             config,
             |_| Sha256dPow,
@@ -166,7 +170,7 @@ fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
     // adversaries (spam/poison) configure BASE_ATTEMPTS but contribute no
     // blocks, while the stalling adversary mines honestly at BASE_ATTEMPTS
     // and so earns a real 1/(HONEST_NODES+1) fair share.
-    let adversary_attempts = scenario_config(scenario, 1_000).attempts_for(0);
+    let adversary_attempts = scenario_config(scenario, 1_000, threads).attempts_for(0);
     let total_attempts = (HONEST_NODES as u64 * BASE_ATTEMPTS + adversary_attempts) as f64;
     let fair_share = if scenario.adversary_mines {
         adversary_attempts as f64 / total_attempts
@@ -185,6 +189,7 @@ fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
 fn main() {
     let duration_s = positional_arg(1, 60).max(12);
     let duration_ms = duration_s * 1_000;
+    let threads = threads_arg(2);
 
     let scenarios = [
         Scenario {
@@ -274,7 +279,7 @@ fn main() {
     let outcomes: Vec<(&Scenario, Outcome)> = scenarios
         .iter()
         .map(|scenario| {
-            let outcome = run_scenario(scenario, duration_ms);
+            let outcome = run_scenario(scenario, duration_ms, threads);
             let r = &outcome.report;
             println!(
                 "  {:<13} converged={} height={} revenue={:.3} fair={:.3} \
@@ -326,7 +331,13 @@ fn main() {
         "selfish mining above the 1/3 threshold must out-earn its fair share"
     );
 
-    let json = render_json(&outcomes, duration_ms, runs_identical, spam_accepted);
+    let json = render_json(
+        &outcomes,
+        duration_ms,
+        runs_identical,
+        spam_accepted,
+        threads,
+    );
     write_json("BENCH_adversary.json", &json);
 }
 
@@ -336,9 +347,11 @@ fn render_json(
     duration_ms: u64,
     runs_identical: bool,
     spam_accepted: u64,
+    threads: usize,
 ) -> String {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"network_adversary\",");
+    let _ = writeln!(json, "{}", host_json(threads));
     let _ = writeln!(json, "  \"duration_ms\": {duration_ms},");
     let _ = writeln!(json, "  \"honest_nodes\": {HONEST_NODES},");
     let _ = writeln!(json, "  \"scenarios\": [");
@@ -448,7 +461,7 @@ mod tests {
             hardened: true,
             partitioned: false,
         };
-        let outcome = run_scenario(&scenario, 12_000);
+        let outcome = run_scenario(&scenario, 12_000, 2);
         assert!(outcome.runs_identical);
         assert_eq!(outcome.report.spam_accepted, 0);
         assert!(outcome.report.converged);

@@ -39,11 +39,14 @@
 //! Usage:
 //!
 //! ```text
-//! sim_difficulty [duration-seconds]
+//! sim_difficulty [duration-seconds] [threads]
 //! ```
+//!
+//! `threads` drives both the scheduler workers and the segment verifier
+//! (0 = all logical cores); it never changes a deterministic metric.
 
 use hashcore_baselines::Sha256dPow;
-use hashcore_bench::simbench::{positional_arg, run_twice, write_json};
+use hashcore_bench::simbench::{host_json, positional_arg, run_twice, threads_arg, write_json};
 use hashcore_net::{
     DifficultyHopping, Honest, RetargetConfig, SimConfig, SimReport, Simulation, Strategy,
     TimestampRule, TimestampSkew,
@@ -108,7 +111,7 @@ struct Outcome {
     blocks_per_hour: f64,
 }
 
-fn scenario_config(scenario: &Scenario, duration_ms: u64) -> SimConfig {
+fn scenario_config(scenario: &Scenario, duration_ms: u64, threads: usize) -> SimConfig {
     SimConfig {
         nodes: HONEST_NODES + 1,
         seed: 0xd1f_f1cu64,
@@ -118,7 +121,8 @@ fn scenario_config(scenario: &Scenario, duration_ms: u64) -> SimConfig {
         slice_ms: 100,
         fan_out: 2,
         duration_ms,
-        sync_threads: 4,
+        threads,
+        sync_threads: threads,
         retarget: Some(RetargetConfig {
             target_block_time_ms: TARGET_BLOCK_TIME_MS,
             gain: GAIN,
@@ -131,9 +135,9 @@ fn scenario_config(scenario: &Scenario, duration_ms: u64) -> SimConfig {
     }
 }
 
-fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
+fn run_scenario(scenario: &Scenario, duration_ms: u64, threads: usize) -> Outcome {
     let run = || {
-        let config = scenario_config(scenario, duration_ms);
+        let config = scenario_config(scenario, duration_ms, threads);
         let mut sim = Simulation::with_strategies(
             config,
             |_| Sha256dPow,
@@ -160,6 +164,7 @@ fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
 fn main() {
     let duration_s = positional_arg(1, 60).max(20);
     let duration_ms = duration_s * 1_000;
+    let threads = threads_arg(2);
 
     let mut scenarios = vec![Scenario {
         name: "honest".into(),
@@ -200,7 +205,7 @@ fn main() {
     let outcomes: Vec<(&Scenario, Outcome)> = scenarios
         .iter()
         .map(|scenario| {
-            let outcome = run_scenario(scenario, duration_ms);
+            let outcome = run_scenario(scenario, duration_ms, threads);
             let r = &outcome.report;
             println!(
                 "  {:<17} converged={} height={} blocks/h={:.0} deepest_reorg={} \
@@ -265,6 +270,7 @@ fn main() {
         runs_identical,
         skew_inflates,
         drift_rule_holds,
+        threads,
     );
     write_json("BENCH_difficulty.json", &json);
 }
@@ -277,9 +283,11 @@ fn render_json(
     runs_identical: bool,
     skew_inflates: bool,
     drift_rule_holds: bool,
+    threads: usize,
 ) -> String {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"difficulty_adversary\",");
+    let _ = writeln!(json, "{}", host_json(threads));
     let _ = writeln!(json, "  \"duration_ms\": {duration_ms},");
     let _ = writeln!(json, "  \"honest_nodes\": {HONEST_NODES},");
     let _ = writeln!(json, "  \"target_block_time_ms\": {TARGET_BLOCK_TIME_MS},");
@@ -369,6 +377,7 @@ mod tests {
                 ..skew
             },
             20_000,
+            2,
         );
         let rule = config.timestamp_rule.expect("defended installs the rule");
         assert!(rule.max_future_drift_ms < 8_000);
@@ -383,7 +392,7 @@ mod tests {
             hop_threshold: 0.0,
             defended: false,
         };
-        let outcome = run_scenario(&scenario, 20_000);
+        let outcome = run_scenario(&scenario, 20_000, 2);
         assert!(outcome.runs_identical);
         assert!(outcome.report.converged);
     }

@@ -13,15 +13,18 @@
 //! Usage:
 //!
 //! ```text
-//! sim_network [duration-seconds] [nodes]
+//! sim_network [duration-seconds] [nodes] [threads]
 //! ```
+//!
+//! `threads` drives both the scheduler workers and the segment verifier
+//! (0 = all logical cores); it never changes a deterministic metric.
 
 use hashcore_baselines::Sha256dPow;
-use hashcore_bench::simbench::{positional_arg, run_twice, write_json};
+use hashcore_bench::simbench::{host_json, positional_arg, run_twice, threads_arg, write_json};
 use hashcore_net::{Partition, SimConfig, SimReport, Simulation};
 use std::fmt::Write as _;
 
-fn config(duration_s: u64, nodes: usize) -> SimConfig {
+fn config(duration_s: u64, nodes: usize, threads: usize) -> SimConfig {
     let duration_ms = duration_s * 1_000;
     SimConfig {
         nodes,
@@ -38,7 +41,8 @@ fn config(duration_s: u64, nodes: usize) -> SimConfig {
             split: 2.min(nodes - 1),
         }],
         duration_ms,
-        sync_threads: 4,
+        threads,
+        sync_threads: threads,
         ..SimConfig::default()
     }
 }
@@ -46,13 +50,15 @@ fn config(duration_s: u64, nodes: usize) -> SimConfig {
 fn main() {
     let duration_s = positional_arg(1, 60).max(9);
     let nodes = positional_arg(2, 5).max(3) as usize;
+    let threads = threads_arg(3);
 
     println!(
-        "network simulation: {nodes} nodes, {duration_s} s horizon, partition in the middle third"
+        "network simulation: {nodes} nodes, {duration_s} s horizon, \
+         partition in the middle third, {threads} worker threads"
     );
 
     let (report, runs_identical) = run_twice(
-        || Simulation::new(config(duration_s, nodes), |_| Sha256dPow).run(),
+        || Simulation::new(config(duration_s, nodes, threads), |_| Sha256dPow).run(),
         SimReport::fingerprint,
     );
 
@@ -95,14 +101,15 @@ fn main() {
     );
     assert!(runs_identical, "same seed must reproduce the same race");
 
-    let json = render_json(&report, runs_identical);
+    let json = render_json(&report, runs_identical, threads);
     write_json("BENCH_sync.json", &json);
 }
 
 /// Renders the report as a small, dependency-free JSON document.
-fn render_json(report: &SimReport, runs_identical: bool) -> String {
+fn render_json(report: &SimReport, runs_identical: bool, threads: usize) -> String {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"network_sync\",");
+    let _ = writeln!(json, "{}", host_json(threads));
     let _ = writeln!(json, "  \"nodes\": {},", report.nodes);
     let _ = writeln!(json, "  \"seed\": {},", report.seed);
     let _ = writeln!(json, "  \"duration_ms\": {},", report.duration_ms);
@@ -140,11 +147,12 @@ mod tests {
 
     #[test]
     fn json_rendering_is_well_formed() {
-        let report = Simulation::new(config(9, 3), |_| Sha256dPow).run();
-        let json = render_json(&report, true);
+        let report = Simulation::new(config(9, 3, 2), |_| Sha256dPow).run();
+        let json = render_json(&report, true, 2);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"bench\": \"network_sync\""));
+        assert!(json.contains("\"host\""));
         assert!(json.contains("\"runs_identical\": true"));
         assert!(json.ends_with("}\n"));
     }

@@ -32,11 +32,14 @@
 //! Usage:
 //!
 //! ```text
-//! sim_persistence [duration-seconds]
+//! sim_persistence [duration-seconds] [threads]
 //! ```
+//!
+//! `threads` drives both the scheduler workers and the segment verifier
+//! (0 = all logical cores); it never changes a deterministic metric.
 
 use hashcore_baselines::Sha256dPow;
-use hashcore_bench::simbench::{positional_arg, run_twice, write_json};
+use hashcore_bench::simbench::{host_json, positional_arg, run_twice, threads_arg, write_json};
 use hashcore_net::{CrashRestart, PersistenceConfig, SimConfig, SimReport, Simulation};
 use hashcore_store::TempDir;
 use std::fmt::Write as _;
@@ -67,7 +70,12 @@ struct Outcome {
     runs_identical: bool,
 }
 
-fn scenario_config(scenario: &Scenario, duration_ms: u64, dir: &TempDir) -> SimConfig {
+fn scenario_config(
+    scenario: &Scenario,
+    duration_ms: u64,
+    dir: &TempDir,
+    threads: usize,
+) -> SimConfig {
     SimConfig {
         nodes: NODES,
         seed: 0x5707_a6e5,
@@ -76,7 +84,8 @@ fn scenario_config(scenario: &Scenario, duration_ms: u64, dir: &TempDir) -> SimC
         slice_ms: 100,
         fan_out: 2,
         duration_ms,
-        sync_threads: 4,
+        threads,
+        sync_threads: threads,
         persistence: Some(PersistenceConfig {
             dir: dir.path().to_path_buf(),
             snapshot_interval: scenario.snapshot_interval,
@@ -92,10 +101,10 @@ fn scenario_config(scenario: &Scenario, duration_ms: u64, dir: &TempDir) -> SimC
     }
 }
 
-fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
+fn run_scenario(scenario: &Scenario, duration_ms: u64, threads: usize) -> Outcome {
     let run = || {
         let dir = TempDir::new(&scenario.name).expect("a scratch directory is creatable");
-        let config = scenario_config(scenario, duration_ms, &dir);
+        let config = scenario_config(scenario, duration_ms, &dir, threads);
         Simulation::new(config, |_| Sha256dPow).run()
     };
     let (report, runs_identical) = run_twice(run, SimReport::fingerprint_extended);
@@ -108,6 +117,7 @@ fn run_scenario(scenario: &Scenario, duration_ms: u64) -> Outcome {
 fn main() {
     let duration_s = positional_arg(1, 40).max(16);
     let duration_ms = duration_s * 1_000;
+    let threads = threads_arg(2);
 
     let mut scenarios = Vec::new();
     for interval in SNAPSHOT_INTERVALS {
@@ -138,7 +148,7 @@ fn main() {
     let outcomes: Vec<(&Scenario, Outcome)> = scenarios
         .iter()
         .map(|scenario| {
-            let outcome = run_scenario(scenario, duration_ms);
+            let outcome = run_scenario(scenario, duration_ms, threads);
             let r = &outcome.report;
             println!(
                 "  {:<18} converged={} height={} crashes={} identical_recoveries={} \
@@ -198,6 +208,7 @@ fn main() {
         recovered_identical,
         torn_tail_truncated,
         runs_identical,
+        threads,
     );
     write_json("BENCH_persistence.json", &json);
 }
@@ -209,9 +220,11 @@ fn render_json(
     recovered_identical: bool,
     torn_tail_truncated: bool,
     runs_identical: bool,
+    threads: usize,
 ) -> String {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"persistence_recovery\",");
+    let _ = writeln!(json, "{}", host_json(threads));
     let _ = writeln!(json, "  \"duration_ms\": {duration_ms},");
     let _ = writeln!(json, "  \"nodes\": {NODES},");
     let _ = writeln!(json, "  \"crash_node\": {CRASH_NODE},");
@@ -279,7 +292,7 @@ mod tests {
             down_ms: 3_000,
             torn_tail_bytes: 0,
         };
-        let outcome = run_scenario(&scenario, 16_000);
+        let outcome = run_scenario(&scenario, 16_000, 2);
         assert!(outcome.runs_identical);
         assert!(outcome.report.converged);
         assert_eq!(outcome.report.crash_restarts, 1);
@@ -295,8 +308,8 @@ mod tests {
             down_ms: 3_000,
             torn_tail_bytes: 7,
         };
-        let outcome = run_scenario(&scenario, 16_000);
-        let json = render_json(&[(&scenario, outcome)], 16_000, true, true, true);
+        let outcome = run_scenario(&scenario, 16_000, 2);
+        let json = render_json(&[(&scenario, outcome)], 16_000, true, true, true, 2);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"bench\": \"persistence_recovery\""));

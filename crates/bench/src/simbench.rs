@@ -17,6 +17,33 @@ pub fn positional_arg(index: usize, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Logical CPUs of the bench host (1 when the count is unavailable).
+pub fn logical_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |cores| cores.get())
+}
+
+/// Parses positional argument `index` as a worker-thread count. Absent,
+/// unparsable or `0` means "all logical cores" — so bench sweeps choose
+/// parallelism explicitly while the default exercises the host fully.
+pub fn threads_arg(index: usize) -> usize {
+    match positional_arg(index, 0) {
+        0 => logical_cores(),
+        threads => threads as usize,
+    }
+}
+
+/// Renders the host-metadata JSON fragment every `BENCH_*.json` embeds:
+/// the machine's logical core count and the thread count the bench
+/// actually used. A single-CPU host showing no parallel speedup is then
+/// explainable from the artifact alone.
+pub fn host_json(threads_used: usize) -> String {
+    format!(
+        "  \"host\": {{ \"logical_cores\": {}, \"threads_used\": {} }},",
+        logical_cores(),
+        threads_used
+    )
+}
+
 /// Runs `run` twice and compares the two results under `fingerprint`.
 ///
 /// Returns the first result and whether the second replayed identically.
@@ -50,6 +77,19 @@ mod tests {
     #[test]
     fn positional_args_fall_back_to_defaults() {
         assert_eq!(positional_arg(99, 42), 42);
+    }
+
+    #[test]
+    fn threads_arg_defaults_to_all_cores() {
+        assert_eq!(threads_arg(99), logical_cores());
+        assert!(logical_cores() >= 1);
+    }
+
+    #[test]
+    fn host_json_embeds_cores_and_threads() {
+        let json = host_json(3);
+        assert!(json.contains("\"logical_cores\""));
+        assert!(json.contains("\"threads_used\": 3"));
     }
 
     #[test]

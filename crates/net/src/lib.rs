@@ -15,12 +15,38 @@
 //! # Determinism
 //!
 //! A simulation is a pure function of its [`SimConfig`] (including the
-//! seed): events are ordered by `(time, insertion sequence)`, all randomness
-//! flows from one seeded [`hashcore_gen::WidgetRng`], and fork choice is a
-//! strict total order on `(cumulative work, digest)`. Two runs with the same
+//! seed): events are ordered by `(time, insertion sequence)` (the total
+//! order the [`sched`] module owns and tests), all randomness flows from
+//! one seeded [`hashcore_gen::WidgetRng`], and fork choice is a strict
+//! total order on `(cumulative work, digest)`. Two runs with the same
 //! config report byte-identical [`SimReport::fingerprint`]s — CI asserts
-//! this on every push. Only wall-clock fields (`sync_wall_seconds`) vary
-//! between runs, and they are excluded from the fingerprint.
+//! this on every push. Only wall-clock fields (`sync_wall_seconds`,
+//! `run_wall_seconds`) vary between runs, and they are excluded from the
+//! fingerprint.
+//!
+//! # The sharded parallel scheduler
+//!
+//! The event queue is sharded per node ([`ShardedQueue`]) and merged back
+//! under the same `(time, seq)` total order. Because every handler
+//! schedules strictly into the future, the scheduler pops whole timestamp
+//! batches, fans the node-local handler runs across `thread::scope`
+//! workers (`SimConfig::threads`), and replays their outcomes — sends,
+//! RNG draws, convergence transitions — sequentially in `seq` order.
+//! N-thread runs are therefore **byte-identical** to 1-thread runs; a
+//! proptest and the pinned honest fingerprint gate this, and the
+//! `sim_scale` bench measures the resulting events/sec at 8–256 nodes.
+//!
+//! # Peer topology and eclipse attacks
+//!
+//! With [`SimConfig::topology`] set, nodes no longer see a full mesh:
+//! each holds a bounded table of undirected peer links ([`topology`]),
+//! broadcast walks the table, and gossip samples it weighted by each
+//! peer's usefulness score (credits for relaying blocks the receiver
+//! accepted, halved every topology tick). The [`Eclipse`] strategy
+//! monopolises a victim's table with sybil connections until the victim
+//! mines on a stale tip; the defences — scoring, pinned anchor links and
+//! periodic anchor rotation ([`TopologyConfig`]) — keep honest links in
+//! the table and restore convergence.
 //!
 //! # Node lifecycle
 //!
@@ -81,15 +107,20 @@
 #![warn(missing_docs)]
 
 mod node;
+pub mod sched;
 mod sim;
 mod strategy;
+pub mod topology;
 
 pub use node::{Message, Node, NodeStats, Outgoing, RejectionCounts, SyncReorg, TimestampRule};
+pub use sched::{Scheduled, ShardedQueue};
 pub use sim::{
     CrashRestart, LatencyModel, Partition, PersistenceConfig, RetargetConfig, SimConfig, SimReport,
     Simulation,
 };
 pub use strategy::{
-    Corruption, DifficultyHopping, Honest, MinedAction, MiningMode, PoisonedSync, SegmentSpam,
-    SegmentStalling, SelfishMining, ServeAction, Silent, StallMode, Strategy, TimestampSkew,
+    Corruption, DifficultyHopping, Eclipse, Honest, MinedAction, MiningMode, PoisonedSync,
+    SegmentSpam, SegmentStalling, SelfishMining, ServeAction, Silent, StallMode, Strategy,
+    TimestampSkew,
 };
+pub use topology::TopologyConfig;

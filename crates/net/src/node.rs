@@ -638,6 +638,12 @@ where
         self.strategy.name()
     }
 
+    /// The node this node's strategy is trying to eclipse, if any (see
+    /// [`Strategy::eclipse_target`]).
+    pub fn eclipse_target(&self) -> Option<usize> {
+        self.strategy.eclipse_target()
+    }
+
     /// Peers this node has banned.
     pub fn banned_peers(&self) -> &BTreeSet<usize> {
         &self.banned

@@ -1,0 +1,248 @@
+//! Deterministic event ordering and the sharded event queue.
+//!
+//! The simulation's determinism rests on one invariant: events fire in
+//! ascending `(time, seq)` order, where `seq` is the global insertion
+//! counter. This module owns that invariant. [`Scheduled`] pins the total
+//! order (earlier time first, insertion order breaking ties), and
+//! [`ShardedQueue`] splits the single global heap into one heap per node
+//! plus a global heap for barrier events — yet merges them under exactly
+//! the same total order, so replacing the global `BinaryHeap` with the
+//! sharded queue is behaviour-preserving by construction.
+//!
+//! The sharding exists for the parallel scheduler: because every handler
+//! schedules strictly into the future (`time > now` on every path), all
+//! events sharing the earliest timestamp are already queued when that
+//! timestamp is reached. [`ShardedQueue::pop_time_batch`] therefore pops
+//! the *whole* front timestamp at once — the batch whose node-local runs
+//! the simulation fans out across `thread::scope` workers.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A queued event, ordered by `(time, seq)` — `seq` is the insertion
+/// counter, so ties break deterministically in insertion order.
+///
+/// The `Ord` implementation is **reversed** (later `(time, seq)` compares
+/// as smaller) so that `BinaryHeap`, a max-heap, pops the earliest event
+/// first. Use [`Scheduled::key`] when plain ascending order is wanted.
+#[derive(Debug, Clone)]
+pub struct Scheduled<K> {
+    /// Simulated fire time, milliseconds.
+    pub time: u64,
+    /// Global insertion sequence number — the deterministic tie-break.
+    pub seq: u64,
+    /// What the event does when it fires.
+    pub kind: K,
+}
+
+impl<K> Scheduled<K> {
+    /// The `(time, seq)` ordering key, ascending: earlier events have
+    /// smaller keys.
+    pub fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl<K> PartialEq for Scheduled<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<K> Eq for Scheduled<K> {}
+
+impl<K> PartialOrd for Scheduled<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Ord for Scheduled<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Per-node event heaps merged under the global `(time, seq)` total order.
+///
+/// Events targeting one node go to that node's shard; events touching
+/// global state (partitions, crashes, topology ticks) go to the global
+/// shard. Popping always yields the event with the smallest `(time, seq)`
+/// across every shard — byte-identical to one global heap.
+#[derive(Debug)]
+pub struct ShardedQueue<K> {
+    shards: Vec<BinaryHeap<Scheduled<K>>>,
+    global: BinaryHeap<Scheduled<K>>,
+    len: usize,
+}
+
+impl<K> ShardedQueue<K> {
+    /// Creates a queue with `shards` per-node heaps plus the global heap.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            global: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Pushes an event onto node shard `shard`, or the global shard when
+    /// `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn push(&mut self, shard: Option<usize>, event: Scheduled<K>) {
+        match shard {
+            Some(node) => self.shards[node].push(event),
+            None => self.global.push(event),
+        }
+        self.len += 1;
+    }
+
+    /// Total queued events across every shard.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no shard holds any event.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The earliest `(time, seq)` key across every shard, if any.
+    fn min_key(&self) -> Option<(u64, u64)> {
+        self.shards
+            .iter()
+            .chain(std::iter::once(&self.global))
+            .filter_map(|heap| heap.peek().map(Scheduled::key))
+            .min()
+    }
+
+    /// Pops every event scheduled at the earliest queued timestamp into
+    /// `out` (cleared first), sorted ascending by `seq`.
+    ///
+    /// Leaves `out` empty when the queue is empty. Because `seq` is a
+    /// global counter, concatenating successive batches reproduces exactly
+    /// the pop order of a single `(time, seq)`-ordered heap.
+    pub fn pop_time_batch(&mut self, out: &mut Vec<Scheduled<K>>) {
+        out.clear();
+        let Some((time, _)) = self.min_key() else {
+            return;
+        };
+        for heap in self
+            .shards
+            .iter_mut()
+            .chain(std::iter::once(&mut self.global))
+        {
+            while heap.peek().is_some_and(|event| event.time == time) {
+                out.push(heap.pop().expect("peeked event pops"));
+            }
+        }
+        self.len -= out.len();
+        out.sort_unstable_by_key(Scheduled::key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, seq: u64) -> Scheduled<u32> {
+        Scheduled { time, seq, kind: 0 }
+    }
+
+    /// The total order: earlier time first, then earlier seq; the heap
+    /// ordering is the exact reverse so `BinaryHeap::pop` yields the
+    /// earliest event.
+    #[test]
+    fn time_then_seq_is_the_total_order() {
+        assert_eq!(ev(5, 0).key().cmp(&ev(6, 0).key()), Ordering::Less);
+        // Equal-time tie-break: insertion order wins.
+        assert_eq!(ev(5, 1).key().cmp(&ev(5, 2).key()), Ordering::Less);
+        assert_eq!(ev(5, 2).key().cmp(&ev(5, 2).key()), Ordering::Equal);
+        // A later seq never beats an earlier time.
+        assert_eq!(ev(4, 99).key().cmp(&ev(5, 0).key()), Ordering::Less);
+        // The heap order is reversed: the earlier event compares Greater,
+        // so a max-heap pops it first.
+        assert_eq!(ev(5, 1).cmp(&ev(5, 2)), Ordering::Greater);
+        assert_eq!(ev(4, 99).cmp(&ev(5, 0)), Ordering::Greater);
+        assert_eq!(ev(5, 2).cmp(&ev(5, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn a_heap_of_scheduled_pops_in_time_seq_order() {
+        let mut heap = BinaryHeap::new();
+        for (time, seq) in [(30, 0), (10, 3), (10, 1), (20, 2), (10, 4)] {
+            heap.push(ev(time, seq));
+        }
+        let popped: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop().map(|e| e.key())).collect();
+        assert_eq!(popped, [(10, 1), (10, 3), (10, 4), (20, 2), (30, 0)]);
+    }
+
+    /// The sharded queue merges per-node heaps identically to one global
+    /// heap: a mixed insertion drains in global `(time, seq)` order.
+    #[test]
+    fn sharded_merge_matches_a_single_heap() {
+        let mut sharded = ShardedQueue::new(3);
+        let mut reference = BinaryHeap::new();
+        // A deterministic pseudo-random-ish insertion pattern across
+        // shards, times and a strictly increasing seq.
+        let mut state = 0x9e37_79b9_u64;
+        for seq in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let time = (state >> 33) % 17;
+            let shard = match (state >> 7) % 4 {
+                3 => None,
+                s => Some(s as usize),
+            };
+            sharded.push(shard, ev(time, seq));
+            reference.push(ev(time, seq));
+        }
+        assert_eq!(sharded.len(), 200);
+        let mut merged = Vec::new();
+        let mut batch = Vec::new();
+        loop {
+            sharded.pop_time_batch(&mut batch);
+            if batch.is_empty() {
+                break;
+            }
+            let time = batch[0].time;
+            for pair in batch.windows(2) {
+                assert_eq!(pair[0].time, time, "a batch spans one timestamp");
+                assert!(pair[0].seq < pair[1].seq, "batches are seq-sorted");
+            }
+            merged.extend(batch.iter().map(Scheduled::key));
+        }
+        assert!(sharded.is_empty());
+        let expected: Vec<(u64, u64)> =
+            std::iter::from_fn(|| reference.pop().map(|e| e.key())).collect();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn pop_time_batch_takes_the_whole_front_timestamp_across_shards() {
+        let mut queue = ShardedQueue::new(2);
+        queue.push(Some(0), ev(10, 2));
+        queue.push(Some(1), ev(10, 0));
+        queue.push(None, ev(10, 1));
+        queue.push(Some(0), ev(11, 3));
+        let mut batch = Vec::new();
+        queue.pop_time_batch(&mut batch);
+        assert_eq!(
+            batch.iter().map(Scheduled::key).collect::<Vec<_>>(),
+            [(10, 0), (10, 1), (10, 2)]
+        );
+        assert_eq!(queue.len(), 1);
+        queue.pop_time_batch(&mut batch);
+        assert_eq!(
+            batch.iter().map(Scheduled::key).collect::<Vec<_>>(),
+            [(11, 3)]
+        );
+        queue.pop_time_batch(&mut batch);
+        assert!(batch.is_empty());
+    }
+}

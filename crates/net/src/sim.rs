@@ -2,17 +2,18 @@
 //! fan-out, partitions, request timeouts, and the simulation report.
 
 use crate::node::{Message, Node, Outgoing, RejectionCounts, TimestampRule};
+use crate::sched::{Scheduled, ShardedQueue};
 use crate::strategy::{Honest, Strategy};
+use crate::topology::{Overlay, TopologyConfig};
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
 use hashcore_chain::{DifficultyRule, EmaRetarget};
 use hashcore_crypto::Digest256;
 use hashcore_gen::WidgetRng;
 use hashcore_store::ChainStore;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Gossip latency model: every message takes `base_ms` plus a uniformly
 /// sampled jitter in `0..=jitter_ms`, drawn from the simulation's seeded
@@ -153,6 +154,16 @@ pub struct SimConfig {
     /// Scheduled crash-restarts; requires `persistence`. Windows for the
     /// same node must not overlap.
     pub crashes: Vec<CrashRestart>,
+    /// Worker threads the scheduler fans node-local events (mining
+    /// slices, deliveries, timer checks) across. Any value produces a
+    /// byte-identical report — the sharded-scheduler proptest pins N
+    /// threads against 1 — so this is purely a wall-clock knob. Default 1.
+    pub threads: usize,
+    /// First-class peer topology: bounded peer tables, scored gossip and
+    /// the eclipse-attack surface (see [`TopologyConfig`]). `None` (the
+    /// default) keeps the full-mesh broadcast and uniform gossip sampling
+    /// of the pre-topology simulation, byte for byte.
+    pub topology: Option<TopologyConfig>,
 }
 
 impl SimConfig {
@@ -189,6 +200,8 @@ impl Default for SimConfig {
             timestamp_rule: None,
             persistence: None,
             crashes: Vec::new(),
+            threads: 1,
+            topology: None,
         }
     }
 }
@@ -214,33 +227,70 @@ enum EventKind {
     Crash { index: usize },
     /// A crashed node restarts from its on-disk store.
     Restart { index: usize },
+    /// The periodic topology maintenance tick: score decay plus one
+    /// anchor rotation per honest node.
+    TopologyTick,
 }
 
-/// A queued event, ordered by `(time, seq)` — `seq` is the insertion
-/// counter, so ties break deterministically.
-#[derive(Debug, Clone)]
-struct Scheduled {
-    time: u64,
+impl EventKind {
+    /// The node shard this event belongs to. `None` marks a *barrier*
+    /// event: it touches global scheduler state (the partition split, the
+    /// down flags, the topology overlay) and must execute alone, never
+    /// concurrently with node-local work.
+    fn shard(&self) -> Option<usize> {
+        match self {
+            EventKind::MineSlice { node } | EventKind::Timeout { node, .. } => Some(*node),
+            EventKind::Deliver { to, .. } => Some(*to),
+            EventKind::PartitionStart { .. }
+            | EventKind::PartitionEnd { .. }
+            | EventKind::Crash { .. }
+            | EventKind::Restart { .. }
+            | EventKind::TopologyTick => None,
+        }
+    }
+}
+
+/// A node-local handler invocation, extracted from an [`EventKind`] during
+/// batch preparation.
+#[derive(Debug)]
+enum NodeAction {
+    /// Run one mining slice of `attempts` nonces.
+    Mine { attempts: u64 },
+    /// Handle an arriving message.
+    Deliver { from: usize, message: Message },
+    /// Fire a request-timeout check.
+    Timeout { token: Digest256 },
+}
+
+/// One unit of node-local work, tagged with the event's global `seq` so
+/// results merge back in the exact sequential order.
+#[derive(Debug)]
+struct NodeEvent {
     seq: u64,
-    kind: EventKind,
+    action: NodeAction,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+/// What one node-local event produced, captured on the worker thread and
+/// merged back sequentially in `seq` order. Everything the sequential
+/// post-handler code needs — outgoing sends, the node's tip after the
+/// event, the facts feeding topology scoring — is here, so the merge
+/// phase consumes the RNG in exactly the sequential order.
+#[derive(Debug)]
+struct EventOutcome {
+    seq: u64,
+    node: usize,
+    /// Sends the handler produced (empty for events skipped while down).
+    outgoing: Vec<Outgoing>,
+    /// The node's tip after this event — replayed into the per-event
+    /// convergence tracking.
+    tip: Digest256,
+    /// For deliveries: the peer that sent the message, credited when the
+    /// handler accepted a new block.
+    relayer: Option<usize>,
+    /// The handler accepted at least one new block into its fork tree.
+    useful: bool,
+    /// Mining-slice events reschedule the slice clock afterwards.
+    mine: bool,
 }
 
 /// Aggregated outcome of one simulation run.
@@ -327,6 +377,20 @@ pub struct SimReport {
     pub recovery_lost_bytes: u64,
     /// Messages dropped because the sender or receiver was crashed.
     pub messages_lost_to_crashes: u64,
+    /// Scheduler events processed across the whole run — identical for
+    /// every thread count, so `events / run_wall_seconds` measures pure
+    /// scheduling throughput.
+    pub events_processed: u64,
+    /// Eclipse-style connection attempts adversaries made against peer
+    /// tables (0 on topology-less runs).
+    pub connect_attempts: u64,
+    /// Peer-table links evicted by connection pressure.
+    pub peer_evictions: u64,
+    /// Anchor rotations honest nodes performed at topology ticks.
+    pub anchor_rotations: u64,
+    /// Wall-clock seconds the whole run took. Excluded from the
+    /// fingerprints, like [`SimReport::sync_wall_seconds`].
+    pub run_wall_seconds: f64,
 }
 
 impl SimReport {
@@ -391,6 +455,14 @@ impl SimReport {
             self.recovery_lost_bytes,
             self.messages_lost_to_crashes,
         );
+        let _ = write!(
+            out,
+            " events={} connects={} evictions={} rotations={}",
+            self.events_processed,
+            self.connect_attempts,
+            self.peer_evictions,
+            self.anchor_rotations,
+        );
         out
     }
 
@@ -399,6 +471,16 @@ impl SimReport {
     pub fn sync_blocks_per_sec(&self) -> f64 {
         if self.sync_wall_seconds > 0.0 {
             self.segment_blocks as f64 / self.sync_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Scheduler events processed per wall-clock second — the scale
+    /// bench's throughput figure (`BENCH_scale.json`).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.run_wall_seconds > 0.0 {
+            self.events_processed as f64 / self.run_wall_seconds
         } else {
             0.0
         }
@@ -429,7 +511,7 @@ where
     /// Indices of the non-adversarial nodes (all nodes when every strategy
     /// is adversarial, so reports never divide by zero).
     honest: Vec<usize>,
-    queue: BinaryHeap<Scheduled>,
+    queue: ShardedQueue<EventKind>,
     rng: WidgetRng,
     adversary_rng: WidgetRng,
     seq: u64,
@@ -442,9 +524,18 @@ where
     /// traffic (both directions) is dropped until its restart.
     down: Vec<bool>,
     messages_lost_to_crashes: u64,
+    /// The peer-topology overlay, when [`SimConfig::topology`] is set.
+    overlay: Option<Overlay>,
+    /// Per-node tip cache, updated after every node-local event — the
+    /// state convergence tracking replays in global `seq` order even when
+    /// the handlers themselves ran on worker threads.
+    tips: Vec<Digest256>,
+    events_processed: u64,
+    connect_attempts: u64,
+    run_wall_seconds: f64,
 }
 
-impl<P: PreparedPow + Sync + std::fmt::Debug> Simulation<P>
+impl<P: PreparedPow + Send + Sync + std::fmt::Debug> Simulation<P>
 where
     P::Scratch: std::fmt::Debug,
 {
@@ -473,6 +564,10 @@ where
     ) -> Self {
         assert!(config.nodes >= 2, "a network needs at least two nodes");
         assert!(config.slice_ms > 0, "mining slices need a positive length");
+        assert!(
+            config.threads >= 1,
+            "the scheduler needs at least one thread"
+        );
         for p in &config.partitions {
             assert!(
                 p.split >= 1 && p.split < config.nodes,
@@ -574,13 +669,21 @@ where
         if honest.is_empty() {
             honest = (0..config.nodes).collect();
         }
+        // The overlay's initial random links draw from the main RNG
+        // *before* any event fires; with `topology: None` no draw happens
+        // and the stream is byte-identical to the pre-topology scheduler.
+        let mut rng = WidgetRng::new(config.seed);
+        let overlay = config
+            .topology
+            .map(|topology| Overlay::new(config.nodes, topology, &mut rng));
+        let tips = nodes.iter().map(Node::tip).collect();
         let mut sim = Self {
-            rng: WidgetRng::new(config.seed),
+            rng,
             adversary_rng: WidgetRng::new(config.seed ^ 0xADAD_F0F0_1234_5678),
             down: vec![false; config.nodes],
+            queue: ShardedQueue::new(config.nodes),
             nodes,
             honest,
-            queue: BinaryHeap::new(),
             seq: 0,
             now: 0,
             split: None,
@@ -588,6 +691,11 @@ where
             messages_sent: 0,
             messages_dropped: 0,
             messages_lost_to_crashes: 0,
+            overlay,
+            tips,
+            events_processed: 0,
+            connect_attempts: 0,
+            run_wall_seconds: 0.0,
             config,
         };
         for node in 0..sim.config.nodes {
@@ -603,6 +711,13 @@ where
             sim.schedule(c.at_ms, EventKind::Crash { index });
             sim.schedule(c.at_ms + c.down_ms, EventKind::Restart { index });
         }
+        if let Some(interval) = sim
+            .config
+            .topology
+            .and_then(|topology| topology.rotation_interval_ms)
+        {
+            sim.schedule(interval, EventKind::TopologyTick);
+        }
         sim
     }
 
@@ -616,10 +731,19 @@ where
         &self.config
     }
 
+    /// Peer ids currently in `node`'s table, in connection order — empty
+    /// on topology-less runs.
+    pub fn peer_table(&self, node: usize) -> Vec<usize> {
+        self.overlay
+            .as_ref()
+            .map_or_else(Vec::new, |overlay| overlay.peers_of(node))
+    }
+
     fn schedule(&mut self, time: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { time, seq, kind });
+        let shard = kind.shard();
+        self.queue.push(shard, Scheduled { time, seq, kind });
     }
 
     /// The RNG stream `from`'s traffic draws on — the isolation that keeps
@@ -655,6 +779,15 @@ where
             self.messages_dropped += 1;
             return;
         }
+        // On topology runs a message only travels over an existing link;
+        // a send into an evicted link is dropped before any RNG is
+        // consumed, mirroring the partition path.
+        if let Some(overlay) = &self.overlay {
+            if !overlay.linked(from, to) {
+                self.messages_dropped += 1;
+                return;
+            }
+        }
         self.messages_sent += 1;
         let latency_model = self.config.latency;
         let latency = latency_model.sample(self.rng_for(from));
@@ -674,20 +807,58 @@ where
                     message,
                 } => self.send(from, to, message, after_ms),
                 Outgoing::Broadcast(message) => {
-                    for dest in 0..self.config.nodes {
-                        if dest != from {
-                            self.send(from, dest, message.clone(), 0);
+                    // With topology on, "everyone" is the node's peer
+                    // table; without, the legacy full mesh.
+                    let table = self.overlay.as_ref().map(|o| o.peers_of(from));
+                    match table {
+                        Some(peers) => {
+                            for dest in peers {
+                                self.send(from, dest, message.clone(), 0);
+                            }
+                        }
+                        None => {
+                            for dest in 0..self.config.nodes {
+                                if dest != from {
+                                    self.send(from, dest, message.clone(), 0);
+                                }
+                            }
                         }
                     }
                 }
                 Outgoing::Gossip(message) => {
-                    let mut peers: Vec<usize> =
-                        (0..self.config.nodes).filter(|&d| d != from).collect();
-                    let sample = self.config.fan_out.min(peers.len());
-                    for _ in 0..sample {
-                        let pick = self.rng_for(from).next_bounded(peers.len() as u64) as usize;
-                        let dest = peers.swap_remove(pick);
-                        self.send(from, dest, message.clone(), 0);
+                    if self.overlay.is_some() {
+                        // Score-weighted sampling over the peer table:
+                        // peers that relayed useful blocks dominate.
+                        let adversarial = self.nodes[from].is_adversarial();
+                        let mut targets = Vec::new();
+                        {
+                            let Self {
+                                overlay,
+                                rng,
+                                adversary_rng,
+                                config,
+                                ..
+                            } = &mut *self;
+                            let rng = if adversarial { adversary_rng } else { rng };
+                            overlay.as_ref().expect("topology run").gossip_targets(
+                                from,
+                                config.fan_out,
+                                rng,
+                                &mut targets,
+                            );
+                        }
+                        for dest in targets {
+                            self.send(from, dest, message.clone(), 0);
+                        }
+                    } else {
+                        let mut peers: Vec<usize> =
+                            (0..self.config.nodes).filter(|&d| d != from).collect();
+                        let sample = self.config.fan_out.min(peers.len());
+                        for _ in 0..sample {
+                            let pick = self.rng_for(from).next_bounded(peers.len() as u64) as usize;
+                            let dest = peers.swap_remove(pick);
+                            self.send(from, dest, message.clone(), 0);
+                        }
                     }
                 }
                 Outgoing::Timer { token, after_ms } => {
@@ -701,10 +872,15 @@ where
     }
 
     /// Tracks when the honest nodes last became (and stayed) converged.
+    ///
+    /// Reads the per-event [`Simulation::tips`] cache rather than the
+    /// nodes directly, so the parallel scheduler can replay convergence
+    /// transitions event by event in global `seq` order — a tip can flip
+    /// convergence on and off *within* one timestamp batch, and the
+    /// sequential scheduler observed every such transition.
     fn update_convergence(&mut self) {
-        let tip = self.nodes[self.honest[0]].tip();
-        let all_equal =
-            tip != [0u8; 32] && self.honest.iter().all(|&id| self.nodes[id].tip() == tip);
+        let tip = self.tips[self.honest[0]];
+        let all_equal = tip != [0u8; 32] && self.honest.iter().all(|&id| self.tips[id] == tip);
         if all_equal {
             if self.converged_at.is_none() {
                 self.converged_at = Some(self.now);
@@ -716,79 +892,356 @@ where
 
     /// Runs the simulation to completion — mining until the horizon, then
     /// draining in-flight traffic — and reports the aggregate outcome.
+    ///
+    /// # The sharded parallel scheduler
+    ///
+    /// Every scheduling path lands strictly after `now` (latency floors
+    /// at 1 ms, timers floor at 1 ms, slice clocks add `slice_ms`), so
+    /// when the earliest queued timestamp is reached, *every* event at
+    /// that timestamp is already queued. The loop therefore pops whole
+    /// timestamp batches ([`ShardedQueue::pop_time_batch`]) and splits
+    /// each batch at *barrier* events (partitions, crashes, topology
+    /// ticks — anything touching global state). The node-local runs in
+    /// between fan out across `thread::scope` workers, one lane per
+    /// node: handlers only touch their own node and draw no RNG, so
+    /// executing them concurrently and then replaying their outcomes —
+    /// sends, scoring credits, slice reschedules, convergence updates —
+    /// sequentially in global `seq` order consumes the seeded RNG in
+    /// exactly the order the single-threaded scheduler did. N-thread
+    /// runs are byte-identical to 1-thread runs; the sharded-scheduler
+    /// proptest and the pinned honest fingerprint both gate this.
     pub fn run(&mut self) -> SimReport {
-        while let Some(event) = self.queue.pop() {
-            self.now = event.time;
-            match event.kind {
-                EventKind::MineSlice { node } => {
-                    // A crashed node mines nothing, but the slice clock
-                    // keeps ticking so mining resumes after the restart.
-                    if !self.down[node] {
-                        let attempts = self.config.attempts_for(node);
-                        let outgoing = self.nodes[node].mine_slice(self.now, attempts);
-                        self.dispatch(node, outgoing);
+        let started = Instant::now();
+        let mut batch: Vec<Scheduled<EventKind>> = Vec::new();
+        let mut group: Vec<Scheduled<EventKind>> = Vec::new();
+        loop {
+            self.queue.pop_time_batch(&mut batch);
+            if batch.is_empty() {
+                break;
+            }
+            self.now = batch[0].time;
+            self.events_processed += batch.len() as u64;
+            // Walk the batch in seq order, splitting at barriers: maximal
+            // runs of node-local events execute (potentially) in
+            // parallel, barriers execute alone.
+            batch.reverse();
+            while let Some(event) = batch.pop() {
+                if event.kind.shard().is_none() {
+                    self.run_barrier(event.kind);
+                    self.update_convergence();
+                } else {
+                    group.clear();
+                    group.push(event);
+                    while batch.last().is_some_and(|next| next.kind.shard().is_some()) {
+                        group.push(batch.pop().expect("peeked event pops"));
                     }
-                    let next = self.now + self.config.slice_ms;
-                    if next <= self.config.duration_ms {
-                        self.schedule(next, EventKind::MineSlice { node });
+                    self.run_node_events(&mut group);
+                }
+            }
+        }
+        self.run_wall_seconds = started.elapsed().as_secs_f64();
+        self.report()
+    }
+
+    /// Executes one barrier event — global state only fires here.
+    fn run_barrier(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::PartitionStart { index } => {
+                self.split = Some(self.config.partitions[index].split);
+            }
+            EventKind::PartitionEnd { index } => {
+                let _ = index;
+                self.split = None;
+                // Reconnect handshake: every node announces its tip, so
+                // the two sides discover each other's branch even if no
+                // further block is mined.
+                for from in 0..self.config.nodes {
+                    if let Some(block) = self.nodes[from].tree().tip_block().cloned() {
+                        self.dispatch(from, vec![Outgoing::Broadcast(Message::Block(block))]);
                     }
                 }
-                EventKind::Deliver { to, from, message } => {
-                    // In-flight messages sent before the crash arrive at a
-                    // dead socket.
-                    if self.down[to] {
-                        self.messages_lost_to_crashes += 1;
-                    } else {
-                        let outgoing = self.nodes[to].handle(self.now, from, message);
-                        self.dispatch(to, outgoing);
-                    }
+            }
+            EventKind::Crash { index } => {
+                self.down[self.config.crashes[index].node] = true;
+            }
+            EventKind::Restart { index } => {
+                let crash = self.config.crashes[index];
+                // Deterministic torn-tail injection: the configured
+                // byte count of the active log never became durable.
+                if crash.torn_tail_bytes > 0 {
+                    let dir = self.nodes[crash.node]
+                        .store_dir()
+                        .expect("crash-restart nodes have a store")
+                        .to_path_buf();
+                    hashcore_store::inject_torn_tail(&dir, crash.torn_tail_bytes)
+                        .expect("torn-tail injection targets an existing log");
                 }
-                EventKind::Timeout { node, token } => {
-                    if !self.down[node] {
-                        let outgoing = self.nodes[node].on_timer(token);
-                        self.dispatch(node, outgoing);
-                    }
-                }
-                EventKind::PartitionStart { index } => {
-                    self.split = Some(self.config.partitions[index].split);
-                }
-                EventKind::PartitionEnd { index } => {
-                    let _ = index;
-                    self.split = None;
-                    // Reconnect handshake: every node announces its tip, so
-                    // the two sides discover each other's branch even if no
-                    // further block is mined.
-                    for from in 0..self.config.nodes {
-                        if let Some(block) = self.nodes[from].tree().tip_block().cloned() {
-                            self.dispatch(from, vec![Outgoing::Broadcast(Message::Block(block))]);
+                self.down[crash.node] = false;
+                let (_report, out) = self.nodes[crash.node]
+                    .crash_restart()
+                    .expect("a crashed node restarts from its store");
+                self.tips[crash.node] = self.nodes[crash.node].tip();
+                self.dispatch(crash.node, out);
+            }
+            EventKind::TopologyTick => {
+                // Decay first — the ranking measures recent usefulness —
+                // then every live honest node dials one fresh anchor.
+                // Rotation draws from the main RNG (honest protocol
+                // behaviour); the tip-exchange handshake on each new link
+                // is what re-seeds convergence after a table was
+                // monopolised. Adversaries neither rotate nor hand their
+                // tip over: a real eclipse attacker controls its own
+                // protocol messages.
+                let mut handshakes: Vec<(usize, usize)> = Vec::new();
+                {
+                    let Self {
+                        overlay,
+                        rng,
+                        nodes,
+                        down,
+                        ..
+                    } = &mut *self;
+                    if let Some(overlay) = overlay.as_mut() {
+                        overlay.decay();
+                        for node in 0..nodes.len() {
+                            if !down[node] && !nodes[node].is_adversarial() {
+                                if let Some(peer) = overlay.rotate(node, rng) {
+                                    handshakes.push((node, peer));
+                                }
+                            }
                         }
                     }
                 }
-                EventKind::Crash { index } => {
-                    self.down[self.config.crashes[index].node] = true;
-                }
-                EventKind::Restart { index } => {
-                    let crash = self.config.crashes[index];
-                    // Deterministic torn-tail injection: the configured
-                    // byte count of the active log never became durable.
-                    if crash.torn_tail_bytes > 0 {
-                        let dir = self.nodes[crash.node]
-                            .store_dir()
-                            .expect("crash-restart nodes have a store")
-                            .to_path_buf();
-                        hashcore_store::inject_torn_tail(&dir, crash.torn_tail_bytes)
-                            .expect("torn-tail injection targets an existing log");
+                for (node, peer) in handshakes {
+                    for (a, b) in [(node, peer), (peer, node)] {
+                        if self.nodes[a].is_adversarial() {
+                            continue;
+                        }
+                        if let Some(block) = self.nodes[a].tree().tip_block().cloned() {
+                            self.send(a, b, Message::Block(block), 0);
+                        }
                     }
-                    self.down[crash.node] = false;
-                    let (_report, out) = self.nodes[crash.node]
-                        .crash_restart()
-                        .expect("a crashed node restarts from its store");
-                    self.dispatch(crash.node, out);
+                }
+                let interval = self
+                    .config
+                    .topology
+                    .and_then(|topology| topology.rotation_interval_ms)
+                    .expect("a topology tick implies a rotation interval");
+                let next = self.now + interval;
+                if next <= self.config.duration_ms {
+                    self.schedule(next, EventKind::TopologyTick);
                 }
             }
+            EventKind::MineSlice { .. } | EventKind::Deliver { .. } | EventKind::Timeout { .. } => {
+                unreachable!("node-local events execute through run_node_events")
+            }
+        }
+    }
+
+    /// Executes a barrier-free run of node-local events sharing one
+    /// timestamp: prepare per-node lanes in seq order, execute the lanes
+    /// (in parallel when configured), then merge every outcome back
+    /// strictly in seq order — sends, topology bookkeeping, slice
+    /// reschedules and convergence updates all replay sequentially.
+    fn run_node_events(&mut self, group: &mut Vec<Scheduled<EventKind>>) {
+        let mut outcomes: Vec<EventOutcome> = Vec::with_capacity(group.len());
+        let mut work: Vec<(usize, Vec<NodeEvent>)> = Vec::new();
+        let queue_work =
+            |work: &mut Vec<(usize, Vec<NodeEvent>)>, node: usize, ev: NodeEvent| match work
+                .iter_mut()
+                .find(|(id, _)| *id == node)
+            {
+                Some((_, events)) => events.push(ev),
+                None => work.push((node, vec![ev])),
+            };
+        for event in group.drain(..) {
+            let seq = event.seq;
+            match event.kind {
+                EventKind::MineSlice { node } => {
+                    if self.down[node] {
+                        // A crashed node mines nothing, but the slice
+                        // clock keeps ticking so mining resumes after the
+                        // restart.
+                        outcomes.push(EventOutcome {
+                            seq,
+                            node,
+                            outgoing: Vec::new(),
+                            tip: self.tips[node],
+                            relayer: None,
+                            useful: false,
+                            mine: true,
+                        });
+                    } else {
+                        let attempts = self.config.attempts_for(node);
+                        queue_work(
+                            &mut work,
+                            node,
+                            NodeEvent {
+                                seq,
+                                action: NodeAction::Mine { attempts },
+                            },
+                        );
+                    }
+                }
+                EventKind::Deliver { to, from, message } => {
+                    if self.down[to] {
+                        // In-flight messages sent before the crash arrive
+                        // at a dead socket.
+                        self.messages_lost_to_crashes += 1;
+                        outcomes.push(EventOutcome {
+                            seq,
+                            node: to,
+                            outgoing: Vec::new(),
+                            tip: self.tips[to],
+                            relayer: None,
+                            useful: false,
+                            mine: false,
+                        });
+                    } else {
+                        queue_work(
+                            &mut work,
+                            to,
+                            NodeEvent {
+                                seq,
+                                action: NodeAction::Deliver { from, message },
+                            },
+                        );
+                    }
+                }
+                EventKind::Timeout { node, token } => {
+                    if self.down[node] {
+                        outcomes.push(EventOutcome {
+                            seq,
+                            node,
+                            outgoing: Vec::new(),
+                            tip: self.tips[node],
+                            relayer: None,
+                            useful: false,
+                            mine: false,
+                        });
+                    } else {
+                        queue_work(
+                            &mut work,
+                            node,
+                            NodeEvent {
+                                seq,
+                                action: NodeAction::Timeout { token },
+                            },
+                        );
+                    }
+                }
+                _ => unreachable!("barriers never enter a node-event group"),
+            }
+        }
+        let now = self.now;
+        let threads = self.config.threads.min(work.len()).max(1);
+        if threads <= 1 {
+            for (node, events) in work {
+                Self::execute_lane(now, node, &mut self.nodes[node], events, &mut outcomes);
+            }
+        } else {
+            // One lane per node with work; disjoint `&mut Node` handles
+            // fan out across scoped workers, chunked evenly — the same
+            // shape as `validate_blocks_parallel`.
+            let mut slots: Vec<Option<Vec<NodeEvent>>> =
+                (0..self.config.nodes).map(|_| None).collect();
+            for (node, events) in work {
+                slots[node] = Some(events);
+            }
+            type Lane<'n, P> = (usize, &'n mut Node<P>, Vec<NodeEvent>, Vec<EventOutcome>);
+            let mut lanes: Vec<Lane<'_, P>> = Vec::new();
+            for (node, node_ref) in self.nodes.iter_mut().enumerate() {
+                if let Some(events) = slots[node].take() {
+                    lanes.push((node, node_ref, events, Vec::new()));
+                }
+            }
+            let chunk = lanes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for piece in lanes.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for (node, node_ref, events, outs) in piece.iter_mut() {
+                            Self::execute_lane(now, *node, node_ref, std::mem::take(events), outs);
+                        }
+                    });
+                }
+            });
+            for (_, _, _, mut outs) in lanes {
+                outcomes.append(&mut outs);
+            }
+        }
+        // Merge strictly in global seq order: this is where all RNG draws
+        // and global-state mutations happen, reproducing the sequential
+        // scheduler exactly.
+        outcomes.sort_unstable_by_key(|outcome| outcome.seq);
+        for outcome in outcomes {
+            let EventOutcome {
+                node,
+                outgoing,
+                tip,
+                relayer,
+                useful,
+                mine,
+                ..
+            } = outcome;
+            if mine && !self.down[node] {
+                // Eclipse pressure: a sybil's mining slice is one
+                // connection attempt against its victim's peer table.
+                if let (Some(victim), Some(overlay)) =
+                    (self.nodes[node].eclipse_target(), self.overlay.as_mut())
+                {
+                    self.connect_attempts += 1;
+                    overlay.connect(node, victim, false);
+                }
+            }
+            if useful {
+                // The relayer of an accepted block earns usefulness
+                // credit — the signal that keeps honest links scored
+                // above freshly connected sybils.
+                if let (Some(from), Some(overlay)) = (relayer, self.overlay.as_mut()) {
+                    overlay.credit(node, from);
+                }
+            }
+            self.dispatch(node, outgoing);
+            if mine {
+                let next = self.now + self.config.slice_ms;
+                if next <= self.config.duration_ms {
+                    self.schedule(next, EventKind::MineSlice { node });
+                }
+            }
+            self.tips[node] = tip;
             self.update_convergence();
         }
-        self.report()
+    }
+
+    /// Runs one node's events for the current timestamp, in seq order,
+    /// capturing each event's outcome. Touches nothing but the node
+    /// itself — the property that makes lanes safe to run concurrently.
+    fn execute_lane(
+        now: u64,
+        node_id: usize,
+        node: &mut Node<P>,
+        events: Vec<NodeEvent>,
+        outcomes: &mut Vec<EventOutcome>,
+    ) {
+        for event in events {
+            let before = node.stats().blocks_accepted;
+            let (outgoing, mine, relayer) = match event.action {
+                NodeAction::Mine { attempts } => (node.mine_slice(now, attempts), true, None),
+                NodeAction::Deliver { from, message } => {
+                    (node.handle(now, from, message), false, Some(from))
+                }
+                NodeAction::Timeout { token } => (node.on_timer(token), false, None),
+            };
+            outcomes.push(EventOutcome {
+                seq: event.seq,
+                node: node_id,
+                outgoing,
+                tip: node.tip(),
+                relayer,
+                useful: node.stats().blocks_accepted > before,
+                mine,
+            });
+        }
     }
 
     fn report(&self) -> SimReport {
@@ -869,6 +1322,11 @@ where
             blocks_replayed: sum(&|s| s.blocks_replayed),
             recovery_lost_bytes: sum(&|s| s.recovery_lost_bytes),
             messages_lost_to_crashes: self.messages_lost_to_crashes,
+            events_processed: self.events_processed,
+            connect_attempts: self.connect_attempts,
+            peer_evictions: self.overlay.as_ref().map_or(0, Overlay::evictions),
+            anchor_rotations: self.overlay.as_ref().map_or(0, Overlay::rotations),
+            run_wall_seconds: self.run_wall_seconds,
         }
     }
 }
@@ -1330,5 +1788,158 @@ mod tests {
         let persisted = persistent_run(&dir, Vec::new(), 8);
         let volatile = Simulation::new(quick_config(), |_| Sha256dPow).run();
         assert_eq!(persisted.fingerprint(), volatile.fingerprint());
+    }
+
+    /// The tentpole guarantee: the sharded parallel scheduler is
+    /// byte-identical to the single-threaded one, with and without a
+    /// partition and a topology in play.
+    #[test]
+    fn thread_count_never_changes_the_fingerprint() {
+        let configs = [
+            SimConfig {
+                partitions: vec![Partition {
+                    start_ms: 4_000,
+                    end_ms: 9_000,
+                    split: 2,
+                }],
+                ..quick_config()
+            },
+            SimConfig {
+                nodes: 8,
+                topology: Some(TopologyConfig::defended()),
+                request_timeout_ms: Some(1_500),
+                ..quick_config()
+            },
+        ];
+        for config in configs {
+            let sequential = Simulation::new(config.clone(), |_| Sha256dPow).run();
+            for threads in [2, 4, 7] {
+                let parallel = Simulation::new(
+                    SimConfig {
+                        threads,
+                        ..config.clone()
+                    },
+                    |_| Sha256dPow,
+                )
+                .run();
+                assert_eq!(
+                    sequential.fingerprint_extended(),
+                    parallel.fingerprint_extended(),
+                    "threads={threads} must replay the 1-thread run byte for byte"
+                );
+            }
+        }
+    }
+
+    /// Bounded peer tables with scored gossip still converge, replay
+    /// identically, and actually exercise the overlay machinery.
+    #[test]
+    fn a_topology_network_converges_and_replays_identically() {
+        let config = SimConfig {
+            nodes: 8,
+            topology: Some(TopologyConfig::defended()),
+            request_timeout_ms: Some(1_500),
+            ..quick_config()
+        };
+        let a = Simulation::new(config.clone(), |_| Sha256dPow).run();
+        let b = Simulation::new(config, |_| Sha256dPow).run();
+        assert_eq!(a.fingerprint_extended(), b.fingerprint_extended());
+        assert!(a.converged, "{}", a.fingerprint_extended());
+        assert!(a.anchor_rotations > 0, "rotation must tick");
+    }
+
+    fn eclipse_config(topology: TopologyConfig) -> SimConfig {
+        SimConfig {
+            nodes: 12,
+            seed: 2024,
+            difficulty_bits: 8,
+            attempts_per_slice: 32,
+            slice_ms: 100,
+            duration_ms: 20_000,
+            // Fan-out covering the whole table makes honest relay
+            // reliable, so any end-of-run disagreement is the eclipse
+            // doing its work, not a last-block gossip miss.
+            fan_out: 4,
+            // Timeouts let honest nodes route around requests that died
+            // on an evicted link; the victim's retries still drop — every
+            // slot of its table holds a sybil.
+            request_timeout_ms: Some(1_500),
+            topology: Some(topology),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Six sybils dialling every slice against a 4-slot undefended table
+    /// (no scoring, no anchors, no rotation): the victim's honest links
+    /// are evicted oldest-first and it mines on a stale tip while the
+    /// remaining honest nodes converge without it.
+    #[test]
+    fn eclipse_isolates_a_victim_on_an_undefended_topology() {
+        let sybils = 6..12;
+        let mut sim = Simulation::with_strategies(
+            eclipse_config(TopologyConfig {
+                max_peers: 4,
+                extra_links: 1,
+                ..TopologyConfig::undefended()
+            }),
+            |_| Sha256dPow,
+            |id| {
+                if (6..12).contains(&id) {
+                    Box::new(crate::strategy::Eclipse { victim: 0 })
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        );
+        let report = sim.run();
+        assert!(report.connect_attempts > 0, "sybils must dial");
+        assert!(report.peer_evictions > 0, "pressure must evict");
+        // The monopoly: every slot of the victim's table holds a sybil.
+        let table = sim.peer_table(0);
+        assert!(
+            !table.is_empty() && table.iter().all(|peer| sybils.contains(peer)),
+            "the victim's table must hold only sybils: {table:?}"
+        );
+        // The victim mines on its own stale chain while the other honest
+        // nodes agree with each other.
+        let honest_tip = sim.nodes()[1].tip();
+        for id in 2..6 {
+            assert_eq!(sim.nodes()[id].tip(), honest_tip, "non-victims agree");
+        }
+        assert_ne!(sim.nodes()[0].tip(), honest_tip, "the victim is eclipsed");
+        assert!(!report.converged, "{}", report.fingerprint_extended());
+    }
+
+    /// The same attack against the defended overlay: scored honest links
+    /// survive connection pressure, anchors are immune, and anchor
+    /// rotation keeps re-establishing honest connectivity — the victim
+    /// stays on the honest chain.
+    #[test]
+    fn scoring_anchors_and_rotation_defeat_the_eclipse() {
+        let mut sim = Simulation::with_strategies(
+            eclipse_config(TopologyConfig {
+                max_peers: 4,
+                anchors: 1,
+                extra_links: 1,
+                rotation_interval_ms: Some(2_000),
+                credit: 16,
+            }),
+            |_| Sha256dPow,
+            |id| {
+                if (6..12).contains(&id) {
+                    Box::new(crate::strategy::Eclipse { victim: 0 })
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        );
+        let report = sim.run();
+        assert!(report.connect_attempts > 0, "sybils must dial");
+        assert!(
+            report.converged,
+            "the defences must keep the victim on the honest chain: {}",
+            report.fingerprint_extended()
+        );
+        assert!(report.anchor_rotations > 0, "rotation must tick");
     }
 }

@@ -25,6 +25,9 @@
 //! * [`DifficultyHopping`] — contribute hash power only while the branch's
 //!   expected target is easy, defecting when retargeting makes blocks
 //!   expensive,
+//! * [`Eclipse`] — monopolise a victim's bounded peer table with sybil
+//!   connections so it mines on a stale tip (topology-enabled runs only;
+//!   defeated by peer scoring, anchors and anchor rotation),
 //! * [`Silent`] — an offline placeholder used as the baseline when proving
 //!   that spam never changes honest fork choice.
 
@@ -169,6 +172,16 @@ pub trait Strategy: fmt::Debug + Send {
     fn mines_at(&mut self, expected_attempts: f64) -> bool {
         let _ = expected_attempts;
         true
+    }
+
+    /// The node whose peer table this strategy tries to monopolise, if
+    /// any. Only consulted on topology-enabled runs
+    /// ([`SimConfig::topology`](crate::SimConfig::topology)): the
+    /// scheduler turns every mining slice of a node returning `Some` into
+    /// one connection attempt against the victim. `None` (the default)
+    /// attacks nobody.
+    fn eclipse_target(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -379,6 +392,48 @@ impl Strategy for DifficultyHopping {
     }
 }
 
+/// Connection monopolisation (an eclipse attack): contribute no hash
+/// power and relay nothing — just dial the victim once per mining slice
+/// until its bounded peer table holds only attackers. Against an
+/// [`undefended`](crate::TopologyConfig::undefended) overlay (no scoring,
+/// no anchors, no rotation) eviction is oldest-first, so enough sybils
+/// displace every honest link and the victim mines on a stale tip.
+/// Against the defended overlay the sybils relay nothing useful, so they
+/// never out-score honest links, anchors are immune to their pressure,
+/// and anchor rotation re-establishes honest connectivity even when a
+/// table was briefly monopolised.
+#[derive(Debug, Clone, Copy)]
+pub struct Eclipse {
+    /// The node whose connections the sybils monopolise.
+    pub victim: usize,
+}
+
+impl Strategy for Eclipse {
+    fn name(&self) -> &'static str {
+        "eclipse"
+    }
+
+    fn mining_mode(&mut self) -> MiningMode {
+        MiningMode::Off
+    }
+
+    fn relays(&self) -> bool {
+        false
+    }
+
+    fn syncs(&self) -> bool {
+        false
+    }
+
+    fn serve_segment(&mut self, _from: usize) -> ServeAction {
+        ServeAction::Ignore
+    }
+
+    fn eclipse_target(&self) -> Option<usize> {
+        Some(self.victim)
+    }
+}
+
 /// A dead node: no mining, no relaying, no syncing, no serving. The
 /// rng-isolated baseline an adversary is swapped against when proving that
 /// its traffic did not move honest fork choice.
@@ -484,6 +539,20 @@ mod tests {
         let mut honest = Honest;
         assert_eq!(honest.timestamp_skew_ms(), 0);
         assert!(honest.mines_at(f64::INFINITY));
+    }
+
+    #[test]
+    fn eclipse_targets_its_victim_and_contributes_nothing() {
+        let mut eclipse = Eclipse { victim: 3 };
+        assert_eq!(eclipse.eclipse_target(), Some(3));
+        assert!(eclipse.is_adversarial());
+        assert_eq!(eclipse.mining_mode(), MiningMode::Off);
+        assert!(!eclipse.relays() && !eclipse.syncs());
+        assert_eq!(eclipse.serve_segment(0), ServeAction::Ignore);
+        // Every other strategy attacks nobody's connections.
+        assert_eq!(Honest.eclipse_target(), None);
+        assert_eq!(Silent.eclipse_target(), None);
+        assert_eq!(SelfishMining.eclipse_target(), None);
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! First-class peer topology: bounded per-node peer tables, a
+//! usefulness-scoring overlay, and the connection churn that eclipse
+//! attacks abuse.
+//!
+//! With [`crate::SimConfig::topology`] set, gossip and broadcast no longer
+//! reach arbitrary nodes: every node holds a bounded table of undirected
+//! peer links, broadcast walks the table, and gossip samples it weighted
+//! by each peer's *usefulness score* (credits earned by relaying blocks
+//! the receiver actually accepted). The defences against connection
+//! monopolisation live here too:
+//!
+//! * **scoring + decay** — useful peers out-score freshly connected
+//!   sybils, and halving scores every topology tick keeps the ranking
+//!   current rather than historical;
+//! * **anchors** — a few links per node are pinned and never evicted by
+//!   incoming connection pressure;
+//! * **anchor rotation** — at every topology tick each honest node dials
+//!   one random not-yet-linked peer as a fresh anchor, so even a
+//!   monopolised table regains an honest link in bounded time.
+//!
+//! The [`crate::Eclipse`] strategy attacks exactly this machinery: sybils
+//! dial the victim every mining slice until its table holds only
+//! attackers. With scoring, anchors and rotation disabled
+//! ([`TopologyConfig::undefended`]) the monopoly sticks and the victim
+//! mines on a stale tip; with the defences on ([`TopologyConfig`]'s
+//! default) the sybils never displace the scored honest links.
+
+use hashcore_gen::WidgetRng;
+
+/// Configuration of the peer-topology overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyConfig {
+    /// Maximum peers per node table. Connections beyond the bound evict
+    /// the lowest-scored (tie: oldest) non-anchor entry.
+    pub max_peers: usize,
+    /// Links per node pinned against eviction (must be below
+    /// `max_peers`). New anchors past the budget demote the oldest.
+    pub anchors: usize,
+    /// Random extra links dialled per node at construction, on top of the
+    /// ring that keeps the graph connected.
+    pub extra_links: usize,
+    /// Interval of the topology tick (score decay + anchor rotation), in
+    /// simulated milliseconds. `None` disables both defences.
+    pub rotation_interval_ms: Option<u64>,
+    /// Score credited to a peer whose relayed block was accepted. `0`
+    /// disables scoring entirely — gossip falls back to uniform sampling
+    /// over the table and eviction to pure oldest-first.
+    pub credit: u64,
+}
+
+impl TopologyConfig {
+    /// The defended overlay: bounded tables with scoring, decay, pinned
+    /// anchors, and periodic anchor rotation.
+    pub fn defended() -> Self {
+        Self {
+            max_peers: 8,
+            anchors: 2,
+            extra_links: 2,
+            rotation_interval_ms: Some(2_000),
+            credit: 16,
+        }
+    }
+
+    /// The same bounded tables with every defence stripped: no scoring,
+    /// no anchors, no rotation. Eviction degenerates to oldest-first —
+    /// the configuration an eclipse attacker wishes for.
+    pub fn undefended() -> Self {
+        Self {
+            anchors: 0,
+            rotation_interval_ms: None,
+            credit: 0,
+            ..Self::defended()
+        }
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self::defended()
+    }
+}
+
+/// One undirected link as seen from one endpoint's table.
+#[derive(Debug, Clone, Copy)]
+struct PeerEntry {
+    peer: usize,
+    /// Usefulness credits; decayed by halving at every topology tick.
+    score: u64,
+    /// Pinned against eviction by incoming connection pressure.
+    anchor: bool,
+    /// Monotone connection stamp — older entries lose score ties.
+    connected: u64,
+}
+
+/// The peer-topology overlay: every node's bounded peer table plus the
+/// scoring and churn counters. Links are undirected — an entry in `a`'s
+/// table always has a mirror in `b`'s, and eviction removes both.
+#[derive(Debug)]
+pub struct Overlay {
+    config: TopologyConfig,
+    tables: Vec<Vec<PeerEntry>>,
+    /// Monotone stamp handed to each new connection.
+    clock: u64,
+    evictions: u64,
+    rotations: u64,
+}
+
+impl Overlay {
+    /// Builds the initial graph: a ring (node `i` anchored to `i + 1`, so
+    /// the graph starts connected) plus `extra_links` random links per
+    /// node, drawn from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= max_peers`, `anchors < max_peers`, and any
+    /// rotation interval is positive.
+    pub fn new(nodes: usize, config: TopologyConfig, rng: &mut WidgetRng) -> Self {
+        assert!(config.max_peers >= 2, "peer tables need at least two slots");
+        assert!(
+            config.anchors < config.max_peers,
+            "anchors must leave at least one evictable slot"
+        );
+        if let Some(interval) = config.rotation_interval_ms {
+            assert!(interval > 0, "topology ticks need a positive interval");
+        }
+        let mut overlay = Self {
+            config,
+            tables: vec![Vec::new(); nodes],
+            clock: 0,
+            evictions: 0,
+            rotations: 0,
+        };
+        for node in 0..nodes {
+            overlay.connect(node, (node + 1) % nodes, true);
+        }
+        for node in 0..nodes {
+            for _ in 0..config.extra_links {
+                let peer = rng.next_bounded(nodes as u64) as usize;
+                if peer != node {
+                    overlay.connect(node, peer, false);
+                }
+            }
+        }
+        overlay
+    }
+
+    /// `true` when `a` and `b` currently share a link.
+    pub fn linked(&self, a: usize, b: usize) -> bool {
+        self.tables[a].iter().any(|entry| entry.peer == b)
+    }
+
+    /// Peer ids in `node`'s table, in table (connection) order.
+    pub fn peers_of(&self, node: usize) -> Vec<usize> {
+        self.tables[node].iter().map(|entry| entry.peer).collect()
+    }
+
+    /// Links evicted by connection pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Anchor rotations performed so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Index of the evictable entry in `node`'s table: lowest score, ties
+    /// broken oldest-first. `None` when every entry is an anchor.
+    fn evictable(&self, node: usize) -> Option<usize> {
+        self.tables[node]
+            .iter()
+            .enumerate()
+            .filter(|(_, entry)| !entry.anchor)
+            .min_by_key(|(_, entry)| (entry.score, entry.connected))
+            .map(|(index, _)| index)
+    }
+
+    fn unlink(&mut self, a: usize, b: usize) {
+        self.tables[a].retain(|entry| entry.peer != b);
+        self.tables[b].retain(|entry| entry.peer != a);
+    }
+
+    /// Connects `a` and `b` (undirected), evicting the lowest-scored
+    /// non-anchor entry from any full side. With `anchor` set, the entry
+    /// in `a`'s table is pinned (demoting `a`'s oldest anchor when the
+    /// anchor budget is exhausted). Returns `false` — changing nothing —
+    /// when the link already exists, `a == b`, or a full side has no
+    /// evictable entry.
+    pub fn connect(&mut self, a: usize, b: usize, anchor: bool) -> bool {
+        if a == b || self.linked(a, b) {
+            return false;
+        }
+        // Plan evictions for both sides before mutating either, so a
+        // refused connect leaves no half-installed link.
+        let mut evict = Vec::new();
+        for side in [a, b] {
+            if self.tables[side].len() >= self.config.max_peers {
+                match self.evictable(side) {
+                    Some(index) => evict.push((side, self.tables[side][index].peer)),
+                    None => return false,
+                }
+            }
+        }
+        for (side, peer) in evict {
+            self.unlink(side, peer);
+            self.evictions += 1;
+        }
+        if anchor {
+            let anchors = self.tables[a].iter().filter(|entry| entry.anchor).count();
+            if anchors >= self.config.anchors {
+                if let Some(oldest) = self.tables[a]
+                    .iter_mut()
+                    .filter(|entry| entry.anchor)
+                    .min_by_key(|entry| entry.connected)
+                {
+                    oldest.anchor = false;
+                }
+            }
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        self.tables[a].push(PeerEntry {
+            peer: b,
+            score: 0,
+            anchor: anchor && self.config.anchors > 0,
+            connected: stamp,
+        });
+        self.tables[b].push(PeerEntry {
+            peer: a,
+            score: 0,
+            anchor: false,
+            connected: stamp,
+        });
+        true
+    }
+
+    /// Credits `peer` in `node`'s table for relaying a block `node`
+    /// accepted. A no-op when the link has been evicted since the relay
+    /// was sent, or when scoring is disabled (`credit == 0`).
+    pub fn credit(&mut self, node: usize, peer: usize) {
+        if self.config.credit == 0 {
+            return;
+        }
+        if let Some(entry) = self.tables[node]
+            .iter_mut()
+            .find(|entry| entry.peer == peer)
+        {
+            entry.score += self.config.credit;
+        }
+    }
+
+    /// Halves every score — the decay step of the topology tick, keeping
+    /// the ranking a measure of *recent* usefulness.
+    pub fn decay(&mut self) {
+        for table in &mut self.tables {
+            for entry in table {
+                entry.score /= 2;
+            }
+        }
+    }
+
+    /// The rotation step of the topology tick for one node: dial one
+    /// random not-yet-linked peer as a fresh anchor. Returns the peer on
+    /// success. Draws exactly one RNG sample whenever any candidate
+    /// exists, so the consumed randomness is a function of the topology
+    /// state alone.
+    pub fn rotate(&mut self, node: usize, rng: &mut WidgetRng) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.tables.len())
+            .filter(|&peer| peer != node && !self.linked(node, peer))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let peer = candidates[rng.next_bounded(candidates.len() as u64) as usize];
+        if self.connect(node, peer, true) {
+            self.rotations += 1;
+            Some(peer)
+        } else {
+            None
+        }
+    }
+
+    /// Samples up to `fan_out` distinct gossip targets from `node`'s
+    /// table into `out` (cleared first), weighted by `score + 1` — so
+    /// with scoring disabled every table entry is equally likely, and
+    /// with it enabled useful relayers dominate.
+    pub fn gossip_targets(
+        &self,
+        node: usize,
+        fan_out: usize,
+        rng: &mut WidgetRng,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        let mut pool: Vec<(usize, u64)> = self.tables[node]
+            .iter()
+            .map(|entry| (entry.peer, entry.score + 1))
+            .collect();
+        for _ in 0..fan_out.min(pool.len()) {
+            let total: u64 = pool.iter().map(|(_, weight)| weight).sum();
+            let mut roll = rng.next_bounded(total);
+            let mut pick = pool.len() - 1;
+            for (index, (_, weight)) in pool.iter().enumerate() {
+                if roll < *weight {
+                    pick = index;
+                    break;
+                }
+                roll -= weight;
+            }
+            out.push(pool.swap_remove(pick).0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlay(nodes: usize, config: TopologyConfig) -> Overlay {
+        let mut rng = WidgetRng::new(7);
+        Overlay::new(nodes, config, &mut rng)
+    }
+
+    #[test]
+    fn construction_builds_a_connected_bounded_graph() {
+        let ov = overlay(8, TopologyConfig::defended());
+        for node in 0..8 {
+            let peers = ov.peers_of(node);
+            assert!(!peers.is_empty(), "no node starts isolated");
+            assert!(peers.len() <= 8, "tables stay bounded");
+            // The ring link is present and symmetric.
+            assert!(ov.linked(node, (node + 1) % 8));
+            for peer in peers {
+                assert!(ov.linked(peer, node), "links are undirected");
+            }
+        }
+    }
+
+    #[test]
+    fn connection_pressure_evicts_oldest_first_when_unscored() {
+        let mut ov = overlay(
+            10,
+            TopologyConfig {
+                max_peers: 3,
+                extra_links: 0,
+                ..TopologyConfig::undefended()
+            },
+        );
+        // Node 0 starts with ring links to 1 and 9. Fill the third slot,
+        // then keep connecting: each new link must displace the oldest.
+        assert!(ov.connect(0, 3, false));
+        assert!(ov.connect(0, 4, false));
+        assert!(!ov.linked(0, 1), "the oldest link (ring to 1) is evicted");
+        assert!(!ov.linked(1, 0), "eviction removes both directions");
+        assert!(ov.connect(0, 5, false));
+        assert!(!ov.linked(0, 9), "then the next-oldest");
+        assert_eq!(ov.peers_of(0), vec![3, 4, 5]);
+        assert!(ov.evictions() >= 2);
+    }
+
+    #[test]
+    fn scored_links_survive_pressure_and_anchors_are_immune() {
+        let config = TopologyConfig {
+            max_peers: 3,
+            anchors: 1,
+            extra_links: 0,
+            ..TopologyConfig::defended()
+        };
+        let mut ov = overlay(10, config);
+        // Node 0: anchor to 1 (ring), plain link from 9 (ring), plus 3.
+        assert!(ov.connect(0, 3, false));
+        ov.credit(0, 3);
+        // Pressure: 9 is the lowest-scored non-anchor and goes first.
+        assert!(ov.connect(0, 4, false));
+        assert!(!ov.linked(0, 9));
+        assert!(ov.linked(0, 1), "the anchor survives");
+        assert!(ov.linked(0, 3), "the credited link survives");
+        // More pressure: the fresh unscored 4 goes before credited 3.
+        assert!(ov.connect(0, 5, false));
+        assert!(!ov.linked(0, 4));
+        assert!(ov.linked(0, 3));
+        // Decay erases the advantage: after enough halvings 3 is evictable.
+        for _ in 0..5 {
+            ov.decay();
+        }
+        assert!(ov.connect(0, 6, false));
+        assert!(!ov.linked(0, 3), "decayed scores stop protecting");
+    }
+
+    #[test]
+    fn the_anchor_budget_is_enforced_by_demoting_the_oldest() {
+        let mut ov = overlay(
+            6,
+            TopologyConfig {
+                max_peers: 4,
+                anchors: 1,
+                extra_links: 0,
+                ..TopologyConfig::defended()
+            },
+        );
+        let mut rng = WidgetRng::new(3);
+        // Node 0 starts with one anchor (the ring link to 1). Rotating
+        // dials a fresh anchor, which must demote the old one rather than
+        // exceed the budget of 1.
+        let fresh = ov.rotate(0, &mut rng).expect("unlinked peers exist");
+        let anchors = ov.tables[0].iter().filter(|e| e.anchor).count();
+        assert_eq!(anchors, 1, "the anchor budget holds after rotation");
+        assert!(
+            ov.tables[0].iter().any(|e| e.peer == fresh && e.anchor),
+            "the freshly dialled peer is the surviving anchor"
+        );
+        // Because the budget leaves `max_peers - anchors` evictable
+        // slots, connection pressure can always be absorbed.
+        for peer in 2..6 {
+            assert!(ov.connect(0, peer, false) || ov.linked(0, peer));
+        }
+        assert!(ov.peers_of(0).len() <= 4);
+    }
+
+    #[test]
+    fn rotation_dials_a_fresh_anchor_and_counts_it() {
+        let mut ov = overlay(
+            8,
+            TopologyConfig {
+                extra_links: 0,
+                ..TopologyConfig::defended()
+            },
+        );
+        let mut rng = WidgetRng::new(11);
+        let before = ov.peers_of(2).len();
+        let peer = ov.rotate(2, &mut rng).expect("unlinked peers exist");
+        assert!(ov.linked(2, peer));
+        assert_eq!(ov.peers_of(2).len(), before + 1);
+        assert_eq!(ov.rotations(), 1);
+    }
+
+    #[test]
+    fn gossip_sampling_is_weighted_by_score() {
+        let mut ov = overlay(
+            8,
+            TopologyConfig {
+                max_peers: 7,
+                extra_links: 0,
+                ..TopologyConfig::defended()
+            },
+        );
+        for peer in [2, 3, 4] {
+            ov.connect(0, peer, false);
+        }
+        // Credit peer 3 heavily; over many samples it must dominate.
+        for _ in 0..50 {
+            ov.credit(0, 3);
+        }
+        let mut rng = WidgetRng::new(99);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut targets = Vec::new();
+        for _ in 0..200 {
+            ov.gossip_targets(0, 1, &mut rng, &mut targets);
+            assert_eq!(targets.len(), 1);
+            total += 1;
+            if targets[0] == 3 {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 2 > total,
+            "a peer holding >99% of the weight must win most samples ({hits}/{total})"
+        );
+        // Sampling never repeats a target within one fan-out draw.
+        ov.gossip_targets(0, 5, &mut rng, &mut targets);
+        let mut seen = targets.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), targets.len());
+    }
+}
