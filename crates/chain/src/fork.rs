@@ -443,7 +443,14 @@ impl<P: PreparedPow> ForkTree<P> {
     /// Evaluates the PoW digest that identifies `block`, through the tree's
     /// scratch.
     pub fn digest_of(&mut self, block: &Block) -> Digest256 {
-        block.header.write_bytes(&mut self.header_bytes);
+        self.digest_of_header(&block.header)
+    }
+
+    /// Evaluates the PoW digest of a bare header through the tree's scratch
+    /// — what a light client needs to feed a
+    /// [`HeaderChain`](crate::HeaderChain) without materialising a block.
+    pub fn digest_of_header(&mut self, header: &crate::block::BlockHeader) -> Digest256 {
+        header.write_bytes(&mut self.header_bytes);
         self.pow
             .pow_hash_scratch(&self.header_bytes, &mut self.scratch)
     }

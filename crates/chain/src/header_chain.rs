@@ -1,0 +1,500 @@
+//! Header-only fork choice for light clients.
+//!
+//! A [`HeaderChain`] is the light-client counterpart of
+//! [`ForkTree`](crate::ForkTree): the same strict `(cumulative work,
+//! digest)` fork-choice order and the same per-branch
+//! [`DifficultyRule`](crate::DifficultyRule) enforcement, but over bare
+//! [`BlockHeader`]s — no transaction bodies, no Merkle re-computation, no
+//! PoW-program execution. The caller supplies each header's PoW digest
+//! (one hash evaluation, e.g. via
+//! [`ForkTree::digest_of_header`](crate::ForkTree::digest_of_header)), and
+//! the chain checks it against the header's embedded target. That keeps
+//! verify CPU per header at exactly one hash plus policy arithmetic — the
+//! cost model the light-client workload measures.
+//!
+//! Because fork choice is a function of the stored header *set* alone, a
+//! light client that has seen the same headers as a full node selects the
+//! same tip, whatever the arrival order — the property the light-sync
+//! proptest in `hashcore-net` pins down.
+
+use crate::block::BlockHeader;
+use crate::chain::InvalidReason;
+use crate::difficulty::DifficultyRule;
+use crate::fork::{ForkError, GENESIS_HASH};
+use hashcore::Target;
+use hashcore_crypto::Digest256;
+use std::collections::HashMap;
+
+/// What [`HeaderChain::accept`] did with a header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderOutcome {
+    /// The digest was already stored; nothing changed.
+    AlreadyKnown,
+    /// Stored on a branch that did not overtake the best tip.
+    SideChain,
+    /// The header extended or switched the best tip.
+    TipChanged {
+        /// How many headers left the best chain (0 for a plain extension).
+        reorg_depth: u64,
+    },
+}
+
+/// One stored header plus its position in the chain.
+#[derive(Debug, Clone)]
+struct HeaderEntry {
+    header: BlockHeader,
+    height: u64,
+    /// Cumulative expected hash attempts from genesis through this header.
+    work: f64,
+}
+
+/// A header store keyed by PoW digest, with cumulative-work fork choice —
+/// the state a light client maintains instead of a full
+/// [`ForkTree`](crate::ForkTree).
+///
+/// Validation per header: the supplied digest must meet the header's
+/// embedded target, the parent must be stored (or [`GENESIS_HASH`]), and —
+/// on a rule-enforcing chain — the embedded target must equal the
+/// [`DifficultyRule`]'s expectation at that branch position. Bodies are
+/// never seen, so there is no Merkle check here; light clients verify
+/// individual transactions against `merkle_root` with batched inclusion
+/// proofs instead.
+#[derive(Debug, Clone, Default)]
+pub struct HeaderChain {
+    entries: HashMap<Digest256, HeaderEntry>,
+    tip: Digest256,
+    /// Difficulty policy enforced per branch; `None` trusts embedded
+    /// targets.
+    rule: Option<DifficultyRule>,
+}
+
+impl HeaderChain {
+    /// Creates an empty chain whose tip is [`GENESIS_HASH`]. Embedded
+    /// targets are trusted; use [`HeaderChain::with_rule`] to enforce a
+    /// difficulty policy along every branch.
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            tip: GENESIS_HASH,
+            rule: None,
+        }
+    }
+
+    /// Creates an empty chain that enforces `rule` along every branch,
+    /// exactly as [`ForkTree::with_rule`](crate::ForkTree::with_rule) does
+    /// for full blocks.
+    pub fn with_rule(rule: DifficultyRule) -> Self {
+        let mut chain = Self::new();
+        chain.rule = Some(rule);
+        chain
+    }
+
+    /// The difficulty rule enforced along every branch, if one was set.
+    pub fn rule(&self) -> Option<&DifficultyRule> {
+        self.rule.as_ref()
+    }
+
+    /// Number of headers stored, across every branch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no header has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Digest of the best tip ([`GENESIS_HASH`] for the empty chain).
+    pub fn tip(&self) -> Digest256 {
+        self.tip
+    }
+
+    /// Height of the best tip (number of headers on the best chain).
+    pub fn tip_height(&self) -> u64 {
+        self.height_of(&self.tip)
+    }
+
+    /// Cumulative expected work of the best chain.
+    pub fn tip_work(&self) -> f64 {
+        self.entries.get(&self.tip).map_or(0.0, |e| e.work)
+    }
+
+    /// The best tip's header, if any header has been stored.
+    pub fn tip_header(&self) -> Option<&BlockHeader> {
+        self.entries.get(&self.tip).map(|e| &e.header)
+    }
+
+    /// `true` when a header with this digest is stored.
+    pub fn contains(&self, digest: &Digest256) -> bool {
+        self.entries.contains_key(digest)
+    }
+
+    /// The stored header with this digest, if any.
+    pub fn header(&self, digest: &Digest256) -> Option<&BlockHeader> {
+        self.entries.get(digest).map(|e| &e.header)
+    }
+
+    /// Height of a stored header (0 for [`GENESIS_HASH`], which "stores"
+    /// the empty chain).
+    pub fn height_of(&self, digest: &Digest256) -> u64 {
+        self.entries.get(digest).map_or(0, |e| e.height)
+    }
+
+    /// Validates and stores a header, advancing the tip if its branch now
+    /// carries the most cumulative work. `digest` must be the header's PoW
+    /// digest, evaluated by the caller.
+    ///
+    /// Fork choice is the lexicographic order on `(cumulative work,
+    /// digest)`, byte-identical to
+    /// [`ForkTree::apply`](crate::ForkTree::apply)'s, so a light client and
+    /// a full node holding the same header set agree on the tip.
+    ///
+    /// # Errors
+    ///
+    /// [`ForkError::UnknownParent`] when the parent is not stored (the
+    /// client should request the connecting headers), or
+    /// [`ForkError::InvalidBlock`] when the digest misses the embedded
+    /// target ([`InvalidReason::Pow`]) or — on a rule-enforcing chain —
+    /// the embedded target is not the one the [`DifficultyRule`] expects
+    /// at this branch position ([`InvalidReason::Target`]).
+    pub fn accept(
+        &mut self,
+        header: BlockHeader,
+        digest: Digest256,
+    ) -> Result<HeaderOutcome, ForkError> {
+        if self.entries.contains_key(&digest) {
+            return Ok(HeaderOutcome::AlreadyKnown);
+        }
+        // Branch-independent half of the difficulty policy first, exactly
+        // as in `ForkTree::apply`: a fixed rule needs no parent.
+        if let Some(flat) = self.rule.as_ref().and_then(DifficultyRule::flat_target) {
+            if header.target != *flat.threshold() {
+                return Err(ForkError::InvalidBlock {
+                    reason: InvalidReason::Target,
+                });
+            }
+        }
+        let target = Target::from_threshold(header.target);
+        if !target.is_met_by(&digest) {
+            return Err(ForkError::InvalidBlock {
+                reason: InvalidReason::Pow,
+            });
+        }
+        let prev = header.prev_hash;
+        let (parent_height, parent_work) = if prev == GENESIS_HASH {
+            (0, 0.0)
+        } else {
+            match self.entries.get(&prev) {
+                Some(parent) => (parent.height, parent.work),
+                None => {
+                    return Err(ForkError::UnknownParent {
+                        digest,
+                        prev_hash: prev,
+                    })
+                }
+            }
+        };
+        if self.rule.is_some() {
+            let expected = self
+                .expected_child_target(&prev, header.timestamp)
+                .expect("rule is set and the parent is stored");
+            if header.target != *expected.threshold() {
+                return Err(ForkError::InvalidBlock {
+                    reason: InvalidReason::Target,
+                });
+            }
+        }
+
+        let work = parent_work + target.expected_attempts();
+        self.entries.insert(
+            digest,
+            HeaderEntry {
+                header,
+                height: parent_height + 1,
+                work,
+            },
+        );
+
+        if self.prefers(&digest, work) {
+            let reorg_depth = self.reorg_depth(self.tip, digest);
+            self.tip = digest;
+            Ok(HeaderOutcome::TipChanged { reorg_depth })
+        } else {
+            Ok(HeaderOutcome::SideChain)
+        }
+    }
+
+    /// The target the chain's [`DifficultyRule`] expects of a child of
+    /// `parent` reporting `child_timestamp`. `None` when no rule is
+    /// enforced or `parent` is neither stored nor [`GENESIS_HASH`].
+    pub fn expected_child_target(
+        &self,
+        parent: &Digest256,
+        child_timestamp: u64,
+    ) -> Option<Target> {
+        let rule = self.rule.as_ref()?;
+        if *parent == GENESIS_HASH {
+            return Some(rule.genesis_target());
+        }
+        let entry = self.entries.get(parent)?;
+        Some(rule.child_target(
+            Target::from_threshold(entry.header.target),
+            entry.header.timestamp,
+            child_timestamp,
+        ))
+    }
+
+    /// Reported timestamps of up to `window` headers ending at `digest`,
+    /// oldest first — the window the median-time-past timestamp-validity
+    /// rule is computed over. Empty when `digest` stores no header.
+    pub fn ancestor_timestamps(&self, digest: &Digest256, window: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = *digest;
+        while out.len() < window {
+            let Some(entry) = self.entries.get(&cursor) else {
+                break;
+            };
+            out.push(entry.header.timestamp);
+            cursor = entry.header.prev_hash;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Median-time-past over the up-to-`window` reported timestamps ending
+    /// at `digest`. `None` when `digest` stores no header.
+    pub fn median_time_past(&self, digest: &Digest256, window: usize) -> Option<u64> {
+        let mut timestamps = self.ancestor_timestamps(digest, window);
+        if timestamps.is_empty() {
+            return None;
+        }
+        timestamps.sort_unstable();
+        Some(timestamps[(timestamps.len() - 1) / 2])
+    }
+
+    /// A block locator for the best chain: exponentially sparser digests
+    /// walking back from the tip, ending with [`GENESIS_HASH`] — the same
+    /// shape [`ForkTree::locator`](crate::ForkTree::locator) produces, so
+    /// full nodes serve header requests with the segment machinery they
+    /// already have.
+    pub fn locator(&self) -> Vec<Digest256> {
+        let mut out = Vec::new();
+        let mut cursor = self.tip;
+        let mut step = 1u64;
+        while cursor != GENESIS_HASH {
+            out.push(cursor);
+            if out.len() >= 4 {
+                step *= 2;
+            }
+            for _ in 0..step {
+                cursor = self.parent_of(&cursor);
+                if cursor == GENESIS_HASH {
+                    break;
+                }
+            }
+        }
+        out.push(GENESIS_HASH);
+        out
+    }
+
+    /// `true` when `(work, digest)` beats the current tip in the
+    /// fork-choice order.
+    fn prefers(&self, digest: &Digest256, work: f64) -> bool {
+        if self.tip == GENESIS_HASH {
+            return true;
+        }
+        let tip_work = self.tip_work();
+        work > tip_work || (work == tip_work && *digest < self.tip)
+    }
+
+    /// Parent digest of a stored header ([`GENESIS_HASH`] stays genesis).
+    fn parent_of(&self, digest: &Digest256) -> Digest256 {
+        self.entries
+            .get(digest)
+            .map_or(GENESIS_HASH, |e| e.header.prev_hash)
+    }
+
+    /// How many headers a tip switch from `old` to `new` detaches.
+    fn reorg_depth(&self, old: Digest256, new: Digest256) -> u64 {
+        let mut detached = 0u64;
+        let (mut a, mut b) = (old, new);
+        while self.height_of(&a) > self.height_of(&b) {
+            detached += 1;
+            a = self.parent_of(&a);
+        }
+        while self.height_of(&b) > self.height_of(&a) {
+            b = self.parent_of(&b);
+        }
+        while a != b {
+            detached += 1;
+            a = self.parent_of(&a);
+            b = self.parent_of(&b);
+        }
+        detached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashcore_baselines::{PowFunction, Sha256dPow};
+
+    /// Mines a header over `prev` that meets an easy (8 leading zero bits)
+    /// target, returning the header and its digest.
+    fn mine_header(prev: Digest256, timestamp: u64, salt: u8) -> (BlockHeader, Digest256) {
+        let mut target = [0u8; 32];
+        target[1..].fill(0xff);
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash: prev,
+            merkle_root: [salt; 32],
+            timestamp,
+            target,
+            nonce: 0,
+        };
+        loop {
+            let digest = Sha256dPow.pow_hash(&header.bytes());
+            if Target::from_threshold(target).is_met_by(&digest) {
+                return (header, digest);
+            }
+            header.nonce += 1;
+        }
+    }
+
+    #[test]
+    fn accepts_a_linear_chain_and_tracks_the_tip() {
+        let mut chain = HeaderChain::new();
+        assert!(chain.is_empty());
+        assert_eq!(chain.tip(), GENESIS_HASH);
+        let mut prev = GENESIS_HASH;
+        for height in 1..=5u64 {
+            let (header, digest) = mine_header(prev, height * 1_000, height as u8);
+            let outcome = chain.accept(header, digest).expect("valid header");
+            assert_eq!(outcome, HeaderOutcome::TipChanged { reorg_depth: 0 });
+            assert_eq!(chain.tip(), digest);
+            assert_eq!(chain.tip_height(), height);
+            prev = digest;
+        }
+        assert_eq!(chain.len(), 5);
+        let (repeat, repeat_digest) = mine_header(GENESIS_HASH, 1_000, 1);
+        assert_eq!(
+            chain.accept(repeat, repeat_digest),
+            Ok(HeaderOutcome::AlreadyKnown)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_pow_and_unknown_parents() {
+        let mut chain = HeaderChain::new();
+        let (header, digest) = mine_header(GENESIS_HASH, 1_000, 1);
+        // A digest that misses the embedded target is a PoW failure.
+        assert_eq!(
+            chain.accept(header.clone(), [0xff; 32]),
+            Err(ForkError::InvalidBlock {
+                reason: InvalidReason::Pow
+            })
+        );
+        // A child of an unseen parent is an orphan carrying both digests.
+        let (orphan, orphan_digest) = mine_header([42u8; 32], 2_000, 2);
+        assert_eq!(
+            chain.accept(orphan, orphan_digest),
+            Err(ForkError::UnknownParent {
+                digest: orphan_digest,
+                prev_hash: [42u8; 32],
+            })
+        );
+        assert_eq!(
+            chain.accept(header, digest).unwrap(),
+            HeaderOutcome::TipChanged { reorg_depth: 0 }
+        );
+    }
+
+    #[test]
+    fn fork_choice_is_order_independent_and_reports_reorg_depth() {
+        // Two branches over a common first header: a 1-header branch now,
+        // a 2-header branch later — applying the longer branch reorgs with
+        // depth 1.
+        let (root, root_digest) = mine_header(GENESIS_HASH, 1_000, 1);
+        let (short, short_digest) = mine_header(root_digest, 2_000, 2);
+        let (long_a, long_a_digest) = mine_header(root_digest, 2_500, 3);
+        let (long_b, long_b_digest) = mine_header(long_a_digest, 3_000, 4);
+
+        let mut chain = HeaderChain::new();
+        chain.accept(root.clone(), root_digest).unwrap();
+        chain.accept(short.clone(), short_digest).unwrap();
+        assert_eq!(chain.tip(), short_digest);
+        assert_eq!(
+            chain.accept(long_a.clone(), long_a_digest).unwrap(),
+            HeaderOutcome::SideChain
+        );
+        assert_eq!(
+            chain.accept(long_b.clone(), long_b_digest).unwrap(),
+            HeaderOutcome::TipChanged { reorg_depth: 1 }
+        );
+        assert_eq!(chain.tip(), long_b_digest);
+        assert_eq!(chain.tip_height(), 3);
+
+        // The same set in a different order selects the same tip.
+        let mut other = HeaderChain::new();
+        other.accept(root, root_digest).unwrap();
+        other.accept(long_a, long_a_digest).unwrap();
+        other.accept(long_b, long_b_digest).unwrap();
+        other.accept(short, short_digest).unwrap();
+        assert_eq!(other.tip(), chain.tip());
+        assert_eq!(other.tip_work(), chain.tip_work());
+    }
+
+    #[test]
+    fn median_time_past_and_locator_match_full_node_shapes() {
+        let mut chain = HeaderChain::new();
+        let mut prev = GENESIS_HASH;
+        let mut digests = Vec::new();
+        for height in 1..=9u64 {
+            let (header, digest) = mine_header(prev, height * 100, height as u8);
+            chain.accept(header, digest).unwrap();
+            digests.push(digest);
+            prev = digest;
+        }
+        // MTP over a window of 5 ending at the tip: median of
+        // {500,600,700,800,900}.
+        assert_eq!(chain.median_time_past(&prev, 5), Some(700));
+        assert_eq!(chain.median_time_past(&GENESIS_HASH, 5), None);
+        let timestamps = chain.ancestor_timestamps(&prev, 3);
+        assert_eq!(timestamps, vec![700, 800, 900]);
+        // The locator starts at the tip, ends at genesis, and is sparse.
+        let locator = chain.locator();
+        assert_eq!(locator.first(), Some(&prev));
+        assert_eq!(locator.last(), Some(&GENESIS_HASH));
+        assert!(locator.len() < 10);
+        assert!(locator.contains(&digests[0]) || locator.len() >= 2);
+    }
+
+    #[test]
+    fn enforces_a_fixed_rule_on_embedded_targets() {
+        let mut easy = [0u8; 32];
+        easy[1..].fill(0xff);
+        let mut chain = HeaderChain::with_rule(DifficultyRule::Fixed(Target::from_threshold(easy)));
+        // The miner in `mine_header` embeds exactly this target.
+        let (header, digest) = mine_header(GENESIS_HASH, 1_000, 1);
+        chain
+            .accept(header, digest)
+            .expect("target matches the rule");
+        // A header embedding a different (easier) target is rejected by the
+        // flat-target policy before any parent lookup.
+        let wrong = BlockHeader {
+            version: 1,
+            prev_hash: chain.tip(),
+            merkle_root: [2u8; 32],
+            timestamp: 2_000,
+            target: [0xff; 32],
+            nonce: 0,
+        };
+        let digest = Sha256dPow.pow_hash(&wrong.bytes());
+        assert_eq!(
+            chain.accept(wrong, digest),
+            Err(ForkError::InvalidBlock {
+                reason: InvalidReason::Target
+            })
+        );
+    }
+}

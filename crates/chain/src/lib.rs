@@ -25,6 +25,10 @@
 //!   segment-sync protocol of the `hashcore-net` simulation. Built with
 //!   [`ForkTree::with_rule`], it enforces the expected difficulty target
 //!   along every branch,
+//! * [`HeaderChain`] — the header-only counterpart of [`ForkTree`] for
+//!   light clients: identical `(work, digest)` fork choice and per-branch
+//!   difficulty enforcement over bare headers, with no bodies and no
+//!   Merkle re-computation,
 //! * [`market`] — the mining-market model used by experiment E9: miners
 //!   with heterogeneous capital choose hardware whose efficiency depends on
 //!   how ASIC-friendly the PoW's dominant resource is, and the resulting
@@ -50,6 +54,7 @@ mod block;
 mod chain;
 mod difficulty;
 mod fork;
+mod header_chain;
 pub mod market;
 
 pub use block::{Block, BlockHeader};
@@ -63,3 +68,4 @@ pub use fork::{
     GENESIS_HASH,
 };
 pub use hashcore_baselines::{PowFunction, PreparedPow};
+pub use header_chain::{HeaderChain, HeaderOutcome};

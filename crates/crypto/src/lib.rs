@@ -39,7 +39,7 @@ pub mod sha256;
 pub mod sha512;
 
 pub use hmac::hmac_sha256;
-pub use merkle::MerkleTree;
+pub use merkle::{BatchProof, MerkleTree};
 pub use sha256::{sha256, sha256d, Digest256, Sha256};
 pub use sha512::{sha512, Digest512, Sha512};
 

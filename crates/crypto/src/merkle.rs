@@ -110,6 +110,121 @@ impl MerkleTree {
     }
 }
 
+/// A batched multi-index inclusion proof produced by
+/// [`MerkleTree::proof_batch`].
+///
+/// One `BatchProof` covers many leaves at once: interior nodes that are
+/// derivable from the proven leaves themselves are never shipped, so proving
+/// `k` nearby leaves costs far fewer than `k` single sibling paths (proving
+/// *every* leaf ships zero nodes). The proof commits to the tree's leaf
+/// count, which fixes the traversal shape the verifier replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchProof {
+    /// Number of leaves in the tree the proof was generated against.
+    pub leaf_count: u32,
+    /// Sibling digests in deterministic traversal order: level by level from
+    /// the leaves upward, ascending index within each level.
+    pub nodes: Vec<Digest256>,
+}
+
+impl MerkleTree {
+    /// Returns one batched inclusion proof covering every leaf in `indices`,
+    /// or `None` if `indices` is empty or any index is out of range.
+    ///
+    /// Duplicate indices are tolerated (deduplicated internally); the
+    /// verifier receives each proven leaf exactly once.
+    pub fn proof_batch(&self, indices: &[usize]) -> Option<BatchProof> {
+        if indices.is_empty() || indices.iter().any(|&i| i >= self.leaf_count()) {
+            return None;
+        }
+        let mut known: Vec<usize> = indices.to_vec();
+        known.sort_unstable();
+        known.dedup();
+        let mut nodes = Vec::new();
+        for level in &self.levels[..self.levels.len() - 1] {
+            let mut next = Vec::with_capacity(known.len());
+            let mut i = 0;
+            while i < known.len() {
+                let idx = known[i];
+                if idx.is_multiple_of(2) {
+                    if known.get(i + 1) == Some(&(idx + 1)) {
+                        // Both children of this pair are being proven: the
+                        // parent is derivable, ship nothing.
+                        i += 1;
+                    } else if let Some(sibling) = level.get(idx + 1) {
+                        nodes.push(*sibling);
+                    }
+                    // Odd trailing node: pairs with itself, nothing to ship.
+                } else {
+                    nodes.push(level[idx - 1]);
+                }
+                next.push(idx / 2);
+                i += 1;
+            }
+            next.dedup();
+            known = next;
+        }
+        Some(BatchProof {
+            leaf_count: self.leaf_count() as u32,
+            nodes,
+        })
+    }
+
+    /// Verifies a batched proof for the raw (unhashed) `items`, given as
+    /// `(leaf index, item)` pairs in any order.
+    ///
+    /// Rejects empty batches, duplicate or out-of-range indices, proofs with
+    /// missing or surplus nodes, and any digest mismatch against `root`.
+    pub fn verify_batch(root: Digest256, items: &[(usize, &[u8])], proof: &BatchProof) -> bool {
+        let leaf_count = proof.leaf_count as usize;
+        if items.is_empty() || leaf_count == 0 {
+            return false;
+        }
+        let mut entries: Vec<(usize, Digest256)> = items
+            .iter()
+            .map(|&(idx, item)| (idx, sha256(item)))
+            .collect();
+        entries.sort_unstable_by_key(|&(idx, _)| idx);
+        if entries.windows(2).any(|w| w[0].0 == w[1].0)
+            || entries.last().expect("non-empty").0 >= leaf_count
+        {
+            return false;
+        }
+        let mut supplied = proof.nodes.iter();
+        let mut level_size = leaf_count;
+        while level_size > 1 {
+            let mut next = Vec::with_capacity(entries.len());
+            let mut i = 0;
+            while i < entries.len() {
+                let (idx, node) = entries[i];
+                let parent = if idx.is_multiple_of(2) {
+                    if entries.get(i + 1).is_some_and(|&(j, _)| j == idx + 1) {
+                        i += 1;
+                        hash_pair(&node, &entries[i].1)
+                    } else if idx + 1 < level_size {
+                        match supplied.next() {
+                            Some(sibling) => hash_pair(&node, sibling),
+                            None => return false,
+                        }
+                    } else {
+                        hash_pair(&node, &node)
+                    }
+                } else {
+                    match supplied.next() {
+                        Some(sibling) => hash_pair(sibling, &node),
+                        None => return false,
+                    }
+                };
+                next.push((idx / 2, parent));
+                i += 1;
+            }
+            entries = next;
+            level_size = level_size.div_ceil(2);
+        }
+        supplied.next().is_none() && entries.len() == 1 && entries[0].1 == root
+    }
+}
+
 fn hash_pair(left: &Digest256, right: &Digest256) -> Digest256 {
     let mut hasher = Sha256::new();
     hasher.update(left);
@@ -179,6 +294,96 @@ mod tests {
         let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
         let proof = tree.proof(3).unwrap();
         assert!(!MerkleTree::verify_proof(tree.root(), &data[3], 4, &proof));
+    }
+
+    #[test]
+    fn batch_proofs_verify_for_every_subset_shape() {
+        for n in 1..=16 {
+            let data = items(n);
+            let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
+            // Singles, pairs, the full set, and a strided subset.
+            let mut subsets: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+            subsets.push((0..n).collect());
+            subsets.push((0..n).step_by(3).collect());
+            if n >= 2 {
+                subsets.push(vec![0, n - 1]);
+            }
+            for subset in subsets {
+                let proof = tree.proof_batch(&subset).expect("indices in range");
+                let batch: Vec<(usize, &[u8])> =
+                    subset.iter().map(|&i| (i, data[i].as_slice())).collect();
+                assert!(
+                    MerkleTree::verify_batch(tree.root(), &batch, &proof),
+                    "n={n} subset={subset:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_all_leaves_ships_no_nodes() {
+        let data = items(8);
+        let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
+        let all: Vec<usize> = (0..8).collect();
+        let proof = tree.proof_batch(&all).unwrap();
+        assert!(proof.nodes.is_empty(), "fully-proven tree is self-deriving");
+    }
+
+    #[test]
+    fn batch_dedups_shared_nodes_against_single_proofs() {
+        let data = items(16);
+        let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
+        let indices = [0usize, 1, 2, 3];
+        let proof = tree.proof_batch(&indices).unwrap();
+        let single_total: usize = indices.iter().map(|&i| tree.proof(i).unwrap().len()).sum();
+        assert!(
+            proof.nodes.len() < single_total,
+            "batch ({}) must beat {} independent sibling paths ({single_total})",
+            proof.nodes.len(),
+            indices.len()
+        );
+        // Four adjacent leaves derive two levels internally: only the
+        // subtree roots alongside the path remain.
+        assert_eq!(proof.nodes.len(), 2);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_inputs() {
+        let data = items(9);
+        let tree = MerkleTree::from_items(data.iter().map(|v| v.as_slice()));
+        assert!(tree.proof_batch(&[]).is_none());
+        assert!(tree.proof_batch(&[9]).is_none());
+        let proof = tree.proof_batch(&[1, 5, 8]).unwrap();
+        let good: Vec<(usize, &[u8])> = [1usize, 5, 8]
+            .iter()
+            .map(|&i| (i, data[i].as_slice()))
+            .collect();
+        assert!(MerkleTree::verify_batch(tree.root(), &good, &proof));
+        // Item order must not matter: the verifier sorts by index.
+        let shuffled: Vec<(usize, &[u8])> = vec![good[2], good[0], good[1]];
+        assert!(MerkleTree::verify_batch(tree.root(), &shuffled, &proof));
+        // Empty batches, duplicate indices, and out-of-range indices fail.
+        assert!(!MerkleTree::verify_batch(tree.root(), &[], &proof));
+        let dup = vec![good[0], good[0], good[1]];
+        assert!(!MerkleTree::verify_batch(tree.root(), &dup, &proof));
+        let oob = vec![good[0], good[1], (9, data[8].as_slice())];
+        assert!(!MerkleTree::verify_batch(tree.root(), &oob, &proof));
+        // Truncated, extended, reordered, and bit-flipped proofs fail.
+        let mut truncated = proof.clone();
+        truncated.nodes.pop();
+        assert!(!MerkleTree::verify_batch(tree.root(), &good, &truncated));
+        let mut extended = proof.clone();
+        extended.nodes.push([0u8; 32]);
+        assert!(!MerkleTree::verify_batch(tree.root(), &good, &extended));
+        let mut reordered = proof.clone();
+        reordered.nodes.swap(0, 1);
+        assert!(!MerkleTree::verify_batch(tree.root(), &good, &reordered));
+        let mut flipped = proof.clone();
+        flipped.nodes[0][7] ^= 0x40;
+        assert!(!MerkleTree::verify_batch(tree.root(), &good, &flipped));
+        // A wrong item under a correct proof fails.
+        let wrong = vec![(1usize, b"tx-999".as_ref()), good[1], good[2]];
+        assert!(!MerkleTree::verify_batch(tree.root(), &wrong, &proof));
     }
 
     #[test]

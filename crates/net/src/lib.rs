@@ -112,15 +112,18 @@ mod sim;
 mod strategy;
 pub mod topology;
 
-pub use node::{Message, Node, NodeStats, Outgoing, RejectionCounts, SyncReorg, TimestampRule};
+pub use node::{
+    LightConfig, Message, Node, NodeStats, Outgoing, RejectionCounts, Role, SyncReorg,
+    TimestampRule, MAX_HEADERS_PER_MSG,
+};
 pub use sched::{Scheduled, ShardedQueue};
 pub use sim::{
-    CrashRestart, LatencyModel, Partition, PersistenceConfig, RetargetConfig, SimConfig, SimReport,
-    Simulation,
+    CrashRestart, LatencyModel, LightSimConfig, Partition, PersistenceConfig, RetargetConfig,
+    SimConfig, SimReport, Simulation,
 };
 pub use strategy::{
-    Corruption, DifficultyHopping, Eclipse, Honest, MinedAction, MiningMode, PoisonedSync,
-    SegmentSpam, SegmentStalling, SelfishMining, ServeAction, Silent, StallMode, Strategy,
-    TimestampSkew,
+    Corruption, DifficultyHopping, Eclipse, FakeProof, Honest, MinedAction, MiningMode,
+    PoisonedSync, ProofAction, ProofWithholding, SegmentSpam, SegmentStalling, SelfishMining,
+    ServeAction, Silent, StallMode, Strategy, TimestampSkew,
 };
 pub use topology::TopologyConfig;

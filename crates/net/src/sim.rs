@@ -1,7 +1,7 @@
 //! The deterministic event-driven scheduler: seeded latency, gossip
 //! fan-out, partitions, request timeouts, and the simulation report.
 
-use crate::node::{Message, Node, Outgoing, RejectionCounts, TimestampRule};
+use crate::node::{LightConfig, Message, Node, Outgoing, RejectionCounts, Role, TimestampRule};
 use crate::sched::{Scheduled, ShardedQueue};
 use crate::strategy::{Honest, Strategy};
 use crate::topology::{Overlay, TopologyConfig};
@@ -77,6 +77,30 @@ pub struct PersistenceConfig {
     pub snapshot_interval: u64,
     /// Whether every append fsyncs before returning.
     pub sync_appends: bool,
+}
+
+/// Light-client population for a simulation run: nodes `first_light..`
+/// take [`Role::Light`] and sync headers (plus batched Merkle proofs of
+/// the transactions at `proof_indices`) from the full nodes
+/// `0..first_light`, which serve at most `proof_quota` proofs per
+/// requesting peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LightSimConfig {
+    /// First light node id; nodes `0..first_light` stay full and act as
+    /// the light population's servers. Must be in `1..nodes`.
+    pub first_light: usize,
+    /// Simulated milliseconds before a light client re-issues an
+    /// unanswered header or proof request to its next server.
+    pub request_timeout_ms: u64,
+    /// Transaction leaf indices every light client proves per new tip;
+    /// empty runs header-only clients.
+    pub proof_indices: Vec<u32>,
+    /// Most proofs a full node serves any single peer (0 = unlimited).
+    pub proof_quota: u64,
+    /// Deterministic filler bytes every mined block carries as a second
+    /// transaction — simulated transaction volume, so the full-vs-light
+    /// bandwidth comparison measures something real (0 = bare template).
+    pub body_bytes: usize,
 }
 
 /// A scheduled crash-restart: `node` goes dark at `at_ms` (drops all
@@ -164,6 +188,10 @@ pub struct SimConfig {
     /// default) keeps the full-mesh broadcast and uniform gossip sampling
     /// of the pre-topology simulation, byte for byte.
     pub topology: Option<TopologyConfig>,
+    /// Light-client population; `None` (the default) runs every node as a
+    /// full node, exactly as before light roles existed. Mutually
+    /// exclusive with `topology` (light servers assume the full mesh).
+    pub light: Option<LightSimConfig>,
 }
 
 impl SimConfig {
@@ -202,6 +230,7 @@ impl Default for SimConfig {
             crashes: Vec::new(),
             threads: 1,
             topology: None,
+            light: None,
         }
     }
 }
@@ -388,6 +417,39 @@ pub struct SimReport {
     pub peer_evictions: u64,
     /// Anchor rotations honest nodes performed at topology ticks.
     pub anchor_rotations: u64,
+    /// Light-client nodes in the run (0 without [`SimConfig::light`]).
+    pub light_nodes: u64,
+    /// `true` when every light client's header tip equals the honest full
+    /// tip at the end of the run (vacuously `true` with no light nodes).
+    pub light_converged: bool,
+    /// Serialized bytes sent across the whole network.
+    pub bytes_sent: u64,
+    /// Serialized bytes received by the light nodes — the light-client
+    /// bandwidth footprint the header-first protocol exists to shrink.
+    pub light_bytes_received: u64,
+    /// Headers full nodes served to `GetHeaders` requests.
+    pub headers_served: u64,
+    /// Headers light clients accepted into their header chains.
+    pub headers_accepted: u64,
+    /// Proof batches full nodes served (honest and fake alike).
+    pub proofs_served: u64,
+    /// Proof batches light clients verified against committed roots.
+    pub proofs_verified: u64,
+    /// Proof requests re-issued after a timeout or a rejection.
+    pub proof_retries: u64,
+    /// Proof requests adversarial servers deliberately ignored.
+    pub proofs_withheld: u64,
+    /// Fabricated proof batches adversarial servers sent. The acceptance
+    /// gate demands `rejections.invalid_proof` equals this — every fake
+    /// caught, none accepted.
+    pub fake_proofs_sent: u64,
+    /// Proof requests full nodes refused over the per-peer quota.
+    pub quota_refusals: u64,
+    /// Hash evaluations light clients spent verifying (header digests
+    /// plus batch leaves and nodes) — the verify-CPU account.
+    pub verify_hash_ops: u64,
+    /// Transaction bytes light clients accepted under verified proofs.
+    pub tx_bytes_proved: u64,
     /// Wall-clock seconds the whole run took. Excluded from the
     /// fingerprints, like [`SimReport::sync_wall_seconds`].
     pub run_wall_seconds: f64,
@@ -463,7 +525,48 @@ impl SimReport {
             self.peer_evictions,
             self.anchor_rotations,
         );
+        let _ = write!(
+            out,
+            " lights={} light_converged={} bytes={} light_bytes={} \
+             headers_served={} headers_accepted={} proofs_served={} \
+             proofs_verified={} proof_retries={} proofs_withheld={} \
+             fake_proofs={} quota_refusals={} verify_ops={} tx_proved={}",
+            self.light_nodes,
+            self.light_converged,
+            self.bytes_sent,
+            self.light_bytes_received,
+            self.headers_served,
+            self.headers_accepted,
+            self.proofs_served,
+            self.proofs_verified,
+            self.proof_retries,
+            self.proofs_withheld,
+            self.fake_proofs_sent,
+            self.quota_refusals,
+            self.verify_hash_ops,
+            self.tx_bytes_proved,
+        );
         out
+    }
+
+    /// Proof batches served per wall-clock second — the light bench's
+    /// serving-throughput figure (`BENCH_light.json`).
+    pub fn served_proofs_per_sec(&self) -> f64 {
+        if self.run_wall_seconds > 0.0 {
+            self.proofs_served as f64 / self.run_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Average serialized bytes each light peer received — what a light
+    /// client's bandwidth bill looks like next to a full node's.
+    pub fn bytes_per_light_peer(&self) -> f64 {
+        if self.light_nodes > 0 {
+            self.light_bytes_received as f64 / self.light_nodes as f64
+        } else {
+            0.0
+        }
     }
 
     /// Blocks validated by segment sync per wall-clock second — the sync
@@ -633,6 +736,23 @@ where
                 );
             }
         }
+        if let Some(light) = &config.light {
+            assert!(
+                light.first_light >= 1 && light.first_light < config.nodes,
+                "light clients need at least one full node to serve them"
+            );
+            assert!(
+                config.topology.is_none(),
+                "light roles assume the full mesh; combine with topology later"
+            );
+            // Same round-trip headroom rationale as segment-request
+            // timeouts: a light client must not mistake an in-flight
+            // reply for a withholding server.
+            assert!(
+                light.request_timeout_ms >= 2 * (config.latency.base_ms + config.latency.jitter_ms),
+                "light request_timeout_ms must cover a worst-case round trip"
+            );
+        }
         let target = Target::from_leading_zero_bits(config.difficulty_bits);
         let rule = match config.retarget {
             None => DifficultyRule::Fixed(target),
@@ -659,6 +779,19 @@ where
                         .expect("each node's store directory must be creatable and empty");
                     store.set_sync(p.sync_appends);
                     node = node.with_persistence(store, p.snapshot_interval);
+                }
+                if let Some(light) = &config.light {
+                    if id >= light.first_light {
+                        node = node.with_light_role(LightConfig {
+                            servers: (0..light.first_light).collect(),
+                            request_timeout_ms: light.request_timeout_ms,
+                            proof_indices: light.proof_indices.clone(),
+                        });
+                    } else {
+                        node = node
+                            .with_proof_quota(light.proof_quota)
+                            .with_body_bytes(light.body_bytes);
+                    }
                 }
                 node
             })
@@ -788,6 +921,18 @@ where
                 return;
             }
         }
+        // A light subscriber gets the header, not the body: the scheduler
+        // owns the conversion so full nodes gossip exactly as before and
+        // the bandwidth accounting below prices what actually travels.
+        let message = match (&message, self.nodes[to].role()) {
+            (Message::Block(block), Role::Light) => Message::Headers(vec![block.header.clone()]),
+            _ => message,
+        };
+        // Bandwidth is priced in real serialized bytes, not message
+        // counts — what the light-client protocol exists to shrink.
+        let bytes = message.wire_size();
+        self.nodes[from].stats.bytes_sent += bytes;
+        self.nodes[to].stats.bytes_received += bytes;
         self.messages_sent += 1;
         let latency_model = self.config.latency;
         let latency = latency_model.sample(self.rng_for(from));
@@ -1288,7 +1433,28 @@ where
         let sum = |f: &dyn Fn(&crate::node::NodeStats) -> u64| -> u64 {
             self.nodes.iter().map(|n| f(n.stats())).sum()
         };
+        let lights: Vec<&Node<P>> = self
+            .nodes
+            .iter()
+            .filter(|n| n.role() == Role::Light)
+            .collect();
+        let light_converged =
+            lights.is_empty() || (tip != [0u8; 32] && lights.iter().all(|n| n.tip() == tip));
         SimReport {
+            light_nodes: lights.len() as u64,
+            light_converged,
+            light_bytes_received: lights.iter().map(|n| n.stats().bytes_received).sum(),
+            bytes_sent: sum(&|s| s.bytes_sent),
+            headers_served: sum(&|s| s.headers_served),
+            headers_accepted: sum(&|s| s.headers_accepted),
+            proofs_served: sum(&|s| s.proofs_served),
+            proofs_verified: sum(&|s| s.proofs_verified),
+            proof_retries: sum(&|s| s.proof_retries),
+            proofs_withheld: sum(&|s| s.proofs_withheld),
+            fake_proofs_sent: sum(&|s| s.fake_proofs_sent),
+            quota_refusals: sum(&|s| s.quota_refusals),
+            verify_hash_ops: sum(&|s| s.verify_hash_ops),
+            tx_bytes_proved: sum(&|s| s.tx_bytes_proved),
             nodes: self.config.nodes,
             seed: self.config.seed,
             duration_ms: self.config.duration_ms,
@@ -1941,5 +2107,157 @@ mod tests {
             report.fingerprint_extended()
         );
         assert!(report.anchor_rotations > 0, "rotation must tick");
+    }
+
+    /// A light-client population tracks the full nodes' tip through
+    /// header-first sync alone, proving each tip's transactions with
+    /// batched Merkle proofs — and pays for it in far fewer bytes than
+    /// the body-gossip mesh moves.
+    #[test]
+    fn light_clients_track_the_full_tip_and_prove_it() {
+        let mut config = quick_config();
+        config.nodes = 7;
+        config.light = Some(LightSimConfig {
+            first_light: 3,
+            request_timeout_ms: 1_000,
+            proof_indices: vec![0],
+            proof_quota: 0,
+            body_bytes: 512,
+        });
+        let mut sim = Simulation::new(config, |_| Sha256dPow);
+        let report = sim.run();
+        assert!(
+            report.light_converged,
+            "light tips must equal the full tip: {}",
+            report.fingerprint_extended()
+        );
+        assert_eq!(report.light_nodes, 4);
+        assert!(report.headers_accepted > 0);
+        assert!(
+            report.proofs_verified > 0,
+            "{}",
+            report.fingerprint_extended()
+        );
+        assert!(report.tx_bytes_proved > 0);
+        assert!(report.verify_hash_ops > 0);
+        assert_eq!(report.rejections.invalid_proof, 0, "honest servers only");
+        // Light nodes hold no bodies: segments never flow to them, and
+        // their entire bandwidth bill is headers plus proof batches.
+        let full_avg: f64 = sim.nodes()[..3]
+            .iter()
+            .map(|n| n.stats().bytes_received as f64)
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            report.bytes_per_light_peer() < full_avg,
+            "a light peer must cost less than a full node: {} vs {full_avg}",
+            report.bytes_per_light_peer()
+        );
+        // Every light node ends header-synced to the reported height.
+        for node in &sim.nodes()[3..] {
+            assert_eq!(node.tip_height(), report.tip_height);
+        }
+    }
+
+    /// Two identical light runs — same config, same seed — produce
+    /// byte-identical extended fingerprints: the light protocol draws no
+    /// randomness and rotates servers deterministically.
+    #[test]
+    fn light_runs_are_deterministic() {
+        let config = || {
+            let mut config = quick_config();
+            config.nodes = 6;
+            config.light = Some(LightSimConfig {
+                first_light: 2,
+                request_timeout_ms: 1_000,
+                proof_indices: vec![0],
+                proof_quota: 0,
+                body_bytes: 0,
+            });
+            config
+        };
+        let a = Simulation::new(config(), |_| Sha256dPow).run();
+        let b = Simulation::new(config(), |_| Sha256dPow).run();
+        assert_eq!(a.fingerprint_extended(), b.fingerprint_extended());
+        assert!(a.light_converged);
+    }
+
+    /// A proof-serving adversary that fabricates batches: every fake is
+    /// caught against the PoW-pinned header root — the run ends with
+    /// `invalid_proof` rejections exactly equal to the fakes sent, and
+    /// the light population converged regardless.
+    #[test]
+    fn fake_proofs_are_all_caught_and_lights_still_converge() {
+        let mut config = quick_config();
+        config.nodes = 8;
+        config.light = Some(LightSimConfig {
+            first_light: 3,
+            request_timeout_ms: 1_000,
+            proof_indices: vec![0],
+            proof_quota: 0,
+            body_bytes: 0,
+        });
+        let mut sim = Simulation::with_strategies(
+            config,
+            |_| Sha256dPow,
+            |id| {
+                if id == 2 {
+                    Box::new(crate::strategy::FakeProof)
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        );
+        let report = sim.run();
+        assert!(
+            report.fake_proofs_sent > 0,
+            "the faker must get asked at least once: {}",
+            report.fingerprint_extended()
+        );
+        assert_eq!(
+            report.rejections.invalid_proof,
+            report.fake_proofs_sent,
+            "every fake must be caught: {}",
+            report.fingerprint_extended()
+        );
+        assert!(report.light_converged, "{}", report.fingerprint_extended());
+        assert!(report.proofs_verified > 0);
+        assert!(report.proof_retries >= report.fake_proofs_sent);
+    }
+
+    /// A withholding proof server never answers: requests time out,
+    /// rotate to honest servers, and the population still proves its
+    /// tips.
+    #[test]
+    fn withheld_proofs_time_out_and_rotate_to_honest_servers() {
+        let mut config = quick_config();
+        config.nodes = 8;
+        config.light = Some(LightSimConfig {
+            first_light: 3,
+            request_timeout_ms: 1_000,
+            proof_indices: vec![0],
+            proof_quota: 0,
+            body_bytes: 0,
+        });
+        let mut sim = Simulation::with_strategies(
+            config,
+            |_| Sha256dPow,
+            |id| {
+                if id == 2 {
+                    Box::new(crate::strategy::ProofWithholding)
+                } else {
+                    Box::new(Honest)
+                }
+            },
+        );
+        let report = sim.run();
+        assert!(
+            report.proofs_withheld > 0,
+            "the withholder must get asked: {}",
+            report.fingerprint_extended()
+        );
+        assert!(report.light_converged, "{}", report.fingerprint_extended());
+        assert!(report.proofs_verified > 0);
+        assert_eq!(report.rejections.invalid_proof, 0);
     }
 }

@@ -28,6 +28,12 @@
 //! * [`Eclipse`] — monopolise a victim's bounded peer table with sybil
 //!   connections so it mines on a stale tip (topology-enabled runs only;
 //!   defeated by peer scoring, anchors and anchor rotation),
+//! * [`ProofWithholding`] — serve headers honestly but never answer a
+//!   light client's proof requests, forcing it through the proof
+//!   re-request rotation,
+//! * [`FakeProof`] — answer proof requests with a corrupted transaction
+//!   payload, caught by `verify_batch` against the committed header root
+//!   and fed into the rejection taxonomy,
 //! * [`Silent`] — an offline placeholder used as the baseline when proving
 //!   that spam never changes honest fork choice.
 
@@ -98,6 +104,18 @@ pub enum ServeAction {
     Corrupt(Corruption),
 }
 
+/// How a full node answers a light client's `GetProof` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofAction {
+    /// Serve the requested transactions with an honest batched proof.
+    Honest,
+    /// Never answer — the proof-withholding attack.
+    Ignore,
+    /// Serve the proof with one transaction payload corrupted, so the
+    /// batch fails verification against the committed header root.
+    Corrupt,
+}
+
 /// A node behaviour policy, consulted at every decision point.
 ///
 /// Strategies are intentionally stateless about the chain: they see only
@@ -155,6 +173,14 @@ pub trait Strategy: fmt::Debug + Send {
     /// corrupted segment of that class.
     fn on_slice(&mut self) -> Option<Corruption> {
         None
+    }
+
+    /// Called when a light client's `GetProof` request arrives from `from`
+    /// (header serving is never strategy-gated — a proof adversary must
+    /// look like a working server to attract requests).
+    fn serve_proof(&mut self, from: usize) -> ProofAction {
+        let _ = from;
+        ProofAction::Honest
     }
 
     /// Simulated milliseconds this node pushes the timestamps of blocks it
@@ -434,6 +460,43 @@ impl Strategy for Eclipse {
     }
 }
 
+/// Proof withholding: mine, relay and serve headers like an honest full
+/// node — so light clients keep selecting it as a server — but never
+/// answer a `GetProof` request. The light client's proof-timeout rotation
+/// is the defence: the wanted proof arrives from the next server, at the
+/// cost of one extra round trip per withheld request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProofWithholding;
+
+impl Strategy for ProofWithholding {
+    fn name(&self) -> &'static str {
+        "proof-withholding"
+    }
+
+    fn serve_proof(&mut self, _from: usize) -> ProofAction {
+        ProofAction::Ignore
+    }
+}
+
+/// Fake proofs: answer every `GetProof` with a proof whose transaction
+/// payload is corrupted. The batch verifier checks the items against the
+/// Merkle root committed in an already-PoW-checked header, so every fake
+/// is rejected, the server penalised, and the request re-issued to the
+/// next server — the committed-root check is exactly what makes light
+/// clients safe against lying servers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FakeProof;
+
+impl Strategy for FakeProof {
+    fn name(&self) -> &'static str {
+        "fake-proof"
+    }
+
+    fn serve_proof(&mut self, _from: usize) -> ProofAction {
+        ProofAction::Corrupt
+    }
+}
+
 /// A dead node: no mining, no relaying, no syncing, no serving. The
 /// rng-isolated baseline an adversary is swapped against when proving that
 /// its traffic did not move honest fork choice.
@@ -553,6 +616,24 @@ mod tests {
         assert_eq!(Honest.eclipse_target(), None);
         assert_eq!(Silent.eclipse_target(), None);
         assert_eq!(SelfishMining.eclipse_target(), None);
+    }
+
+    #[test]
+    fn proof_adversaries_attack_only_the_proof_path() {
+        let mut withhold = ProofWithholding;
+        assert_eq!(withhold.serve_proof(0), ProofAction::Ignore);
+        assert!(withhold.is_adversarial());
+        // Otherwise a convincing full node: it mines, relays, syncs and
+        // serves segments and headers honestly.
+        assert_eq!(withhold.mining_mode(), MiningMode::Extend);
+        assert_eq!(withhold.serve_segment(0), ServeAction::Honest);
+        assert!(withhold.relays() && withhold.syncs());
+        let mut fake = FakeProof;
+        assert_eq!(fake.serve_proof(0), ProofAction::Corrupt);
+        assert!(fake.is_adversarial());
+        assert!(fake.relays() && fake.syncs());
+        let mut honest = Honest;
+        assert_eq!(honest.serve_proof(0), ProofAction::Honest);
     }
 
     #[test]

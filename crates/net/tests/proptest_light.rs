@@ -1,0 +1,66 @@
+//! Property-based light-client convergence: whatever seed and latency
+//! model drive the run, every light client's header-chain tip ends equal
+//! to the full nodes' best tip, its height matches, and every proof that
+//! verified was a batch an honest server built over real transactions.
+
+use hashcore_baselines::Sha256dPow;
+use hashcore_net::{LatencyModel, LightSimConfig, Role, SimConfig, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any seed, any jitter, any light population split: header-first
+    /// sync must leave each light tip header equal to the full best tip.
+    #[test]
+    fn light_tips_equal_the_full_tip_for_any_seed_and_latency(
+        seed in 0u64..1_000_000,
+        jitter_ms in 1u64..200,
+        light_count in 1usize..5,
+        prove in any::<bool>(),
+    ) {
+        let config = SimConfig {
+            nodes: 3 + light_count,
+            seed,
+            difficulty_bits: 8,
+            attempts_per_slice: 32,
+            slice_ms: 100,
+            latency: LatencyModel { base_ms: 10, jitter_ms },
+            duration_ms: 20_000,
+            light: Some(LightSimConfig {
+                first_light: 3,
+                request_timeout_ms: 1_000,
+                proof_indices: if prove { vec![0] } else { Vec::new() },
+                proof_quota: 0,
+                body_bytes: 64,
+            }),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config, |_| Sha256dPow);
+        let report = sim.run();
+
+        prop_assert!(report.converged, "{}", report.fingerprint_extended());
+        prop_assert!(report.light_converged, "{}", report.fingerprint_extended());
+        let tip = sim.nodes()[0].tip();
+        let height = sim.nodes()[0].tip_height();
+        for node in &sim.nodes()[3..] {
+            prop_assert_eq!(node.role(), Role::Light);
+            prop_assert_eq!(node.tip(), tip);
+            prop_assert_eq!(node.tip_height(), height);
+            // Light nodes never execute bodies: their fork trees stay
+            // empty and no segment ever reached them.
+            prop_assert_eq!(node.tree().len(), 0);
+            prop_assert_eq!(node.stats().segments_synced, 0);
+        }
+        // Honest servers only: nothing was rejected as an invalid or
+        // unsolicited proof, and proving tips actually happened when
+        // requested.
+        prop_assert_eq!(report.rejections.invalid_proof, 0);
+        if prove {
+            prop_assert!(report.proofs_verified > 0, "{}", report.fingerprint_extended());
+            prop_assert_eq!(report.proofs_verified, report.proofs_served);
+        } else {
+            prop_assert_eq!(report.proofs_served, 0);
+        }
+    }
+}
