@@ -35,8 +35,9 @@ pub use randomx_lite::RandomxLitePow;
 pub use selection::SelectionPow;
 pub use sha256d_pow::Sha256dPow;
 
+pub use hashcore::NONCE_LANES;
 use hashcore::{HashCore, MiningInput, Target};
-use hashcore_crypto::Digest256;
+use hashcore_crypto::{sha256_x4_parts, Digest256};
 
 /// A Proof-of-Work function: a deterministic map from arbitrary input bytes
 /// to a 256-bit digest, plus enough metadata for comparative reporting.
@@ -88,14 +89,24 @@ pub trait PreparedPow: PowFunction {
     /// Evaluates the PoW digest for `input`, reusing `scratch`'s buffers.
     fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256;
 
-    /// Scans nonces `start..start + attempts` of the header held in
-    /// `input`, returning the first `(nonce, digest)` meeting `target`.
+    /// Scans `attempts` nonces of the header held in `input` starting at
+    /// `start`, returning the first `(nonce, digest)` meeting `target`.
     ///
     /// This is the shared mining loop of `Blockchain::mine_block` and the
     /// network simulation's nodes: all per-attempt state lives in the
     /// caller's `input` and `scratch`, so the scan performs no steady-state
-    /// allocation, and a caller holding `start` can resume an unfinished
-    /// scan at `start + attempts`.
+    /// allocation.
+    ///
+    /// # Nonce order and wraparound
+    ///
+    /// This method *defines* the scan sequence every implementation — and
+    /// [`PreparedPow::scan_nonce_batch`] — must follow: attempt `k`
+    /// evaluates nonce `start.wrapping_add(k)`, so the sequence wraps
+    /// through `u64::MAX` to `0` and never revisits a nonce within one call
+    /// (the nonce space is a cycle of length 2⁶⁴ ≥ `attempts`). A caller
+    /// resuming an unfinished scan passes `start.wrapping_add(attempts)` as
+    /// the next start — `start + attempts` would overflow near the top of
+    /// the space and rescan nonces.
     fn scan_nonces(
         &self,
         input: &mut MiningInput,
@@ -113,6 +124,76 @@ pub trait PreparedPow: PowFunction {
         }
         None
     }
+
+    /// Scans exactly the nonce sequence of [`PreparedPow::scan_nonces`] —
+    /// same order, same wraparound, same hit and digest — evaluating
+    /// [`NONCE_LANES`] nonces per batch where the function's structure
+    /// allows lanes to share work.
+    ///
+    /// The default implementation delegates to the scalar scan;
+    /// implementations with a lane-parallel path (the SHA-256 hash gates)
+    /// override it via [`scan_lane_batches`]. Callers may use the two
+    /// methods interchangeably, including resuming a scan started by the
+    /// other at `start.wrapping_add(attempts)`.
+    fn scan_nonce_batch(
+        &self,
+        input: &mut MiningInput,
+        target: Target,
+        start: u64,
+        attempts: u64,
+        scratch: &mut Self::Scratch,
+    ) -> Option<(u64, Digest256)> {
+        self.scan_nonces(input, target, start, attempts, scratch)
+    }
+}
+
+/// Drives a [`PreparedPow::scan_nonce_batch`] override: full batches of
+/// [`NONCE_LANES`] consecutive nonces go through `batch` (which must return
+/// the [`PowFunction::pow_hash`] digest of `header ‖ nonce` per lane, in
+/// lane order), and the `attempts % NONCE_LANES` remainder falls back to the
+/// scalar [`PreparedPow::scan_nonces`]. Nonce order — including wraparound —
+/// is exactly the scalar scan's.
+pub fn scan_lane_batches<P: PreparedPow + ?Sized>(
+    pow: &P,
+    input: &mut MiningInput,
+    target: Target,
+    start: u64,
+    attempts: u64,
+    scratch: &mut P::Scratch,
+    mut batch: impl FnMut(&P, &[u8], [u64; NONCE_LANES], &mut P::Scratch) -> [Digest256; NONCE_LANES],
+) -> Option<(u64, Digest256)> {
+    let mut done = 0u64;
+    while attempts - done >= NONCE_LANES as u64 {
+        let base = start.wrapping_add(done);
+        let nonces: [u64; NONCE_LANES] = std::array::from_fn(|lane| base.wrapping_add(lane as u64));
+        let digests = batch(pow, input.header_bytes(), nonces, scratch);
+        for (nonce, digest) in nonces.into_iter().zip(digests) {
+            done += 1;
+            if target.is_met_by(&digest) {
+                return Some((nonce, digest));
+            }
+        }
+    }
+    pow.scan_nonces(
+        input,
+        target,
+        start.wrapping_add(done),
+        attempts - done,
+        scratch,
+    )
+}
+
+/// Computes the four seeds `G(header ‖ nonce_i)` in one multi-lane pass —
+/// the shared first step of every SHA-256-gated batch scan.
+pub(crate) fn seeds_x4(header: &[u8], nonces: [u64; NONCE_LANES]) -> [Digest256; NONCE_LANES] {
+    let nonce_bytes = nonces.map(u64::to_le_bytes);
+    let parts: [[&[u8]; 2]; NONCE_LANES] = [
+        [header, &nonce_bytes[0]],
+        [header, &nonce_bytes[1]],
+        [header, &nonce_bytes[2]],
+        [header, &nonce_bytes[3]],
+    ];
+    sha256_x4_parts([&parts[0], &parts[1], &parts[2], &parts[3]])
 }
 
 /// Coarse classification of what a PoW function stresses, used by the
@@ -169,6 +250,35 @@ impl PreparedPow for HashCorePow {
             .hash_with_scratch(input, scratch)
             .expect("generated widgets always execute within their step limit")
             .digest
+    }
+
+    /// Full batches run the first hash gate four lanes at a time through
+    /// [`HashCore::hash_nonce_batch_with_scratch`]; the widget stage and
+    /// second gate stay per-lane (widget outputs differ in shape per seed).
+    fn scan_nonce_batch(
+        &self,
+        input: &mut MiningInput,
+        target: Target,
+        start: u64,
+        attempts: u64,
+        scratch: &mut Self::Scratch,
+    ) -> Option<(u64, Digest256)> {
+        scan_lane_batches(
+            self,
+            input,
+            target,
+            start,
+            attempts,
+            scratch,
+            |pow, header, nonces, scratch| {
+                pow.inner
+                    .hash_nonce_batch_with_scratch(header, nonces, scratch)
+                    .map(|lane| {
+                        lane.expect("generated widgets always execute within their step limit")
+                            .digest
+                    })
+            },
+        )
     }
 }
 
@@ -298,5 +408,86 @@ mod tests {
         );
         assert_eq!(resumed, fresh);
         assert!(resumed.expect("easy target").0 > scanned.0);
+    }
+
+    /// Every nonce the scalar scan would visit — in order, across the u64
+    /// wrap — is what the batch scan visits, so both find the same hit and
+    /// a resume at `start.wrapping_add(attempts)` continues either.
+    #[test]
+    fn scan_wraps_through_nonce_space_without_rescanning() {
+        let target = Target::from_leading_zero_bits(4);
+        let pow = Sha256dPow;
+        let start = u64::MAX - 5;
+        // Enumerate the expected sequence directly: MAX-5 .. MAX, 0, 1, ...
+        let expected = (0..64u64)
+            .map(|k| start.wrapping_add(k))
+            .find_map(|nonce| {
+                let digest = pow.pow_hash(&HashCore::mining_input(b"hdr", nonce));
+                target.is_met_by(&digest).then_some((nonce, digest))
+            })
+            .expect("easy target within 64 nonces");
+        let scalar = pow
+            .scan_nonces(&mut MiningInput::new(b"hdr"), target, start, 64, &mut ())
+            .expect("easy target");
+        let batch = pow
+            .scan_nonce_batch(&mut MiningInput::new(b"hdr"), target, start, 64, &mut ())
+            .expect("easy target");
+        assert_eq!(scalar, expected);
+        assert_eq!(batch, expected);
+
+        // A miss followed by a wrapped resume covers the same 64 nonces.
+        let hard = Target::from_leading_zero_bits(255);
+        assert_eq!(
+            pow.scan_nonce_batch(&mut MiningInput::new(b"hdr"), hard, start, 32, &mut ()),
+            None
+        );
+        let resumed = pow.scan_nonce_batch(
+            &mut MiningInput::new(b"hdr"),
+            target,
+            start.wrapping_add(32),
+            32,
+            &mut (),
+        );
+        let expected_resume = (32..64u64)
+            .map(|k| start.wrapping_add(k))
+            .find_map(|nonce| {
+                let digest = pow.pow_hash(&HashCore::mining_input(b"hdr", nonce));
+                target.is_met_by(&digest).then_some((nonce, digest))
+            });
+        assert_eq!(resumed, expected_resume);
+    }
+
+    fn assert_batch_scan_matches<P: PreparedPow>(pow: &P, attempts: u64) {
+        let target = Target::from_leading_zero_bits(4);
+        for start in [0u64, 3, u64::MAX - 2] {
+            let mut scalar_scratch = P::Scratch::default();
+            let mut batch_scratch = P::Scratch::default();
+            let scalar = pow.scan_nonces(
+                &mut MiningInput::new(b"hdr"),
+                target,
+                start,
+                attempts,
+                &mut scalar_scratch,
+            );
+            let batch = pow.scan_nonce_batch(
+                &mut MiningInput::new(b"hdr"),
+                target,
+                start,
+                attempts,
+                &mut batch_scratch,
+            );
+            assert_eq!(batch, scalar, "{} start {start}", pow.name());
+        }
+    }
+
+    #[test]
+    fn batch_scan_matches_scalar_scan_for_every_baseline() {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 3_000;
+        assert_batch_scan_matches(&Sha256dPow, 64);
+        assert_batch_scan_matches(&MemoryHardPow::new(16 * 1024, 2), 32);
+        assert_batch_scan_matches(&RandomxLitePow::new(3_000), 24);
+        assert_batch_scan_matches(&SelectionPow::new(profile.clone(), 4, 2), 24);
+        assert_batch_scan_matches(&HashCorePow::new(HashCore::new(profile)), 24);
     }
 }

@@ -13,6 +13,7 @@
 //! be streamed or recomputed cheaply.
 
 use crate::{PowFunction, PreparedPow, ResourceClass};
+use hashcore::{MiningInput, Target};
 use hashcore_crypto::{sha256, sha512, Digest256};
 
 const BLOCK_BYTES: usize = 64;
@@ -98,6 +99,24 @@ impl PreparedPow for MemoryHardPow {
         }
 
         sha256(&state)
+    }
+
+    /// Delegates to the scalar scan, deliberately: every stage here is a
+    /// serial dependency chain — the fill iterates SHA-512 on its own
+    /// output, and the mixing walk's next address depends on the state just
+    /// produced — and lanes would each need their own `blocks`-sized
+    /// scratchpad. That sequential, memory-resident structure is the whole
+    /// point of the design, so there is nothing for lanes to share. The
+    /// batch entry point still follows the common nonce-order contract.
+    fn scan_nonce_batch(
+        &self,
+        input: &mut MiningInput,
+        target: Target,
+        start: u64,
+        attempts: u64,
+        scratch: &mut Self::Scratch,
+    ) -> Option<(u64, Digest256)> {
+        self.scan_nonces(input, target, start, attempts, scratch)
     }
 }
 

@@ -9,7 +9,8 @@
 //! uniformly (every class equally represented) rather than profile-matched,
 //! and the program output is hashed exactly as HashCore's widgets are.
 
-use crate::{PowFunction, PreparedPow, ResourceClass};
+use crate::{scan_lane_batches, PowFunction, PreparedPow, ResourceClass};
+use hashcore::{MiningInput, Target};
 use hashcore_crypto::{sha256, Digest256, Sha256};
 use hashcore_gen::{GeneratorConfig, PipelineScratch, WidgetGenerator};
 use hashcore_isa::OpClass;
@@ -78,6 +79,19 @@ impl RandomxLitePow {
             generator: WidgetGenerator::with_config(uniform, config),
         }
     }
+
+    /// The seed-onward tail of [`PreparedPow::pow_hash_scratch`]: random
+    /// program generation, execution and the output hash. The batch scan
+    /// computes the four seeds lane-parallel and enters here per lane.
+    fn hash_from_seed(&self, seed: HashSeed, scratch: &mut PipelineScratch) -> Digest256 {
+        scratch
+            .run(&self.generator, &seed, false)
+            .expect("random programs always halt within the step limit");
+        let mut gate = Sha256::new();
+        gate.update(seed.as_bytes());
+        gate.update(scratch.exec.output());
+        gate.finalize()
+    }
 }
 
 impl PowFunction for RandomxLitePow {
@@ -111,14 +125,32 @@ impl PreparedPow for RandomxLitePow {
     type Scratch = PipelineScratch;
 
     fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256 {
-        let seed = HashSeed::new(sha256(input));
-        scratch
-            .run(&self.generator, &seed, false)
-            .expect("random programs always halt within the step limit");
-        let mut gate = Sha256::new();
-        gate.update(seed.as_bytes());
-        gate.update(scratch.exec.output());
-        gate.finalize()
+        self.hash_from_seed(HashSeed::new(sha256(input)), scratch)
+    }
+
+    /// The seed derivation runs four lanes wide; program generation and
+    /// execution stay per-lane (each lane's random program is shaped by its
+    /// own seed), sharing the one pipeline scratch.
+    fn scan_nonce_batch(
+        &self,
+        input: &mut MiningInput,
+        target: Target,
+        start: u64,
+        attempts: u64,
+        scratch: &mut Self::Scratch,
+    ) -> Option<(u64, Digest256)> {
+        scan_lane_batches(
+            self,
+            input,
+            target,
+            start,
+            attempts,
+            scratch,
+            |pow, header, nonces, scratch| {
+                crate::seeds_x4(header, nonces)
+                    .map(|seed| pow.hash_from_seed(HashSeed::new(seed), scratch))
+            },
+        )
     }
 }
 

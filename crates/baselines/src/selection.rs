@@ -8,7 +8,8 @@
 //! a larger share of the total work. Experiment E7 quantifies exactly that
 //! tradeoff with this implementation.
 
-use crate::{PowFunction, PreparedPow, ResourceClass};
+use crate::{scan_lane_batches, PowFunction, PreparedPow, ResourceClass};
+use hashcore::{MiningInput, Target};
 use hashcore_crypto::{hmac::HmacStream, sha256, Digest256, Sha256};
 use hashcore_gen::{GeneratedWidget, WidgetGenerator};
 use hashcore_profile::{HashSeed, PerformanceProfile};
@@ -73,6 +74,31 @@ impl SelectionPow {
             .map(|w| hashcore_isa::encode(&w.program).len())
             .sum()
     }
+
+    /// The seed-onward tail of [`PreparedPow::pow_hash_scratch`]: widget
+    /// selection, execution and the output hash. The batch scan computes
+    /// the four seeds lane-parallel and enters here per lane.
+    fn hash_from_seed(&self, seed: HashSeed, scratch: &mut ExecScratch) -> Digest256 {
+        // The seed drives an HMAC stream that picks the ordered widget subset.
+        let mut selector = HmacStream::new(seed.as_bytes());
+        let mut gate = Sha256::new();
+        gate.update(seed.as_bytes());
+        for _ in 0..self.widgets_per_hash {
+            let index = selector.next_bounded(self.pool.len() as u64) as usize;
+            let widget = &self.pool[index];
+            let mut config = widget.exec_config();
+            config.collect_trace = false;
+            // The memory seed still comes from the block-specific hash seed,
+            // so executing a pooled widget remains input-dependent.
+            config.memory_seed ^= selector.next_u64();
+            Executor::new(config)
+                .execute_prepared(&self.prepared[index], scratch)
+                .expect("pool widgets always halt within their step limit");
+            gate.update(&(index as u64).to_le_bytes());
+            gate.update(scratch.output());
+        }
+        gate.finalize()
+    }
 }
 
 impl PowFunction for SelectionPow {
@@ -95,26 +121,32 @@ impl PreparedPow for SelectionPow {
     type Scratch = ExecScratch;
 
     fn pow_hash_scratch(&self, input: &[u8], scratch: &mut Self::Scratch) -> Digest256 {
-        let seed = HashSeed::new(sha256(input));
-        // The seed drives an HMAC stream that picks the ordered widget subset.
-        let mut selector = HmacStream::new(seed.as_bytes());
-        let mut gate = Sha256::new();
-        gate.update(seed.as_bytes());
-        for _ in 0..self.widgets_per_hash {
-            let index = selector.next_bounded(self.pool.len() as u64) as usize;
-            let widget = &self.pool[index];
-            let mut config = widget.exec_config();
-            config.collect_trace = false;
-            // The memory seed still comes from the block-specific hash seed,
-            // so executing a pooled widget remains input-dependent.
-            config.memory_seed ^= selector.next_u64();
-            Executor::new(config)
-                .execute_prepared(&self.prepared[index], scratch)
-                .expect("pool widgets always halt within their step limit");
-            gate.update(&(index as u64).to_le_bytes());
-            gate.update(scratch.output());
-        }
-        gate.finalize()
+        self.hash_from_seed(HashSeed::new(sha256(input)), scratch)
+    }
+
+    /// The seed derivation runs four lanes wide; selection and execution
+    /// stay per-lane (each lane's seed picks its own widget subset),
+    /// sharing the one execution scratch.
+    fn scan_nonce_batch(
+        &self,
+        input: &mut MiningInput,
+        target: Target,
+        start: u64,
+        attempts: u64,
+        scratch: &mut Self::Scratch,
+    ) -> Option<(u64, Digest256)> {
+        scan_lane_batches(
+            self,
+            input,
+            target,
+            start,
+            attempts,
+            scratch,
+            |pow, header, nonces, scratch| {
+                crate::seeds_x4(header, nonces)
+                    .map(|seed| pow.hash_from_seed(HashSeed::new(seed), scratch))
+            },
+        )
     }
 }
 

@@ -1,7 +1,8 @@
 //! The Bitcoin-style double-SHA-256 PoW baseline.
 
-use crate::{PowFunction, PreparedPow, ResourceClass};
-use hashcore_crypto::{sha256d, Digest256};
+use crate::{scan_lane_batches, PowFunction, PreparedPow, ResourceClass};
+use hashcore::{MiningInput, Target};
+use hashcore_crypto::{sha256_x4, sha256d, Digest256};
 
 /// `SHA256(SHA256(input))` — the PoW function the paper's introduction uses
 /// as the canonical example of a function for which specialised ASICs vastly
@@ -30,6 +31,33 @@ impl PreparedPow for Sha256dPow {
 
     fn pow_hash_scratch(&self, input: &[u8], _scratch: &mut ()) -> Digest256 {
         self.pow_hash(input)
+    }
+
+    /// Both SHA-256 applications run four lanes wide: the inner hash over
+    /// `header ‖ nonce` via the parts interface, the outer hash over the
+    /// four fixed-size inner digests. This is the ASIC-friendly extreme —
+    /// the *entire* function vectorises, which is exactly the contrast the
+    /// bench's `simd_vs_scalar` metric quantifies against HashCore.
+    fn scan_nonce_batch(
+        &self,
+        input: &mut MiningInput,
+        target: Target,
+        start: u64,
+        attempts: u64,
+        scratch: &mut Self::Scratch,
+    ) -> Option<(u64, Digest256)> {
+        scan_lane_batches(
+            self,
+            input,
+            target,
+            start,
+            attempts,
+            scratch,
+            |_, header, nonces, _| {
+                let inner = crate::seeds_x4(header, nonces);
+                sha256_x4([&inner[0], &inner[1], &inner[2], &inner[3]])
+            },
+        )
     }
 }
 

@@ -1,0 +1,145 @@
+//! Property tests for `scan_nonce_batch` vs `scan_nonces` equivalence.
+//!
+//! The batch scan's contract is that it visits *exactly* the scalar scan's
+//! nonce sequence — same start, same wraparound through `u64::MAX`, same
+//! first hit and digest — for every baseline PoW. Random starts (including
+//! points that wrap mid-scan), attempt counts straddling the lane width,
+//! and leading-zero targets from "every nonce hits" to "no nonce hits"
+//! exercise the batch/remainder split and the resume arithmetic.
+
+use hashcore::{HashCore, MiningInput, Target};
+use hashcore_baselines::{
+    HashCorePow, MemoryHardPow, PreparedPow, RandomxLitePow, SelectionPow, Sha256dPow,
+};
+use hashcore_profile::PerformanceProfile;
+use proptest::prelude::*;
+
+/// Starts that exercise plain ranges and ranges wrapping through u64::MAX.
+fn starts() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        any::<u64>(),
+        (0u64..64).prop_map(|k| u64::MAX - k),
+        Just(0u64),
+    ]
+}
+
+fn assert_equivalent<P: PreparedPow>(
+    pow: &P,
+    header: &[u8],
+    start: u64,
+    attempts: u64,
+    zero_bits: u32,
+) -> Result<(), TestCaseError> {
+    let target = Target::from_leading_zero_bits(zero_bits);
+    let scalar = pow.scan_nonces(
+        &mut MiningInput::new(header),
+        target,
+        start,
+        attempts,
+        &mut P::Scratch::default(),
+    );
+    let batch = pow.scan_nonce_batch(
+        &mut MiningInput::new(header),
+        target,
+        start,
+        attempts,
+        &mut P::Scratch::default(),
+    );
+    prop_assert!(
+        batch == scalar,
+        "{} start {} attempts {} bits {}: {:?} vs {:?}",
+        pow.name(),
+        start,
+        attempts,
+        zero_bits,
+        batch,
+        scalar
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cheap, fully-lane-parallel baseline gets the widest sweep.
+    #[test]
+    fn sha256d_batch_equals_scalar(
+        start in starts(),
+        attempts in 0u64..40,
+        zero_bits in 0u32..7,
+        header in prop::collection::vec(any::<u8>(), 0usize..65),
+    ) {
+        assert_equivalent(&Sha256dPow, &header, start, attempts, zero_bits)?;
+    }
+}
+
+proptest! {
+    // The widget-executing baselines cost milliseconds per nonce; fewer
+    // cases with tighter attempt ranges still cover batch + remainder +
+    // wrap because `starts()` pins some starts right below u64::MAX.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn memory_hard_batch_equals_scalar(
+        start in starts(),
+        attempts in 0u64..14,
+        zero_bits in 0u32..5,
+    ) {
+        assert_equivalent(
+            &MemoryHardPow::new(16 * 1024, 2),
+            b"prop-header",
+            start,
+            attempts,
+            zero_bits,
+        )?;
+    }
+
+    #[test]
+    fn randomx_lite_batch_equals_scalar(
+        start in starts(),
+        attempts in 0u64..14,
+        zero_bits in 0u32..5,
+    ) {
+        assert_equivalent(
+            &RandomxLitePow::new(1_500),
+            b"prop-header",
+            start,
+            attempts,
+            zero_bits,
+        )?;
+    }
+
+    #[test]
+    fn selection_batch_equals_scalar(
+        start in starts(),
+        attempts in 0u64..14,
+        zero_bits in 0u32..5,
+    ) {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 1_500;
+        assert_equivalent(
+            &SelectionPow::new(profile, 4, 1),
+            b"prop-header",
+            start,
+            attempts,
+            zero_bits,
+        )?;
+    }
+
+    #[test]
+    fn hashcore_batch_equals_scalar(
+        start in starts(),
+        attempts in 0u64..14,
+        zero_bits in 0u32..5,
+    ) {
+        let mut profile = PerformanceProfile::leela_like();
+        profile.target_dynamic_instructions = 1_500;
+        assert_equivalent(
+            &HashCorePow::new(HashCore::new(profile)),
+            b"prop-header",
+            start,
+            attempts,
+            zero_bits,
+        )?;
+    }
+}

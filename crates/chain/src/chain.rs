@@ -293,7 +293,9 @@ impl<P: PreparedPow> Blockchain<P> {
 
     /// Scans nonces `0..max_attempts` against the current target, returning
     /// `(nonce, attempts, digest)` of the first hit. All per-attempt state
-    /// lives in one [`MiningInput`] and one [`PreparedPow::Scratch`].
+    /// lives in one [`MiningInput`] and one [`PreparedPow::Scratch`]; full
+    /// batches run through the PoW's lane-parallel
+    /// [`PreparedPow::scan_nonce_batch`] path.
     fn search_nonce(
         &self,
         header: &BlockHeader,
@@ -305,7 +307,7 @@ impl<P: PreparedPow> Blockchain<P> {
         let mut scratch = P::Scratch::default();
         let (nonce, digest) =
             self.pow
-                .scan_nonces(&mut input, self.target, 0, max_attempts, &mut scratch)?;
+                .scan_nonce_batch(&mut input, self.target, 0, max_attempts, &mut scratch)?;
         Some((nonce, nonce + 1, digest))
     }
 }

@@ -1,13 +1,17 @@
 //! The HashCore PoW function over SHA-256 gates and the widget pipeline.
 
 use crate::target::Target;
-use hashcore_crypto::{sha256, Digest256, Sha256};
+use hashcore_crypto::{sha256, sha256_x4_parts, Digest256, Sha256, SHA256_LANES};
 use hashcore_gen::{GeneratorConfig, PipelineScratch, WidgetGenerator};
 use hashcore_profile::{HashSeed, PerformanceProfile};
 use hashcore_vm::ExecError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
+
+/// Number of nonces one [`HashCore::hash_nonce_batch_with_scratch`] call
+/// evaluates: the lane width of the multi-lane hash gate.
+pub const NONCE_LANES: usize = SHA256_LANES;
 
 /// Configuration of a [`HashCore`] instance.
 #[derive(Debug, Clone)]
@@ -193,6 +197,11 @@ impl MiningSession {
     /// again to resume). Stepping past a hit resumes the scan at the next
     /// nonce.
     ///
+    /// Full batches of [`NONCE_LANES`] nonces run through the lane-parallel
+    /// gate ([`HashCore::hash_nonce_batch_with_scratch`]); the remainder
+    /// runs scalar. Hit nonce, digest and attempt count are identical to
+    /// the per-nonce scan either way.
+    ///
     /// # Errors
     ///
     /// Propagates widget-execution failures.
@@ -201,7 +210,32 @@ impl MiningSession {
         pow: &HashCore,
         budget: u64,
     ) -> Result<Option<MiningResult>, HashCoreError> {
-        for _ in 0..budget {
+        let mut remaining = budget;
+        while remaining >= NONCE_LANES as u64 {
+            let nonces: [u64; NONCE_LANES] = std::array::from_fn(|lane| {
+                self.start
+                    .wrapping_add(self.scanned)
+                    .wrapping_add(lane as u64)
+            });
+            let results = pow.hash_nonce_batch_with_scratch(
+                self.input.header_bytes(),
+                nonces,
+                &mut self.scratch,
+            );
+            for (nonce, result) in nonces.into_iter().zip(results) {
+                let digest = result?.digest;
+                self.scanned += 1;
+                remaining -= 1;
+                if self.target.is_met_by(&digest) {
+                    return Ok(Some(MiningResult {
+                        nonce,
+                        digest,
+                        attempts: self.scanned,
+                    }));
+                }
+            }
+        }
+        for _ in 0..remaining {
             let nonce = self.start.wrapping_add(self.scanned);
             let digest = pow
                 .hash_with_scratch(self.input.with_nonce(nonce), &mut self.scratch)?
@@ -257,6 +291,20 @@ impl MiningInput {
         let tail = self.buffer.len() - 8;
         self.buffer[tail..].copy_from_slice(&nonce.to_le_bytes());
         &self.buffer
+    }
+
+    /// The header portion of the buffer — everything except the 8-byte nonce
+    /// tail. The batch scan passes this to
+    /// [`HashCore::hash_nonce_batch_with_scratch`], which appends each
+    /// lane's nonce itself instead of overwriting the tail in place.
+    ///
+    /// A default-constructed buffer with no header set behaves as if the
+    /// header were empty, matching [`MiningInput::with_nonce`].
+    pub fn header_bytes(&self) -> &[u8] {
+        match self.buffer.len().checked_sub(8) {
+            Some(tail) => &self.buffer[..tail],
+            None => b"",
+        }
     }
 }
 
@@ -349,6 +397,28 @@ impl HashCore {
         input: &[u8],
         scratch: &mut HashScratch,
     ) -> Result<HashCoreOutput, HashCoreError> {
+        // First hash gate: s = G(x).
+        self.hash_from_seed_with_scratch(HashSeed::new(sha256(input)), scratch)
+    }
+
+    /// Evaluates the widget stage and second hash gate from an
+    /// already-computed first-gate output `s = G(x)`.
+    ///
+    /// This is the tail of [`HashCore::hash_with_scratch`]: callers that
+    /// compute the first gate themselves — the batch scan runs it four
+    /// lanes at a time through [`sha256_x4_parts`] — enter the pipeline
+    /// here. `hash_from_seed_with_scratch(HashSeed::new(sha256(x)), ..)` is
+    /// byte-identical to `hash_with_scratch(x, ..)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashCoreError::WidgetExecution`] if a generated widget
+    /// fails to execute within its step limit.
+    pub fn hash_from_seed_with_scratch(
+        &self,
+        seed: HashSeed,
+        scratch: &mut HashScratch,
+    ) -> Result<HashCoreOutput, HashCoreError> {
         // One-time pre-sizing to the generator's worst-case bounds: the
         // seed noise is capped, so the largest program, memory image and
         // output any seed can produce are known up front (the generation
@@ -367,9 +437,6 @@ impl HashCore {
                 .exec
                 .prime(bounds.max_memory_bytes, bounds.max_output_bytes);
         }
-
-        // First hash gate: s = G(x).
-        let seed = HashSeed::new(sha256(input));
 
         // Widget generation and execution: w_i = W(seed_i), where seed_0 = s
         // and seed_i = G(s ‖ i) for the sequential-widget extension. The
@@ -419,6 +486,59 @@ impl HashCore {
     /// See [`HashCore::hash`].
     pub fn hash_digest(&self, input: &[u8]) -> Result<Digest256, HashCoreError> {
         Ok(self.hash(input)?.digest)
+    }
+
+    /// Evaluates `H(header ‖ nonce)` for [`NONCE_LANES`] nonces sharing one
+    /// header, running the first hash gate four lanes at a time.
+    ///
+    /// Lane `i`'s result is byte-identical to
+    /// [`HashCore::hash_with_scratch`] over
+    /// [`HashCore::mining_input`]`(header, nonces[i])`: the seeds
+    /// `s_i = G(header ‖ nonce_i)` come out of one [`sha256_x4_parts`] pass
+    /// (the gate hashes `header ‖ nonce` without materialising four input
+    /// buffers), and the widget stage plus second gate then run per lane
+    /// out of the single shared `scratch` — widget outputs differ in shape
+    /// per seed, so those stages stay sequential while the fixed-shape gate
+    /// is where the lanes pay off. Nothing here allocates once the scratch
+    /// is warm.
+    ///
+    /// # Errors
+    ///
+    /// Each lane carries its own `Result`, so a caller scanning lanes in
+    /// nonce order observes exactly what the equivalent sequential scan
+    /// would: a hit in lane `i` is visible even if lane `j > i` fails.
+    /// Once a lane fails, later lanes are not evaluated and report a clone
+    /// of the same error (the sequential scan would never have reached
+    /// them).
+    pub fn hash_nonce_batch_with_scratch(
+        &self,
+        header: &[u8],
+        nonces: [u64; NONCE_LANES],
+        scratch: &mut HashScratch,
+    ) -> [Result<HashCoreOutput, HashCoreError>; NONCE_LANES] {
+        // First hash gate, all lanes at once: s_i = G(header ‖ nonce_i).
+        let nonce_bytes = nonces.map(u64::to_le_bytes);
+        let lane_parts: [[&[u8]; 2]; NONCE_LANES] = [
+            [header, &nonce_bytes[0]],
+            [header, &nonce_bytes[1]],
+            [header, &nonce_bytes[2]],
+            [header, &nonce_bytes[3]],
+        ];
+        let seeds = sha256_x4_parts([
+            &lane_parts[0],
+            &lane_parts[1],
+            &lane_parts[2],
+            &lane_parts[3],
+        ]);
+
+        let mut first_error: Option<HashCoreError> = None;
+        std::array::from_fn(|lane| {
+            if let Some(error) = &first_error {
+                return Err(error.clone());
+            }
+            self.hash_from_seed_with_scratch(HashSeed::new(seeds[lane]), scratch)
+                .inspect_err(|error| first_error = Some(error.clone()))
+        })
     }
 
     /// Builds the canonical mining input for a header and nonce.
@@ -498,10 +618,49 @@ impl HashCore {
             let handles: Vec<_> = (0..threads as u64)
                 .map(|worker| {
                     scope.spawn(move || {
+                        let stride = threads as u64;
                         let mut scratch = HashScratch::new();
                         let mut input = MiningInput::new(header);
                         let mut offset = worker;
-                        while offset < max_attempts && offset < cutoff.load(Ordering::Acquire) {
+                        loop {
+                            let limit = max_attempts.min(cutoff.load(Ordering::Acquire));
+                            if offset >= limit {
+                                return None;
+                            }
+                            // Batch the worker's next NONCE_LANES strided
+                            // offsets through the lane-parallel gate when
+                            // they all fit below the limit; fall back to a
+                            // scalar step for the tail (or on the
+                            // astronomically unlikely offset overflow).
+                            let last = offset.checked_add(stride * (NONCE_LANES as u64 - 1));
+                            if last.is_some_and(|last| last < limit) {
+                                let offsets: [u64; NONCE_LANES] =
+                                    std::array::from_fn(|lane| offset + stride * lane as u64);
+                                let nonces = offsets.map(|o| start.wrapping_add(o));
+                                let results = self.hash_nonce_batch_with_scratch(
+                                    input.header_bytes(),
+                                    nonces,
+                                    &mut scratch,
+                                );
+                                for (lane, result) in results.into_iter().enumerate() {
+                                    match result {
+                                        Ok(out) if target.is_met_by(&out.digest) => {
+                                            cutoff.fetch_min(offsets[lane], Ordering::AcqRel);
+                                            return Some((
+                                                offsets[lane],
+                                                Ok((nonces[lane], out.digest)),
+                                            ));
+                                        }
+                                        Ok(_) => {}
+                                        Err(error) => {
+                                            cutoff.fetch_min(offsets[lane], Ordering::AcqRel);
+                                            return Some((offsets[lane], Err(error)));
+                                        }
+                                    }
+                                }
+                                offset += stride * NONCE_LANES as u64;
+                                continue;
+                            }
                             let nonce = start.wrapping_add(offset);
                             match self.hash_with_scratch(input.with_nonce(nonce), &mut scratch) {
                                 Ok(out) if target.is_met_by(&out.digest) => {
@@ -514,9 +673,8 @@ impl HashCore {
                                     return Some((offset, Err(error)));
                                 }
                             }
-                            offset += threads as u64;
+                            offset += stride;
                         }
-                        None
                     })
                 })
                 .collect();
@@ -737,6 +895,40 @@ mod tests {
                 .unwrap();
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn nonce_batch_matches_scalar_hashing() {
+        let pow = fast_pow();
+        let mut scratch = HashScratch::new();
+        for (header, base) in [
+            (b"batch-header".as_ref(), 0u64),
+            (b"".as_ref(), 17),
+            (
+                b"a-longer-header-spanning-a-block-boundary-soon!".as_ref(),
+                9,
+            ),
+            (b"wrap".as_ref(), u64::MAX - 1),
+        ] {
+            let nonces: [u64; NONCE_LANES] =
+                std::array::from_fn(|lane| base.wrapping_add(lane as u64));
+            let batch = pow.hash_nonce_batch_with_scratch(header, nonces, &mut scratch);
+            for (nonce, result) in nonces.into_iter().zip(batch) {
+                let scalar = pow.hash(&HashCore::mining_input(header, nonce)).unwrap();
+                assert_eq!(result.unwrap(), scalar, "header {header:?} nonce {nonce}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_bytes_is_the_buffer_minus_the_nonce_tail() {
+        let mut input = MiningInput::new(b"some header");
+        assert_eq!(input.header_bytes(), b"some header");
+        input.with_nonce(u64::MAX);
+        assert_eq!(input.header_bytes(), b"some header");
+        input.set_header(b"");
+        assert_eq!(input.header_bytes(), b"");
+        assert_eq!(MiningInput::default().header_bytes(), b"");
     }
 
     #[test]

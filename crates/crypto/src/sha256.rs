@@ -28,7 +28,21 @@ const K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
+/// Maximum message length SHA-256 is defined for: the FIPS 180-4 length
+/// field is 64 bits of *bit* count, so messages must stay below 2^61 bytes.
+pub const MAX_MESSAGE_BYTES: u64 = (1 << 61) - 1;
+
 /// Incremental SHA-256 hasher.
+///
+/// # Message-length contract
+///
+/// FIPS 180-4 defines SHA-256 only for messages shorter than 2^64 *bits*
+/// ([`MAX_MESSAGE_BYTES`] bytes). Feeding more wraps the length field:
+/// debug builds panic at the [`Sha256::update`] call that crosses the
+/// bound, release builds silently produce a digest of a different
+/// (length-reduced) message. Every real input in this workspace — headers,
+/// nonces, widget outputs — is kilobytes, so the bound exists as an
+/// explicit contract, not a reachable state.
 ///
 /// # Examples
 ///
@@ -69,8 +83,18 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the total message length exceeds
+    /// [`MAX_MESSAGE_BYTES`] (the FIPS 180-4 64-bit length field); see the
+    /// type-level message-length contract.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        debug_assert!(
+            self.total_len <= MAX_MESSAGE_BYTES,
+            "message exceeds the FIPS 180-4 64-bit length field (2^61 - 1 bytes)"
+        );
         let mut input = data;
 
         // Fill the partial buffer first.
@@ -106,6 +130,9 @@ impl Sha256 {
 
     /// Finishes the computation and returns the digest.
     pub fn finalize(mut self) -> Digest256 {
+        // In range by the `update` contract (debug-asserted there); the
+        // wrapping multiply documents the release-build overflow behaviour
+        // rather than hiding it behind an unchecked `*`.
         let bit_len = self.total_len.wrapping_mul(8);
 
         // Append the 0x80 terminator.
@@ -292,6 +319,39 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
                 h.update(std::slice::from_ref(b));
             }
             assert_eq!(h.finalize(), sha256(&data), "length {len}");
+        }
+    }
+
+    #[test]
+    fn update_block_boundary_handoff() {
+        // Regression: the hand-off between the partial-buffer fill and the
+        // direct full-block path in `update`. For every buffered prefix
+        // length, feed a second slice that under-fills, exactly fills, or
+        // over-fills the 64-byte block (and continues into whole blocks +
+        // remainder) — all splits must match the one-shot digest.
+        let data: Vec<u8> = (0..=255u8).cycle().take(4 * 64 + 7).collect();
+        for buffered in 0usize..=66 {
+            for second in [
+                0usize,
+                1,
+                63 - buffered.min(63),
+                64 - buffered.min(64),
+                64,
+                65,
+                128,
+                129,
+            ] {
+                let end = (buffered + second).min(data.len());
+                let mut h = Sha256::new();
+                h.update(&data[..buffered]);
+                h.update(&data[buffered..end]);
+                h.update(&data[end..]);
+                assert_eq!(
+                    h.finalize(),
+                    sha256(&data),
+                    "buffered {buffered}, second {second}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,386 @@
+//! 4-lane SHA-256: four independent messages hashed per compression pass.
+//!
+//! The scalar [`crate::Sha256`] is latency-bound: every round depends on the
+//! previous one, so a modern core spends most of the compression waiting on
+//! a single dependency chain. This module lays the hash state out as a
+//! *struct of arrays* — each of the eight working variables is a `[u32; 4]`
+//! holding one word per lane — so the four chains interleave and the
+//! compiler can lower every round to 128-bit vector ops (or, failing that,
+//! to four independent scalar chains that fill the pipeline). It is plain
+//! safe Rust: no intrinsics, no `unsafe`, bit-identical per lane to the
+//! scalar implementation (pinned by the FIPS vectors below and the
+//! `proptest_sha256x4` equivalence sweep).
+//!
+//! Lanes are fully independent messages and may have different lengths: a
+//! lane that runs out of blocks keeps compressing a dummy block but its
+//! feed-forward is masked off, so its state — and therefore its digest —
+//! is untouched. The hot callers (the nonce-scanning loops) hash four
+//! equal-length `header ‖ nonce` inputs, where no masking ever triggers.
+//!
+//! Callers that assemble a lane from non-contiguous pieces (the mining
+//! loops hash `header ‖ nonce` without materialising four separate
+//! buffers) use [`sha256_x4_parts`], which treats each lane as the
+//! concatenation of a slice list. Everything here is allocation-free:
+//! state, schedules and staged blocks all live on the stack.
+
+use crate::sha256::Digest256;
+
+/// Number of independent messages one multi-lane evaluation hashes.
+pub const SHA256_LANES: usize = 4;
+
+/// One word across all four lanes.
+type Lanes = [u32; 4];
+
+/// Initial hash values, identical to the scalar path's.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Round constants, identical to the scalar path's.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+#[inline(always)]
+fn vadd(a: Lanes, b: Lanes) -> Lanes {
+    [
+        a[0].wrapping_add(b[0]),
+        a[1].wrapping_add(b[1]),
+        a[2].wrapping_add(b[2]),
+        a[3].wrapping_add(b[3]),
+    ]
+}
+
+#[inline(always)]
+fn vxor(a: Lanes, b: Lanes) -> Lanes {
+    [a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]]
+}
+
+#[inline(always)]
+fn vand(a: Lanes, b: Lanes) -> Lanes {
+    [a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]]
+}
+
+#[inline(always)]
+fn vnot(a: Lanes) -> Lanes {
+    [!a[0], !a[1], !a[2], !a[3]]
+}
+
+#[inline(always)]
+fn vrotr(a: Lanes, n: u32) -> Lanes {
+    [
+        a[0].rotate_right(n),
+        a[1].rotate_right(n),
+        a[2].rotate_right(n),
+        a[3].rotate_right(n),
+    ]
+}
+
+#[inline(always)]
+fn vshr(a: Lanes, n: u32) -> Lanes {
+    [a[0] >> n, a[1] >> n, a[2] >> n, a[3] >> n]
+}
+
+/// Splats one scalar across all lanes.
+#[inline(always)]
+fn splat(x: u32) -> Lanes {
+    [x; SHA256_LANES]
+}
+
+/// Compresses one 64-byte block per lane into `state`, feeding forward only
+/// the lanes flagged `active` — an inactive lane's state is untouched, as if
+/// the block had never been presented.
+#[inline(always)]
+fn compress_x4(state: &mut [Lanes; 8], blocks: &[[u8; 64]; SHA256_LANES], active: [bool; 4]) {
+    // Transpose the four blocks' big-endian words into the lane layout.
+    let mut w = [[0u32; SHA256_LANES]; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        for (lane, block) in blocks.iter().enumerate() {
+            word[lane] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+    }
+    for i in 16..64 {
+        let s0 = vxor(
+            vxor(vrotr(w[i - 15], 7), vrotr(w[i - 15], 18)),
+            vshr(w[i - 15], 3),
+        );
+        let s1 = vxor(
+            vxor(vrotr(w[i - 2], 17), vrotr(w[i - 2], 19)),
+            vshr(w[i - 2], 10),
+        );
+        w[i] = vadd(vadd(w[i - 16], s0), vadd(w[i - 7], s1));
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for i in 0..64 {
+        let s1 = vxor(vxor(vrotr(e, 6), vrotr(e, 11)), vrotr(e, 25));
+        let ch = vxor(vand(e, f), vand(vnot(e), g));
+        let temp1 = vadd(vadd(h, s1), vadd(vadd(ch, splat(K[i])), w[i]));
+        let s0 = vxor(vxor(vrotr(a, 2), vrotr(a, 13)), vrotr(a, 22));
+        let maj = vxor(vxor(vand(a, b), vand(a, c)), vand(b, c));
+        let temp2 = vadd(s0, maj);
+
+        h = g;
+        g = f;
+        f = e;
+        e = vadd(d, temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = vadd(temp1, temp2);
+    }
+
+    let sums = [a, b, c, d, e, f, g, h];
+    for (word, sum) in state.iter_mut().zip(sums) {
+        for lane in 0..SHA256_LANES {
+            if active[lane] {
+                word[lane] = word[lane].wrapping_add(sum[lane]);
+            }
+        }
+    }
+}
+
+/// Writes block `block_index` of the padded stream for a message formed by
+/// concatenating `parts` (total length `total_len`, spanning `blocks` padded
+/// blocks) into `out`.
+///
+/// The padded stream is the FIPS 180-4 framing: the message bytes, one
+/// `0x80` terminator, zeros, and the 64-bit big-endian bit length closing
+/// the final block.
+fn fill_block(
+    parts: &[&[u8]],
+    total_len: usize,
+    blocks: usize,
+    block_index: usize,
+    out: &mut [u8; 64],
+) {
+    out.fill(0);
+    let start = block_index * 64;
+    let end = start + 64;
+
+    // Message bytes overlapping this block, gathered across the parts.
+    let mut offset = 0usize;
+    for part in parts {
+        let part_start = offset;
+        let part_end = offset + part.len();
+        if part_end > start && part_start < end {
+            let from = start.max(part_start);
+            let to = end.min(part_end);
+            out[from - start..to - start]
+                .copy_from_slice(&part[from - part_start..to - part_start]);
+        }
+        offset = part_end;
+    }
+
+    // The 0x80 terminator immediately follows the message.
+    if (start..end).contains(&total_len) {
+        out[total_len - start] = 0x80;
+    }
+
+    // The bit length closes the last block.
+    if block_index + 1 == blocks {
+        let bit_len = (total_len as u64) * 8;
+        out[56..64].copy_from_slice(&bit_len.to_be_bytes());
+    }
+}
+
+/// Hashes four independent messages, each given as a list of slices that are
+/// treated as one concatenated message, returning the four digests.
+///
+/// Lane `i`'s digest is byte-identical to
+/// [`crate::sha256()`](fn@crate::sha256)`(concat(lanes[i]))`. Lanes may have different total
+/// lengths; the compression loop runs until the longest lane's final block
+/// and masks finished lanes out of the feed-forward. No heap allocation is
+/// performed.
+///
+/// This is the mining loops' entry point: a `header ‖ nonce` input is two
+/// slices, so four nonce variants hash without materialising four buffers.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a lane exceeds the 2^61 − 1 byte FIPS length
+/// bound — the same contract as the scalar [`crate::Sha256`].
+pub fn sha256_x4_parts(lanes: [&[&[u8]]; SHA256_LANES]) -> [Digest256; SHA256_LANES] {
+    let mut total_len = [0usize; SHA256_LANES];
+    let mut blocks = [0usize; SHA256_LANES];
+    for lane in 0..SHA256_LANES {
+        total_len[lane] = lanes[lane].iter().map(|part| part.len()).sum();
+        debug_assert!(
+            (total_len[lane] as u64) < 1u64 << 61,
+            "message exceeds the FIPS 180-4 64-bit length field"
+        );
+        blocks[lane] = (total_len[lane] + 9).div_ceil(64);
+    }
+    let max_blocks = blocks.iter().copied().max().unwrap_or(0);
+
+    let mut state = [[0u32; SHA256_LANES]; 8];
+    for (word, init) in state.iter_mut().zip(H0) {
+        *word = splat(init);
+    }
+
+    let mut staged = [[0u8; 64]; SHA256_LANES];
+    for block_index in 0..max_blocks {
+        let mut active = [false; SHA256_LANES];
+        for lane in 0..SHA256_LANES {
+            if block_index < blocks[lane] {
+                fill_block(
+                    lanes[lane],
+                    total_len[lane],
+                    blocks[lane],
+                    block_index,
+                    &mut staged[lane],
+                );
+                active[lane] = true;
+            }
+        }
+        compress_x4(&mut state, &staged, active);
+    }
+
+    let mut out = [[0u8; 32]; SHA256_LANES];
+    for lane in 0..SHA256_LANES {
+        for (i, word) in state.iter().enumerate() {
+            out[lane][i * 4..i * 4 + 4].copy_from_slice(&word[lane].to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Hashes four independent messages in one 4-lane pass.
+///
+/// Lane `i`'s digest is byte-identical to [`crate::sha256()`](fn@crate::sha256)`(messages[i])`; see
+/// [`sha256_x4_parts`] for the mixed-length semantics.
+pub fn sha256_x4(messages: [&[u8]; SHA256_LANES]) -> [Digest256; SHA256_LANES] {
+    sha256_x4_parts([
+        &[messages[0]],
+        &[messages[1]],
+        &[messages[2]],
+        &[messages[3]],
+    ])
+}
+
+/// Double SHA-256 of four independent messages: lane `i` is byte-identical
+/// to [`crate::sha256d`]`(messages[i])`. Both applications run 4-lane (the
+/// second over four uniform 32-byte inputs, so no masking occurs there).
+pub fn sha256d_x4(messages: [&[u8]; SHA256_LANES]) -> [Digest256; SHA256_LANES] {
+    let first = sha256_x4(messages);
+    sha256_x4([&first[0], &first[1], &first[2], &first[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sha256, sha256d};
+
+    #[test]
+    fn fips_vectors_per_lane() {
+        // The four canonical FIPS 180-4 vectors, one per lane — different
+        // lengths, so the masked tail path runs too.
+        let two_block = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        let four_block: &[u8] = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        let msgs: [&[u8]; 4] = [b"", b"abc", two_block, four_block];
+        let digests = sha256_x4(msgs);
+        for (lane, msg) in msgs.iter().enumerate() {
+            assert_eq!(digests[lane], sha256(msg), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn equal_length_lanes_match_scalar() {
+        let msgs: [&[u8]; 4] = [b"nonce-0", b"nonce-1", b"nonce-2", b"nonce-3"];
+        let digests = sha256_x4(msgs);
+        for (lane, msg) in msgs.iter().enumerate() {
+            assert_eq!(digests[lane], sha256(msg), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn padding_boundary_lengths_match_scalar() {
+        // Every interesting padding boundary, rotated across lanes so each
+        // boundary exercises each lane position.
+        let data = [0xa5u8; 256];
+        let lengths = [55usize, 56, 57, 63, 64, 65, 119, 120, 121, 127, 128, 129];
+        for window in lengths.windows(4) {
+            let msgs: [&[u8]; 4] = [
+                &data[..window[0]],
+                &data[..window[1]],
+                &data[..window[2]],
+                &data[..window[3]],
+            ];
+            let digests = sha256_x4(msgs);
+            for lane in 0..4 {
+                assert_eq!(digests[lane], sha256(msgs[lane]), "length {}", window[lane]);
+            }
+        }
+    }
+
+    #[test]
+    fn parts_concatenate_exactly() {
+        let header = b"block-header-bytes";
+        let nonces: [[u8; 8]; 4] = [0u64, 1, u64::MAX, 0xdead_beef].map(u64::to_le_bytes);
+        let lanes: [[&[u8]; 2]; 4] = [
+            [header, &nonces[0]],
+            [header, &nonces[1]],
+            [header, &nonces[2]],
+            [header, &nonces[3]],
+        ];
+        let digests = sha256_x4_parts([&lanes[0], &lanes[1], &lanes[2], &lanes[3]]);
+        for lane in 0..4 {
+            let mut whole = header.to_vec();
+            whole.extend_from_slice(&nonces[lane]);
+            assert_eq!(digests[lane], sha256(&whole), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn empty_parts_and_empty_lanes() {
+        let lanes: [[&[u8]; 3]; 4] = [
+            [b"", b"", b""],
+            [b"a", b"", b"bc"],
+            [b"", b"abc", b""],
+            [b"abc", b"def", b"g"],
+        ];
+        let digests = sha256_x4_parts([&lanes[0], &lanes[1], &lanes[2], &lanes[3]]);
+        assert_eq!(digests[0], sha256(b""));
+        assert_eq!(digests[1], sha256(b"abc"));
+        assert_eq!(digests[2], sha256(b"abc"));
+        assert_eq!(digests[3], sha256(b"abcdefg"));
+    }
+
+    #[test]
+    fn double_sha_matches_scalar_double_sha() {
+        let msgs: [&[u8]; 4] = [
+            b"",
+            b"hashcore",
+            b"a longer message spanning one block",
+            b"x",
+        ];
+        let digests = sha256d_x4(msgs);
+        for (lane, msg) in msgs.iter().enumerate() {
+            assert_eq!(digests[lane], sha256d(msg), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn multi_kilobyte_lanes_match_scalar() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(8192).collect();
+        let msgs: [&[u8]; 4] = [&data[..8192], &data[..4097], &data[..63], &data[..1000]];
+        let digests = sha256_x4(msgs);
+        for (lane, msg) in msgs.iter().enumerate() {
+            assert_eq!(digests[lane], sha256(msg), "lane {lane}");
+        }
+    }
+}

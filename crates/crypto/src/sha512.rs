@@ -7,6 +7,11 @@
 /// A SHA-512 digest: 64 bytes.
 pub type Digest512 = [u8; 64];
 
+/// Maximum message length SHA-512 is defined for: the FIPS 180-4 length
+/// field is 128 bits of *bit* count, so messages must stay below 2^125
+/// bytes.
+pub const MAX_MESSAGE_BYTES: u128 = (1 << 125) - 1;
+
 const H0: [u64; 8] = [
     0x6a09e667f3bcc908,
     0xbb67ae8584caa73b,
@@ -139,8 +144,20 @@ impl Sha512 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the total message length exceeds
+    /// [`MAX_MESSAGE_BYTES`] (the FIPS 180-4 128-bit length field holds bit
+    /// counts, so messages must stay below 2^125 bytes) — the same explicit
+    /// length contract as [`crate::Sha256`], unreachable on real hardware
+    /// but stated rather than silently wrapped.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u128);
+        debug_assert!(
+            self.total_len <= MAX_MESSAGE_BYTES,
+            "message exceeds the FIPS 180-4 128-bit length field (2^125 - 1 bytes)"
+        );
         let mut input = data;
 
         if self.buffer_len > 0 {

@@ -1,0 +1,92 @@
+//! Property tests pinning the 4-lane SHA-256 to the scalar implementation.
+//!
+//! The multi-lane module re-implements the whole FIPS 180-4 framing —
+//! padding, length field, masked feed-forward for unequal lanes, and the
+//! parts (slice-list) gather — so every lane is checked byte-for-byte
+//! against the scalar [`hashcore_crypto::sha256`] over random lengths,
+//! contents, length skews and part splits. Any divergence here would change
+//! mining digests, which the pinned chain fingerprints would then catch
+//! much less legibly.
+
+use hashcore_crypto::{sha256, sha256_x4, sha256_x4_parts, sha256d, sha256d_x4};
+use proptest::prelude::*;
+
+type FourLanes = (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>);
+
+/// Four lanes of bytes with independent random lengths, biased to cover the
+/// one-block/two-block padding boundaries (lengths 0..=200).
+fn lanes() -> impl Strategy<Value = FourLanes> {
+    let lane = || prop::collection::vec(any::<u8>(), 0usize..201);
+    (lane(), lane(), lane(), lane())
+}
+
+fn as_array(msgs: &FourLanes) -> [&[u8]; 4] {
+    [&msgs.0, &msgs.1, &msgs.2, &msgs.3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every lane of `sha256_x4` equals the scalar hash of that lane's
+    /// message, whatever the four lengths are relative to each other.
+    #[test]
+    fn sha256_x4_matches_scalar_per_lane(msgs in lanes()) {
+        let msgs = as_array(&msgs);
+        let digests = sha256_x4(msgs);
+        for (lane, msg) in msgs.iter().enumerate() {
+            prop_assert!(digests[lane] == sha256(msg), "lane {}", lane);
+        }
+    }
+
+    /// Same property for the double hash used by the sha256d baseline.
+    #[test]
+    fn sha256d_x4_matches_scalar_per_lane(msgs in lanes()) {
+        let msgs = as_array(&msgs);
+        let digests = sha256d_x4(msgs);
+        for (lane, msg) in msgs.iter().enumerate() {
+            prop_assert!(digests[lane] == sha256d(msg), "lane {}", lane);
+        }
+    }
+
+    /// Splitting each lane into arbitrary parts (the mining loops pass
+    /// `[header, nonce]`) never changes its digest: the parts list is
+    /// treated as pure concatenation at every alignment.
+    #[test]
+    fn parts_are_pure_concatenation(
+        msgs in lanes(),
+        splits in (0usize..201, 0usize..201, 0usize..201, 0usize..201),
+    ) {
+        let msgs = as_array(&msgs);
+        let splits = [splits.0, splits.1, splits.2, splits.3];
+        let cut: [usize; 4] =
+            std::array::from_fn(|lane| splits[lane].min(msgs[lane].len()));
+        let parts: [[&[u8]; 2]; 4] =
+            std::array::from_fn(|lane| [&msgs[lane][..cut[lane]], &msgs[lane][cut[lane]..]]);
+        let digests = sha256_x4_parts([&parts[0], &parts[1], &parts[2], &parts[3]]);
+        for (lane, msg) in msgs.iter().enumerate() {
+            prop_assert!(
+                digests[lane] == sha256(msg),
+                "lane {} split {}", lane, cut[lane]
+            );
+        }
+    }
+
+    /// The mining call shape: one shared header, four `u64` nonces appended
+    /// per lane, against the scalar hash of the concatenated buffer.
+    #[test]
+    fn header_nonce_lanes_match_scalar(
+        header in prop::collection::vec(any::<u8>(), 0usize..121),
+        nonces in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let nonces = [nonces.0, nonces.1, nonces.2, nonces.3];
+        let nonce_bytes = nonces.map(u64::to_le_bytes);
+        let parts: [[&[u8]; 2]; 4] =
+            std::array::from_fn(|lane| [header.as_slice(), &nonce_bytes[lane]]);
+        let digests = sha256_x4_parts([&parts[0], &parts[1], &parts[2], &parts[3]]);
+        for lane in 0..4 {
+            let mut scalar_input = header.clone();
+            scalar_input.extend_from_slice(&nonce_bytes[lane]);
+            prop_assert!(digests[lane] == sha256(&scalar_input), "lane {}", lane);
+        }
+    }
+}

@@ -134,7 +134,7 @@ where
         }
         let found = {
             let Self { tree, miner, .. } = &mut *self;
-            tree.pow().scan_nonces(
+            tree.pow().scan_nonce_batch(
                 &mut miner.input,
                 target,
                 miner.next_nonce,
@@ -143,10 +143,13 @@ where
             )
         };
         let Some((nonce, _)) = found else {
-            self.miner.next_nonce += attempts;
+            // Resume point per the scan-nonce wrap contract: wrapping, so a
+            // long-running miner near the top of the nonce space neither
+            // overflows nor rescans.
+            self.miner.next_nonce = self.miner.next_nonce.wrapping_add(attempts);
             return Vec::new();
         };
-        self.miner.next_nonce = nonce + 1;
+        self.miner.next_nonce = nonce.wrapping_add(1);
         let block = Block {
             header: BlockHeader {
                 nonce,
@@ -235,7 +238,7 @@ where
         let target = self.target;
         let found = {
             let Self { tree, miner, .. } = &mut *self;
-            tree.pow().scan_nonces(
+            tree.pow().scan_nonce_batch(
                 &mut miner.input,
                 target,
                 miner.next_nonce,
@@ -244,7 +247,7 @@ where
             )
         };
         let Some((nonce, digest)) = found else {
-            self.miner.next_nonce += attempts;
+            self.miner.next_nonce = self.miner.next_nonce.wrapping_add(attempts);
             return Vec::new();
         };
         let block = Block {
