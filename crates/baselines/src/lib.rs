@@ -36,7 +36,7 @@ pub use selection::SelectionPow;
 pub use sha256d_pow::Sha256dPow;
 
 pub use hashcore::NONCE_LANES;
-use hashcore::{HashCore, MiningInput, Target};
+use hashcore::{HashCore, MiningInput, Target, VerifyCost};
 use hashcore_crypto::{sha256_x4_parts, Digest256};
 
 /// A Proof-of-Work function: a deterministic map from arbitrary input bytes
@@ -145,6 +145,32 @@ pub trait PreparedPow: PowFunction {
     ) -> Option<(u64, Digest256)> {
         self.scan_nonces(input, target, start, attempts, scratch)
     }
+
+    /// The nominal verifier-cost budget one evaluation of this function is
+    /// expected to pay — what cost-aware difficulty normalises
+    /// [`PreparedPow::pow_hash_cost_scratch`] observations against.
+    fn nominal_cost(&self) -> VerifyCost {
+        VerifyCost::NOMINAL
+    }
+
+    /// Evaluates the PoW digest for `input` together with the
+    /// verifier-cost observation of that evaluation.
+    ///
+    /// The digest contract is as strict as the scratch path's: the returned
+    /// digest must be byte-identical to [`PreparedPow::pow_hash_scratch`]
+    /// for the same input. The cost must be a pure function of the input —
+    /// every node observing a header must book the same cost, or
+    /// cost-committing consensus would fork. Functions without a meaningful
+    /// widget stage report their nominal budget (cost ratio 1), which
+    /// makes cost-aware difficulty degrade gracefully to time-only
+    /// retargeting.
+    fn pow_hash_cost_scratch(
+        &self,
+        input: &[u8],
+        scratch: &mut Self::Scratch,
+    ) -> (Digest256, VerifyCost) {
+        (self.pow_hash_scratch(input, scratch), self.nominal_cost())
+    }
 }
 
 /// Drives a [`PreparedPow::scan_nonce_batch`] override: full batches of
@@ -250,6 +276,37 @@ impl PreparedPow for HashCorePow {
             .hash_with_scratch(input, scratch)
             .expect("generated widgets always execute within their step limit")
             .digest
+    }
+
+    /// The profile budget: the generator's target dynamic instructions per
+    /// widget times the widgets per hash. Output bytes (the paper's
+    /// 20–38 kB) are omitted from the budget — they are orders of magnitude
+    /// below the instruction count for any realistic profile, so the
+    /// observed ratio stays within noise of 1 for on-profile widgets.
+    fn nominal_cost(&self) -> VerifyCost {
+        VerifyCost {
+            instructions: self
+                .inner
+                .generator()
+                .base_profile()
+                .target_dynamic_instructions
+                * self.inner.widgets_per_hash() as u64,
+            output_bytes: 0,
+        }
+    }
+
+    /// The real thing: one full evaluation, with the widget stage's actual
+    /// dynamic instructions and output bytes as the cost observation.
+    fn pow_hash_cost_scratch(
+        &self,
+        input: &[u8],
+        scratch: &mut Self::Scratch,
+    ) -> (Digest256, VerifyCost) {
+        let out = self
+            .inner
+            .hash_with_scratch(input, scratch)
+            .expect("generated widgets always execute within their step limit");
+        (out.digest, VerifyCost::from_widget(&out.widget))
     }
 
     /// Full batches run the first hash gate four lanes at a time through

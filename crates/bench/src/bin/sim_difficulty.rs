@@ -22,6 +22,18 @@
 //!   (below) the baseline.
 //! * **hop-\<T\>** — node 0 runs [`DifficultyHopping`], spending hash
 //!   power only while the expected target costs at most `T` attempts.
+//! * **steer** — node 0 runs [`CostSteering`]: it grinds nonces, discards
+//!   every PoW-winning seed whose widget program verifies cheaply, and
+//!   publishes only seeds at least [`STEER_MIN_RATIO`]× the nominal
+//!   verification cost. Under the cost-blind EMA rule every published
+//!   block is valid, so the honest chain's per-block verification bill
+//!   inflates.
+//! * **steer-defended** — same attack, but the run installs the
+//!   cost-aware rule ([`CostPolicyConfig`]): headers commit a quantized
+//!   cost EMA, branch targets harden as observed costs rise, and the
+//!   per-block admission bound makes expensive seeds pay quadratically
+//!   more work — restoring the chain's verification bill to the honest
+//!   ballpark.
 //!
 //! Acceptance gates asserted here (and grepped by CI from the JSON):
 //! every scenario converges and replays byte-identically
@@ -36,6 +48,13 @@
 //! for the remaining miners), while the attack's order-of-magnitude
 //! inflation — and its collapse under the rule — is robust.
 //!
+//! The steering gates compare mean per-block verifier cost along the
+//! honest best chain: undefended steering must inflate it to at least
+//! [`MIN_STEERING_INFLATION`]× the honest baseline
+//! (`steering_inflates_verify_cost`), and the cost-aware rule must pull
+//! it back within [`MAX_DEFENDED_COST`]× of that baseline while the
+//! steerer demonstrably keeps grinding (`cost_rule_holds`).
+//!
 //! Usage:
 //!
 //! ```text
@@ -48,8 +67,8 @@
 use hashcore_baselines::Sha256dPow;
 use hashcore_bench::simbench::{host_json, positional_arg, run_twice, threads_arg, write_json};
 use hashcore_net::{
-    DifficultyHopping, Honest, RetargetConfig, SimConfig, SimReport, Simulation, Strategy,
-    TimestampRule, TimestampSkew,
+    CostPolicyConfig, CostSteering, DifficultyHopping, Honest, RetargetConfig, SimConfig,
+    SimReport, Simulation, Strategy, TimestampRule, TimestampSkew,
 };
 use std::fmt::Write as _;
 
@@ -76,6 +95,27 @@ const MIN_SKEW_INFLATION: f64 = 2.0;
 /// The timestamp rule must divide an undefended skew's chain growth by at
 /// least this factor (observed: ×15+).
 const MIN_DEFENCE_CRUSH: f64 = 4.0;
+/// Node 0's attempts per slice in the cost-steering scenarios. The grind
+/// discards roughly three of every four PoW-winning seeds (only the most
+/// expensive quartile of widget programs is published), and each discard
+/// leaves the steerer mining a progressively staler template, so its
+/// *publish* rate must beat the honest network's find rate (4 × 32
+/// attempts) for its expensive blocks to hold the tip instead of dying as
+/// side chains: 1024 / 4 = 256 publishes-per-slice-equivalent vs 128.
+const STEER_ATTEMPTS: u64 = 1024;
+/// Minimum verifier-cost multiple of nominal a steered seed must reach
+/// before the adversary publishes it.
+const STEER_MIN_RATIO: f64 = 2.0;
+/// Cost-EMA weight of the defended scenarios' cost-aware rule.
+const COST_GAIN: f64 = 0.5;
+/// Cost-response exponent of the defended scenarios' cost-aware rule.
+const COST_RESPONSE: f64 = 2.0;
+/// Undefended steering must inflate the honest chain's mean per-block
+/// verifier cost to at least this multiple of the honest baseline.
+const MIN_STEERING_INFLATION: f64 = 1.25;
+/// The cost-aware rule must hold the defended chain's mean per-block
+/// verifier cost within this multiple of the honest baseline.
+const MAX_DEFENDED_COST: f64 = 1.25;
 
 /// One scenario of the sweep.
 struct Scenario {
@@ -86,9 +126,26 @@ struct Scenario {
     hop_threshold: f64,
     /// Whether honest nodes enforce the timestamp-validity rule.
     defended: bool,
+    /// Cost-steering threshold of the adversary (0 = no steering).
+    steer_min_ratio: f64,
+    /// Whether the run installs the cost-aware difficulty rule.
+    cost_defended: bool,
 }
 
 impl Scenario {
+    /// A scenario with no attack and no extra defence — the base the
+    /// sweep entries override.
+    fn baseline(name: &str) -> Self {
+        Self {
+            name: name.into(),
+            skew_ms: 0,
+            hop_threshold: 0.0,
+            defended: false,
+            steer_min_ratio: 0.0,
+            cost_defended: false,
+        }
+    }
+
     fn strategy(&self) -> Box<dyn Strategy> {
         if self.skew_ms > 0 {
             Box::new(TimestampSkew {
@@ -97,6 +154,10 @@ impl Scenario {
         } else if self.hop_threshold > 0.0 {
             Box::new(DifficultyHopping {
                 max_expected_attempts: self.hop_threshold,
+            })
+        } else if self.steer_min_ratio > 0.0 {
+            Box::new(CostSteering {
+                min_cost_ratio: self.steer_min_ratio,
             })
         } else {
             Box::new(Honest)
@@ -117,7 +178,14 @@ fn scenario_config(scenario: &Scenario, duration_ms: u64, threads: usize) -> Sim
         seed: 0xd1f_f1cu64,
         difficulty_bits: 10,
         attempts_per_slice: BASE_ATTEMPTS,
-        node_attempts: vec![(0, ADVERSARY_ATTEMPTS)],
+        node_attempts: vec![(
+            0,
+            if scenario.steer_min_ratio > 0.0 {
+                STEER_ATTEMPTS
+            } else {
+                ADVERSARY_ATTEMPTS
+            },
+        )],
         slice_ms: 100,
         fan_out: 2,
         duration_ms,
@@ -126,6 +194,10 @@ fn scenario_config(scenario: &Scenario, duration_ms: u64, threads: usize) -> Sim
         retarget: Some(RetargetConfig {
             target_block_time_ms: TARGET_BLOCK_TIME_MS,
             gain: GAIN,
+        }),
+        cost_policy: scenario.cost_defended.then_some(CostPolicyConfig {
+            cost_gain: COST_GAIN,
+            response: COST_RESPONSE,
         }),
         timestamp_rule: scenario.defended.then_some(TimestampRule {
             max_future_drift_ms: MAX_DRIFT_MS,
@@ -166,32 +238,35 @@ fn main() {
     let duration_ms = duration_s * 1_000;
     let threads = threads_arg(2);
 
-    let mut scenarios = vec![Scenario {
-        name: "honest".into(),
-        skew_ms: 0,
-        hop_threshold: 0.0,
-        defended: false,
-    }];
+    let mut scenarios = vec![Scenario::baseline("honest")];
     for skew_ms in [8_000u64, 24_000] {
         for defended in [false, true] {
             scenarios.push(Scenario {
-                name: format!(
+                skew_ms,
+                defended,
+                ..Scenario::baseline(&format!(
                     "skew-{}s{}",
                     skew_ms / 1_000,
                     if defended { "-defended" } else { "" }
-                ),
-                skew_ms,
-                hop_threshold: 0.0,
-                defended,
+                ))
             });
         }
     }
     for hop_threshold in [1_024.0f64, 2_048.0] {
         scenarios.push(Scenario {
-            name: format!("hop-{hop_threshold:.0}"),
-            skew_ms: 0,
             hop_threshold,
-            defended: false,
+            ..Scenario::baseline(&format!("hop-{hop_threshold:.0}"))
+        });
+    }
+    for cost_defended in [false, true] {
+        scenarios.push(Scenario {
+            steer_min_ratio: STEER_MIN_RATIO,
+            cost_defended,
+            ..Scenario::baseline(if cost_defended {
+                "steer-defended"
+            } else {
+                "steer"
+            })
         });
     }
 
@@ -209,7 +284,8 @@ fn main() {
             let r = &outcome.report;
             println!(
                 "  {:<17} converged={} height={} blocks/h={:.0} deepest_reorg={} \
-                 ts_rejected={} target_rejected={} deterministic={}",
+                 ts_rejected={} target_rejected={} tip_cost={:.3} discarded={} \
+                 inadmissible={} deterministic={}",
                 scenario.name,
                 r.converged,
                 r.tip_height,
@@ -217,6 +293,9 @@ fn main() {
                 r.max_reorg_depth,
                 r.rejections.timestamp,
                 r.rejections.target_policy,
+                r.tip_mean_cost_ratio,
+                r.seeds_discarded,
+                r.seeds_inadmissible,
                 outcome.runs_identical,
             );
             (scenario, outcome)
@@ -228,11 +307,20 @@ fn main() {
         .find(|(s, _)| s.name == "honest")
         .map(|(_, o)| o.blocks_per_hour)
         .expect("the honest baseline ran");
+    let baseline_cost = outcomes
+        .iter()
+        .find(|(s, _)| s.name == "honest")
+        .map(|(_, o)| o.report.tip_mean_cost_ratio)
+        .expect("the honest baseline ran");
 
     // Acceptance gates.
-    let runs_identical = outcomes.iter().all(|(_, o)| o.runs_identical);
-    let mut skew_inflates = true;
-    let mut drift_rule_holds = true;
+    let mut gates = Gates {
+        runs_identical: outcomes.iter().all(|(_, o)| o.runs_identical),
+        skew_inflates: true,
+        drift_rule_holds: true,
+        steering_inflates_verify_cost: true,
+        cost_rule_holds: true,
+    };
     for (scenario, outcome) in &outcomes {
         assert!(
             outcome.report.converged,
@@ -241,7 +329,7 @@ fn main() {
             outcome.report.fingerprint_extended()
         );
         if scenario.skew_ms > 0 && !scenario.defended {
-            skew_inflates &= outcome.blocks_per_hour >= MIN_SKEW_INFLATION * baseline;
+            gates.skew_inflates &= outcome.blocks_per_hour >= MIN_SKEW_INFLATION * baseline;
         }
         if scenario.skew_ms > 0 && scenario.defended {
             let undefended = outcomes
@@ -249,30 +337,62 @@ fn main() {
                 .find(|(s, _)| s.skew_ms == scenario.skew_ms && !s.defended)
                 .map(|(_, o)| o.blocks_per_hour)
                 .expect("the undefended twin ran");
-            drift_rule_holds &= outcome.blocks_per_hour <= undefended / MIN_DEFENCE_CRUSH
+            gates.drift_rule_holds &= outcome.blocks_per_hour <= undefended / MIN_DEFENCE_CRUSH
                 && outcome.report.rejections.timestamp > 0;
         }
+        if scenario.steer_min_ratio > 0.0 && !scenario.cost_defended {
+            // The grind must demonstrably run (seeds thrown away) and the
+            // published chain's verification bill must inflate.
+            gates.steering_inflates_verify_cost &= outcome.report.seeds_discarded > 0
+                && outcome.report.tip_mean_cost_ratio >= MIN_STEERING_INFLATION * baseline_cost;
+        }
+        if scenario.steer_min_ratio > 0.0 && scenario.cost_defended {
+            // Same grinding adversary, but the cost-aware rule holds the
+            // chain's verification bill at the honest ballpark.
+            gates.cost_rule_holds &= outcome.report.seeds_discarded > 0
+                && outcome.report.tip_mean_cost_ratio <= MAX_DEFENDED_COST * baseline_cost;
+        }
     }
-    assert!(runs_identical, "every scenario must replay identically");
     assert!(
-        skew_inflates,
+        gates.runs_identical,
+        "every scenario must replay identically"
+    );
+    assert!(
+        gates.skew_inflates,
         "undefended timestamp skew must inflate blocks/hour well above the honest baseline"
     );
     assert!(
-        drift_rule_holds,
+        gates.drift_rule_holds,
         "the timestamp rule must crush every skew's chain growth"
+    );
+    assert!(
+        gates.steering_inflates_verify_cost,
+        "undefended cost steering must inflate the chain's per-block verify cost"
+    );
+    assert!(
+        gates.cost_rule_holds,
+        "the cost-aware rule must restore the chain's per-block verify cost"
     );
 
     let json = render_json(
         &outcomes,
         duration_ms,
         baseline,
-        runs_identical,
-        skew_inflates,
-        drift_rule_holds,
+        baseline_cost,
+        gates,
         threads,
     );
     write_json("BENCH_difficulty.json", &json);
+}
+
+/// The sweep's acceptance gates, as grepped from the JSON by CI.
+#[derive(Clone, Copy)]
+struct Gates {
+    runs_identical: bool,
+    skew_inflates: bool,
+    drift_rule_holds: bool,
+    steering_inflates_verify_cost: bool,
+    cost_rule_holds: bool,
 }
 
 /// Renders the sweep as a small, dependency-free JSON document.
@@ -280,9 +400,8 @@ fn render_json(
     outcomes: &[(&Scenario, Outcome)],
     duration_ms: u64,
     baseline: f64,
-    runs_identical: bool,
-    skew_inflates: bool,
-    drift_rule_holds: bool,
+    baseline_cost: f64,
+    gates: Gates,
     threads: usize,
 ) -> String {
     let mut json = String::from("{\n");
@@ -293,6 +412,7 @@ fn render_json(
     let _ = writeln!(json, "  \"target_block_time_ms\": {TARGET_BLOCK_TIME_MS},");
     let _ = writeln!(json, "  \"gain\": {GAIN},");
     let _ = writeln!(json, "  \"baseline_blocks_per_hour\": {baseline:.1},");
+    let _ = writeln!(json, "  \"baseline_tip_cost_ratio\": {baseline_cost:.4},");
     let _ = writeln!(json, "  \"scenarios\": [");
     for (i, (scenario, outcome)) in outcomes.iter().enumerate() {
         let r = &outcome.report;
@@ -305,6 +425,12 @@ fn render_json(
             scenario.hop_threshold
         );
         let _ = writeln!(json, "      \"defended\": {},", scenario.defended);
+        let _ = writeln!(
+            json,
+            "      \"steer_min_ratio\": {:.2},",
+            scenario.steer_min_ratio
+        );
+        let _ = writeln!(json, "      \"cost_defended\": {},", scenario.cost_defended);
         let _ = writeln!(json, "      \"converged\": {},", r.converged);
         let _ = writeln!(json, "      \"tip_height\": {},", r.tip_height);
         let _ = writeln!(
@@ -328,6 +454,22 @@ fn render_json(
             "      \"target_rejections\": {},",
             r.rejections.target_policy
         );
+        let _ = writeln!(
+            json,
+            "      \"tip_mean_cost_ratio\": {:.4},",
+            r.tip_mean_cost_ratio
+        );
+        let _ = writeln!(
+            json,
+            "      \"cost_vs_honest\": {:.4},",
+            r.tip_mean_cost_ratio / baseline_cost
+        );
+        let _ = writeln!(json, "      \"seeds_discarded\": {},", r.seeds_discarded);
+        let _ = writeln!(
+            json,
+            "      \"seeds_inadmissible\": {},",
+            r.seeds_inadmissible
+        );
         let _ = writeln!(json, "      \"runs_identical\": {}", outcome.runs_identical);
         let _ = writeln!(
             json,
@@ -336,9 +478,15 @@ fn render_json(
         );
     }
     let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"skew_inflates\": {skew_inflates},");
-    let _ = writeln!(json, "  \"drift_rule_holds\": {drift_rule_holds},");
-    let _ = writeln!(json, "  \"runs_identical\": {runs_identical}");
+    let _ = writeln!(json, "  \"skew_inflates\": {},", gates.skew_inflates);
+    let _ = writeln!(json, "  \"drift_rule_holds\": {},", gates.drift_rule_holds);
+    let _ = writeln!(
+        json,
+        "  \"steering_inflates_verify_cost\": {},",
+        gates.steering_inflates_verify_cost
+    );
+    let _ = writeln!(json, "  \"cost_rule_holds\": {},", gates.cost_rule_holds);
+    let _ = writeln!(json, "  \"runs_identical\": {}", gates.runs_identical);
     json.push_str("}\n");
     json
 }
@@ -350,26 +498,21 @@ mod tests {
     #[test]
     fn scenario_strategies_match_their_knobs() {
         let skew = Scenario {
-            name: "skew".into(),
             skew_ms: 9_000,
-            hop_threshold: 0.0,
-            defended: false,
+            ..Scenario::baseline("skew")
         };
         assert_eq!(skew.strategy().name(), "timestamp-skew");
         let hop = Scenario {
-            name: "hop".into(),
-            skew_ms: 0,
             hop_threshold: 512.0,
-            defended: false,
+            ..Scenario::baseline("hop")
         };
         assert_eq!(hop.strategy().name(), "difficulty-hopping");
-        let honest = Scenario {
-            name: "honest".into(),
-            skew_ms: 0,
-            hop_threshold: 0.0,
-            defended: false,
+        let steer = Scenario {
+            steer_min_ratio: STEER_MIN_RATIO,
+            ..Scenario::baseline("steer")
         };
-        assert_eq!(honest.strategy().name(), "honest");
+        assert_eq!(steer.strategy().name(), "cost-steering");
+        assert_eq!(Scenario::baseline("honest").strategy().name(), "honest");
         // Defended scenarios install a drift bound below every swept skew.
         let config = scenario_config(
             &Scenario {
@@ -382,18 +525,45 @@ mod tests {
         let rule = config.timestamp_rule.expect("defended installs the rule");
         assert!(rule.max_future_drift_ms < 8_000);
         assert!(config.retarget.is_some(), "the sweep is always adaptive");
+        assert!(config.cost_policy.is_none(), "cost rule is opt-in");
+        // The cost-defended steering scenario installs the cost-aware rule
+        // and the deeper steering scan budget.
+        let config = scenario_config(
+            &Scenario {
+                cost_defended: true,
+                ..steer
+            },
+            20_000,
+            2,
+        );
+        assert!(config.cost_policy.is_some());
+        assert_eq!(config.node_attempts, vec![(0, STEER_ATTEMPTS)]);
     }
 
     #[test]
     fn a_short_skew_scenario_is_deterministic() {
         let scenario = Scenario {
-            name: "skew-8s".into(),
             skew_ms: 8_000,
-            hop_threshold: 0.0,
-            defended: false,
+            ..Scenario::baseline("skew-8s")
         };
         let outcome = run_scenario(&scenario, 20_000, 2);
         assert!(outcome.runs_identical);
         assert!(outcome.report.converged);
+    }
+
+    #[test]
+    fn a_short_steering_scenario_is_deterministic_and_grinds() {
+        let scenario = Scenario {
+            steer_min_ratio: STEER_MIN_RATIO,
+            cost_defended: true,
+            ..Scenario::baseline("steer-defended")
+        };
+        let outcome = run_scenario(&scenario, 20_000, 2);
+        assert!(outcome.runs_identical);
+        assert!(outcome.report.converged);
+        assert!(
+            outcome.report.seeds_discarded > 0,
+            "the steerer must actually discard cheap seeds"
+        );
     }
 }

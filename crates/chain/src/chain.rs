@@ -1,7 +1,7 @@
 //! The chain: block acceptance, validation, and difficulty retargeting.
 
 use crate::block::{Block, BlockHeader};
-use crate::difficulty::{DifficultyRule, EmaRetarget};
+use crate::difficulty::{cost_commitment_of, DifficultyRule, EmaRetarget};
 use hashcore::{MiningInput, Target};
 use hashcore_baselines::{PowFunction, PreparedPow};
 use hashcore_crypto::Digest256;
@@ -366,6 +366,120 @@ pub fn validate_segment<P: PowFunction>(
     Ok(())
 }
 
+/// Rule-enforcement context for the `_with_rule` segment validators: the
+/// difficulty rule to enforce, plus the branch state of the stored block
+/// the segment extends.
+///
+/// The stateless validators trust embedded targets; with a context they
+/// additionally run every rule check a rule-enforcing
+/// [`ForkTree::apply`](crate::ForkTree::apply) would — expected target,
+/// cost-commitment recurrence, and the per-block cost admission bound — so
+/// a segment that validates cleanly is guaranteed to apply cleanly too
+/// (apply failures can then only be duplicates).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleContext<'a> {
+    /// The rule to enforce along the segment.
+    pub rule: &'a DifficultyRule,
+    /// `(target, timestamp, cost_commitment, cost_ratio)` of the anchor
+    /// block the segment extends; `None` when the segment starts at
+    /// genesis. The commitment and ratio are ignored by rules without a
+    /// cost component (pass `0`/`1.0`).
+    pub anchor: Option<(Target, u64, u16, f64)>,
+}
+
+/// The branch state threaded block-to-block by the rule walk: `(expected
+/// target, timestamp, cost commitment, observed cost ratio)` of the block
+/// just validated.
+type RuleState = Option<(Target, u64, u16, f64)>;
+
+/// One step of the rule walk over a validated block: checks the version
+/// commitment, the expected target, and the cost admission bound, then
+/// advances the branch state. `digest`/`cost_ratio` come from the PoW
+/// evaluation the caller already performed.
+fn rule_check(
+    ctx: &RuleContext<'_>,
+    state: &mut RuleState,
+    header: &BlockHeader,
+    digest: &Digest256,
+    cost_ratio: f64,
+) -> Option<InvalidReason> {
+    let parent_cost = state.map(|(_, _, q, r)| (q, r));
+    if let Some(version) = ctx.rule.expected_version(parent_cost) {
+        if header.version != version {
+            return Some(InvalidReason::Target);
+        }
+    }
+    let prev = state.map(|(target, timestamp, _, _)| (target, timestamp));
+    let expected = ctx
+        .rule
+        .committed_child_target(prev, header.timestamp, header.version);
+    if header.target != *expected.threshold() {
+        return Some(InvalidReason::Target);
+    }
+    if !ctx.rule.admits(expected, digest, cost_ratio) {
+        return Some(InvalidReason::Pow);
+    }
+    *state = Some((
+        expected,
+        header.timestamp,
+        cost_commitment_of(header.version),
+        cost_ratio,
+    ));
+    None
+}
+
+/// [`validate_segment`], additionally enforcing a [`DifficultyRule`] along
+/// the segment when `ctx` is supplied. Per block the check order is:
+/// linkage, Merkle, embedded-target PoW, then the rule checks (version
+/// commitment and expected target as [`InvalidReason::Target`], the cost
+/// admission bound as [`InvalidReason::Pow`]).
+///
+/// # Errors
+///
+/// Returns the first [`ChainError::InvalidBlock`] found.
+pub fn validate_segment_with_rule<P: PreparedPow>(
+    pow: &P,
+    blocks: &[Block],
+    mut prev_hash: Digest256,
+    ctx: Option<RuleContext<'_>>,
+) -> Result<(), ChainError> {
+    let Some(ctx) = ctx else {
+        return validate_segment(pow, blocks, prev_hash);
+    };
+    let nominal = pow.nominal_cost();
+    let mut scratch = P::Scratch::default();
+    let mut header_bytes = Vec::new();
+    let mut state: RuleState = ctx.anchor;
+    for (height, block) in blocks.iter().enumerate() {
+        if block.header.prev_hash != prev_hash {
+            return Err(ChainError::InvalidBlock {
+                height,
+                reason: InvalidReason::Linkage,
+            });
+        }
+        if !block.merkle_consistent() {
+            return Err(ChainError::InvalidBlock {
+                height,
+                reason: InvalidReason::Merkle,
+            });
+        }
+        block.header.write_bytes(&mut header_bytes);
+        let (digest, cost) = pow.pow_hash_cost_scratch(&header_bytes, &mut scratch);
+        if !Target::from_threshold(block.header.target).is_met_by(&digest) {
+            return Err(ChainError::InvalidBlock {
+                height,
+                reason: InvalidReason::Pow,
+            });
+        }
+        let ratio = cost.ratio(nominal);
+        if let Some(reason) = rule_check(&ctx, &mut state, &block.header, &digest, ratio) {
+            return Err(ChainError::InvalidBlock { height, reason });
+        }
+        prev_hash = digest;
+    }
+    Ok(())
+}
+
 /// The per-chunk result of one parallel-validation worker.
 struct ChunkOutcome {
     /// Height of the chunk's first block.
@@ -376,6 +490,12 @@ struct ChunkOutcome {
     /// PoW digest of the chunk's last block header, for the next chunk's
     /// boundary linkage check.
     last_digest: Digest256,
+    /// Per-block `(digest, cost ratio)` observations, in chunk order —
+    /// collected only for rule-aware validation, where the stitch phase
+    /// replays the (pure-arithmetic) rule walk over them. May stop short
+    /// when the worker was cut off, which can only happen above the
+    /// globally first error height.
+    observed: Vec<(Digest256, f64)>,
 }
 
 /// Validates a block sequence in parallel, with results — acceptance,
@@ -427,14 +547,45 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
     threads: usize,
     prev_hash: Digest256,
 ) -> Result<(), ChainError> {
+    validate_segment_parallel_with_rule(pow, blocks, threads, prev_hash, None)
+}
+
+/// [`validate_segment_parallel`], additionally enforcing a
+/// [`DifficultyRule`] along the segment when `ctx` is supplied — the
+/// parallel form of [`validate_segment_with_rule`], with identical results.
+///
+/// Workers hash their chunks exactly as before, additionally recording each
+/// block's `(digest, cost ratio)`; the rule walk itself (version
+/// commitment, expected target, cost admission) is pure arithmetic and runs
+/// in the stitch phase over the recorded observations, in sequential order.
+/// Per block the basic checks (linkage, Merkle, embedded-target PoW) come
+/// before the rule checks, so at equal heights a basic failure wins — the
+/// same order the sequential path reports.
+///
+/// # Errors
+///
+/// Returns the same [`ChainError::InvalidBlock`] the sequential path would.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if a validation worker panics.
+pub fn validate_segment_parallel_with_rule<P: PreparedPow + Sync>(
+    pow: &P,
+    blocks: &[Block],
+    threads: usize,
+    prev_hash: Digest256,
+    ctx: Option<RuleContext<'_>>,
+) -> Result<(), ChainError> {
     assert!(
         threads > 0,
         "validate_blocks_parallel requires at least one thread"
     );
     let threads = threads.min(blocks.len());
     if threads <= 1 {
-        return validate_segment(pow, blocks, prev_hash);
+        return validate_segment_with_rule(pow, blocks, prev_hash, ctx);
     }
+    let observe = ctx.is_some();
+    let nominal = pow.nominal_cost();
 
     // Lowest height at which any worker found a genuine check failure.
     // Blocks above it cannot affect the result (the lowest-height candidate
@@ -458,6 +609,7 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
                     let mut prev_digest: Option<Digest256> = None;
                     let mut first_error: Option<(usize, InvalidReason)> = None;
                     let mut last_digest = [0u8; 32];
+                    let mut observed = Vec::new();
                     for (i, block) in blocks[lo..hi].iter().enumerate() {
                         let height = lo + i;
                         // Past the cutoff this chunk's work — including its
@@ -483,7 +635,14 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
                             cutoff.fetch_min(height, Ordering::AcqRel);
                         }
                         block.header.write_bytes(&mut header_bytes);
-                        let digest = pow.pow_hash_scratch(&header_bytes, &mut scratch);
+                        let digest = if observe {
+                            let (digest, cost) =
+                                pow.pow_hash_cost_scratch(&header_bytes, &mut scratch);
+                            observed.push((digest, cost.ratio(nominal)));
+                            digest
+                        } else {
+                            pow.pow_hash_scratch(&header_bytes, &mut scratch)
+                        };
                         if first_error.is_none()
                             && !Target::from_threshold(block.header.target).is_met_by(&digest)
                         {
@@ -497,6 +656,7 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
                         lo,
                         first_error,
                         last_digest,
+                        observed,
                     }
                 })
             })
@@ -522,6 +682,28 @@ pub fn validate_segment_parallel<P: PreparedPow + Sync>(
             }
         }
         prev_digest = outcome.last_digest;
+    }
+    // Rule walk over the recorded observations, in sequential order. Every
+    // height below the basic first error has a recorded observation (the
+    // cutoff never drops below it), so the walk can always reach any
+    // lower-height rule failure; at equal heights the basic failure wins,
+    // matching the per-block check order of the sequential path.
+    if let Some(ctx) = ctx {
+        let mut state: RuleState = ctx.anchor;
+        'walk: for outcome in &outcomes {
+            for (i, (digest, ratio)) in outcome.observed.iter().enumerate() {
+                let height = outcome.lo + i;
+                if first.is_some_and(|(h, _)| height >= h) {
+                    break 'walk;
+                }
+                if let Some(reason) =
+                    rule_check(&ctx, &mut state, &blocks[height].header, digest, *ratio)
+                {
+                    first = Some((height, reason));
+                    break 'walk;
+                }
+            }
+        }
     }
     match first {
         None => Ok(()),

@@ -15,7 +15,7 @@
 
 use crate::block::Block;
 use crate::chain::{validate_segment, ChainError, InvalidReason};
-use crate::difficulty::DifficultyRule;
+use crate::difficulty::{cost_commitment_of, DifficultyRule};
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
 use hashcore_crypto::{Digest256, Sha256};
@@ -172,6 +172,12 @@ struct Entry {
     height: u64,
     /// Cumulative expected hash attempts from genesis through this block.
     work: f64,
+    /// The block's own observed verifier-cost ratio (1.0 for PoW functions
+    /// reporting nominal cost). A pure function of the header bytes —
+    /// cached from the apply-time hash so commitment checks and reports
+    /// never re-execute widgets — and deliberately *not* part of
+    /// [`ForkTree::fingerprint`], which it is derivable from.
+    cost_ratio: f64,
 }
 
 /// A complete, self-contained description of a [`ForkTree`]'s logical state
@@ -258,6 +264,14 @@ fn hash_rule(hasher: &mut Sha256, rule: Option<&DifficultyRule>) {
             hasher.update(ema.initial.threshold());
             hasher.update(&ema.target_block_time.to_bits().to_le_bytes());
             hasher.update(&ema.gain.to_bits().to_le_bytes());
+        }
+        Some(DifficultyRule::CostAware(cost)) => {
+            hasher.update(&[3u8]);
+            hasher.update(cost.time.initial.threshold());
+            hasher.update(&cost.time.target_block_time.to_bits().to_le_bytes());
+            hasher.update(&cost.time.gain.to_bits().to_le_bytes());
+            hasher.update(&cost.cost_gain.to_bits().to_le_bytes());
+            hasher.update(&cost.response.to_bits().to_le_bytes());
         }
     }
 }
@@ -455,6 +469,27 @@ impl<P: PreparedPow> ForkTree<P> {
             .pow_hash_scratch(&self.header_bytes, &mut self.scratch)
     }
 
+    /// Evaluates the PoW digest of a bare header together with its observed
+    /// verifier-cost ratio (cost units over the PoW function's nominal
+    /// budget) — one hash, both observations. The ratio is a pure function
+    /// of the header bytes, so every validator derives the same value.
+    pub fn digest_and_cost_of_header(
+        &mut self,
+        header: &crate::block::BlockHeader,
+    ) -> (Digest256, f64) {
+        header.write_bytes(&mut self.header_bytes);
+        let (digest, cost) = self
+            .pow
+            .pow_hash_cost_scratch(&self.header_bytes, &mut self.scratch);
+        (digest, cost.ratio(self.pow.nominal_cost()))
+    }
+
+    /// The observed verifier-cost ratio of a stored block (1.0 when the
+    /// digest is not stored).
+    pub fn cost_ratio_of(&self, digest: &Digest256) -> f64 {
+        self.entries.get(digest).map_or(1.0, |e| e.cost_ratio)
+    }
+
     /// Validates and stores a block, advancing the tip if the block's branch
     /// now carries the most cumulative work.
     ///
@@ -472,7 +507,7 @@ impl<P: PreparedPow> ForkTree<P> {
     /// [`DifficultyRule`] expects at this branch position
     /// ([`InvalidReason::Target`]).
     pub fn apply(&mut self, block: Block) -> Result<ApplyOutcome, ForkError> {
-        let digest = self.digest_of(&block);
+        let (digest, cost_ratio) = self.digest_and_cost_of_header(&block.header);
         if self.entries.contains_key(&digest) {
             return Ok(ApplyOutcome::AlreadyKnown { digest });
         }
@@ -514,13 +549,31 @@ impl<P: PreparedPow> ForkTree<P> {
         // The branch-aware half: with the parent resolved, the rule's
         // expected target at this exact branch position is computable from
         // headers alone and must match the embedded one.
-        if self.rule.is_some() {
+        if let Some(rule) = self.rule {
+            // A cost-aware rule first pins the version word: it must carry
+            // exactly the commitment the recurrence produces from the
+            // parent's committed EMA and the parent's own observed cost.
+            if let Some(version) = self.expected_child_version(&prev) {
+                if block.header.version != version {
+                    return Err(ForkError::InvalidBlock {
+                        reason: InvalidReason::Target,
+                    });
+                }
+            }
             let expected = self
                 .expected_child_target(&prev, block.header.timestamp)
                 .expect("rule is set and the parent is stored");
             if block.header.target != *expected.threshold() {
                 return Err(ForkError::InvalidBlock {
                     reason: InvalidReason::Target,
+                });
+            }
+            // The per-block admission bound: an expensive-to-verify block
+            // must clear a proportionally harder digest bound than its
+            // embedded target — the tax on cost-steering miners.
+            if !rule.admits(expected, &digest, cost_ratio) {
+                return Err(ForkError::InvalidBlock {
+                    reason: InvalidReason::Pow,
                 });
             }
         }
@@ -532,6 +585,7 @@ impl<P: PreparedPow> ForkTree<P> {
                 block,
                 height: parent_height + 1,
                 work,
+                cost_ratio,
             },
         );
 
@@ -558,11 +612,38 @@ impl<P: PreparedPow> ForkTree<P> {
             return Some(rule.genesis_target());
         }
         let entry = self.entries.get(parent)?;
-        Some(rule.child_target(
-            Target::from_threshold(entry.block.header.target),
-            entry.block.header.timestamp,
-            child_timestamp,
-        ))
+        let parent_target = Target::from_threshold(entry.block.header.target);
+        let parent_timestamp = entry.block.header.timestamp;
+        match rule.cost_aware() {
+            None => Some(rule.child_target(parent_target, parent_timestamp, child_timestamp)),
+            // The cost-aware expectation runs the commitment recurrence
+            // forward from the parent's embedded commitment and cached
+            // observed cost — the same value the version check pins.
+            Some(cost) => {
+                let q = cost.child_commitment(
+                    cost_commitment_of(entry.block.header.version),
+                    entry.cost_ratio,
+                );
+                Some(cost.child_target(parent_target, parent_timestamp, child_timestamp, q))
+            }
+        }
+    }
+
+    /// The version word the tree's rule expects of a child of `parent` —
+    /// `Some` only under a cost-aware rule, where the version carries the
+    /// branch's cost commitment; `None` means the plain version 1 (no rule,
+    /// or a rule without commitments, or `parent` neither stored nor
+    /// [`GENESIS_HASH`]).
+    pub fn expected_child_version(&self, parent: &Digest256) -> Option<u32> {
+        let rule = self.rule.as_ref()?;
+        if *parent == GENESIS_HASH {
+            return rule.expected_version(None);
+        }
+        let entry = self.entries.get(parent)?;
+        rule.expected_version(Some((
+            cost_commitment_of(entry.block.header.version),
+            entry.cost_ratio,
+        )))
     }
 
     /// Reported timestamps of up to `window` blocks ending at `digest` (the
@@ -903,7 +984,7 @@ impl<P: PreparedPow> ForkTree<P> {
                     got: [0u8; 32],
                 });
             };
-            let digest = self.digest_of(root_block);
+            let (digest, cost_ratio) = self.digest_and_cost_of_header(&root_block.header);
             if digest != snapshot.root {
                 return Err(RestoreError::RootMismatch {
                     want: snapshot.root,
@@ -921,6 +1002,7 @@ impl<P: PreparedPow> ForkTree<P> {
                     block: root_block.clone(),
                     height: snapshot.root_height,
                     work: snapshot.root_work,
+                    cost_ratio,
                 },
             );
             self.root = digest;

@@ -19,7 +19,7 @@
 
 use crate::block::BlockHeader;
 use crate::chain::InvalidReason;
-use crate::difficulty::DifficultyRule;
+use crate::difficulty::{cost_commitment_of, DifficultyRule};
 use crate::fork::{ForkError, GENESIS_HASH};
 use hashcore::Target;
 use hashcore_crypto::Digest256;
@@ -46,6 +46,10 @@ struct HeaderEntry {
     height: u64,
     /// Cumulative expected hash attempts from genesis through this header.
     work: f64,
+    /// The header's observed verifier-cost ratio, as supplied by the
+    /// caller's hash evaluation (1.0 when none was observed). Drives the
+    /// cost-commitment recurrence under a cost-aware rule.
+    cost_ratio: f64,
 }
 
 /// A header store keyed by PoW digest, with cumulative-work fork choice —
@@ -162,6 +166,20 @@ impl HeaderChain {
         header: BlockHeader,
         digest: Digest256,
     ) -> Result<HeaderOutcome, ForkError> {
+        self.accept_observed(header, digest, 1.0)
+    }
+
+    /// [`HeaderChain::accept`] with the header's observed verifier-cost
+    /// ratio (from the same hash evaluation that produced `digest`, e.g.
+    /// [`ForkTree::digest_and_cost_of_header`](crate::ForkTree::digest_and_cost_of_header)).
+    /// Under a cost-aware rule the ratio drives the commitment recurrence
+    /// and the per-block admission bound; other rules ignore it.
+    pub fn accept_observed(
+        &mut self,
+        header: BlockHeader,
+        digest: Digest256,
+        cost_ratio: f64,
+    ) -> Result<HeaderOutcome, ForkError> {
         if self.entries.contains_key(&digest) {
             return Ok(HeaderOutcome::AlreadyKnown);
         }
@@ -194,13 +212,27 @@ impl HeaderChain {
                 }
             }
         };
-        if self.rule.is_some() {
+        if let Some(rule) = self.rule {
+            // Same order as `ForkTree::apply`: commitment (version word),
+            // then expected target, then the cost admission bound.
+            if let Some(version) = self.expected_child_version(&prev) {
+                if header.version != version {
+                    return Err(ForkError::InvalidBlock {
+                        reason: InvalidReason::Target,
+                    });
+                }
+            }
             let expected = self
                 .expected_child_target(&prev, header.timestamp)
                 .expect("rule is set and the parent is stored");
             if header.target != *expected.threshold() {
                 return Err(ForkError::InvalidBlock {
                     reason: InvalidReason::Target,
+                });
+            }
+            if !rule.admits(expected, &digest, cost_ratio) {
+                return Err(ForkError::InvalidBlock {
+                    reason: InvalidReason::Pow,
                 });
             }
         }
@@ -212,6 +244,7 @@ impl HeaderChain {
                 header,
                 height: parent_height + 1,
                 work,
+                cost_ratio,
             },
         );
 
@@ -237,11 +270,32 @@ impl HeaderChain {
             return Some(rule.genesis_target());
         }
         let entry = self.entries.get(parent)?;
-        Some(rule.child_target(
-            Target::from_threshold(entry.header.target),
-            entry.header.timestamp,
-            child_timestamp,
-        ))
+        let parent_target = Target::from_threshold(entry.header.target);
+        let parent_timestamp = entry.header.timestamp;
+        match rule.cost_aware() {
+            None => Some(rule.child_target(parent_target, parent_timestamp, child_timestamp)),
+            Some(cost) => {
+                let q = cost
+                    .child_commitment(cost_commitment_of(entry.header.version), entry.cost_ratio);
+                Some(cost.child_target(parent_target, parent_timestamp, child_timestamp, q))
+            }
+        }
+    }
+
+    /// The version word the chain's rule expects of a child of `parent` —
+    /// `Some` only under a cost-aware rule (the version carries the
+    /// branch's cost commitment), mirroring
+    /// [`ForkTree::expected_child_version`](crate::ForkTree::expected_child_version).
+    pub fn expected_child_version(&self, parent: &Digest256) -> Option<u32> {
+        let rule = self.rule.as_ref()?;
+        if *parent == GENESIS_HASH {
+            return rule.expected_version(None);
+        }
+        let entry = self.entries.get(parent)?;
+        rule.expected_version(Some((
+            cost_commitment_of(entry.header.version),
+            entry.cost_ratio,
+        )))
     }
 
     /// Reported timestamps of up to `window` headers ending at `digest`,

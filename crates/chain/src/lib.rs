@@ -60,9 +60,13 @@ pub mod market;
 pub use block::{Block, BlockHeader};
 pub use chain::{
     validate_blocks, validate_blocks_parallel, validate_segment, validate_segment_parallel,
-    Blockchain, ChainConfig, ChainError, InvalidReason,
+    validate_segment_parallel_with_rule, validate_segment_with_rule, Blockchain, ChainConfig,
+    ChainError, InvalidReason, RuleContext,
 };
-pub use difficulty::{DifficultyRule, EmaRetarget};
+pub use difficulty::{
+    cost_commitment_of, cost_dequantize, cost_quantize, pack_cost_commitment, CostAwareRetarget,
+    DifficultyRule, EmaRetarget, COST_COMMIT_ONE,
+};
 pub use fork::{
     ApplyOutcome, ForkError, ForkTree, Reorg, RestoreError, SegmentError, TreeSnapshot,
     GENESIS_HASH,

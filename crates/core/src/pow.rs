@@ -104,6 +104,51 @@ pub struct WidgetReport {
     pub program_blocks: usize,
 }
 
+/// The verifier-cost observation of one PoW evaluation: what re-executing
+/// the hash costs a validator, in the paper's Section V accounting —
+/// dynamic instructions retired by the widget stage plus the widget output
+/// bytes the second hash gate must absorb. Cost-aware difficulty
+/// (`hashcore-chain`) normalises these observations against a nominal
+/// budget and hardens the target when recent blocks trend
+/// expensive-to-verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyCost {
+    /// Dynamic instructions the widget stage retired.
+    pub instructions: u64,
+    /// Widget output bytes absorbed by the second hash gate.
+    pub output_bytes: u64,
+}
+
+impl VerifyCost {
+    /// The nominal (profile-budget) cost of one hash evaluation: 48 Ki
+    /// instructions plus 16 KiB of widget output, 2^16 units in total.
+    /// Cost-aware difficulty normalises observations against this, so an
+    /// evaluation on budget has [`VerifyCost::ratio`] 1.
+    pub const NOMINAL: VerifyCost = VerifyCost {
+        instructions: 49_152,
+        output_bytes: 16_384,
+    };
+
+    /// The cost observation of one widget-stage report.
+    pub fn from_widget(report: &WidgetReport) -> Self {
+        Self {
+            instructions: report.dynamic_instructions,
+            output_bytes: report.output_bytes as u64,
+        }
+    }
+
+    /// Scalar cost units: instructions plus output bytes — the two
+    /// verifier expenses the paper's cost model accounts per hash.
+    pub fn units(&self) -> u64 {
+        self.instructions.saturating_add(self.output_bytes)
+    }
+
+    /// This observation's cost relative to `nominal` (1.0 = on budget).
+    pub fn ratio(&self, nominal: VerifyCost) -> f64 {
+        self.units() as f64 / (nominal.units().max(1)) as f64
+    }
+}
+
 /// The result of one HashCore evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HashCoreOutput {

@@ -118,12 +118,12 @@ pub use node::{
 };
 pub use sched::{Scheduled, ShardedQueue};
 pub use sim::{
-    CrashRestart, LatencyModel, LightSimConfig, Partition, PersistenceConfig, RetargetConfig,
-    SimConfig, SimReport, Simulation,
+    CostPolicyConfig, CrashRestart, LatencyModel, LightSimConfig, Partition, PersistenceConfig,
+    RetargetConfig, SimConfig, SimReport, Simulation,
 };
 pub use strategy::{
-    Corruption, DifficultyHopping, Eclipse, FakeProof, Honest, MinedAction, MiningMode,
-    PoisonedSync, ProofAction, ProofWithholding, SegmentSpam, SegmentStalling, SelfishMining,
-    ServeAction, Silent, StallMode, Strategy, TimestampSkew,
+    Corruption, CostSteering, DifficultyHopping, Eclipse, FakeProof, Honest, MinedAction,
+    MiningMode, PoisonedSync, ProofAction, ProofWithholding, SegmentSpam, SegmentStalling,
+    SelfishMining, ServeAction, Silent, StallMode, Strategy, TimestampSkew,
 };
 pub use topology::TopologyConfig;

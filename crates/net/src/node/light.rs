@@ -204,7 +204,10 @@ where
         let mut out = Vec::new();
         let tip_before = self.light.as_ref().expect("light role").headers.tip();
         for header in headers {
-            let digest = self.tree.digest_of_header(&header);
+            // Hashing a HashCore header runs its widget program anyway, so
+            // the verifier-cost observation the cost-aware rule needs comes
+            // free with the digest.
+            let (digest, cost_ratio) = self.tree.digest_and_cost_of_header(&header);
             self.stats.verify_hash_ops += 1;
             if !self.header_timestamp_plausible(now_ms, &header) {
                 self.stats.rejections.timestamp += 1;
@@ -212,10 +215,12 @@ where
                 break;
             }
             let light = self.light.as_mut().expect("light role");
-            match light.headers.accept(header, digest) {
+            match light.headers.accept_observed(header, digest, cost_ratio) {
                 Ok(HeaderOutcome::AlreadyKnown) => {}
                 Ok(HeaderOutcome::TipChanged { .. }) | Ok(HeaderOutcome::SideChain) => {
                     self.stats.headers_accepted += 1;
+                    self.stats.verify_cost_ratio_sum += cost_ratio;
+                    self.stats.verify_cost_blocks += 1;
                 }
                 Err(ForkError::UnknownParent { .. }) => {
                     // A gap: catch up from the sender, starting at our

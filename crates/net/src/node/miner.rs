@@ -68,6 +68,7 @@ where
         tag: String,
         timestamp: u64,
         target: Target,
+        version: u32,
     ) {
         let miner = &mut self.miner;
         miner.transactions.clear();
@@ -79,7 +80,7 @@ where
             miner.transactions.push(vec![0xAB; self.body_bytes]);
         }
         miner.header = BlockHeader {
-            version: 1,
+            version,
             prev_hash: prev,
             merkle_root: Block::merkle_root(&miner.transactions),
             timestamp,
@@ -132,36 +133,65 @@ where
             self.miner.template_valid = false;
             return Vec::new();
         }
-        let found = {
-            let Self { tree, miner, .. } = &mut *self;
-            tree.pow().scan_nonce_batch(
-                &mut miner.input,
-                target,
-                miner.next_nonce,
-                attempts,
-                &mut miner.scratch,
-            )
-        };
-        let Some((nonce, _)) = found else {
-            // Resume point per the scan-nonce wrap contract: wrapping, so a
-            // long-running miner near the top of the nonce space neither
-            // overflows nor rescans.
-            self.miner.next_nonce = self.miner.next_nonce.wrapping_add(attempts);
-            return Vec::new();
-        };
-        self.miner.next_nonce = nonce.wrapping_add(1);
-        let block = Block {
-            header: BlockHeader {
+        let mut remaining = attempts;
+        let (block, cost_ratio) = loop {
+            if remaining == 0 {
+                return Vec::new();
+            }
+            let start = self.miner.next_nonce;
+            let found = {
+                let Self { tree, miner, .. } = &mut *self;
+                tree.pow().scan_nonce_batch(
+                    &mut miner.input,
+                    target,
+                    start,
+                    remaining,
+                    &mut miner.scratch,
+                )
+            };
+            let Some((nonce, _)) = found else {
+                // Resume point per the scan-nonce wrap contract: wrapping,
+                // so a long-running miner near the top of the nonce space
+                // neither overflows nor rescans.
+                self.miner.next_nonce = start.wrapping_add(remaining);
+                return Vec::new();
+            };
+            remaining -= nonce.wrapping_sub(start).wrapping_add(1);
+            self.miner.next_nonce = nonce.wrapping_add(1);
+            let header = BlockHeader {
                 nonce,
                 ..self.miner.header.clone()
-            },
-            transactions: self.miner.transactions.clone(),
+            };
+            // Re-derive the winning seed through the cost-observing path:
+            // its widget cost decides admission and seed selection.
+            let (digest, cost_ratio) = self.tree.digest_and_cost_of_header(&header);
+            if !self.rule().admits(target, &digest, cost_ratio) {
+                // The cost-aware admission bound taxes expensive seeds; an
+                // honest miner simply keeps scanning.
+                self.stats.seeds_inadmissible += 1;
+                continue;
+            }
+            if !self.strategy.selects_seed(cost_ratio) {
+                // The cost-steering grind: the strategy throws away a
+                // perfectly valid block because it verifies too cheaply.
+                self.stats.seeds_discarded += 1;
+                continue;
+            }
+            break (
+                Block {
+                    header,
+                    transactions: self.miner.transactions.clone(),
+                },
+                cost_ratio,
+            );
         };
         let outcome = self
             .tree
             .apply(block.clone())
             .expect("a locally mined block extends a stored tip");
         self.stats.blocks_mined += 1;
+        self.stats.verify_cost_ratio_sum += cost_ratio;
+        self.stats.verify_cost_blocks += 1;
         self.record_tip_change(&outcome);
         self.persist_block(&block);
         self.miner.template_valid = false;
@@ -217,11 +247,16 @@ where
             .tree
             .expected_child_target(&tip, timestamp)
             .unwrap_or(self.target);
+        // Under a cost-aware rule the template must carry the commitment
+        // the rule expects in the version word; any other rule leaves the
+        // version at its legacy value.
+        let version = self.tree.expected_child_version(&tip).unwrap_or(1);
         self.reset_template(
             tip,
             format!("node-{id} height-{height} at-{now_ms}ms"),
             timestamp,
             target,
+            version,
         );
     }
 
@@ -233,7 +268,7 @@ where
         if !self.miner.template_valid {
             let parent = fake_parent_digest(self.id, self.stats.fake_orphans);
             let tag = format!("spam-{} orphan-{}", self.id, self.stats.fake_orphans);
-            self.reset_template(parent, tag, 0, self.target);
+            self.reset_template(parent, tag, 0, self.target, 1);
         }
         let target = self.target;
         let found = {

@@ -4,7 +4,8 @@
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
 use hashcore_chain::{
-    validate_segment_parallel, ApplyOutcome, Block, ForkError, InvalidReason, Reorg, GENESIS_HASH,
+    cost_commitment_of, validate_segment_parallel_with_rule, ApplyOutcome, Block, ForkError,
+    InvalidReason, Reorg, RuleContext, GENESIS_HASH,
 };
 use hashcore_crypto::Digest256;
 use std::time::Instant;
@@ -51,6 +52,8 @@ where
         match self.tree.apply(block.clone()) {
             Ok(outcome) if outcome.newly_stored() => {
                 self.stats.blocks_accepted += 1;
+                self.stats.verify_cost_ratio_sum += self.tree.cost_ratio_of(&outcome.digest());
+                self.stats.verify_cost_blocks += 1;
                 self.persist_block(&block);
                 self.record_tip_change(&outcome);
                 let mut out = self.note_public_work(outcome.digest());
@@ -258,9 +261,33 @@ where
         // the whole received segment before any block is applied. The
         // pending request is kept alive on rejection, so a poisoned answer
         // cannot mask a later honest one.
+        // Under a cost-aware rule the pre-walk above took each block's
+        // embedded commitment at face value; the verifier's rule walk now
+        // re-derives every commitment from the *observed* widget costs
+        // anchored at the tree's stored observation, so a segment lying
+        // about its verification bill is rejected here (and the per-block
+        // admission bound is enforced). Rules without a cost component
+        // skip the walk entirely — the verifier runs exactly as before.
+        let ctx = self.rule().cost_aware().is_some().then(|| RuleContext {
+            rule: self.rule(),
+            anchor: (anchor != GENESIS_HASH).then(|| {
+                let block = self.tree.block(&anchor).expect("anchor checked above");
+                (
+                    Target::from_threshold(block.header.target),
+                    block.header.timestamp,
+                    cost_commitment_of(block.header.version),
+                    self.tree.cost_ratio_of(&anchor),
+                )
+            }),
+        });
         let started = Instant::now();
-        let verdict =
-            validate_segment_parallel(self.tree.pow(), &blocks, self.sync_threads, anchor);
+        let verdict = validate_segment_parallel_with_rule(
+            self.tree.pow(),
+            &blocks,
+            self.sync_threads,
+            anchor,
+            ctx,
+        );
         self.stats.sync_wall_seconds += started.elapsed().as_secs_f64();
         if verdict.is_err() {
             self.stats.rejections.invalid_segment += 1;
@@ -281,6 +308,8 @@ where
             };
             if outcome.newly_stored() {
                 self.stats.blocks_accepted += 1;
+                self.stats.verify_cost_ratio_sum += self.tree.cost_ratio_of(&outcome.digest());
+                self.stats.verify_cost_blocks += 1;
                 self.persist_block(block);
             }
             if let ApplyOutcome::TipChanged { reorg, .. } = &outcome {

@@ -7,7 +7,7 @@ use crate::strategy::{Honest, Strategy};
 use crate::topology::{Overlay, TopologyConfig};
 use hashcore::Target;
 use hashcore_baselines::PreparedPow;
-use hashcore_chain::{DifficultyRule, EmaRetarget};
+use hashcore_chain::{CostAwareRetarget, DifficultyRule, EmaRetarget, GENESIS_HASH};
 use hashcore_crypto::Digest256;
 use hashcore_gen::WidgetRng;
 use hashcore_store::ChainStore;
@@ -62,6 +62,22 @@ pub struct RetargetConfig {
     /// Exponential-moving-average weight of the retarget step (see
     /// [`EmaRetarget::gain`]).
     pub gain: f64,
+}
+
+/// Verifier-cost feedback layered on top of [`SimConfig::retarget`]: the
+/// run installs [`DifficultyRule::CostAware`] instead of the plain EMA
+/// rule, so every header carries a quantized cost-EMA commitment in its
+/// version word, branch targets harden when recent blocks trend
+/// expensive-to-verify, and the per-block admission bound taxes expensive
+/// seeds — the defence the cost-steering adversary is measured against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPolicyConfig {
+    /// EMA weight of each block's observed cost ratio in the committed
+    /// cost average (see [`CostAwareRetarget::cost_gain`]).
+    pub cost_gain: f64,
+    /// Exponent shaping how hard targets and admission react to the cost
+    /// signal (see [`CostAwareRetarget::response`]).
+    pub response: f64,
 }
 
 /// Per-node on-disk persistence for a simulation run: each node gets a
@@ -166,6 +182,10 @@ pub struct SimConfig {
     /// whole run at the fixed `difficulty_bits` target, exactly as before
     /// adaptive difficulty existed.
     pub retarget: Option<RetargetConfig>,
+    /// Verifier-cost feedback on top of `retarget`: `Some` upgrades the
+    /// EMA rule to [`DifficultyRule::CostAware`] (requires `retarget`);
+    /// `None` (the default) leaves every existing rule byte-identical.
+    pub cost_policy: Option<CostPolicyConfig>,
     /// Header-timestamp validity rule nodes enforce on incoming blocks and
     /// segments; `None` (the default) accepts any reported timestamp —
     /// which is what makes the timestamp-skew attack land, and what this
@@ -225,6 +245,7 @@ impl Default for SimConfig {
             ban_threshold: 3,
             prune_depth: None,
             retarget: None,
+            cost_policy: None,
             timestamp_rule: None,
             persistence: None,
             crashes: Vec::new(),
@@ -450,6 +471,17 @@ pub struct SimReport {
     pub verify_hash_ops: u64,
     /// Transaction bytes light clients accepted under verified proofs.
     pub tx_bytes_proved: u64,
+    /// PoW-winning seeds strategies discarded for verifying too cheaply —
+    /// the cost-steering adversary's grinding bill.
+    pub seeds_discarded: u64,
+    /// PoW-winning seeds the cost-aware admission bound rejected at the
+    /// miner before a block was built.
+    pub seeds_inadmissible: u64,
+    /// Mean observed verifier-cost ratio (actual over nominal) along the
+    /// first honest node's best chain — the per-block verification bill
+    /// the cost-steering adversary inflates and the cost-aware rule
+    /// restores (`1.0` while the chain is empty).
+    pub tip_mean_cost_ratio: f64,
     /// Wall-clock seconds the whole run took. Excluded from the
     /// fingerprints, like [`SimReport::sync_wall_seconds`].
     pub run_wall_seconds: f64,
@@ -545,6 +577,11 @@ impl SimReport {
             self.quota_refusals,
             self.verify_hash_ops,
             self.tx_bytes_proved,
+        );
+        let _ = write!(
+            out,
+            " seeds_discarded={} seeds_inadmissible={} tip_cost={:.4}",
+            self.seeds_discarded, self.seeds_inadmissible, self.tip_mean_cost_ratio,
         );
         out
     }
@@ -753,14 +790,28 @@ where
                 "light request_timeout_ms must cover a worst-case round trip"
             );
         }
+        assert!(
+            config.cost_policy.is_none() || config.retarget.is_some(),
+            "cost_policy layers on the EMA rule and requires retarget"
+        );
         let target = Target::from_leading_zero_bits(config.difficulty_bits);
         let rule = match config.retarget {
             None => DifficultyRule::Fixed(target),
-            Some(retarget) => DifficultyRule::Ema(EmaRetarget {
-                initial: target,
-                target_block_time: retarget.target_block_time_ms,
-                gain: retarget.gain,
-            }),
+            Some(retarget) => {
+                let ema = EmaRetarget {
+                    initial: target,
+                    target_block_time: retarget.target_block_time_ms,
+                    gain: retarget.gain,
+                };
+                match config.cost_policy {
+                    None => DifficultyRule::Ema(ema),
+                    Some(policy) => DifficultyRule::CostAware(CostAwareRetarget::new(
+                        ema,
+                        policy.cost_gain,
+                        policy.response,
+                    )),
+                }
+            }
         };
         let nodes: Vec<Node<P>> = (0..config.nodes)
             .map(|id| {
@@ -1440,6 +1491,29 @@ where
             .collect();
         let light_converged =
             lights.is_empty() || (tip != [0u8; 32] && lights.iter().all(|n| n.tip() == tip));
+        // The per-block verification bill of the honest canonical chain:
+        // walk the first honest node's best branch tip-to-root over the
+        // cached cost observations (pure header facts, so every honest
+        // node agrees on the figure once converged).
+        let tip_mean_cost_ratio = {
+            let tree = first_honest.tree();
+            let mut digest = tree.tip();
+            let mut sum = 0.0;
+            let mut count = 0u64;
+            while digest != GENESIS_HASH {
+                let Some(block) = tree.block(&digest) else {
+                    break;
+                };
+                sum += tree.cost_ratio_of(&digest);
+                count += 1;
+                digest = block.header.prev_hash;
+            }
+            if count > 0 {
+                sum / count as f64
+            } else {
+                1.0
+            }
+        };
         SimReport {
             light_nodes: lights.len() as u64,
             light_converged,
@@ -1455,6 +1529,9 @@ where
             quota_refusals: sum(&|s| s.quota_refusals),
             verify_hash_ops: sum(&|s| s.verify_hash_ops),
             tx_bytes_proved: sum(&|s| s.tx_bytes_proved),
+            seeds_discarded: sum(&|s| s.seeds_discarded),
+            seeds_inadmissible: sum(&|s| s.seeds_inadmissible),
+            tip_mean_cost_ratio,
             nodes: self.config.nodes,
             seed: self.config.seed,
             duration_ms: self.config.duration_ms,

@@ -28,6 +28,10 @@
 //! * [`Eclipse`] — monopolise a victim's bounded peer table with sybil
 //!   connections so it mines on a stale tip (topology-enabled runs only;
 //!   defeated by peer scoring, anchors and anchor rotation),
+//! * [`CostSteering`] — discard found blocks whose widget program is cheap
+//!   to verify and publish only expensive ones, dragging the network's
+//!   per-block verification bill upward (defeated by the cost-aware
+//!   difficulty rule's commitment-checked admission bound),
 //! * [`ProofWithholding`] — serve headers honestly but never answer a
 //!   light client's proof requests, forcing it through the proof
 //!   re-request rotation,
@@ -197,6 +201,16 @@ pub trait Strategy: fmt::Debug + Send {
     /// mine). Difficulty hoppers defect while the branch is expensive.
     fn mines_at(&mut self, expected_attempts: f64) -> bool {
         let _ = expected_attempts;
+        true
+    }
+
+    /// Called when the miner finds a block whose observed verifier-cost
+    /// ratio (actual over nominal verification cost) is `cost_ratio`.
+    /// Returning `false` discards the block and keeps scanning — the
+    /// cost-steering adversary's grinding loop. Honest miners publish
+    /// every seed they find (the default).
+    fn selects_seed(&mut self, cost_ratio: f64) -> bool {
+        let _ = cost_ratio;
         true
     }
 
@@ -460,6 +474,32 @@ impl Strategy for Eclipse {
     }
 }
 
+/// Cost steering: follow the protocol everywhere except seed selection —
+/// every found block whose widget program verifies cheaply is thrown away
+/// and the scan continues until PoW success lands on an expensive program.
+/// Against a cost-blind difficulty rule the published chain's per-block
+/// verification bill inflates toward the grinder's threshold while every
+/// block remains individually valid. The cost-aware rule defeats this two
+/// ways: the header-committed cost EMA hardens the branch's targets, and
+/// the per-block admission bound rejects blocks whose observed cost ratio
+/// outruns the work their digest actually proves.
+#[derive(Debug, Clone, Copy)]
+pub struct CostSteering {
+    /// Publish only blocks whose verifier-cost ratio is at least this
+    /// multiple of nominal.
+    pub min_cost_ratio: f64,
+}
+
+impl Strategy for CostSteering {
+    fn name(&self) -> &'static str {
+        "cost-steering"
+    }
+
+    fn selects_seed(&mut self, cost_ratio: f64) -> bool {
+        cost_ratio >= self.min_cost_ratio
+    }
+}
+
 /// Proof withholding: mine, relay and serve headers like an honest full
 /// node — so light clients keep selecting it as a server — but never
 /// answer a `GetProof` request. The light client's proof-timeout rotation
@@ -634,6 +674,27 @@ mod tests {
         assert!(fake.relays() && fake.syncs());
         let mut honest = Honest;
         assert_eq!(honest.serve_proof(0), ProofAction::Honest);
+    }
+
+    #[test]
+    fn cost_steering_discards_cheap_seeds_and_is_otherwise_honest() {
+        let mut steer = CostSteering {
+            min_cost_ratio: 2.0,
+        };
+        assert!(!steer.selects_seed(1.0));
+        assert!(!steer.selects_seed(1.999));
+        assert!(steer.selects_seed(2.0));
+        assert!(steer.selects_seed(3.7));
+        assert!(steer.is_adversarial());
+        // Everywhere else it looks like an honest miner.
+        assert_eq!(steer.mining_mode(), MiningMode::Extend);
+        assert_eq!(steer.on_mined(), MinedAction::Announce);
+        assert_eq!(steer.serve_segment(0), ServeAction::Honest);
+        assert!(steer.relays() && steer.syncs());
+        // Honest miners publish every seed they find.
+        let mut honest = Honest;
+        assert!(honest.selects_seed(0.25));
+        assert!(honest.selects_seed(100.0));
     }
 
     #[test]

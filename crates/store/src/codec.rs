@@ -9,7 +9,9 @@
 //! torn tail and the snapshot ladder can fall back.
 
 use hashcore::Target;
-use hashcore_chain::{Block, BlockHeader, DifficultyRule, EmaRetarget, TreeSnapshot};
+use hashcore_chain::{
+    Block, BlockHeader, CostAwareRetarget, DifficultyRule, EmaRetarget, TreeSnapshot,
+};
 use std::fmt;
 
 /// Serialized [`BlockHeader`] size: version `u32` + two 32-byte digests +
@@ -172,6 +174,14 @@ fn encode_rule(rule: Option<&DifficultyRule>, out: &mut Vec<u8>) {
             out.extend_from_slice(&ema.target_block_time.to_bits().to_le_bytes());
             out.extend_from_slice(&ema.gain.to_bits().to_le_bytes());
         }
+        Some(DifficultyRule::CostAware(cost)) => {
+            out.push(3);
+            out.extend_from_slice(cost.time.initial.threshold());
+            out.extend_from_slice(&cost.time.target_block_time.to_bits().to_le_bytes());
+            out.extend_from_slice(&cost.time.gain.to_bits().to_le_bytes());
+            out.extend_from_slice(&cost.cost_gain.to_bits().to_le_bytes());
+            out.extend_from_slice(&cost.response.to_bits().to_le_bytes());
+        }
     }
 }
 
@@ -186,6 +196,15 @@ fn read_rule(reader: &mut Reader<'_>) -> Result<Option<DifficultyRule>, DecodeEr
             initial: Target::from_threshold(reader.digest()?),
             target_block_time: reader.f64()?,
             gain: reader.f64()?,
+        }))),
+        3 => Ok(Some(DifficultyRule::CostAware(CostAwareRetarget {
+            time: EmaRetarget {
+                initial: Target::from_threshold(reader.digest()?),
+                target_block_time: reader.f64()?,
+                gain: reader.f64()?,
+            },
+            cost_gain: reader.f64()?,
+            response: reader.f64()?,
         }))),
         tag => Err(DecodeError::BadTag { tag }),
     }
@@ -277,6 +296,15 @@ mod tests {
                 initial: Target::from_leading_zero_bits(3),
                 target_block_time: 12.5,
                 gain: 0.25,
+            })),
+            Some(DifficultyRule::CostAware(CostAwareRetarget {
+                time: EmaRetarget {
+                    initial: Target::from_leading_zero_bits(4),
+                    target_block_time: 1_000.0,
+                    gain: 0.5,
+                },
+                cost_gain: 0.5,
+                response: 2.0,
             })),
         ] {
             let snapshot = TreeSnapshot {

@@ -1,0 +1,146 @@
+//! Warm start under the cost-aware difficulty rule: mine a chain with
+//! [`DifficultyRule::CostAware`], snapshot mid-way, append the rest to the
+//! segment log, reopen the store cold via [`ChainStore::open`], rebuild
+//! the tree, and keep mining — every block mined after the restart must be
+//! byte-identical to the never-persisted reference run, and the final
+//! trees must share a fingerprint.
+//!
+//! This pins the property the cost machinery makes non-trivial: the
+//! per-entry observed cost ratios that drive the commitment recurrence are
+//! *not* serialized (they are a pure function of header bytes), so
+//! recovery must re-derive them exactly or the first post-restart template
+//! would carry the wrong version word and fork the chain.
+
+use hashcore::Target;
+use hashcore_baselines::Sha256dPow;
+use hashcore_chain::{
+    Block, BlockHeader, CostAwareRetarget, DifficultyRule, EmaRetarget, ForkTree,
+};
+use hashcore_store::{rebuild, ChainStore, TempDir};
+
+fn cost_rule() -> DifficultyRule {
+    DifficultyRule::CostAware(CostAwareRetarget::new(
+        EmaRetarget {
+            initial: Target::from_leading_zero_bits(2),
+            target_block_time: 1_000.0,
+            gain: 0.5,
+        },
+        0.5,
+        2.0,
+    ))
+}
+
+/// Mines the rule-consistent next block on the tree's best tip: expected
+/// version word (cost commitment) and target from the branch state, nonce
+/// search skipping seeds the admission bound rejects. Deterministic given
+/// the tree state, so two trees in the same state mine the same block.
+fn mine_next(tree: &mut ForkTree<Sha256dPow>, timestamp: u64) -> Block {
+    let parent = tree.tip();
+    let version = tree
+        .expected_child_version(&parent)
+        .expect("cost-aware rules always expect a version");
+    let expected = tree
+        .expected_child_target(&parent, timestamp)
+        .expect("tip is stored");
+    let rule = cost_rule();
+    let transactions = vec![timestamp.to_le_bytes().to_vec()];
+    let mut header = BlockHeader {
+        version,
+        prev_hash: parent,
+        merkle_root: Block::merkle_root(&transactions),
+        timestamp,
+        target: *expected.threshold(),
+        nonce: 0,
+    };
+    loop {
+        let (digest, cost_ratio) = tree.digest_and_cost_of_header(&header);
+        if expected.is_met_by(&digest) && rule.admits(expected, &digest, cost_ratio) {
+            return Block {
+                header,
+                transactions,
+            };
+        }
+        header.nonce += 1;
+    }
+}
+
+#[test]
+fn cost_aware_mining_warm_starts_bit_identically() {
+    // The never-persisted reference: 12 blocks with uneven gaps, so the
+    // targets and cost commitments actually move.
+    let gaps = [
+        900u64, 2_400, 300, 1_100, 1_000, 1_700, 600, 1_300, 950, 2_000, 450, 1_050,
+    ];
+    let mut reference = ForkTree::with_rule(Sha256dPow, cost_rule());
+    let mut reference_blocks = Vec::new();
+    let mut timestamp = 0u64;
+    for gap in gaps {
+        timestamp += gap;
+        let block = mine_next(&mut reference, timestamp);
+        reference_blocks.push(block.clone());
+        reference.apply(block).expect("reference block is valid");
+    }
+
+    // The persisted run mines the same schedule: 4 blocks into the first
+    // log, a snapshot, 4 more into the rotated log — then the process
+    // "exits" (store and tree dropped).
+    let dir = TempDir::new("warm-start-cost").expect("temp dir");
+    let mut tree = ForkTree::with_rule(Sha256dPow, cost_rule());
+    let mut store = ChainStore::create(dir.path()).expect("create store");
+    let mut timestamp = 0u64;
+    for (i, gap) in gaps[..8].iter().enumerate() {
+        timestamp += *gap;
+        let block = mine_next(&mut tree, timestamp);
+        store.append_block(&block).expect("append");
+        tree.apply(block).expect("mined block is valid");
+        if i == 3 {
+            store
+                .snapshot_now(&tree.snapshot())
+                .expect("snapshot commits");
+        }
+    }
+    drop(store);
+    drop(tree);
+
+    // Cold reopen: the recovery ladder hands back the snapshot plus the
+    // post-snapshot log records, and rebuild() re-applies them — which
+    // re-derives every entry's cost ratio from its header bytes.
+    let (_store, recovered) = ChainStore::open(dir.path()).expect("reopen");
+    assert!(recovered.report.clean(), "clean shutdown, clean recovery");
+    assert!(
+        recovered.snapshot.is_some(),
+        "the mid-run snapshot is the recovery base"
+    );
+    let (mut warm, skipped) =
+        rebuild(Sha256dPow, Some(cost_rule()), &recovered).expect("rebuild succeeds");
+    assert_eq!(skipped, 0, "every logged block re-applies cleanly");
+    assert_eq!(warm.tip(), {
+        let mut check = ForkTree::with_rule(Sha256dPow, cost_rule());
+        for block in &reference_blocks[..8] {
+            check.apply(block.clone()).expect("prefix re-applies");
+        }
+        check.tip()
+    });
+
+    // Continue mining on the warm-started tree: blocks 9..=12 must be
+    // byte-identical to the reference run's — same version words, same
+    // targets, same nonces — because the recovered branch state (cost
+    // commitments included) is exact.
+    for (block, gap) in reference_blocks[8..].iter().zip(&gaps[8..]) {
+        timestamp += *gap;
+        let mined = mine_next(&mut warm, timestamp);
+        assert_eq!(
+            mined, *block,
+            "post-restart mining must replay the never-crashed run"
+        );
+        warm.apply(mined).expect("continued block is valid");
+    }
+    assert_eq!(
+        warm.fingerprint(),
+        reference.fingerprint(),
+        "warm-started and never-persisted trees are indistinguishable"
+    );
+    assert_eq!(warm.tip(), reference.tip());
+    assert_eq!(warm.tip_height(), 12);
+    assert!(warm.validate_best_chain().is_ok());
+}

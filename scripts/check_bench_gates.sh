@@ -23,6 +23,8 @@ gates=(
   'BENCH_adversary.json|"runs_identical": true'
   'BENCH_difficulty.json|"skew_inflates": true'
   'BENCH_difficulty.json|"drift_rule_holds": true'
+  'BENCH_difficulty.json|"steering_inflates_verify_cost": true'
+  'BENCH_difficulty.json|"cost_rule_holds": true'
   'BENCH_difficulty.json|"runs_identical": true'
   'BENCH_scale.json|"runs_identical": true'
   'BENCH_scale.json|"threads_identical": true'
